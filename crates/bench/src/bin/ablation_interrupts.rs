@@ -1,0 +1,22 @@
+//! Ablation A4 (paper §2.3): interrupt management. SRM disables LAPI
+//! interrupts for small-message collectives and relies on counter
+//! polling; this binary measures what always-enabled interrupts would
+//! cost.
+
+use simnet::{MachineConfig, Topology};
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
+use srm::SrmTuning;
+
+fn main() {
+    let machine = MachineConfig::ibm_sp_colony();
+    let topo = Topology::sp_16way(16);
+    println!("Ablation A4: interrupt policy, SRM broadcast, P=256\n");
+    println!("{:>10} {:>16} {:>16}", "bytes", "SRM policy (us)", "always-on (us)");
+    for len in [8usize, 512, 4096, 8 << 10] {
+        let policy = SrmTuning::default();
+        let always_on = SrmTuning { interrupt_disable_max: 0, ..policy };
+        let a = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 5, srm: policy });
+        let b = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 5, srm: always_on });
+        println!("{:>10} {:>16.1} {:>16.1}", len, a.per_call.as_us(), b.per_call.as_us());
+    }
+}

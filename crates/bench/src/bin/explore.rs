@@ -1,0 +1,134 @@
+//! Ad-hoc experiment runner: measure any collective on any cluster
+//! shape from the command line.
+//!
+//! ```text
+//! explore [OPTIONS]
+//!   --op bcast|reduce|allreduce|barrier     (default bcast)
+//!   --nodes N                               (default 4)
+//!   --tpn P                                 (default 16)
+//!   --bytes B[,B...]                        (default 4096)
+//!   --impl srm|ibm|mpich|all                (default all)
+//!   --machine colony|via                    (default colony)
+//!   --iters K                               (default 5)
+//!   --tree binomial|binary|fibonacci        (default binomial)
+//! ```
+
+use simnet::{MachineConfig, Topology};
+use srm::{SrmTuning, TreeKind};
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
+
+struct Args {
+    op: Op,
+    nodes: usize,
+    tpn: usize,
+    bytes: Vec<usize>,
+    imps: Vec<Impl>,
+    machine: MachineConfig,
+    iters: usize,
+    tree: TreeKind,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!("usage: explore [--op OP] [--nodes N] [--tpn P] [--bytes B,..] [--impl I] [--machine M] [--iters K] [--tree T]");
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        op: Op::Bcast,
+        nodes: 4,
+        tpn: 16,
+        bytes: vec![4096],
+        imps: Impl::ALL.to_vec(),
+        machine: MachineConfig::ibm_sp_colony(),
+        iters: 5,
+        tree: TreeKind::Binomial,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let val = argv
+            .get(i + 1)
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match flag {
+            "--op" => {
+                a.op = match val.as_str() {
+                    "bcast" => Op::Bcast,
+                    "reduce" => Op::Reduce,
+                    "allreduce" => Op::Allreduce,
+                    "barrier" => Op::Barrier,
+                    other => usage(&format!("unknown op '{other}'")),
+                }
+            }
+            "--nodes" => a.nodes = val.parse().unwrap_or_else(|_| usage("bad --nodes")),
+            "--tpn" => a.tpn = val.parse().unwrap_or_else(|_| usage("bad --tpn")),
+            "--bytes" => {
+                a.bytes = val
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage("bad --bytes")))
+                    .collect()
+            }
+            "--impl" => {
+                a.imps = match val.as_str() {
+                    "srm" => vec![Impl::Srm],
+                    "ibm" => vec![Impl::IbmMpi],
+                    "mpich" => vec![Impl::Mpich],
+                    "all" => Impl::ALL.to_vec(),
+                    other => usage(&format!("unknown impl '{other}'")),
+                }
+            }
+            "--machine" => {
+                a.machine = match val.as_str() {
+                    "colony" => MachineConfig::ibm_sp_colony(),
+                    "via" => MachineConfig::commodity_via_cluster(),
+                    other => usage(&format!("unknown machine '{other}'")),
+                }
+            }
+            "--iters" => a.iters = val.parse().unwrap_or_else(|_| usage("bad --iters")),
+            "--tree" => {
+                a.tree = match val.as_str() {
+                    "binomial" => TreeKind::Binomial,
+                    "binary" => TreeKind::Binary,
+                    "fibonacci" => TreeKind::Fibonacci,
+                    other => usage(&format!("unknown tree '{other}'")),
+                }
+            }
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    a
+}
+
+fn main() {
+    let a = parse();
+    let topo = Topology::new(a.nodes, a.tpn);
+    println!(
+        "{} on {topo}, {} iteration(s) per point, {:?} tree\n",
+        a.op.name(),
+        a.iters,
+        a.tree
+    );
+    print!("{:>10}", "bytes");
+    for imp in &a.imps {
+        print!(" {:>12}", imp.name());
+    }
+    println!();
+    for &len in &a.bytes {
+        print!("{len:>10}");
+        for &imp in &a.imps {
+            let opts = HarnessOpts {
+                iters: a.iters,
+                srm: SrmTuning {
+                    tree: a.tree,
+                    ..SrmTuning::default()
+                },
+            };
+            let m = measure(imp, a.machine.clone(), topo, a.op, len, opts);
+            print!(" {:>11.1}u", m.per_call.as_us());
+        }
+        println!();
+    }
+}

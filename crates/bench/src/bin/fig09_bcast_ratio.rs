@@ -1,0 +1,11 @@
+//! Figure 9: SRM broadcast time as a fraction of IBM MPI (left block)
+//! and MPICH (right block) MPI_Bcast — T_SRM/T_MPI x 100%, lower is
+//! better. Shares the Figure 6 sweep through the CSV cache.
+
+use srm_bench::{print_ratio_panels, sweep};
+use srm_cluster::Op;
+
+fn main() {
+    let s = sweep(Op::Bcast);
+    print_ratio_panels("Figure 9: broadcast", &s);
+}

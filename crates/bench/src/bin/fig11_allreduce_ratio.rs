@@ -1,0 +1,10 @@
+//! Figure 11: SRM allreduce time as a fraction of IBM MPI and MPICH
+//! MPI_Allreduce — T_SRM/T_MPI x 100%, lower is better.
+
+use srm_bench::{print_ratio_panels, sweep};
+use srm_cluster::Op;
+
+fn main() {
+    let s = sweep(Op::Allreduce);
+    print_ratio_panels("Figure 11: allreduce", &s);
+}

@@ -1,0 +1,27 @@
+//! Figure 12: barrier time vs processor count for SRM, IBM MPI and
+//! MPICH (the paper reports a 73% improvement over MPI at 256).
+
+use srm_bench::sweep_barrier;
+use srm_cluster::Impl;
+
+fn main() {
+    let pts = sweep_barrier();
+    println!("\nFigure 12: barrier time vs number of processors");
+    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "procs", "SRM (us)", "MPI (us)", "MPICH (us)", "SRM/MPI");
+    let mut procs: Vec<usize> = pts.iter().map(|p| p.nprocs).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    for n in procs {
+        let get = |imp: Impl| {
+            pts.iter()
+                .find(|p| p.imp == imp && p.nprocs == n)
+                .map(|p| p.us)
+                .unwrap_or(f64::NAN)
+        };
+        let (s, m, c) = (get(Impl::Srm), get(Impl::IbmMpi), get(Impl::Mpich));
+        println!(
+            "{n:>8} {s:>10.1} {m:>10.1} {c:>10.1} {:>11.0}%",
+            100.0 * s / m
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Validates the analytical model of §5 ("future work") against the
+//! simulator: for a grid of operations, sizes and cluster shapes,
+//! print predicted vs simulated per-call time and the ratio.
+//!
+//! The model captures first-order structure (hop counts, pipeline
+//! intervals, copy and operator costs); the simulator adds contention,
+//! flow-control stalls and scheduling. Ratios near 1.0 mean the paper's
+//! proposed model would have been a good tuning tool.
+
+use simnet::{MachineConfig, Topology};
+use srm::{SrmModel, SrmTuning};
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
+
+fn main() {
+    let machine = MachineConfig::ibm_sp_colony();
+    println!(
+        "{:>10} {:>6} {:>8} {:>12} {:>12} {:>8}",
+        "op", "nodes", "bytes", "model (us)", "sim (us)", "ratio"
+    );
+    let mut worst: f64 = 1.0;
+    for nodes in [2usize, 4, 16] {
+        let topo = Topology::sp_16way(nodes);
+        let model = SrmModel::new(machine.clone(), topo, SrmTuning::default());
+        for (op, lens) in [
+            (Op::Bcast, vec![512usize, 8 << 10, 64 << 10, 1 << 20]),
+            (Op::Reduce, vec![512, 64 << 10, 1 << 20]),
+            (Op::Allreduce, vec![512, 64 << 10, 1 << 20]),
+            (Op::Barrier, vec![8]),
+        ] {
+            for len in lens {
+                let predicted = match op {
+                    Op::Bcast => model.bcast(len),
+                    Op::Reduce => model.reduce(len),
+                    Op::Allreduce => model.allreduce(len),
+                    Op::Barrier => model.barrier(),
+                };
+                let sim = measure(
+                    Impl::Srm,
+                    machine.clone(),
+                    topo,
+                    op,
+                    len,
+                    HarnessOpts {
+                        iters: srm_bench::iters_for(len),
+                        ..Default::default()
+                    },
+                );
+                let ratio = sim.per_call.as_us() / predicted.as_us();
+                worst = worst.max(ratio.max(1.0 / ratio));
+                println!(
+                    "{:>10} {:>6} {:>8} {:>12.1} {:>12.1} {:>8.2}",
+                    op.name(),
+                    nodes,
+                    len,
+                    predicted.as_us(),
+                    sim.per_call.as_us(),
+                    ratio
+                );
+            }
+        }
+    }
+    println!("\nworst-case model/sim discrepancy factor: {worst:.2}");
+}

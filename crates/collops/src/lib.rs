@@ -1,0 +1,18 @@
+//! # collops — shared vocabulary of the collective implementations
+//!
+//! Datatypes and reduction operators ([`DType`], [`ReduceOp`],
+//! [`combine`]), little-endian payload codecs, a sequential
+//! [`reference_reduce`] used by every correctness test, and the
+//! [`Collectives`] trait through which the benchmark harness drives
+//! SRM and the MPI baselines uniformly.
+
+#![warn(missing_docs)]
+
+pub mod dtype;
+pub mod traits;
+
+pub use dtype::{
+    combine, combine_costed, combine_from_buffer_costed, from_bytes_f64, from_bytes_u64, reference_reduce, to_bytes_f64,
+    to_bytes_u64, DType, ReduceOp,
+};
+pub use traits::{Collectives, CollectivesExt};

@@ -1,0 +1,28 @@
+//! The public [`Collectives`] face of [`SrmComm`].
+
+use crate::world::SrmComm;
+use collops::{Collectives, DType, ReduceOp};
+use shmem::ShmBuffer;
+use simnet::{Ctx, Rank};
+
+impl Collectives for SrmComm {
+    fn broadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        self.bcast_impl(ctx, buf, len, root);
+    }
+
+    fn reduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp, root: Rank) {
+        self.reduce_impl(ctx, buf, len, dtype, op, root);
+    }
+
+    fn allreduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+        self.allreduce_impl(ctx, buf, len, dtype, op);
+    }
+
+    fn barrier(&self, ctx: &Ctx) {
+        self.barrier_impl(ctx);
+    }
+
+    fn name(&self) -> &'static str {
+        "SRM"
+    }
+}

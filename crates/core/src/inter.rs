@@ -1,0 +1,721 @@
+//! The integrated shared-memory + RMA collective protocols (paper
+//! §2.3–2.4 and Figures 4–5).
+//!
+//! Only one task per node — the **master** — touches the network. Data
+//! put by a parent node lands in shared memory (the node's landing
+//! buffers or, for large broadcasts, directly in the master's user
+//! buffer), where it "is directly available to all the tasks running on
+//! that node without the need for copying the data".
+//!
+//! Flow control is explicit, exactly as the paper describes replacing
+//! MPI's eager/rendezvous machinery: two landing buffers per node, a
+//! data counter per buffer bumped by the parent's put, and a credit
+//! counter per (parent, child) edge restored by the child's zero-byte
+//! put when its node has drained a buffer. Counters are waited on with
+//! `LAPI_Waitcntr`-style calls so the dispatcher makes progress without
+//! interrupts while interrupts are disabled for small operations.
+
+use crate::embed::Embedding;
+use crate::tuning::SrmTuning;
+use crate::world::{SrmComm, AM_ADDR_XCHG};
+use collops::{combine_from_buffer_costed, DType, ReduceOp};
+use shmem::ShmBuffer;
+use simnet::{Ctx, NodeId, Rank};
+
+impl SrmComm {
+    // ----------------------------------------------------------------
+    // Broadcast
+    // ----------------------------------------------------------------
+
+    /// Broadcast entry point: route to pure shared memory, the buffered
+    /// small-message protocol, or the zero-copy large-message protocol.
+    pub(crate) fn bcast_impl(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        let topo = self.topology();
+        assert!(root < topo.nprocs(), "broadcast root out of range");
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        if len == 0 || topo.nprocs() == 1 {
+            return;
+        }
+        if !topo.multi_node() {
+            self.smp_bcast(ctx, buf, len, root);
+            return;
+        }
+        let t = self.tuning();
+        let emb = Embedding::new(topo, root, self.tree());
+        let toggles = self.is_master() && len <= t.interrupt_disable_max;
+        if toggles {
+            self.rma.set_interrupts(ctx, false);
+        }
+        if len <= t.small_large_switch {
+            self.bcast_small(ctx, buf, len, &emb);
+        } else {
+            self.bcast_large(ctx, buf, len, &emb);
+        }
+        if toggles {
+            self.rma.set_interrupts(ctx, true);
+        }
+    }
+
+    /// Forward one landing-buffer chunk to every child node, honouring
+    /// the per-edge credits (Figure 4, left).
+    fn forward_landing_chunk(&self, ctx: &Ctx, children: &[NodeId], side: usize, clen: usize) {
+        let topo = self.topology();
+        let my_node = self.node();
+        for &c in children {
+            self.rma
+                .wait_counter(ctx, &self.inter(my_node).bcast_free[c][side], 1);
+            self.rma.put(
+                ctx,
+                topo.master_of(c),
+                self.board().landing.buf(side),
+                0,
+                clen,
+                self.world.boards[c].landing.buf(side),
+                0,
+                Some(&self.world.boards[c].landing_data[side]),
+            );
+        }
+    }
+
+    /// Publish landing side `side` to every local task except myself.
+    fn publish_landing(&self, ctx: &Ctx, side: usize) {
+        let p = self.topology().tasks_per_node();
+        let my = self.slot();
+        for s in 0..p {
+            if s != my {
+                self.board().landing.ready(side).flag(s).set(ctx, 1);
+            }
+        }
+    }
+
+    /// Small-message broadcast (≤ 64 KB): puts land in the node's two
+    /// shared landing buffers; 8–32 KB messages are pipelined in 4 KB
+    /// chunks through them (§2.4).
+    fn bcast_small(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, emb: &Embedding) {
+        let topo = self.topology();
+        let t = self.tuning();
+        let chunk = t.small_bcast_chunk(len);
+        let chunks = SrmTuning::chunk_count(len, chunk);
+        let p = topo.tasks_per_node();
+        let my_node = self.node();
+        let on_root_node = my_node == emb.root_node();
+        let root = emb.root();
+        let children = if self.is_master() {
+            emb.node_children(my_node)
+        } else {
+            Vec::new()
+        };
+        let mut tmp = vec![0u8; chunk.min(len)];
+        let lbase = self.landing_seq.get();
+
+        for k in 0..chunks {
+            let off = k * chunk;
+            let clen = chunk.min(len - off);
+            let side = ((lbase + k as u64) % 2) as usize;
+            if on_root_node && self.me == root {
+                // Stage the chunk into the landing buffer: it serves
+                // both the local distribution and the network puts.
+                ctx.trace("bcast:stage");
+                self.board().landing.wait_free(ctx, side);
+                buf.with(|d| tmp[..clen].copy_from_slice(&d[off..off + clen]));
+                self.board().landing.buf(side).write(ctx, 0, &tmp[..clen], 1);
+                // Publish locally before the (possibly credit-blocked)
+                // network puts: the puts are one-sided and lose nothing,
+                // while the local readers can start draining at once.
+                self.publish_landing(ctx, side);
+                if self.is_master() {
+                    self.forward_landing_chunk(ctx, &children, side, clen);
+                }
+            } else if on_root_node && self.is_master() {
+                // Root is another task on this node: read its published
+                // chunk, forward it down the tree, then consume it.
+                self.board().landing.wait_published(ctx, side, self.slot());
+                self.forward_landing_chunk(ctx, &children, side, clen);
+                self.board()
+                    .landing
+                    .buf(side)
+                    .read(ctx, 0, &mut tmp[..clen], p.saturating_sub(1).max(1));
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
+                self.board().landing.release(ctx, side, self.slot());
+            } else if self.is_master() {
+                // Interior/leaf node master: wait for the parent's put,
+                // send the data down the tree first (Figure 4, step 2),
+                // then run the local distribution and return the credit.
+                self.rma
+                    .wait_counter(ctx, &self.board().landing_data[side], 1);
+                ctx.trace("bcast:chunk-in");
+                self.publish_landing(ctx, side);
+                self.forward_landing_chunk(ctx, &children, side, clen);
+                self.board()
+                    .landing
+                    .buf(side)
+                    .read(ctx, 0, &mut tmp[..clen], p.saturating_sub(1).max(1));
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
+                self.board().landing.wait_free(ctx, side);
+                ctx.trace("bcast:ack");
+                let parent = emb.node_parent(my_node).expect("non-root node has a parent");
+                self.rma.put_counter(
+                    ctx,
+                    topo.master_of(parent),
+                    &self.inter(parent).bcast_free[my_node][side],
+                );
+            } else {
+                // Plain reader: the put target is shared memory, so the
+                // data is consumed with a single copy.
+                self.board().landing.wait_published(ctx, side, self.slot());
+                ctx.trace("bcast:read");
+                self.board()
+                    .landing
+                    .buf(side)
+                    .read(ctx, 0, &mut tmp[..clen], p.saturating_sub(1).max(1));
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
+                self.board().landing.release(ctx, side, self.slot());
+            }
+        }
+        self.landing_seq.set(lbase + chunks as u64);
+    }
+
+    /// Large-message broadcast (> 64 KB, Figure 4 right): an address
+    /// exchange, then pipelined puts straight into the user buffers —
+    /// no intermediate buffers whatsoever — overlapped with the
+    /// intra-node two-buffer broadcast.
+    fn bcast_large(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, emb: &Embedding) {
+        let topo = self.topology();
+        let t = self.tuning();
+        let lc = t.large_chunk;
+        let chunks = SrmTuning::chunk_count(len, lc);
+        let p = topo.tasks_per_node();
+        let my_node = self.node();
+        let root_node = emb.root_node();
+        let root = emb.root();
+        let master = self.is_master();
+
+        // Stage 1: address exchange (leaf→parent user-buffer handles).
+        if master && my_node != root_node {
+            let parent = emb.node_parent(my_node).expect("non-root node has a parent");
+            self.rma.am(
+                ctx,
+                topo.master_of(parent),
+                AM_ADDR_XCHG,
+                Vec::new(),
+                Some(buf.clone()),
+            );
+        }
+        let children = if master {
+            emb.node_children(my_node)
+        } else {
+            Vec::new()
+        };
+        let child_bufs: Vec<ShmBuffer> = children
+            .iter()
+            .map(|&c| {
+                self.inter(my_node).addr_slot[c].wait_take(
+                    ctx,
+                    "child user-buffer address",
+                    |s| s.take(),
+                )
+            })
+            .collect();
+
+        let put_chunk_to_children = |ctx: &Ctx, k: usize| {
+            let coff = k * lc;
+            let cl = lc.min(len - coff);
+            for (ci, &c) in children.iter().enumerate() {
+                self.rma.put(
+                    ctx,
+                    topo.master_of(c),
+                    buf,
+                    coff,
+                    cl,
+                    &child_bufs[ci],
+                    coff,
+                    Some(&self.inter(c).large_data),
+                );
+            }
+        };
+
+        if my_node == root_node {
+            if self.me == root {
+                if master {
+                    // Stage 2: pipelined zero-copy puts down the tree.
+                    for k in 0..chunks {
+                        put_chunk_to_children(ctx, k);
+                    }
+                }
+                // Stage 3: intra-node broadcast on the root node.
+                self.smp_bcast(ctx, buf, len, root);
+            } else if master {
+                // Master is an ordinary reader locally, but forwards
+                // each completed large chunk down the tree as soon as
+                // its cells have arrived through shared memory.
+                let cells = self.smp_cells(len);
+                let base = self.smp_seq.get();
+                let mut next_chunk = 0usize;
+                for j in 0..cells {
+                    let (off, clen) = self.smp_cell(len, j);
+                    self.smp_cell_read(ctx, buf, off, clen, base + j as u64);
+                    let done = off + clen;
+                    while next_chunk < chunks && done >= (next_chunk * lc + lc).min(len) {
+                        put_chunk_to_children(ctx, next_chunk);
+                        next_chunk += 1;
+                    }
+                }
+                self.smp_seq.set(base + cells as u64);
+            } else {
+                self.smp_bcast(ctx, buf, len, root);
+            }
+        } else if master {
+            // Stage 4 driver on a non-root node: as each chunk lands in
+            // the user buffer, forward it, then feed the intra-node
+            // pipeline cell by cell.
+            let cells = self.smp_cells(len);
+            let base = self.smp_seq.get();
+            let mut j = 0usize;
+            for k in 0..chunks {
+                let coff = k * lc;
+                let cl = lc.min(len - coff);
+                self.rma
+                    .wait_counter(ctx, &self.inter(my_node).large_data, 1);
+                put_chunk_to_children(ctx, k);
+                if p > 1 {
+                    while j < cells {
+                        let (off, clen) = self.smp_cell(len, j);
+                        if off + clen > coff + cl {
+                            break;
+                        }
+                        self.smp_cell_write(ctx, buf, off, clen, base + j as u64);
+                        j += 1;
+                    }
+                }
+            }
+            if p > 1 {
+                self.smp_seq.set(base + cells as u64);
+            }
+        } else {
+            self.smp_bcast(ctx, buf, len, topo.master_of(my_node));
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Reduce
+    // ----------------------------------------------------------------
+
+    /// Pipelined reduce (§2.4): a binomial tree within each node and
+    /// between the masters, chunked so that memory copies, operator
+    /// execution and network transfers overlap.
+    pub(crate) fn reduce_impl(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+        root: Rank,
+    ) {
+        let topo = self.topology();
+        assert!(root < topo.nprocs(), "reduce root out of range");
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        if len == 0 || topo.nprocs() == 1 {
+            return;
+        }
+        let t = self.tuning();
+        let emb = Embedding::new(topo, root, self.tree());
+        let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
+        if toggles {
+            self.rma.set_interrupts(ctx, false);
+        }
+
+        let chunk = t.reduce_chunk;
+        let chunks = SrmTuning::chunk_count(len, chunk);
+        let my_node = self.node();
+        let root_node = emb.root_node();
+        let xfer_case = my_node == root_node && root != topo.master_of(root_node);
+        let base_cum = self.reduce_cum.get();
+        let xbase = self.xfer_cum.get();
+
+        for k in 0..chunks {
+            let off = k * chunk;
+            let clen = chunk.min(len - off);
+            let cum = base_cum + k as u64;
+            let side = (cum % 2) as usize;
+            let result = self.smp_reduce_chunk(ctx, buf, off, clen, cum, 0, dtype, op);
+
+            if self.is_master() {
+                let mut acc = result.expect("master is the intra-node subtree root");
+                for c in emb.node_children_ascending(my_node) {
+                    self.rma
+                        .wait_counter(ctx, &self.inter(my_node).reduce_data[c][side], 1);
+                    combine_from_buffer_costed(
+                        ctx,
+                        dtype,
+                        op,
+                        &mut acc,
+                        &self.inter(my_node).reduce_landing[c][side],
+                        0,
+                    );
+                    self.rma.put_counter(
+                        ctx,
+                        topo.master_of(c),
+                        &self.inter(c).reduce_free[my_node][side],
+                    );
+                }
+                if my_node != root_node {
+                    let parent = emb.node_parent(my_node).expect("non-root node");
+                    self.rma
+                        .wait_counter(ctx, &self.inter(my_node).reduce_free[parent][side], 1);
+                    // Stage the combined chunk (the operator's output
+                    // stream) and ship it.
+                    let soff = (cum % 2) as usize * chunk;
+                    self.board().contrib[0]
+                        .with_mut(|d| d[soff..soff + clen].copy_from_slice(&acc));
+                    self.rma.put(
+                        ctx,
+                        topo.master_of(parent),
+                        &self.board().contrib[0],
+                        soff,
+                        clen,
+                        &self.inter(parent).reduce_landing[my_node][side],
+                        0,
+                        Some(&self.inter(parent).reduce_data[my_node][side]),
+                    );
+                } else if self.me == root {
+                    // The final operator pass writes directly at the
+                    // destination (no intermediate buffer, §4).
+                    buf.with_mut(|d| d[off..off + clen].copy_from_slice(&acc));
+                } else {
+                    // Root is a non-master task on this node: hand the
+                    // chunk over through the xfer buffer.
+                    let xcum = xbase + k as u64;
+                    let xoff = (xcum % 2) as usize * chunk;
+                    if xcum >= 2 {
+                        self.board().xfer_done.wait_ge(ctx, "xfer side drained", xcum - 1);
+                    }
+                    self.board()
+                        .xfer
+                        .with_mut(|d| d[xoff..xoff + clen].copy_from_slice(&acc));
+                    self.board().xfer_ready.set(ctx, xcum + 1);
+                }
+            } else if xfer_case && self.me == root {
+                let xcum = xbase + k as u64;
+                let xoff = (xcum % 2) as usize * chunk;
+                self.board()
+                    .xfer_ready
+                    .wait_ge(ctx, "xfer chunk ready", xcum + 1);
+                let mut tmp = vec![0u8; clen];
+                self.board().xfer.read(ctx, xoff, &mut tmp, 1);
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
+                self.board().xfer_done.set(ctx, xcum + 1);
+            }
+        }
+        self.reduce_cum.set(base_cum + chunks as u64);
+        if xfer_case {
+            self.xfer_cum.set(xbase + chunks as u64);
+        }
+        if toggles {
+            self.rma.set_interrupts(ctx, true);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Allreduce
+    // ----------------------------------------------------------------
+
+    /// Allreduce entry point: recursive doubling between nodes up to
+    /// 16 KB, the four-stage pipeline above (§2.4, Figure 5).
+    pub(crate) fn allreduce_impl(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+    ) {
+        let topo = self.topology();
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        if len == 0 || topo.nprocs() == 1 {
+            return;
+        }
+        let t = self.tuning();
+        let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
+        if toggles {
+            self.rma.set_interrupts(ctx, false);
+        }
+        if len <= t.allreduce_rd_max {
+            self.allreduce_small(ctx, buf, len, dtype, op);
+        } else {
+            self.allreduce_large(ctx, buf, len, dtype, op);
+        }
+        if toggles {
+            self.rma.set_interrupts(ctx, true);
+        }
+    }
+
+    /// Up to 16 KB: one intra-node reduce to the master,
+    /// recursive-doubling
+    /// pairwise exchange between the masters, intra-node broadcast.
+    fn allreduce_small(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+        let topo = self.topology();
+        let chunk = self.tuning().reduce_chunk;
+        let cum = self.reduce_cum.get();
+        let result = self.smp_reduce_chunk(ctx, buf, 0, len, cum, 0, dtype, op);
+        self.reduce_cum.set(cum + 1);
+
+        if self.is_master() {
+            let mut acc = result.expect("master is the subtree root");
+            let n = topo.nodes();
+            if n > 1 {
+                let my = self.node();
+                let soff = (cum % 2) as usize * chunk;
+                // Staging a chunk for a put is the output stream of the
+                // last operator pass — no charged copy.
+                let stage = |data: &[u8]| {
+                    self.board().contrib[0]
+                        .with_mut(|d| d[soff..soff + data.len()].copy_from_slice(data));
+                };
+                let pof2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
+                let rem = n - pof2;
+
+                // Fold the extra nodes into their even neighbours.
+                let newnode: isize = if my < 2 * rem {
+                    if my % 2 == 1 {
+                        self.rma.wait_counter(ctx, &self.inter(my).fold_free, 1);
+                        stage(&acc);
+                        self.rma.put(
+                            ctx,
+                            topo.master_of(my - 1),
+                            &self.board().contrib[0],
+                            soff,
+                            len,
+                            &self.inter(my - 1).fold_landing,
+                            0,
+                            Some(&self.inter(my - 1).fold_data),
+                        );
+                        -1
+                    } else {
+                        self.rma.wait_counter(ctx, &self.inter(my).fold_data, 1);
+                        combine_from_buffer_costed(
+                            ctx,
+                            dtype,
+                            op,
+                            &mut acc,
+                            &self.inter(my).fold_landing,
+                            0,
+                        );
+                        self.rma
+                            .put_counter(ctx, topo.master_of(my + 1), &self.inter(my + 1).fold_free);
+                        (my / 2) as isize
+                    }
+                } else {
+                    (my - rem) as isize
+                };
+
+                if newnode >= 0 {
+                    let newnode = newnode as usize;
+                    let mut mask = 1usize;
+                    let mut round = 0usize;
+                    while mask < pof2 {
+                        let pn = newnode ^ mask;
+                        let partner = if pn < rem { pn * 2 } else { pn + rem };
+                        self.rma.wait_counter(ctx, &self.inter(my).rd_free[round], 1);
+                        stage(&acc);
+                        self.rma.put(
+                            ctx,
+                            topo.master_of(partner),
+                            &self.board().contrib[0],
+                            soff,
+                            len,
+                            &self.inter(partner).rd_landing[round],
+                            0,
+                            Some(&self.inter(partner).rd_data[round]),
+                        );
+                        self.rma.wait_counter(ctx, &self.inter(my).rd_data[round], 1);
+                        combine_from_buffer_costed(
+                            ctx,
+                            dtype,
+                            op,
+                            &mut acc,
+                            &self.inter(my).rd_landing[round],
+                            0,
+                        );
+                        self.rma
+                            .put_counter(ctx, topo.master_of(partner), &self.inter(partner).rd_free[round]);
+                        mask <<= 1;
+                        round += 1;
+                    }
+                }
+
+                // Unfold: hand the result back to the folded-out nodes.
+                if my < 2 * rem {
+                    if my.is_multiple_of(2) {
+                        stage(&acc);
+                        self.rma.put(
+                            ctx,
+                            topo.master_of(my + 1),
+                            &self.board().contrib[0],
+                            soff,
+                            len,
+                            &self.inter(my + 1).fold_landing,
+                            0,
+                            Some(&self.inter(my + 1).unfold_data),
+                        );
+                    } else {
+                        self.rma.wait_counter(ctx, &self.inter(my).unfold_data, 1);
+                        self.inter(my).fold_landing.read(ctx, 0, &mut acc, 1);
+                    }
+                }
+            }
+            buf.with_mut(|d| d[..len].copy_from_slice(&acc));
+        }
+        self.smp_bcast(ctx, buf, len, topo.master_of(self.node()));
+    }
+
+    /// Above 16 KB: the four-stage pipeline of Figure 5 — per chunk:
+    /// intra-node reduce, inter-node reduce toward node 0, inter-node
+    /// broadcast away from node 0, intra-node broadcast. One-sided puts
+    /// let the stages of consecutive chunks overlap.
+    fn allreduce_large(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+        let topo = self.topology();
+        let t = self.tuning();
+        let emb = Embedding::new(topo, 0, self.tree());
+        let chunk = t.reduce_chunk;
+        let chunks = SrmTuning::chunk_count(len, chunk);
+        let p = topo.tasks_per_node();
+        let my_node = self.node();
+        let base_cum = self.reduce_cum.get();
+        let lbase = self.landing_seq.get();
+        let bcast_children = if self.is_master() {
+            emb.node_children(my_node)
+        } else {
+            Vec::new()
+        };
+
+        for k in 0..chunks {
+            let off = k * chunk;
+            let clen = chunk.min(len - off);
+            let cum = base_cum + k as u64;
+            let side = (cum % 2) as usize;
+            let lside = ((lbase + k as u64) % 2) as usize;
+            let result = self.smp_reduce_chunk(ctx, buf, off, clen, cum, 0, dtype, op);
+
+            if self.is_master() {
+                let mut acc = result.expect("master is the subtree root");
+                // Inter-node reduce leg.
+                for c in emb.node_children_ascending(my_node) {
+                    self.rma
+                        .wait_counter(ctx, &self.inter(my_node).reduce_data[c][side], 1);
+                    combine_from_buffer_costed(
+                        ctx,
+                        dtype,
+                        op,
+                        &mut acc,
+                        &self.inter(my_node).reduce_landing[c][side],
+                        0,
+                    );
+                    self.rma.put_counter(
+                        ctx,
+                        topo.master_of(c),
+                        &self.inter(c).reduce_free[my_node][side],
+                    );
+                }
+                if my_node != 0 {
+                    let parent = emb.node_parent(my_node).expect("non-zero node");
+                    self.rma
+                        .wait_counter(ctx, &self.inter(my_node).reduce_free[parent][side], 1);
+                    let soff = (cum % 2) as usize * chunk;
+                    self.board().contrib[0]
+                        .with_mut(|d| d[soff..soff + clen].copy_from_slice(&acc));
+                    self.rma.put(
+                        ctx,
+                        topo.master_of(parent),
+                        &self.board().contrib[0],
+                        soff,
+                        clen,
+                        &self.inter(parent).reduce_landing[my_node][side],
+                        0,
+                        Some(&self.inter(parent).reduce_data[my_node][side]),
+                    );
+                    // Inter-node broadcast leg: wait for the combined
+                    // chunk to come back, forward, distribute locally.
+                    self.rma
+                        .wait_counter(ctx, &self.board().landing_data[lside], 1);
+                    self.publish_landing(ctx, lside);
+                    self.forward_landing_chunk(ctx, &bcast_children, lside, clen);
+                    let mut tmp = vec![0u8; clen];
+                    self.board()
+                        .landing
+                        .buf(lside)
+                        .read(ctx, 0, &mut tmp, p.saturating_sub(1).max(1));
+                    buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
+                    self.board().landing.wait_free(ctx, lside);
+                    self.rma.put_counter(
+                        ctx,
+                        topo.master_of(parent),
+                        &self.inter(parent).bcast_free[my_node][lside],
+                    );
+                } else {
+                    // Node 0: the chunk is fully combined; start the
+                    // broadcast leg from here.
+                    self.board().landing.wait_free(ctx, lside);
+                    self.board().landing.buf(lside).write(ctx, 0, &acc, 1);
+                    self.publish_landing(ctx, lside);
+                    self.forward_landing_chunk(ctx, &bcast_children, lside, clen);
+                    buf.with_mut(|d| d[off..off + clen].copy_from_slice(&acc));
+                }
+            } else {
+                // Non-master: consume the broadcast chunk from the
+                // landing buffer.
+                self.board().landing.wait_published(ctx, lside, self.slot());
+                let mut tmp = vec![0u8; clen];
+                self.board()
+                    .landing
+                    .buf(lside)
+                    .read(ctx, 0, &mut tmp, p.saturating_sub(1).max(1));
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
+                self.board().landing.release(ctx, lside, self.slot());
+            }
+        }
+        self.reduce_cum.set(base_cum + chunks as u64);
+        self.landing_seq.set(lbase + chunks as u64);
+    }
+
+    // ----------------------------------------------------------------
+    // Barrier
+    // ----------------------------------------------------------------
+
+    /// Global barrier (§2.4 and [17]): flat flag check-in on each node,
+    /// pairwise-exchange (dissemination) rounds with zero-byte puts
+    /// between the masters on cumulative counters, then the flag reset
+    /// releases the node.
+    pub(crate) fn barrier_impl(&self, ctx: &Ctx) {
+        let topo = self.topology();
+        if topo.nprocs() == 1 {
+            return;
+        }
+        let toggles = topo.multi_node() && self.is_master();
+        if toggles {
+            self.rma.set_interrupts(ctx, false);
+        }
+        self.smp_barrier_enter(ctx);
+        let n = topo.nodes();
+        if self.is_master() && n > 1 {
+            let seq = self.barrier_seq.get() + 1;
+            let my = self.node();
+            let mut dist = 1usize;
+            let mut round = 0usize;
+            while dist < n {
+                let to = (my + dist) % n;
+                self.rma
+                    .put_counter(ctx, topo.master_of(to), &self.inter(to).bar_round[round]);
+                self.rma
+                    .wait_counter_ge(ctx, &self.inter(my).bar_round[round], seq);
+                dist <<= 1;
+                round += 1;
+            }
+        }
+        self.barrier_seq.set(self.barrier_seq.get() + 1);
+        self.smp_barrier_release(ctx);
+        if toggles {
+            self.rma.set_interrupts(ctx, true);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # srm — Shared-Remote-Memory collective operations
+//!
+//! The paper's contribution: broadcast, reduce, allreduce and barrier
+//! implemented **directly** on the two fastest transports of an SMP
+//! cluster — shared memory inside each node and one-sided RMA (LAPI
+//! `put`) between nodes — instead of layering them over point-to-point
+//! message passing.
+//!
+//! ## Memory model
+//!
+//! Collective payloads live in [`shmem::ShmBuffer`]s, which model
+//! **registered memory**: the network may put into them directly (the
+//! zero-copy large-message broadcast), exactly as LAPI could target any
+//! user address on the SP. Intra-node sharing, however, only happens
+//! through the designated per-node structures (landing buffers, the
+//! two-buffer broadcast pair, contribution slots) — a user buffer is
+//! private to its rank as far as other local tasks are concerned, which
+//! is why the protocols pay the copies the paper says they pay and no
+//! others.
+//!
+//! ## Shape of the implementation
+//!
+//! * [`embed`] — binomial/binary/Fibonacci trees and their SMP-aware
+//!   embedding (one subtree per node, masters form the inter-node tree);
+//! * [`smp`] (methods on [`SrmComm`]) — the intra-node protocols of
+//!   §2.2: flat two-buffer broadcast, Figure-2 reduce, flat flag barrier;
+//! * [`inter`] (methods on [`SrmComm`]) — the integrated protocols of
+//!   §2.3–2.4: buffered small-message broadcast with counter flow
+//!   control and 4 KB pipelining, zero-copy large-message broadcast
+//!   with address exchange, pipelined reduce, recursive-doubling and
+//!   four-stage-pipeline allreduce, and the dissemination barrier;
+//! * [`world`] — the per-node shared boards and per-master network
+//!   state, assembled once at setup;
+//! * [`tuning`] — every switch point and buffer size, defaulting to the
+//!   paper's published values.
+//!
+//! ```
+//! use collops::Collectives;
+//! use simnet::{MachineConfig, Sim, Topology};
+//! use srm::{SrmTuning, SrmWorld};
+//!
+//! let topo = Topology::new(2, 4); // 2 nodes x 4 tasks
+//! let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+//! let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+//! for rank in 0..topo.nprocs() {
+//!     let comm = world.comm(rank);
+//!     sim.spawn(format!("rank{rank}"), move |ctx| {
+//!         let buf = comm.alloc_buffer(1024);
+//!         if rank == 0 {
+//!             buf.with_mut(|d| d.fill(7));
+//!         }
+//!         comm.broadcast(&ctx, &buf, 1024, 0);
+//!         buf.with(|d| assert!(d.iter().all(|&b| b == 7)));
+//!         comm.shutdown(&ctx);
+//!     });
+//! }
+//! sim.run().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod embed;
+pub mod inter;
+pub mod model;
+pub mod smp;
+pub mod tuning;
+pub mod world;
+
+pub use embed::{Embedding, GroupEmbedding, TreeKind};
+pub use model::SrmModel;
+pub use tuning::SrmTuning;
+pub use world::{InterState, NodeBoard, SrmComm, SrmWorld};

@@ -1,0 +1,272 @@
+//! Analytical performance model of the SRM collectives — the paper's
+//! stated future work (§5: "development of an analytical performance
+//! model of the SRM collectives to better understand, model, and
+//! evaluate effectiveness of this technique under different
+//! assumptions and parameter values such as the SMP node size,
+//! intra-SMP memory bandwidth, and performance of inter-node
+//! communication").
+//!
+//! The model predicts the **steady-state per-call latency** of each
+//! collective from the machine parameters and the protocol structure:
+//! closed-form sums over the pipeline stages, with no simulation. It
+//! deliberately ignores second-order effects (flow-control stalls,
+//! dispatcher occupancy, tie-breaking) — the point of having both the
+//! model and the simulator is to measure how much those effects are
+//! worth, which `tests/` and the `model_vs_sim` bench binary do.
+//!
+//! Notation (from [`simnet::MachineConfig`]):
+//! `L` net latency, `G` net per-byte, `o` LAPI origin overhead,
+//! `t` LAPI target overhead, `c` counter check, `γ` shm per-byte under
+//! contention, `f`/`fs` flag read/store, `ρ` reduce per-byte.
+
+use crate::embed::height;
+use crate::tuning::SrmTuning;
+use simnet::{MachineConfig, SimTime, Topology};
+
+/// Closed-form latency predictions for the SRM collectives.
+#[derive(Clone, Debug)]
+pub struct SrmModel {
+    cfg: MachineConfig,
+    topo: Topology,
+    tuning: SrmTuning,
+}
+
+impl SrmModel {
+    /// Model for one (machine, topology, tuning) triple.
+    pub fn new(cfg: MachineConfig, topo: Topology, tuning: SrmTuning) -> Self {
+        SrmModel { cfg, topo, tuning }
+    }
+
+    /// Height of the inter-node tree.
+    fn net_hops(&self) -> u64 {
+        height(self.tuning.tree, self.topo.nodes()) as u64
+    }
+
+    /// One LAPI put of `bytes`, origin call to data landed (no queueing).
+    fn put_time(&self, bytes: usize) -> SimTime {
+        self.cfg.lapi_origin_overhead
+            + self.cfg.net_per_byte.cost_of(bytes)
+            + self.cfg.net_latency
+            + self.cfg.lapi_target_overhead
+            + self.cfg.lapi_counter_check
+    }
+
+    /// Intra-node distribution of one chunk through the flat two-buffer
+    /// broadcast: publish `p-1` flags, all readers drain concurrently.
+    fn smp_chunk_out(&self, bytes: usize) -> SimTime {
+        let p = self.topo.tasks_per_node();
+        if p == 1 {
+            return SimTime::ZERO;
+        }
+        self.cfg.flag_set_op * (p as u64 - 1)
+            + self.cfg.flag_op
+            + self.cfg.shm_copy_cost(bytes, p - 1)
+    }
+
+    /// Staging copy of one chunk into a shared buffer.
+    fn stage(&self, bytes: usize) -> SimTime {
+        self.cfg.shm_copy_cost(bytes, 1)
+    }
+
+    /// Predicted broadcast latency for a `len`-byte payload.
+    pub fn bcast(&self, len: usize) -> SimTime {
+        if len == 0 || self.topo.nprocs() == 1 {
+            return SimTime::ZERO;
+        }
+        if !self.topo.multi_node() {
+            // Chunked flat broadcast; chunks pipeline, so one staging
+            // plus the drain of every chunk's reader phase.
+            let cell = self.tuning.smp_buf;
+            let chunks = SrmTuning::chunk_count(len, cell) as u64;
+            let last = len - (chunks as usize - 1) * cell.min(len);
+            return self.stage(cell.min(len)) + self.smp_chunk_out(cell.min(len)) * (chunks - 1)
+                + self.smp_chunk_out(last);
+        }
+        let hops = self.net_hops();
+        if len <= self.tuning.small_large_switch {
+            // Small protocol: stage at the root, pipeline chunks down
+            // `hops` put stages, distribute the last chunk locally.
+            let chunk = self.tuning.small_bcast_chunk(len);
+            let chunks = SrmTuning::chunk_count(len, chunk) as u64;
+            let per_hop = self.put_time(chunk);
+            // Pipeline: latency of one chunk over all hops + (chunks-1)
+            // intervals at the bottleneck stage (the put).
+            self.stage(chunk)
+                + per_hop * hops
+                + per_hop * (chunks - 1)
+                + self.smp_chunk_out(chunk.min(len))
+        } else {
+            // Large protocol: address exchange, then `large_chunk` puts
+            // pipeline down the tree while each node's SMP pipeline
+            // redistributes.
+            let chunk = self.tuning.large_chunk;
+            let chunks = SrmTuning::chunk_count(len, chunk) as u64;
+            let addr = self.put_time(0);
+            let per_hop = self.put_time(chunk);
+            // The root serializes its children's copies on one adapter:
+            // the bottleneck interval is fanout x wire time.
+            let fanout = crate::embed::children(self.tuning.tree, 0, self.topo.nodes()).len()
+                .max(1) as u64;
+            let interval = self.cfg.net_per_byte.cost_of(chunk) * fanout;
+            let smp_cells = SrmTuning::chunk_count(chunk, self.tuning.smp_buf) as u64;
+            addr + per_hop * hops
+                + interval * (chunks - 1)
+                + (self.stage(self.tuning.smp_buf) + self.smp_chunk_out(self.tuning.smp_buf))
+                    * smp_cells
+        }
+    }
+
+    /// Predicted reduce latency (sum over the intra-node combine tree,
+    /// the inter-node pipeline, and the per-chunk operator work).
+    pub fn reduce(&self, len: usize) -> SimTime {
+        if len == 0 || self.topo.nprocs() == 1 {
+            return SimTime::ZERO;
+        }
+        let p = self.topo.tasks_per_node();
+        let chunk = self.tuning.reduce_chunk.min(len);
+        let chunks = SrmTuning::chunk_count(len, self.tuning.reduce_chunk) as u64;
+        // Intra-node: leaf copy + one combine per tree level.
+        let smp_levels = height(self.tuning.tree, p) as u64;
+        let smp = self.cfg.shm_copy_cost(chunk, (p / 2).max(1))
+            + (self.cfg.reduce_cost(chunk) + self.cfg.flag_op + self.cfg.flag_set_op) * smp_levels;
+        // Inter-node: each hop ships a chunk and combines it.
+        let hop = self.put_time(chunk) + self.cfg.reduce_cost(chunk);
+        let hops = self.net_hops();
+        // Steady-state interval: the root drains `fanout` children per
+        // chunk — inbound adapter serialization plus one combine each —
+        // and its node contributes one intra-node chunk.
+        let fanout = self.root_fanout();
+        let interval = (self.cfg.net_per_byte.cost_of(chunk) + self.cfg.reduce_cost(chunk))
+            * fanout
+            + self.cfg.reduce_cost(chunk);
+        smp + hop * hops + interval * (chunks - 1)
+    }
+
+    /// Children of the tree root (the widest fan-in/out in the tree).
+    fn root_fanout(&self) -> u64 {
+        crate::embed::children(self.tuning.tree, 0, self.topo.nodes())
+            .len()
+            .max(1) as u64
+    }
+
+    /// Predicted allreduce latency.
+    pub fn allreduce(&self, len: usize) -> SimTime {
+        if len == 0 || self.topo.nprocs() == 1 {
+            return SimTime::ZERO;
+        }
+        let n = self.topo.nodes();
+        if len <= self.tuning.allreduce_rd_max {
+            // SMP reduce + log2(n) pairwise exchange rounds + SMP bcast.
+            let p = self.topo.tasks_per_node();
+            let smp_levels = height(self.tuning.tree, p) as u64;
+            let smp_reduce = self.cfg.shm_copy_cost(len, (p / 2).max(1))
+                + (self.cfg.reduce_cost(len) + self.cfg.flag_op + self.cfg.flag_set_op)
+                    * smp_levels;
+            let rounds = (usize::BITS - n.leading_zeros()) as u64 - 1;
+            let extra = if n.is_power_of_two() { 0 } else { 2 };
+            let round = self.put_time(len) + self.cfg.reduce_cost(len);
+            smp_reduce + round * (rounds + extra) + self.stage(len) + self.smp_chunk_out(len)
+        } else {
+            // Four-stage pipeline ≈ reduce to node 0 + broadcast back,
+            // overlapped chunk-wise: one full traversal plus the
+            // bottleneck interval per extra chunk.
+            let chunk = self.tuning.reduce_chunk;
+            let chunks = SrmTuning::chunk_count(len, chunk) as u64;
+            let hop_r = self.put_time(chunk) + self.cfg.reduce_cost(chunk);
+            let hop_b = self.put_time(chunk);
+            let hops = self.net_hops();
+            let p = self.topo.tasks_per_node();
+            let smp = self.cfg.shm_copy_cost(chunk, (p / 2).max(1))
+                + self.cfg.reduce_cost(chunk) * height(self.tuning.tree, p) as u64
+                + self.stage(chunk)
+                + self.smp_chunk_out(chunk);
+            // Steady-state interval: node 0 takes `fanout` chunks in
+            // (wire + combine each), then pushes `fanout` copies back
+            // out through the same adapter, staging and distributing
+            // its own copy meanwhile.
+            let fanout = self.root_fanout();
+            let wire = self.cfg.net_per_byte.cost_of(chunk);
+            let interval = (wire * 2 + self.cfg.reduce_cost(chunk)) * fanout
+                + self.stage(chunk)
+                + self.smp_chunk_out(chunk);
+            smp + (hop_r + hop_b) * hops + interval * (chunks - 1)
+        }
+    }
+
+    /// Predicted barrier latency: flat check-in, `⌈log₂ n⌉`
+    /// dissemination rounds, flat release.
+    pub fn barrier(&self) -> SimTime {
+        if self.topo.nprocs() == 1 {
+            return SimTime::ZERO;
+        }
+        let p = self.topo.tasks_per_node() as u64;
+        let n = self.topo.nodes();
+        let checkin = self.cfg.flag_set_op + self.cfg.flag_op * (p - 1);
+        let release = self.cfg.flag_set_op * (p - 1) + self.cfg.flag_op;
+        let rounds = (usize::BITS - (n - 1).leading_zeros()) as u64;
+        let round = self.cfg.lapi_origin_overhead
+            + self.cfg.net_latency
+            + self.cfg.lapi_target_overhead
+            + self.cfg.lapi_counter_check;
+        checkin + round * rounds + release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(nodes: usize, tpn: usize) -> SrmModel {
+        SrmModel::new(
+            MachineConfig::ibm_sp_colony(),
+            Topology::new(nodes, tpn),
+            SrmTuning::default(),
+        )
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let m = model(1, 1);
+        assert_eq!(m.bcast(1024), SimTime::ZERO);
+        assert_eq!(m.barrier(), SimTime::ZERO);
+        assert_eq!(model(4, 4).bcast(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn bcast_monotone_in_size_and_nodes() {
+        let m = model(8, 16);
+        assert!(m.bcast(64) < m.bcast(4096));
+        assert!(m.bcast(4096) < m.bcast(1 << 20));
+        assert!(model(2, 16).bcast(4096) < model(16, 16).bcast(4096));
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let b2 = model(2, 16).barrier();
+        let b4 = model(4, 16).barrier();
+        let b16 = model(16, 16).barrier();
+        // 1, 2, 4 rounds: equal increments.
+        assert_eq!((b4 - b2).as_ps(), (b16 - b4).as_ps() / 2);
+    }
+
+    #[test]
+    fn switch_points_show_in_the_curve() {
+        let m = model(4, 16);
+        let t = SrmTuning::default();
+        // Just below and above the small/large broadcast switch, the
+        // model changes regime but stays continuous within 3x.
+        let below = m.bcast(t.small_large_switch);
+        let above = m.bcast(t.small_large_switch + 1);
+        let ratio = above.as_ps() as f64 / below.as_ps() as f64;
+        assert!((0.33..3.0).contains(&ratio), "discontinuity {ratio}");
+    }
+
+    #[test]
+    fn reduce_and_allreduce_ordering() {
+        let m = model(8, 16);
+        for len in [1024usize, 64 << 10, 1 << 20] {
+            // An allreduce does strictly more work than a reduce.
+            assert!(m.allreduce(len) > m.reduce(len), "len {len}");
+        }
+    }
+}

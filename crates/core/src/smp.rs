@@ -1,0 +1,322 @@
+//! Intra-node collective building blocks (paper §2.2).
+//!
+//! * **Broadcast** — the flat two-buffer algorithm of Figure 3 that
+//!   beat the tree-based variants: the writer alternates between two
+//!   shared buffers guarded by per-reader READY flags; all readers copy
+//!   concurrently (paying bus contention), which still wins because the
+//!   tree's extra store-and-forward hops cost more.
+//! * **Reduce** — the binomial-tree algorithm of Figure 2: only the
+//!   lowest tree level copies into shared memory; every interior level
+//!   is pure operator execution reading the children's shared buffers,
+//!   and the subtree root deposits its result directly at the
+//!   destination.
+//! * **Barrier** — the flat flag algorithm: one cache-line flag per
+//!   process, master collects and resets.
+//!
+//! The broadcast is exposed as *cell* operations: the message is cut on
+//! a global grid of `smp_buf`-sized cells, and each cell moves through
+//! one side of the two-buffer pair (side = cumulative cell sequence mod
+//! 2 — "consecutive broadcast operations alternate between the
+//! buffers"). The inter-node protocols interleave cell writes with
+//! network work to build their pipelines.
+
+use crate::world::SrmComm;
+use collops::{combine_from_buffer_costed, DType, ReduceOp};
+use shmem::ShmBuffer;
+use simnet::{Ctx, Rank};
+
+impl SrmComm {
+    /// Writer side of one broadcast cell: claim the `seq`-parity
+    /// buffer, fill it from `buf[off..off+clen]`, raise every other
+    /// task's READY flag.
+    pub(crate) fn smp_cell_write(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        off: usize,
+        clen: usize,
+        seq: u64,
+    ) {
+        let p = self.topology().tasks_per_node();
+        let board = self.board();
+        let side = (seq % 2) as usize;
+        let my = self.slot();
+        board.smp.wait_free(ctx, side);
+        let mut tmp = vec![0u8; clen];
+        buf.with(|d| tmp.copy_from_slice(&d[off..off + clen]));
+        board.smp.buf(side).write(ctx, 0, &tmp, 1);
+        for s in 0..p {
+            if s != my {
+                board.smp.ready(side).flag(s).set(ctx, 1);
+            }
+        }
+    }
+
+    /// Reader side of one broadcast cell: wait for the READY flag, copy
+    /// the cell out (all `p-1` readers drain concurrently and share the
+    /// bus), clear the flag.
+    pub(crate) fn smp_cell_read(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        off: usize,
+        clen: usize,
+        seq: u64,
+    ) {
+        let p = self.topology().tasks_per_node();
+        let board = self.board();
+        let side = (seq % 2) as usize;
+        let my = self.slot();
+        board.smp.wait_published(ctx, side, my);
+        ctx.trace("smp:read");
+        let mut tmp = vec![0u8; clen];
+        board.smp.buf(side).read(ctx, 0, &mut tmp, p.saturating_sub(1).max(1));
+        buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
+        board.smp.release(ctx, side, my);
+    }
+
+    /// The global cell grid of a `len`-byte payload: `(offset, length)`
+    /// of cell `j`.
+    pub(crate) fn smp_cell(&self, len: usize, j: usize) -> (usize, usize) {
+        let cell = self.tuning().smp_buf;
+        let off = j * cell;
+        (off, cell.min(len - off))
+    }
+
+    /// Number of cells in a `len`-byte payload.
+    pub(crate) fn smp_cells(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            len.div_ceil(self.tuning().smp_buf)
+        }
+    }
+
+    /// Flat double-buffer broadcast within the node: `writer`'s
+    /// `buf[..len]` reaches every node task's `buf[..len]`.
+    pub fn smp_bcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+        let topo = self.topology();
+        debug_assert!(topo.same_node(self.me, writer));
+        if topo.tasks_per_node() == 1 || len == 0 {
+            return;
+        }
+        let cells = self.smp_cells(len);
+        let base = self.smp_seq.get();
+        let am_writer = self.me == writer;
+        for j in 0..cells {
+            let (off, clen) = self.smp_cell(len, j);
+            let seq = base + j as u64;
+            if am_writer {
+                self.smp_cell_write(ctx, buf, off, clen, seq);
+            } else {
+                self.smp_cell_read(ctx, buf, off, clen, seq);
+            }
+        }
+        self.smp_seq.set(base + cells as u64);
+    }
+
+    /// First half of the flat barrier: non-masters check in; the master
+    /// observes every check-in.
+    pub(crate) fn smp_barrier_enter(&self, ctx: &Ctx) {
+        let p = self.topology().tasks_per_node();
+        if p == 1 {
+            return;
+        }
+        let board = self.board();
+        if self.is_master() {
+            for s in 1..p {
+                board
+                    .barrier_flags
+                    .flag(s)
+                    .wait_eq(ctx, "smp barrier check-in", 1);
+            }
+        } else {
+            board.barrier_flags.flag(self.slot()).set(ctx, 1);
+        }
+    }
+
+    /// Second half: the master resets every flag, releasing the
+    /// non-masters, which spin on their own flag.
+    pub(crate) fn smp_barrier_release(&self, ctx: &Ctx) {
+        let p = self.topology().tasks_per_node();
+        if p == 1 {
+            return;
+        }
+        let board = self.board();
+        if self.is_master() {
+            for s in 1..p {
+                board.barrier_flags.flag(s).set(ctx, 0);
+            }
+        } else {
+            board
+                .barrier_flags
+                .flag(self.slot())
+                .wait_eq(ctx, "smp barrier release", 0);
+        }
+    }
+
+    /// The **tree-based** intra-node broadcast the paper implemented,
+    /// measured, and rejected in favour of the flat two-buffer
+    /// algorithm (§2.2: "Despite the contention in simultaneous read
+    /// access to the shared memory buffer, this \[flat\] algorithm has
+    /// achieved a much better performance than the tree-based
+    /// algorithms"). Kept for the ablation study: data store-and-
+    /// forwards down a binomial tree of per-slot shared buffers, so
+    /// every level adds a full copy to the critical path.
+    pub fn smp_bcast_tree(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+        let topo = self.topology();
+        let p = topo.tasks_per_node();
+        debug_assert!(topo.same_node(self.me, writer));
+        if p == 1 || len == 0 {
+            return;
+        }
+        let board = self.board();
+        let kind = self.tree();
+        let chunk_cap = self.tuning().reduce_chunk;
+        let chunks = crate::tuning::SrmTuning::chunk_count(len, chunk_cap);
+        let base = self.tree_seq.get();
+        let wslot = topo.slot_of(writer);
+        let my = self.slot();
+        let vs = (my + p - wslot) % p;
+        let parent = crate::embed::parent(kind, vs, p).map(|v| (v + wslot) % p);
+        let kids: Vec<usize> = crate::embed::children(kind, vs, p)
+            .into_iter()
+            .map(|v| (v + wslot) % p)
+            .collect();
+
+        for k in 0..chunks {
+            let off = k * chunk_cap;
+            let clen = chunk_cap.min(len - off);
+            let cum = base + k as u64;
+            let side_off = (cum % 2) as usize * chunk_cap;
+            if let Some(pslot) = parent {
+                // Copy the chunk out of the parent's shared buffer into
+                // the user buffer (one copy per tree level).
+                board.tree_ready[pslot].wait_ge(ctx, "tree parent chunk", cum + 1);
+                let mut tmp = vec![0u8; clen];
+                board.contrib[pslot].read(ctx, side_off, &mut tmp, 2);
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
+                board.tree_done[pslot].fetch_add(ctx, 1);
+            }
+            if !kids.is_empty() {
+                // Stage the chunk for the children (store-and-forward).
+                if cum >= 2 {
+                    let expect = (cum - 1) * kids.len() as u64;
+                    board.tree_done[my].wait_ge(ctx, "tree buffer drained", expect);
+                }
+                let mut tmp = vec![0u8; clen];
+                buf.with(|d| tmp.copy_from_slice(&d[off..off + clen]));
+                board.contrib[my].write(ctx, side_off, &tmp, 1);
+                board.tree_ready[my].set(ctx, cum + 1);
+            }
+        }
+        self.tree_seq.set(base + chunks as u64);
+    }
+
+    /// The **barrier-synchronized** intra-node broadcast in the style
+    /// of Sistare et al. \[11\], which the paper contrasts with SRM in
+    /// §4: access to the shared buffer is arbitrated with full node
+    /// barriers instead of per-pair flags, making the algorithm
+    /// stiffer against late arrivals and adding two barriers per
+    /// buffer-full of data. Kept for the ablation study.
+    pub fn smp_bcast_sistare(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+        let topo = self.topology();
+        let p = topo.tasks_per_node();
+        debug_assert!(topo.same_node(self.me, writer));
+        if p == 1 || len == 0 {
+            return;
+        }
+        let board = self.board();
+        let chunk = self.tuning().smp_buf;
+        let chunks = crate::tuning::SrmTuning::chunk_count(len, chunk);
+        let am_writer = self.me == writer;
+        let mut tmp = vec![0u8; chunk.min(len)];
+        for k in 0..chunks {
+            let off = k * chunk;
+            let clen = chunk.min(len - off);
+            // Barrier #1: everyone (including the writer) agrees the
+            // single buffer is free.
+            self.smp_barrier_enter(ctx);
+            self.smp_barrier_release(ctx);
+            if am_writer {
+                buf.with(|d| tmp[..clen].copy_from_slice(&d[off..off + clen]));
+                board.smp.buf(0).write(ctx, 0, &tmp[..clen], 1);
+            }
+            // Barrier #2: the data is published.
+            self.smp_barrier_enter(ctx);
+            self.smp_barrier_release(ctx);
+            if !am_writer {
+                board.smp.buf(0).read(ctx, 0, &mut tmp[..clen], p - 1);
+                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
+            }
+        }
+    }
+
+    /// One chunk of the intra-node reduce tree (Figure 2), executed by
+    /// every task on the node. `cum` is the node's cumulative chunk
+    /// index (drives buffer parity and the cumulative flags);
+    /// `dst_slot` is the slot the subtree is rooted at. Returns the
+    /// combined chunk at the subtree root, `None` elsewhere.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn smp_reduce_chunk(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        off: usize,
+        clen: usize,
+        cum: u64,
+        dst_slot: usize,
+        dtype: DType,
+        op: ReduceOp,
+    ) -> Option<Vec<u8>> {
+        let topo = self.topology();
+        let p = topo.tasks_per_node();
+        let board = self.board();
+        let kind = self.tree();
+        let chunk_cap = self.tuning().reduce_chunk;
+        debug_assert!(clen <= chunk_cap);
+        let side_off = (cum % 2) as usize * chunk_cap;
+
+        let my = self.slot();
+        let vs = (my + p - dst_slot) % p;
+        let kids = crate::embed::children_ascending(kind, vs, p);
+        let unv = |v: usize| (v + dst_slot) % p;
+
+        let mut acc = vec![0u8; clen];
+        buf.with(|d| acc.copy_from_slice(&d[off..off + clen]));
+
+        if vs != 0 && kids.is_empty() {
+            // Lowest level: the one real memory copy of the algorithm.
+            // Roughly half the node's tasks copy concurrently.
+            if cum >= 2 {
+                board.contrib_done[my].wait_ge(ctx, "contrib side drained", cum - 1);
+            }
+            board.contrib[my].write(ctx, side_off, &acc, (p / 2).max(1));
+            board.contrib_ready[my].set(ctx, cum + 1);
+            return None;
+        }
+
+        // Interior (or root): fold each child's shared buffer into the
+        // running chunk — operator execution only, no data movement.
+        for kv in kids {
+            let cslot = unv(kv);
+            board.contrib_ready[cslot].wait_ge(ctx, "child contribution ready", cum + 1);
+            combine_from_buffer_costed(ctx, dtype, op, &mut acc, &board.contrib[cslot], side_off);
+            board.contrib_done[cslot].set(ctx, cum + 1);
+        }
+
+        if vs == 0 {
+            // Subtree root: hand the result back; the caller writes it
+            // directly at its destination (the last operator pass's
+            // output stream — no extra copy).
+            Some(acc)
+        } else {
+            if cum >= 2 {
+                board.contrib_done[my].wait_ge(ctx, "contrib side drained", cum - 1);
+            }
+            board.contrib[my].with_mut(|d| d[side_off..side_off + clen].copy_from_slice(&acc));
+            board.contrib_ready[my].set(ctx, cum + 1);
+            None
+        }
+    }
+}

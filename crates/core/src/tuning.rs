@@ -1,0 +1,111 @@
+//! SRM tuning parameters (paper §2.4 and Figure 4).
+//!
+//! All protocol switch points and buffer geometries in one place. The
+//! defaults are the paper's published values where it gives them
+//! (64 KB small/large broadcast switch, 4 KB pipeline chunks applied
+//! between 8 KB and 32 KB, 16 KB recursive-doubling limit for
+//! allreduce) and sensible choices where it does not.
+
+use crate::embed::TreeKind;
+
+/// Protocol switch points and buffer sizes for the SRM collectives.
+#[derive(Clone, Copy, Debug)]
+pub struct SrmTuning {
+    /// Tree shape for the inter-node and intra-node reduce trees
+    /// (broadcast within a node is flat; see §2.2).
+    pub tree: TreeKind,
+    /// Capacity of each of the two intra-node broadcast buffers
+    /// (Figure 3); messages longer than this are chunked through them.
+    pub smp_buf: usize,
+    /// Broadcasts at or below this size use the buffered small-message
+    /// protocol; above it, the zero-copy large-message protocol
+    /// (Figure 4; the paper's switch is 64 KB).
+    pub small_large_switch: usize,
+    /// Small-protocol messages in `(pipeline_min, pipeline_max]` are
+    /// split into `pipeline_chunk` pieces and pipelined through the two
+    /// landing buffers ("messages larger than 8 KB and smaller than
+    /// 32 KB are split into 4 KB chunks", §2.4).
+    pub pipeline_min: usize,
+    /// Upper bound of the pipelined sub-range.
+    pub pipeline_max: usize,
+    /// Chunk size used in the pipelined sub-range.
+    pub pipeline_chunk: usize,
+    /// Chunk size of the pipelined reduce (and of the large-allreduce
+    /// four-stage pipeline).
+    pub reduce_chunk: usize,
+    /// Put size of the zero-copy large-message broadcast pipeline.
+    pub large_chunk: usize,
+    /// Allreduce uses inter-node recursive doubling up to this size
+    /// ("for messages up to 16 KB", §2.4) and the pipelined
+    /// reduce+broadcast combination above it.
+    pub allreduce_rd_max: usize,
+    /// Collectives with payloads at or below this size disable LAPI
+    /// interrupts for their duration (§2.3); the barrier always does.
+    pub interrupt_disable_max: usize,
+}
+
+impl Default for SrmTuning {
+    fn default() -> Self {
+        SrmTuning {
+            tree: TreeKind::Binomial,
+            smp_buf: 32 * 1024,
+            small_large_switch: 64 * 1024,
+            pipeline_min: 8 * 1024,
+            pipeline_max: 32 * 1024,
+            pipeline_chunk: 4 * 1024,
+            reduce_chunk: 16 * 1024,
+            large_chunk: 64 * 1024,
+            allreduce_rd_max: 16 * 1024,
+            interrupt_disable_max: 8 * 1024,
+        }
+    }
+}
+
+impl SrmTuning {
+    /// Chunking of a small-protocol broadcast of `len` bytes: the chunk
+    /// size the landing buffers cycle through.
+    pub fn small_bcast_chunk(&self, len: usize) -> usize {
+        if len > self.pipeline_min && len <= self.pipeline_max {
+            self.pipeline_chunk
+        } else {
+            len.max(1)
+        }
+    }
+
+    /// Number of chunks a payload of `len` splits into at `chunk`
+    /// granularity (at least 1).
+    pub fn chunk_count(len: usize, chunk: usize) -> usize {
+        if len == 0 {
+            1
+        } else {
+            len.div_ceil(chunk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_switch_points() {
+        let t = SrmTuning::default();
+        assert_eq!(t.small_large_switch, 65536);
+        assert_eq!(t.pipeline_chunk, 4096);
+        assert_eq!(t.allreduce_rd_max, 16384);
+        // 16 KB message: inside the pipelined sub-range.
+        assert_eq!(t.small_bcast_chunk(16 * 1024), 4096);
+        // 4 KB and 64 KB messages: single chunk.
+        assert_eq!(t.small_bcast_chunk(4096), 4096);
+        assert_eq!(t.small_bcast_chunk(64 * 1024), 64 * 1024);
+    }
+
+    #[test]
+    fn chunk_count_edges() {
+        assert_eq!(SrmTuning::chunk_count(0, 4096), 1);
+        assert_eq!(SrmTuning::chunk_count(1, 4096), 1);
+        assert_eq!(SrmTuning::chunk_count(4096, 4096), 1);
+        assert_eq!(SrmTuning::chunk_count(4097, 4096), 2);
+        assert_eq!(SrmTuning::chunk_count(8 * 1024 * 1024, 65536), 128);
+    }
+}

@@ -1,0 +1,342 @@
+//! Cluster-wide SRM state: per-node shared-memory boards and per-node
+//! network landing structures, assembled once at setup (the moral
+//! equivalent of SRM's initialization-time shared-segment creation and
+//! address exchange).
+
+use crate::embed::TreeKind;
+use crate::tuning::SrmTuning;
+use rma::{LapiCounter, Rma, RmaWorld};
+use shmem::{BufPair, FlagBank, ShmBuffer, SpinFlag};
+use simnet::{NodeId, Rank, Sim, SimHandle, SimVar, Topology};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Active-message handler id used for the large-broadcast address
+/// exchange (a child master sends its user-buffer handle to its
+/// parent).
+pub(crate) const AM_ADDR_XCHG: u32 = 1;
+
+/// Shared-memory structures of one SMP node, used by every task on it.
+pub struct NodeBoard {
+    /// Intra-node broadcast double buffer (Figure 3). Readers = slots.
+    pub smp: BufPair,
+    /// Landing zone for inter-node small-message broadcast puts; reused
+    /// as the intra-node distribution buffer without re-copying
+    /// ("data moved by LAPI is directly available to all the tasks").
+    pub landing: BufPair,
+    /// Target counters bumped by the parent's puts into `landing`
+    /// (one per buffer side).
+    pub landing_data: [LapiCounter; 2],
+    /// Flat-barrier flags, one cache line per slot.
+    pub barrier_flags: FlagBank,
+    /// Per-slot reduce contribution buffers (Figure 2), double-buffered
+    /// by chunk parity: capacity `2 × reduce_chunk`.
+    pub contrib: Vec<ShmBuffer>,
+    /// Cumulative count of chunks each slot has published in `contrib`.
+    pub contrib_ready: Vec<SpinFlag>,
+    /// Cumulative count of each slot's chunks its parent has consumed.
+    pub contrib_done: Vec<SpinFlag>,
+    /// Master→root handoff buffer for reduce when the root is not the
+    /// node master (double-buffered by chunk parity).
+    pub xfer: ShmBuffer,
+    /// Cumulative chunks the master wrote into `xfer`.
+    pub xfer_ready: SpinFlag,
+    /// Cumulative chunks the root consumed from `xfer`.
+    pub xfer_done: SpinFlag,
+    /// Cumulative per-slot chunk counters for the *tree-based* SMP
+    /// broadcast variant kept for the ablation study (§2.2 compares it
+    /// against the flat algorithm and rejects it).
+    pub tree_ready: Vec<SpinFlag>,
+    /// Consumption counters for `tree_ready` (children of a slot count
+    /// their reads so the writer can reuse its buffer side).
+    pub tree_done: Vec<SpinFlag>,
+}
+
+impl NodeBoard {
+    fn new(handle: &SimHandle, tasks_per_node: usize, tuning: &SrmTuning) -> Self {
+        NodeBoard {
+            smp: BufPair::new(handle, tuning.smp_buf, tasks_per_node),
+            landing: BufPair::new(handle, tuning.small_large_switch, tasks_per_node),
+            landing_data: [LapiCounter::new(handle, 0), LapiCounter::new(handle, 0)],
+            barrier_flags: FlagBank::new(handle, tasks_per_node, 0),
+            contrib: (0..tasks_per_node)
+                .map(|_| ShmBuffer::new(2 * tuning.reduce_chunk))
+                .collect(),
+            contrib_ready: (0..tasks_per_node)
+                .map(|_| SpinFlag::new(handle, 0))
+                .collect(),
+            contrib_done: (0..tasks_per_node)
+                .map(|_| SpinFlag::new(handle, 0))
+                .collect(),
+            xfer: ShmBuffer::new(2 * tuning.reduce_chunk),
+            xfer_ready: SpinFlag::new(handle, 0),
+            xfer_done: SpinFlag::new(handle, 0),
+            tree_ready: (0..tasks_per_node)
+                .map(|_| SpinFlag::new(handle, 0))
+                .collect(),
+            tree_done: (0..tasks_per_node)
+                .map(|_| SpinFlag::new(handle, 0))
+                .collect(),
+        }
+    }
+}
+
+/// Network-facing state of one node's master, addressable by the other
+/// masters (handles distributed at setup, like registered memory).
+pub struct InterState {
+    /// Flow-control credits for my small-broadcast puts toward each
+    /// child node (init 1 per side; the child's zero-byte put restores
+    /// a credit when its landing side drains).
+    pub bcast_free: Vec<[LapiCounter; 2]>,
+    /// Per-source-node landing buffers for pipelined-reduce puts.
+    pub reduce_landing: Vec<[ShmBuffer; 2]>,
+    /// Data counters for `reduce_landing`, bumped by the source's puts.
+    pub reduce_data: Vec<[LapiCounter; 2]>,
+    /// Credits for my reduce puts toward each destination node (init 1
+    /// per side; destination acks restore).
+    pub reduce_free: Vec<[LapiCounter; 2]>,
+    /// Address-exchange slots: the user-buffer handle a child master
+    /// sent me for the large broadcast, indexed by child node.
+    pub addr_slot: Vec<SimVar<Option<ShmBuffer>>>,
+    /// Cumulative counter of large-broadcast chunks landed in my user
+    /// buffer.
+    pub large_data: LapiCounter,
+    /// Per-round recursive-doubling landing buffers (allreduce ≤16 KB).
+    pub rd_landing: Vec<ShmBuffer>,
+    /// Data counters for `rd_landing`.
+    pub rd_data: Vec<LapiCounter>,
+    /// Credits to put round `r` data at my partner (init 1; partner
+    /// acks after consuming).
+    pub rd_free: Vec<LapiCounter>,
+    /// Landing for the non-power-of-two fold/unfold exchanges.
+    pub fold_landing: ShmBuffer,
+    /// Fold-in data counter (odd extra node → even neighbour).
+    pub fold_data: LapiCounter,
+    /// Credit for the fold-in put (init 1).
+    pub fold_free: LapiCounter,
+    /// Unfold (result return) data counter.
+    pub unfold_data: LapiCounter,
+    /// Cumulative barrier round counters (dissemination).
+    pub bar_round: Vec<LapiCounter>,
+}
+
+impl InterState {
+    fn new(handle: &SimHandle, nodes: usize, tuning: &SrmTuning) -> Self {
+        let rounds = usize::BITS as usize - nodes.leading_zeros() as usize + 1;
+        let pair_counters = |init: u64| -> Vec<[LapiCounter; 2]> {
+            (0..nodes)
+                .map(|_| [LapiCounter::new(handle, init), LapiCounter::new(handle, init)])
+                .collect()
+        };
+        InterState {
+            bcast_free: pair_counters(1),
+            reduce_landing: (0..nodes)
+                .map(|_| {
+                    [
+                        ShmBuffer::new(tuning.reduce_chunk),
+                        ShmBuffer::new(tuning.reduce_chunk),
+                    ]
+                })
+                .collect(),
+            reduce_data: pair_counters(0),
+            reduce_free: pair_counters(1),
+            addr_slot: (0..nodes).map(|_| handle.var(None)).collect(),
+            large_data: LapiCounter::new(handle, 0),
+            rd_landing: (0..rounds)
+                .map(|_| ShmBuffer::new(tuning.allreduce_rd_max))
+                .collect(),
+            rd_data: (0..rounds).map(|_| LapiCounter::new(handle, 0)).collect(),
+            rd_free: (0..rounds).map(|_| LapiCounter::new(handle, 1)).collect(),
+            fold_landing: ShmBuffer::new(tuning.allreduce_rd_max),
+            fold_data: LapiCounter::new(handle, 0),
+            fold_free: LapiCounter::new(handle, 1),
+            unfold_data: LapiCounter::new(handle, 0),
+            bar_round: (0..rounds).map(|_| LapiCounter::new(handle, 0)).collect(),
+        }
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub topo: Topology,
+    pub tuning: SrmTuning,
+    pub boards: Vec<Arc<NodeBoard>>,
+    pub inter: Vec<Arc<InterState>>,
+    pub rma: RmaWorld,
+}
+
+/// The cluster-wide SRM collectives fabric. Build once at setup (it
+/// spawns the RMA dispatchers), then hand a [`SrmComm`] to each rank.
+pub struct SrmWorld {
+    inner: Arc<WorldInner>,
+}
+
+impl SrmWorld {
+    /// Assemble the fabric for `topo` with the given tuning.
+    ///
+    /// # Panics
+    /// If the tuning is internally inconsistent: the large-broadcast
+    /// chunk must be a whole number of intra-node broadcast cells (the
+    /// pipelines share the cell grid), the recursive-doubling payload
+    /// must fit the staging buffers, and the small-protocol chunks must
+    /// fit the landing buffers.
+    pub fn new(sim: &mut Sim, topo: Topology, tuning: SrmTuning) -> Self {
+        assert!(tuning.smp_buf > 0 && tuning.reduce_chunk > 0 && tuning.large_chunk > 0);
+        assert!(
+            tuning.large_chunk.is_multiple_of(tuning.smp_buf),
+            "large_chunk must be a multiple of smp_buf"
+        );
+        assert!(
+            tuning.allreduce_rd_max <= tuning.reduce_chunk,
+            "recursive-doubling payloads are staged in reduce-chunk-sized buffers"
+        );
+        assert!(
+            tuning.pipeline_chunk <= tuning.small_large_switch
+                && tuning.pipeline_min <= tuning.pipeline_max
+                && tuning.pipeline_max <= tuning.small_large_switch,
+            "small-broadcast pipeline range must lie below the large switch"
+        );
+        let handle = sim.handle();
+        let rma = RmaWorld::new(sim, topo.nprocs());
+        let boards = (0..topo.nodes())
+            .map(|_| Arc::new(NodeBoard::new(&handle, topo.tasks_per_node(), &tuning)))
+            .collect();
+        let inter: Vec<Arc<InterState>> = (0..topo.nodes())
+            .map(|_| Arc::new(InterState::new(&handle, topo.nodes(), &tuning)))
+            .collect();
+        // Address-exchange handler on every master: store the child's
+        // user-buffer handle in the slot for the child's node.
+        for (node, node_inter) in inter.iter().enumerate() {
+            let master = topo.master_of(node);
+            let ep = rma.endpoint(master);
+            let my_inter = node_inter.clone();
+            ep.register_handler(AM_ADDR_XCHG, move |hctx, msg| {
+                let src_node = topo.node_of(msg.from);
+                let buf = msg.buf.expect("address exchange carries a handle");
+                my_inter.addr_slot[src_node].store(hctx, Some(buf));
+            });
+        }
+        SrmWorld {
+            inner: Arc::new(WorldInner {
+                topo,
+                tuning,
+                boards,
+                inter,
+                rma,
+            }),
+        }
+    }
+
+    /// Per-rank communicator.
+    pub fn comm(&self, rank: Rank) -> SrmComm {
+        let topo = self.inner.topo;
+        assert!(rank < topo.nprocs());
+        SrmComm {
+            world: self.inner.clone(),
+            me: rank,
+            rma: self.inner.rma.endpoint(rank),
+            smp_seq: Cell::new(0),
+            landing_seq: Cell::new(0),
+            tree_seq: Cell::new(0),
+            reduce_cum: Cell::new(0),
+            xfer_cum: Cell::new(0),
+            barrier_seq: Cell::new(0),
+        }
+    }
+
+    /// The topology this world was built for.
+    pub fn topology(&self) -> Topology {
+        self.inner.topo
+    }
+
+    /// The tuning in effect.
+    pub fn tuning(&self) -> SrmTuning {
+        self.inner.tuning
+    }
+}
+
+/// One rank's SRM communicator. Not `Sync`: it belongs to exactly one
+/// logical process (its sequence cells track node-wide protocol state
+/// that every rank of the node advances identically).
+pub struct SrmComm {
+    pub(crate) world: Arc<WorldInner>,
+    pub(crate) me: Rank,
+    pub(crate) rma: Rma,
+    /// Cumulative intra-node broadcast chunks this node has pushed
+    /// through its [`NodeBoard::smp`] pair.
+    pub(crate) smp_seq: Cell<u64>,
+    /// Cumulative chunks through the node's landing pair — consecutive
+    /// operations alternate buffers ("to improve concurrency", §2.2).
+    pub(crate) landing_seq: Cell<u64>,
+    /// Cumulative chunks through the tree-variant broadcast buffers.
+    pub(crate) tree_seq: Cell<u64>,
+    /// Cumulative reduce chunks this node has pushed through `contrib`.
+    pub(crate) reduce_cum: Cell<u64>,
+    /// Cumulative chunks through the master→root `xfer` buffer.
+    pub(crate) xfer_cum: Cell<u64>,
+    /// Barriers completed (drives the cumulative round counters).
+    pub(crate) barrier_seq: Cell<u64>,
+}
+
+impl SrmComm {
+    /// This communicator's rank.
+    pub fn rank(&self) -> Rank {
+        self.me
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> Topology {
+        self.world.topo
+    }
+
+    /// The tuning in effect.
+    pub fn tuning(&self) -> SrmTuning {
+        self.world.tuning
+    }
+
+    /// The tree kind in effect.
+    pub fn tree(&self) -> TreeKind {
+        self.world.tuning.tree
+    }
+
+    /// My node id.
+    pub fn node(&self) -> NodeId {
+        self.world.topo.node_of(self.me)
+    }
+
+    /// My slot within the node.
+    pub fn slot(&self) -> usize {
+        self.world.topo.slot_of(self.me)
+    }
+
+    /// Am I my node's master (the only task that touches the network)?
+    pub fn is_master(&self) -> bool {
+        self.world.topo.is_master(self.me)
+    }
+
+    /// My node's shared-memory board.
+    pub fn board(&self) -> &NodeBoard {
+        &self.world.boards[self.node()]
+    }
+
+    /// The network-facing state of `node`'s master.
+    pub fn inter(&self, node: NodeId) -> &InterState {
+        &self.world.inter[node]
+    }
+
+    /// The RMA endpoint (exposed for tests and extensions).
+    pub fn rma(&self) -> &Rma {
+        &self.rma
+    }
+
+    /// Allocate a registered user buffer of `len` bytes (the form all
+    /// collective payloads take; see the crate docs on memory model).
+    pub fn alloc_buffer(&self, len: usize) -> ShmBuffer {
+        ShmBuffer::new(len)
+    }
+
+    /// Tear down this rank's RMA dispatcher. Call exactly once, after
+    /// the last collective operation.
+    pub fn shutdown(&self, ctx: &simnet::Ctx) {
+        self.rma.shutdown(ctx);
+    }
+}

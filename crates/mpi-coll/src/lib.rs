@@ -1,0 +1,347 @@
+//! # mpi-coll — baseline MPI collectives over point-to-point messaging
+//!
+//! The comparison targets of the paper: collective operations built the
+//! traditional way, as trees of tagged sends and receives over the
+//! [`msg`] fabric. Two profiles are provided, selected by the fabric's
+//! [`Vendor`]:
+//!
+//! | operation | IBM-MPI-like | MPICH-like |
+//! |---|---|---|
+//! | broadcast | binomial tree | binomial tree |
+//! | reduce | binomial tree | binomial tree |
+//! | allreduce | recursive doubling | reduce + broadcast |
+//! | barrier | binomial gather/release | binomial gather/release |
+//!
+//! The profiles also differ through the fabric itself: IBM's eager
+//! limit shrinks with task count, MPICH pays an extra per-message
+//! layering cost (see [`msg::Vendor`]).
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod tree;
+
+use collops::{Collectives, DType, ReduceOp};
+use msg::{MsgEndpoint, Vendor};
+use shmem::ShmBuffer;
+use simnet::{Ctx, Rank};
+
+/// One rank's handle on the baseline collectives.
+#[derive(Clone)]
+pub struct MpiColl {
+    ep: MsgEndpoint,
+}
+
+impl MpiColl {
+    /// Wrap a point-to-point endpoint; the algorithms are chosen by the
+    /// endpoint's vendor profile.
+    pub fn new(ep: MsgEndpoint) -> Self {
+        MpiColl { ep }
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &MsgEndpoint {
+        &self.ep
+    }
+}
+
+impl Collectives for MpiColl {
+    fn broadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let mut data = buf.with(|d| d[..len].to_vec());
+        ops::bcast_binomial(&self.ep, ctx, &mut data, root);
+        buf.with_mut(|d| d[..len].copy_from_slice(&data));
+    }
+
+    fn reduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp, root: Rank) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let mut data = buf.with(|d| d[..len].to_vec());
+        ops::reduce_binomial(&self.ep, ctx, &mut data, dtype, op, root);
+        buf.with_mut(|d| d[..len].copy_from_slice(&data));
+    }
+
+    fn allreduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let mut data = buf.with(|d| d[..len].to_vec());
+        match self.ep.vendor() {
+            Vendor::IbmMpi => ops::allreduce_recursive_doubling(&self.ep, ctx, &mut data, dtype, op),
+            Vendor::Mpich => ops::allreduce_reduce_bcast(&self.ep, ctx, &mut data, dtype, op),
+        }
+        buf.with_mut(|d| d[..len].copy_from_slice(&data));
+    }
+
+    fn barrier(&self, ctx: &Ctx) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        // Both era implementations synchronized over a gather/release
+        // tree of point-to-point messages (MPICH1's combine+broadcast
+        // structure; IBM's was tree-shaped as well). The dissemination
+        // variant is kept in `ops` for the ablation studies.
+        match self.ep.vendor() {
+            Vendor::IbmMpi => ops::barrier_tree(&self.ep, ctx),
+            Vendor::Mpich => ops::barrier_tree(&self.ep, ctx),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.ep.vendor().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collops::{from_bytes_u64, reference_reduce, to_bytes_u64};
+    use msg::MsgWorld;
+    use simnet::{MachineConfig, Report, Sim, SimTime, Topology};
+    use std::sync::{Arc, Mutex};
+
+    /// Run `body` on every rank of a fresh cluster; collect each rank's
+    /// final payload bytes.
+    fn run_cluster(
+        topo: Topology,
+        vendor: Vendor,
+        payload_len: usize,
+        init: impl Fn(Rank) -> Vec<u8> + Send + Sync + 'static,
+        body: impl Fn(&Ctx, &MpiColl, &mut Vec<u8>) + Send + Sync + 'static,
+    ) -> (Vec<Vec<u8>>, Report) {
+        let mut sim = Sim::new(MachineConfig::uniform_test());
+        let world = MsgWorld::new(&mut sim, topo, vendor);
+        let out: Arc<Mutex<Vec<Vec<u8>>>> =
+            Arc::new(Mutex::new(vec![Vec::new(); topo.nprocs()]));
+        let init = Arc::new(init);
+        let body = Arc::new(body);
+        for rank in 0..topo.nprocs() {
+            let coll = MpiColl::new(world.endpoint(rank));
+            let out = out.clone();
+            let init = init.clone();
+            let body = body.clone();
+            sim.spawn(format!("rank{rank}"), move |ctx| {
+                let mut data = init(rank);
+                assert_eq!(data.len(), payload_len);
+                body(&ctx, &coll, &mut data);
+                out.lock().unwrap()[rank] = data;
+            });
+        }
+        let report = sim.run().unwrap();
+        let results = Arc::try_unwrap(out).unwrap().into_inner().unwrap();
+        (results, report)
+    }
+
+    fn bcast_body(root: Rank) -> impl Fn(&Ctx, &MpiColl, &mut Vec<u8>) + Send + Sync {
+        move |ctx, coll, data| {
+            let buf = ShmBuffer::new(data.len().max(1));
+            buf.with_mut(|d| d[..data.len()].copy_from_slice(data));
+            coll.broadcast(ctx, &buf, data.len(), root);
+            let n = data.len();
+            buf.with(|d| data.copy_from_slice(&d[..n]));
+        }
+    }
+
+    #[test]
+    fn bcast_correct_all_sizes_and_roots() {
+        for (nodes, tpn) in [(1usize, 7usize), (3, 4), (4, 4), (5, 3)] {
+            let topo = Topology::new(nodes, tpn);
+            for root in [0usize, topo.nprocs() - 1, topo.nprocs() / 2] {
+                let (results, _) = run_cluster(
+                    topo,
+                    Vendor::IbmMpi,
+                    64,
+                    move |rank| {
+                        if rank == root {
+                            (0..64u8).map(|i| i ^ 0x5a).collect()
+                        } else {
+                            vec![0u8; 64]
+                        }
+                    },
+                    bcast_body(root),
+                );
+                let expect: Vec<u8> = (0..64u8).map(|i| i ^ 0x5a).collect();
+                for (rank, r) in results.iter().enumerate() {
+                    assert_eq!(r, &expect, "topo {topo}, root {root}, rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_reference() {
+        for vendor in [Vendor::IbmMpi, Vendor::Mpich] {
+            for (nodes, tpn) in [(2usize, 3usize), (4, 4), (3, 5)] {
+                let topo = Topology::new(nodes, tpn);
+                let n = topo.nprocs();
+                let root = n - 1;
+                let contribs: Vec<Vec<u8>> = (0..n)
+                    .map(|r| to_bytes_u64(&[(r + 1) as u64, (r * r) as u64]))
+                    .collect();
+                let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+                let c2 = contribs.clone();
+                let (results, _) = run_cluster(
+                    topo,
+                    vendor,
+                    16,
+                    move |rank| c2[rank].clone(),
+                    move |ctx, coll, data| {
+                        let buf = ShmBuffer::new(16);
+                        buf.with_mut(|d| d.copy_from_slice(data));
+                        coll.reduce(ctx, &buf, 16, DType::U64, ReduceOp::Sum, root);
+                        buf.with(|d| data.copy_from_slice(d));
+                    },
+                );
+                assert_eq!(
+                    results[root], expect,
+                    "vendor {vendor:?}, topo {topo}: root result wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_reference_both_vendors() {
+        // Includes non-power-of-two sizes to exercise fold in/out.
+        for vendor in [Vendor::IbmMpi, Vendor::Mpich] {
+            for (nodes, tpn) in [(2usize, 2usize), (3, 3), (2, 5), (1, 13)] {
+                let topo = Topology::new(nodes, tpn);
+                let n = topo.nprocs();
+                let contribs: Vec<Vec<u8>> =
+                    (0..n).map(|r| to_bytes_u64(&[r as u64 + 7])).collect();
+                let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+                let c2 = contribs.clone();
+                let (results, _) = run_cluster(
+                    topo,
+                    vendor,
+                    8,
+                    move |rank| c2[rank].clone(),
+                    |ctx, coll, data| {
+                        let buf = ShmBuffer::new(8);
+                        buf.with_mut(|d| d.copy_from_slice(data));
+                        coll.allreduce(ctx, &buf, 8, DType::U64, ReduceOp::Sum);
+                        buf.with(|d| data.copy_from_slice(d));
+                    },
+                );
+                for (rank, r) in results.iter().enumerate() {
+                    assert_eq!(
+                        from_bytes_u64(r),
+                        from_bytes_u64(&expect),
+                        "vendor {vendor:?}, topo {topo}, rank {rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_ops() {
+        let topo = Topology::new(2, 3);
+        let n = topo.nprocs();
+        for op in [ReduceOp::Min, ReduceOp::Max] {
+            let contribs: Vec<Vec<u8>> =
+                (0..n).map(|r| to_bytes_u64(&[(r * 13 % 7) as u64])).collect();
+            let expect = reference_reduce(DType::U64, op, &contribs);
+            let c2 = contribs.clone();
+            let (results, _) = run_cluster(
+                topo,
+                Vendor::IbmMpi,
+                8,
+                move |rank| c2[rank].clone(),
+                move |ctx, coll, data| {
+                    let buf = ShmBuffer::new(8);
+                    buf.with_mut(|d| d.copy_from_slice(data));
+                    coll.allreduce(ctx, &buf, 8, DType::U64, op);
+                    buf.with(|d| data.copy_from_slice(d));
+                },
+            );
+            for r in &results {
+                assert_eq!(r, &expect, "op {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_both_vendors() {
+        // Rank i arrives at i*10us; nobody may leave before the last
+        // arrival (50us for 6 ranks).
+        for vendor in [Vendor::IbmMpi, Vendor::Mpich] {
+            let topo = Topology::new(2, 3);
+            let mut sim = Sim::new(MachineConfig::uniform_test());
+            let world = MsgWorld::new(&mut sim, topo, vendor);
+            let latest_arrival = SimTime::from_us(50);
+            for rank in 0..topo.nprocs() {
+                let coll = MpiColl::new(world.endpoint(rank));
+                sim.spawn(format!("rank{rank}"), move |ctx| {
+                    ctx.advance(SimTime::from_us(10 * rank as u64));
+                    coll.barrier(&ctx);
+                    assert!(
+                        ctx.now() >= latest_arrival,
+                        "rank {rank} left the barrier at {} before the last arrival",
+                        ctx.now()
+                    );
+                });
+            }
+            sim.run().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let topo = Topology::new(1, 1);
+        let (results, report) = run_cluster(
+            topo,
+            Vendor::IbmMpi,
+            8,
+            |_| to_bytes_u64(&[42]),
+            |ctx, coll, data| {
+                let buf = ShmBuffer::new(8);
+                buf.with_mut(|d| d.copy_from_slice(data));
+                coll.broadcast(ctx, &buf, 8, 0);
+                coll.allreduce(ctx, &buf, 8, DType::U64, ReduceOp::Sum);
+                coll.reduce(ctx, &buf, 8, DType::U64, ReduceOp::Sum, 0);
+                coll.barrier(ctx);
+                buf.with(|d| data.copy_from_slice(d));
+            },
+        );
+        assert_eq!(from_bytes_u64(&results[0]), vec![42]);
+        assert_eq!(report.metrics.net_messages, 0);
+        assert_eq!(report.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn intra_node_bcast_uses_no_network() {
+        let topo = Topology::new(1, 8);
+        let (_, report) = run_cluster(
+            topo,
+            Vendor::IbmMpi,
+            32,
+            |_| vec![1u8; 32],
+            bcast_body(0),
+        );
+        assert_eq!(report.metrics.net_messages, 0);
+        // 7 point-to-point hops x 2 copies each.
+        assert_eq!(report.metrics.shm_copies, 14);
+        assert_eq!(report.metrics.matches, 7);
+    }
+
+    #[test]
+    fn eager_limit_pushes_large_bcast_to_rendezvous() {
+        let topo = Topology::new(4, 1);
+        let (_, report) = run_cluster(
+            topo,
+            Vendor::IbmMpi,
+            100_000,
+            |_| vec![2u8; 100_000],
+            bcast_body(0),
+        );
+        assert_eq!(report.metrics.rndv_sends, 3);
+        assert_eq!(report.metrics.eager_sends, 0);
+    }
+
+    #[test]
+    fn mpich_collectives_slower_than_ibm() {
+        let topo = Topology::new(4, 4);
+        let run = |vendor: Vendor| {
+            run_cluster(topo, vendor, 1024, |_| vec![3u8; 1024], bcast_body(0))
+                .1
+                .end_time
+        };
+        assert!(run(Vendor::Mpich) > run(Vendor::IbmMpi));
+    }
+}

@@ -1,0 +1,200 @@
+//! The baseline collective algorithms over point-to-point messaging.
+//!
+//! These reproduce the *structure* of circa-2002 MPI collectives:
+//!
+//! * broadcast — binomial tree (both vendors; the paper notes MPICH
+//!   used binomial trees for broadcast and reduce);
+//! * reduce — binomial tree, combining at every level;
+//! * allreduce — recursive doubling (IBM profile) or reduce-then-
+//!   broadcast (MPICH profile);
+//! * barrier — dissemination (IBM profile) or binomial gather+release
+//!   (MPICH profile).
+//!
+//! Every hop is an ordinary tagged message through [`msg`], so each hop
+//! pays matching, per-message overheads, eager/rendezvous protocol
+//! costs and the intra-node two-copy shared-memory path — the paper's
+//! structural case against building collectives this way.
+
+use crate::tree;
+use collops::{combine_costed, DType, ReduceOp};
+use msg::{MsgEndpoint, Tag};
+use simnet::{Ctx, Rank};
+
+const TAG_BCAST: Tag = 0x0100;
+const TAG_REDUCE: Tag = 0x0200;
+const TAG_ALLREDUCE: Tag = 0x0300;
+const TAG_BARRIER_UP: Tag = 0x0400;
+const TAG_BARRIER_DOWN: Tag = 0x0401;
+const TAG_BARRIER_DISS: Tag = 0x0402;
+
+/// Binomial-tree broadcast of `data` (significant at `root`); on return
+/// every rank's `data` holds the payload.
+pub fn bcast_binomial(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], root: Rank) {
+    let size = ep.topology().nprocs();
+    if size == 1 || data.is_empty() {
+        return;
+    }
+    let me = tree::vrank(ep.rank(), root, size);
+    if let Some((parent, _)) = tree::binomial_parent(me, size) {
+        ep.recv(ctx, tree::unvrank(parent, root, size), TAG_BCAST, data);
+    }
+    for child in tree::binomial_children(me, size) {
+        ep.send(ctx, tree::unvrank(child, root, size), TAG_BCAST, data);
+    }
+}
+
+/// Binomial-tree reduce; on return `data` on `root` holds the combined
+/// result (other ranks' buffers hold partial results, as in MPI).
+pub fn reduce_binomial(
+    ep: &MsgEndpoint,
+    ctx: &Ctx,
+    data: &mut [u8],
+    dtype: DType,
+    op: ReduceOp,
+    root: Rank,
+) {
+    let size = ep.topology().nprocs();
+    if size == 1 || data.is_empty() {
+        return;
+    }
+    let me = tree::vrank(ep.rank(), root, size);
+    let mut tmp = vec![0u8; data.len()];
+    // Receive children nearest-first (they finish their subtrees first).
+    for child in tree::binomial_children_ascending(me, size) {
+        ep.recv(ctx, tree::unvrank(child, root, size), TAG_REDUCE, &mut tmp);
+        combine_costed(ctx, dtype, op, data, &tmp);
+    }
+    if let Some((parent, _)) = tree::binomial_parent(me, size) {
+        ep.send(ctx, tree::unvrank(parent, root, size), TAG_REDUCE, data);
+    }
+}
+
+/// Recursive-doubling allreduce (IBM profile). Handles non-power-of-two
+/// sizes with the standard fold-in/fold-out steps.
+pub fn allreduce_recursive_doubling(
+    ep: &MsgEndpoint,
+    ctx: &Ctx,
+    data: &mut [u8],
+    dtype: DType,
+    op: ReduceOp,
+) {
+    let size = ep.topology().nprocs();
+    if size == 1 || data.is_empty() {
+        return;
+    }
+    let rank = ep.rank();
+    let pof2 = prev_pow2(size);
+    let rem = size - pof2;
+    let mut tmp = vec![0u8; data.len()];
+
+    // Fold the `rem` extra ranks into their even neighbours.
+    let newrank: isize = if rank < 2 * rem {
+        if rank % 2 == 1 {
+            ep.send(ctx, rank - 1, TAG_ALLREDUCE, data);
+            -1
+        } else {
+            ep.recv(ctx, rank + 1, TAG_ALLREDUCE, &mut tmp);
+            combine_costed(ctx, dtype, op, data, &tmp);
+            (rank / 2) as isize
+        }
+    } else {
+        (rank - rem) as isize
+    };
+
+    if newrank >= 0 {
+        let newrank = newrank as usize;
+        let mut mask = 1usize;
+        while mask < pof2 {
+            let partner_new = newrank ^ mask;
+            let partner = if partner_new < rem {
+                partner_new * 2
+            } else {
+                partner_new + rem
+            };
+            ep.sendrecv(ctx, partner, TAG_ALLREDUCE, data, partner, TAG_ALLREDUCE, &mut tmp);
+            combine_costed(ctx, dtype, op, data, &tmp);
+            mask <<= 1;
+        }
+    }
+
+    // Unfold: give the result back to the odd ranks that sat out.
+    if rank < 2 * rem {
+        if rank.is_multiple_of(2) {
+            ep.send(ctx, rank + 1, TAG_ALLREDUCE, data);
+        } else {
+            ep.recv(ctx, rank - 1, TAG_ALLREDUCE, data);
+        }
+    }
+}
+
+/// Reduce-then-broadcast allreduce (MPICH profile).
+pub fn allreduce_reduce_bcast(
+    ep: &MsgEndpoint,
+    ctx: &Ctx,
+    data: &mut [u8],
+    dtype: DType,
+    op: ReduceOp,
+) {
+    reduce_binomial(ep, ctx, data, dtype, op, 0);
+    bcast_binomial(ep, ctx, data, 0);
+}
+
+/// Dissemination barrier (IBM profile): ⌈log₂ P⌉ rounds of zero-byte
+/// exchanges; works for any P.
+pub fn barrier_dissemination(ep: &MsgEndpoint, ctx: &Ctx) {
+    let size = ep.topology().nprocs();
+    if size == 1 {
+        return;
+    }
+    let me = ep.rank();
+    let mut dist = 1usize;
+    while dist < size {
+        let to = (me + dist) % size;
+        let from = (me + size - dist) % size;
+        let mut sink = [0u8; 0];
+        let req = ep.isend(ctx, to, TAG_BARRIER_DISS, &[]);
+        ep.recv(ctx, from, TAG_BARRIER_DISS, &mut sink);
+        ep.wait_send(ctx, req);
+        dist <<= 1;
+    }
+}
+
+/// Binomial gather + binomial release barrier (MPICH profile).
+pub fn barrier_tree(ep: &MsgEndpoint, ctx: &Ctx) {
+    let size = ep.topology().nprocs();
+    if size == 1 {
+        return;
+    }
+    let me = ep.rank(); // root 0
+    let mut sink = [0u8; 0];
+    for child in tree::binomial_children_ascending(me, size) {
+        ep.recv(ctx, child, TAG_BARRIER_UP, &mut sink);
+    }
+    if let Some((parent, _)) = tree::binomial_parent(me, size) {
+        ep.send(ctx, parent, TAG_BARRIER_UP, &[]);
+        ep.recv(ctx, parent, TAG_BARRIER_DOWN, &mut sink);
+    }
+    for child in tree::binomial_children(me, size) {
+        ep.send(ctx, child, TAG_BARRIER_DOWN, &[]);
+    }
+}
+
+/// Largest power of two ≤ `n` (n ≥ 1).
+pub fn prev_pow2(n: usize) -> usize {
+    assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prev_pow2_values() {
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(2), 2);
+        assert_eq!(prev_pow2(3), 2);
+        assert_eq!(prev_pow2(240), 128);
+        assert_eq!(prev_pow2(256), 256);
+    }
+}

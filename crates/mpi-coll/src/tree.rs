@@ -1,0 +1,167 @@
+//! Binomial-tree rank arithmetic for the point-to-point collectives.
+//!
+//! Both IBM MPI and MPICH built their tree collectives over **rank
+//! order**, not topology: with the SP's block placement of ranks onto
+//! nodes, small-distance binomial edges happen to stay inside a node,
+//! but nothing in the algorithm knows about nodes — that blindness is
+//! one of the structural gaps SRM exploits.
+//!
+//! All helpers work in *relative* rank space
+//! (`vrank = (rank - root + P) % P`), the classic MPICH formulation.
+
+use simnet::Rank;
+
+/// Relative rank of `rank` with respect to `root` in a `size`-rank group.
+#[inline]
+pub fn vrank(rank: Rank, root: Rank, size: usize) -> usize {
+    (rank + size - root) % size
+}
+
+/// Absolute rank for a relative rank.
+#[inline]
+pub fn unvrank(vrank: usize, root: Rank, size: usize) -> Rank {
+    (vrank + root) % size
+}
+
+/// Parent of `vrank` in the distance-power-of-two binomial tree, plus
+/// the mask at which the parent link was found. Relative rank 0 has no
+/// parent.
+pub fn binomial_parent(vrank: usize, size: usize) -> Option<(usize, usize)> {
+    if vrank == 0 {
+        return None;
+    }
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask != 0 {
+            return Some((vrank - mask, mask));
+        }
+        mask <<= 1;
+    }
+    unreachable!("vrank {vrank} must have a set bit below size {size}");
+}
+
+/// Children of `vrank` in the binomial tree, in the order a broadcast
+/// sends to them (decreasing distance — farthest subtree first, so the
+/// deepest subtree starts earliest).
+pub fn binomial_children(vrank: usize, size: usize) -> Vec<usize> {
+    let stop = match binomial_parent(vrank, size) {
+        Some((_, mask)) => mask,
+        None => {
+            // Root: children at every power of two below size.
+            let mut m = 1usize;
+            while m < size {
+                m <<= 1;
+            }
+            m
+        }
+    };
+    let mut out = Vec::new();
+    let mut mask = stop >> 1;
+    while mask > 0 {
+        let child = vrank + mask;
+        if child < size {
+            out.push(child);
+        }
+        mask >>= 1;
+    }
+    out
+}
+
+/// Children in *increasing*-distance order — the order a binomial
+/// reduce receives contributions (nearest subtree completes first).
+pub fn binomial_children_ascending(vrank: usize, size: usize) -> Vec<usize> {
+    let mut v = binomial_children(vrank, size);
+    v.reverse();
+    v
+}
+
+/// Height of the binomial tree over `size` ranks: ⌈log₂ size⌉.
+pub fn binomial_height(size: usize) -> usize {
+    assert!(size >= 1);
+    usize::BITS as usize - (size - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vrank_roundtrip() {
+        for size in [1usize, 5, 16, 31] {
+            for root in 0..size {
+                for r in 0..size {
+                    assert_eq!(unvrank(vrank(r, root, size), root, size), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_child_consistent_for_all_sizes() {
+        for size in 1..=64usize {
+            // Every non-root has exactly one parent, and appears in
+            // that parent's child list.
+            for v in 1..size {
+                let (p, _) = binomial_parent(v, size).expect("non-root");
+                assert!(p < v);
+                assert!(
+                    binomial_children(p, size).contains(&v),
+                    "size {size}: {v} not child of {p}"
+                );
+            }
+            // The tree spans all ranks exactly once.
+            let mut seen = HashSet::from([0usize]);
+            for v in 0..size {
+                for c in binomial_children(v, size) {
+                    assert!(seen.insert(c), "size {size}: {c} reached twice");
+                }
+            }
+            assert_eq!(seen.len(), size);
+        }
+    }
+
+    #[test]
+    fn known_shape_eight() {
+        // Classic binomial tree on 8: 0 -> {4,2,1}, 2 -> {3}, 4 -> {6,5}, 6 -> {7}.
+        assert_eq!(binomial_children(0, 8), vec![4, 2, 1]);
+        assert_eq!(binomial_children(4, 8), vec![6, 5]);
+        assert_eq!(binomial_children(2, 8), vec![3]);
+        assert_eq!(binomial_children(6, 8), vec![7]);
+        assert_eq!(binomial_children(1, 8), Vec::<usize>::new());
+        assert_eq!(binomial_children_ascending(0, 8), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn height_is_ceil_log2() {
+        assert_eq!(binomial_height(1), 0);
+        assert_eq!(binomial_height(2), 1);
+        assert_eq!(binomial_height(3), 2);
+        assert_eq!(binomial_height(8), 3);
+        assert_eq!(binomial_height(9), 4);
+        assert_eq!(binomial_height(256), 8);
+    }
+
+    #[test]
+    fn non_power_of_two_children_clipped() {
+        // size 6, root 0: children {4, 2, 1}; 4's children: {5} (6 clipped).
+        assert_eq!(binomial_children(0, 6), vec![4, 2, 1]);
+        assert_eq!(binomial_children(4, 6), vec![5]);
+    }
+
+    #[test]
+    fn depth_bounded_by_height() {
+        for size in 1..=64usize {
+            let h = binomial_height(size);
+            for v in 0..size {
+                let mut depth = 0;
+                let mut cur = v;
+                while let Some((p, _)) = binomial_parent(cur, size) {
+                    cur = p;
+                    depth += 1;
+                }
+                assert!(depth <= h, "size {size} vrank {v}: depth {depth} > {h}");
+            }
+        }
+    }
+}

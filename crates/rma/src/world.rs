@@ -1,0 +1,489 @@
+//! The RMA network: per-task endpoints, the wire model, and the
+//! dispatcher logical processes.
+//!
+//! Each simulated task gets an [`Rma`] endpoint and a hidden
+//! **dispatcher LP** — the analogue of the threads LAPI creates for
+//! every task ("the implementation of LAPI uses two additional threads
+//! created implicitly at the startup time", §2.4). The dispatcher owns
+//! message *reception*: it waits for arrivals, honours the paper's
+//! interrupt rules, lands data into shared buffers, bumps counters and
+//! runs active-message handlers.
+//!
+//! ## Wire model
+//!
+//! A put of `b` bytes issued at origin time `t` is delivered at
+//! `max(t, link_free) + b·G + L`, where `G` is the per-byte cost and
+//! `L` the one-way latency; `link_free` serializes messages on the
+//! origin's network port. The origin CPU is busy only for the origin
+//! overhead — the transfer itself is one-sided, which is precisely the
+//! overlap opportunity SRM exploits.
+//!
+//! ## Reception rules (paper §2.3, "Management of LAPI Interrupts")
+//!
+//! * target inside a LAPI call (polling): delivery proceeds, no
+//!   interrupt;
+//! * target elsewhere, interrupts enabled: delivery proceeds but pays
+//!   the interrupt cost;
+//! * target elsewhere, interrupts disabled: delivery **stalls** until
+//!   the target enters a LAPI call — exactly the hazard the paper warns
+//!   about ("the put operation would not be able to complete without
+//!   implicit cooperation of the destination task").
+
+use crate::counter::LapiCounter;
+use parking_lot::Mutex;
+use shmem::ShmBuffer;
+use simnet::{Ctx, Rank, Sim, SimTime, SimVar};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Payload carried to a dispatcher by one network arrival.
+enum Payload {
+    /// A put landing `bytes` into `dst` at `dst_off`.
+    Data {
+        dst: ShmBuffer,
+        dst_off: usize,
+        bytes: Vec<u8>,
+    },
+    /// A zero-byte put: only the counter side effect.
+    CounterOnly,
+    /// An active message for the registered handler `handler`.
+    Am { handler: u32, msg: AmMsg },
+    /// A get request: the dispatcher reads `len` bytes at `src_off` of
+    /// `src` and sends them back to `requester`.
+    GetRequest {
+        src: ShmBuffer,
+        src_off: usize,
+        len: usize,
+        reply_dst: ShmBuffer,
+        reply_dst_off: usize,
+        reply_counter: Option<LapiCounter>,
+        requester: Rank,
+    },
+}
+
+struct Arrival {
+    deliver_at: SimTime,
+    /// Payload bytes on the wire (drives inbound-adapter serialization).
+    wire_bytes: usize,
+    payload: Payload,
+    counter: Option<LapiCounter>,
+    #[allow(dead_code)]
+    from: Rank,
+}
+
+enum Item {
+    Arrival(Box<Arrival>),
+    Shutdown,
+}
+
+/// Data handed to an active-message handler.
+pub struct AmMsg {
+    /// Originating rank.
+    pub from: Rank,
+    /// Inline payload bytes.
+    pub bytes: Vec<u8>,
+    /// Optional shared-buffer handle — the simulation's equivalent of
+    /// sending a remote memory *address* (used by the large-message
+    /// broadcast's address exchange).
+    pub buf: Option<ShmBuffer>,
+}
+
+type AmHandler = Arc<dyn Fn(&Ctx, AmMsg) + Send + Sync>;
+
+/// Whether the task is currently able to receive.
+#[derive(Clone, Copy, Debug)]
+struct LapiState {
+    in_call: bool,
+    interrupts_on: bool,
+}
+
+struct TaskNet {
+    inbox: SimVar<Vec<Item>>,
+    /// Time at which this task's network port finishes serializing its
+    /// last outbound message.
+    link_free: SimVar<SimTime>,
+    state: SimVar<LapiState>,
+    handlers: Mutex<HashMap<u32, AmHandler>>,
+}
+
+struct WorldInner {
+    tasks: Vec<TaskNet>,
+}
+
+/// The cluster-wide RMA fabric. Create once at setup; it spawns one
+/// dispatcher LP per task.
+pub struct RmaWorld {
+    inner: Arc<WorldInner>,
+}
+
+impl RmaWorld {
+    /// Build the fabric for `nprocs` tasks and spawn their dispatchers
+    /// on `sim`.
+    pub fn new(sim: &mut Sim, nprocs: usize) -> Self {
+        let handle = sim.handle();
+        let tasks = (0..nprocs)
+            .map(|_| TaskNet {
+                inbox: handle.var(Vec::new()),
+                link_free: handle.var(SimTime::ZERO),
+                state: handle.var(LapiState {
+                    in_call: false,
+                    interrupts_on: true,
+                }),
+                handlers: Mutex::new(HashMap::new()),
+            })
+            .collect();
+        let inner = Arc::new(WorldInner { tasks });
+        for me in 0..nprocs {
+            let world = inner.clone();
+            sim.spawn(format!("lapi-dispatcher-{me}"), move |ctx| {
+                dispatcher_main(ctx, world, me)
+            });
+        }
+        RmaWorld { inner }
+    }
+
+    /// Endpoint for task `rank`.
+    pub fn endpoint(&self, rank: Rank) -> Rma {
+        assert!(rank < self.inner.tasks.len());
+        Rma {
+            world: self.inner.clone(),
+            me: rank,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nprocs(&self) -> usize {
+        self.inner.tasks.len()
+    }
+}
+
+/// Per-task RMA endpoint (the LAPI handle).
+#[derive(Clone)]
+pub struct Rma {
+    world: Arc<WorldInner>,
+    me: Rank,
+}
+
+impl Rma {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.me
+    }
+
+    /// Nonblocking put: transfer `len` bytes from `src[src_off..]` into
+    /// `dst[dst_off..]` on `target`. Returns after the origin overhead;
+    /// the transfer completes in the background. If `tgt_counter` is
+    /// given, the target dispatcher increments it after landing the
+    /// data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put(
+        &self,
+        ctx: &Ctx,
+        target: Rank,
+        src: &ShmBuffer,
+        src_off: usize,
+        len: usize,
+        dst: &ShmBuffer,
+        dst_off: usize,
+        tgt_counter: Option<&LapiCounter>,
+    ) {
+        ctx.advance(ctx.config().lapi_origin_overhead);
+        ctx.metrics().rma_puts.fetch_add(1, Ordering::Relaxed);
+        let bytes = src.with(|d| d[src_off..src_off + len].to_vec());
+        self.send(
+            ctx,
+            target,
+            Payload::Data {
+                dst: dst.clone(),
+                dst_off,
+                bytes,
+            },
+            tgt_counter.cloned(),
+            len,
+        );
+    }
+
+    /// Zero-byte put: pure remote counter increment (the paper's
+    /// flow-control acknowledgement, §2.4 step 3).
+    pub fn put_counter(&self, ctx: &Ctx, target: Rank, tgt_counter: &LapiCounter) {
+        ctx.advance(ctx.config().lapi_origin_overhead);
+        ctx.metrics().rma_puts.fetch_add(1, Ordering::Relaxed);
+        self.send(
+            ctx,
+            target,
+            Payload::CounterOnly,
+            Some(tgt_counter.clone()),
+            0,
+        );
+    }
+
+    /// Nonblocking get: fetch `len` bytes from `src[src_off..]` on
+    /// `target` into local `dst[dst_off..]`. `done` is incremented by
+    /// this task's own dispatcher when the data lands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get(
+        &self,
+        ctx: &Ctx,
+        target: Rank,
+        src: &ShmBuffer,
+        src_off: usize,
+        len: usize,
+        dst: &ShmBuffer,
+        dst_off: usize,
+        done: &LapiCounter,
+    ) {
+        ctx.advance(ctx.config().lapi_origin_overhead);
+        ctx.metrics().rma_gets.fetch_add(1, Ordering::Relaxed);
+        self.send(
+            ctx,
+            target,
+            Payload::GetRequest {
+                src: src.clone(),
+                src_off,
+                len,
+                reply_dst: dst.clone(),
+                reply_dst_off: dst_off,
+                reply_counter: Some(done.clone()),
+                requester: self.me,
+            },
+            None,
+            0,
+        );
+    }
+
+    /// Active message: run the handler registered under `handler` on
+    /// `target`'s dispatcher, passing `bytes` and optionally a shared
+    /// buffer handle (= a remote address).
+    pub fn am(
+        &self,
+        ctx: &Ctx,
+        target: Rank,
+        handler: u32,
+        bytes: Vec<u8>,
+        buf: Option<ShmBuffer>,
+    ) {
+        ctx.advance(ctx.config().lapi_origin_overhead);
+        ctx.metrics().rma_ams.fetch_add(1, Ordering::Relaxed);
+        let len = bytes.len();
+        self.send(
+            ctx,
+            target,
+            Payload::Am {
+                handler,
+                msg: AmMsg {
+                    from: self.me,
+                    bytes,
+                    buf,
+                },
+            },
+            None,
+            len,
+        );
+    }
+
+    /// Register the active-message handler `id` on this task. Usually
+    /// done during setup, before any AM can arrive.
+    pub fn register_handler(&self, id: u32, f: impl Fn(&Ctx, AmMsg) + Send + Sync + 'static) {
+        let prev = self.world.tasks[self.me]
+            .handlers
+            .lock()
+            .insert(id, Arc::new(f));
+        assert!(prev.is_none(), "AM handler {id} registered twice");
+    }
+
+    /// `LAPI_Waitcntr`: block until `cntr >= value`, then subtract
+    /// `value`. While waiting, the task counts as *inside a LAPI call*,
+    /// so its dispatcher can deliver without interrupts.
+    pub fn wait_counter(&self, ctx: &Ctx, cntr: &LapiCounter, value: u64) {
+        let state = &self.world.tasks[self.me].state;
+        state.update(ctx, |s| s.in_call = true);
+        cntr.var.wait(ctx, "LAPI counter", move |v| *v >= value);
+        cntr.var.update(ctx, move |v| *v -= value);
+        state.update(ctx, |s| s.in_call = false);
+        ctx.advance(ctx.config().lapi_counter_check);
+    }
+
+    /// Block until `cntr >= value` **without** consuming the counter —
+    /// for cumulative counters (e.g. "number of barriers completed")
+    /// that only ever grow. Counts as being inside a LAPI call.
+    pub fn wait_counter_ge(&self, ctx: &Ctx, cntr: &LapiCounter, value: u64) {
+        let state = &self.world.tasks[self.me].state;
+        state.update(ctx, |s| s.in_call = true);
+        cntr.var.wait(ctx, "LAPI counter (cumulative)", move |v| *v >= value);
+        state.update(ctx, |s| s.in_call = false);
+        ctx.advance(ctx.config().lapi_counter_check);
+    }
+
+    /// Probe a counter's current value (one cheap LAPI call). Does not
+    /// guarantee dispatcher progress — use [`Rma::poll`] for that.
+    pub fn probe_counter(&self, ctx: &Ctx, cntr: &LapiCounter) -> u64 {
+        ctx.advance(ctx.config().lapi_counter_check);
+        cntr.peek()
+    }
+
+    /// Spend `dt` inside a LAPI progress call, letting the dispatcher
+    /// deliver pending arrivals without interrupts.
+    pub fn poll(&self, ctx: &Ctx, dt: SimTime) {
+        let state = &self.world.tasks[self.me].state;
+        state.update(ctx, |s| s.in_call = true);
+        ctx.advance(dt);
+        state.update(ctx, |s| s.in_call = false);
+    }
+
+    /// Enable or disable interrupt-mode reception for this task
+    /// (SRM disables interrupts for small-message collectives, §2.3).
+    pub fn set_interrupts(&self, ctx: &Ctx, on: bool) {
+        ctx.advance(ctx.config().lapi_counter_check);
+        self.world.tasks[self.me]
+            .state
+            .update(ctx, |s| s.interrupts_on = on);
+    }
+
+    /// Tear down this task's dispatcher. Call exactly once, after all
+    /// communication involving this task has completed.
+    pub fn shutdown(&self, ctx: &Ctx) {
+        self.world.tasks[self.me]
+            .inbox
+            .update(ctx, |q| q.push(Item::Shutdown));
+    }
+
+    /// Serialize one outbound message on this task's port and enqueue
+    /// its arrival at the target.
+    fn send(
+        &self,
+        ctx: &Ctx,
+        target: Rank,
+        payload: Payload,
+        counter: Option<LapiCounter>,
+        wire_bytes: usize,
+    ) {
+        assert!(target < self.world.tasks.len(), "put to unknown rank");
+        let cfg = ctx.config();
+        let me_net = &self.world.tasks[self.me];
+        let start = ctx.now().max(me_net.link_free.get());
+        let ser_done = start + cfg.net_per_byte.cost_of(wire_bytes);
+        me_net.link_free.store(ctx, ser_done);
+        let deliver_at = ser_done + cfg.net_latency;
+        let m = ctx.metrics();
+        m.net_messages.fetch_add(1, Ordering::Relaxed);
+        m.net_bytes.fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        let from = self.me;
+        self.world.tasks[target].inbox.update(ctx, move |q| {
+            q.push(Item::Arrival(Box::new(Arrival {
+                deliver_at,
+                wire_bytes,
+                payload,
+                counter,
+                from,
+            })));
+        });
+    }
+}
+
+/// The dispatcher loop: the LAPI threads of one task.
+fn dispatcher_main(ctx: Ctx, world: Arc<WorldInner>, me: Rank) {
+    // Inbound-adapter clock: overlapping streams from different origins
+    // still share this task's (node's) adapter on the receive side.
+    let mut rx_free = SimTime::ZERO;
+    loop {
+        let item = world.tasks[me].inbox.wait_take(&ctx, "network arrival", |q| {
+            if q.is_empty() {
+                return None;
+            }
+            // Deliver the earliest arrival first; Shutdown only when
+            // nothing else is pending.
+            let mut best: Option<(usize, SimTime)> = None;
+            for (i, it) in q.iter().enumerate() {
+                let at = match it {
+                    Item::Shutdown => SimTime(u64::MAX),
+                    Item::Arrival(a) => a.deliver_at,
+                };
+                if best.is_none_or(|(_, bt)| at < bt) {
+                    best = Some((i, at));
+                }
+            }
+            let (i, _) = best.expect("nonempty");
+            Some(q.remove(i))
+        });
+        let mut arrival = match item {
+            Item::Shutdown => break,
+            Item::Arrival(a) => a,
+        };
+        let wire = ctx.config().net_per_byte.cost_of(arrival.wire_bytes);
+        let eff = arrival.deliver_at.max(rx_free + wire);
+        rx_free = eff;
+        arrival.deliver_at = eff;
+        deliver(&ctx, &world, me, *arrival);
+    }
+}
+
+fn deliver(ctx: &Ctx, world: &Arc<WorldInner>, me: Rank, a: Arrival) {
+    let cfg = ctx.config().clone();
+    let t = &world.tasks[me];
+    // NIC-side arrival instant.
+    ctx.advance_to(a.deliver_at);
+    // Reception gate (paper §2.3).
+    t.state.wait(ctx, "target polls or takes interrupt", |s| {
+        s.in_call || s.interrupts_on
+    });
+    let polled = t.state.get().in_call;
+    if !polled {
+        ctx.advance(cfg.interrupt_cost);
+        ctx.metrics().interrupts.fetch_add(1, Ordering::Relaxed);
+    }
+    if !cfg.yield_enabled {
+        // Spinning siblings never yield: the LAPI threads fight for CPU.
+        ctx.advance(cfg.dispatcher_starve_penalty);
+    }
+    ctx.advance(cfg.lapi_target_overhead);
+    match a.payload {
+        Payload::Data {
+            dst,
+            dst_off,
+            bytes,
+        } => {
+            dst.with_mut(|d| d[dst_off..dst_off + bytes.len()].copy_from_slice(&bytes));
+        }
+        Payload::CounterOnly => {}
+        Payload::Am { handler, msg } => {
+            let h = t.handlers.lock().get(&handler).cloned();
+            let h = h.unwrap_or_else(|| panic!("no AM handler {handler} on rank {me}"));
+            h(ctx, msg);
+        }
+        Payload::GetRequest {
+            src,
+            src_off,
+            len,
+            reply_dst,
+            reply_dst_off,
+            reply_counter,
+            requester,
+        } => {
+            let bytes = src.with(|d| d[src_off..src_off + len].to_vec());
+            let start = ctx.now().max(t.link_free.get());
+            let ser_done = start + cfg.net_per_byte.cost_of(len);
+            t.link_free.store(ctx, ser_done);
+            let deliver_at = ser_done + cfg.net_latency;
+            let m = ctx.metrics();
+            m.net_messages.fetch_add(1, Ordering::Relaxed);
+            m.net_bytes.fetch_add(len as u64, Ordering::Relaxed);
+            world.tasks[requester].inbox.update(ctx, move |q| {
+                q.push(Item::Arrival(Box::new(Arrival {
+                    deliver_at,
+                    wire_bytes: len,
+                    payload: Payload::Data {
+                        dst: reply_dst,
+                        dst_off: reply_dst_off,
+                        bytes,
+                    },
+                    counter: reply_counter,
+                    from: me,
+                })));
+            });
+        }
+    }
+    if let Some(c) = a.counter {
+        c.incr(ctx, 1);
+    }
+}

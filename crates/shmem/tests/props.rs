@@ -1,0 +1,100 @@
+//! Property tests of the shared-memory substrate: the two-buffer pair
+//! delivers arbitrary chunk streams to arbitrary reader counts intact
+//! and in order, and flag banks synchronize correctly under random
+//! timing skew.
+
+use proptest::prelude::*;
+use shmem::{BufPair, FlagBank};
+use simnet::{MachineConfig, Sim, SimTime};
+use std::sync::{Arc, Mutex};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Pipelined chunk streams through a BufPair arrive intact, in
+    /// order, at every reader, regardless of chunk count, reader count
+    /// and timing skew.
+    #[test]
+    fn bufpair_stream_integrity(
+        nchunks in 1usize..12,
+        readers in 1usize..6,
+        skews in prop::collection::vec(0u64..3000, 6),
+        seed in any::<u8>(),
+    ) {
+        let mut sim = Sim::new(MachineConfig::uniform_test());
+        let pair = BufPair::new(&sim.handle(), 128, readers);
+        let chunks: Vec<Vec<u8>> = (0..nchunks)
+            .map(|k| vec![seed.wrapping_add(k as u8); 128])
+            .collect();
+
+        let p = pair.clone();
+        let send = chunks.clone();
+        sim.spawn("writer", move |ctx| {
+            for (k, chunk) in send.iter().enumerate() {
+                let side = k % 2;
+                p.wait_free(&ctx, side);
+                p.buf(side).write(&ctx, 0, chunk, 1);
+                p.publish(&ctx, side);
+            }
+        });
+        let results: Arc<Mutex<Vec<Vec<u8>>>> =
+            Arc::new(Mutex::new(vec![Vec::new(); readers]));
+        for r in 0..readers {
+            let p = pair.clone();
+            let results = results.clone();
+            let skew = skews[r % skews.len()];
+            let n = nchunks;
+            sim.spawn(format!("reader{r}"), move |ctx| {
+                ctx.advance(SimTime::from_ns(skew));
+                let mut got = Vec::new();
+                for k in 0..n {
+                    let side = k % 2;
+                    p.wait_published(&ctx, side, r);
+                    let mut buf = vec![0u8; 128];
+                    p.buf(side).read(&ctx, 0, &mut buf, 1);
+                    got.push(buf[0]);
+                    p.release(&ctx, side, r);
+                }
+                results.lock().unwrap()[r] = got;
+            });
+        }
+        sim.run().unwrap();
+        let expect: Vec<u8> = chunks.iter().map(|c| c[0]).collect();
+        for (r, got) in results.lock().unwrap().iter().enumerate() {
+            prop_assert_eq!(got, &expect, "reader {}", r);
+        }
+    }
+
+    /// The flat barrier pattern (check-in flags + master reset) admits
+    /// no early escape under arbitrary arrival skew.
+    #[test]
+    fn flag_barrier_never_releases_early(skews in prop::collection::vec(0u64..50_000, 1..8)) {
+        let p = skews.len() + 1;
+        let mut sim = Sim::new(MachineConfig::uniform_test());
+        let bank = FlagBank::new(&sim.handle(), p, 0);
+        let latest = SimTime::from_ns(*skews.iter().max().unwrap());
+        let b = bank.clone();
+        sim.spawn("master", move |ctx| {
+            for s in 1..p {
+                b.flag(s).wait_eq(&ctx, "check-in", 1);
+            }
+            // All arrived: current time covers the slowest.
+            assert!(ctx.now() >= latest);
+            for s in 1..p {
+                b.flag(s).set(&ctx, 0);
+            }
+        });
+        for (i, skew) in skews.iter().enumerate() {
+            let b = bank.clone();
+            let s = i + 1;
+            let skew = *skew;
+            sim.spawn(format!("w{s}"), move |ctx| {
+                ctx.advance(SimTime::from_ns(skew));
+                b.flag(s).set(&ctx, 1);
+                b.flag(s).wait_eq(&ctx, "release", 0);
+                assert!(ctx.now() >= latest, "escaped at {} before {}", ctx.now(), latest);
+            });
+        }
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,256 @@
+//! Machine cost model.
+//!
+//! Every timing constant used by the substrates lives here, so a run is
+//! fully described by one [`MachineConfig`] value. The preset
+//! [`MachineConfig::ibm_sp_colony`] is calibrated to the platform of the
+//! paper: an IBM RS/6000 SP with 16-way 375 MHz Power3-II ("Nighthawk
+//! II") nodes and the "Colony" (SP Switch2) interconnect, as of ~2002.
+//! Public sources for the orders of magnitude: MPI one-way latency
+//! 17–22 µs and ~350 MB/s unidirectional bandwidth on Colony; LAPI put
+//! slightly cheaper per operation than MPI send/recv; intra-node memcpy
+//! in the 700–900 MB/s range with a shared memory bus.
+//!
+//! Only these constants are ever calibrated against the paper's figures
+//! — the protocols themselves are implemented, not curve-fit.
+
+use crate::time::{PerByte, SimTime};
+
+/// Cost-model parameters for one simulated cluster.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    // ---- inter-node network ----
+    /// One-way network latency: time from the last origin-side cycle to
+    /// the first byte being visible at the target NIC.
+    pub net_latency: SimTime,
+    /// Per-byte wire cost (inverse bandwidth) of the switch link.
+    pub net_per_byte: PerByte,
+    /// CPU cost at the sender for handing one message to the transport
+    /// (MPI send path: descriptor build, protocol decision).
+    pub mpi_send_overhead: SimTime,
+    /// CPU cost at the receiver for accepting one message from the
+    /// transport (MPI recv path: header decode, queue handling).
+    pub mpi_recv_overhead: SimTime,
+    /// Receive-side tag matching: walk of posted-receive/unexpected
+    /// queues per incoming message or posted receive.
+    pub mpi_match_overhead: SimTime,
+    /// Per-rank, per-call software cost of entering an MPI collective
+    /// (argument/communicator validation, algorithm dispatch) — the
+    /// "internal overheads associated with implementations based on
+    /// higher-level protocols" that a direct implementation avoids.
+    pub mpi_coll_call_overhead: SimTime,
+
+    // ---- LAPI-like RMA ----
+    /// Origin CPU cost of issuing one nonblocking put/get.
+    pub lapi_origin_overhead: SimTime,
+    /// Target-side dispatcher cost of landing one put (header handler,
+    /// counter update) when the target is making LAPI progress calls.
+    pub lapi_target_overhead: SimTime,
+    /// Cost of one counter probe/wait call (`LAPI_Waitcntr` fast path).
+    pub lapi_counter_check: SimTime,
+    /// Extra target-side cost when data arrives while the target task is
+    /// *not* inside a LAPI call and interrupts are enabled: the paper's
+    /// "interrupt mode of data reception".
+    pub interrupt_cost: SimTime,
+    /// Extra delivery delay per put when intra-node spinners never yield
+    /// the CPU, starving the LAPI threads (paper §2.4: spin loops were
+    /// modified to yield after a number of unsuccessful spins). Only
+    /// charged when `yield_enabled` is false.
+    pub dispatcher_starve_penalty: SimTime,
+
+    // ---- intra-node shared memory ----
+    /// Per-byte cost of a single-stream memcpy through shared memory.
+    pub shm_per_byte: PerByte,
+    /// Per-byte cost floor imposed by the node memory bus when several
+    /// copies run concurrently: `k` concurrent streams each pay
+    /// `max(shm_per_byte, k * shm_bus_per_byte)` per byte.
+    pub shm_bus_per_byte: PerByte,
+    /// Fixed startup cost of one copy (call + cache warm).
+    pub copy_startup: SimTime,
+    /// Cost of one shared-memory flag operation (set/clear/first read of
+    /// a foreign cache line).
+    pub flag_op: SimTime,
+    /// Cost of a flag *store*: the write retires quickly and the
+    /// invalidation traffic proceeds in the background, so it is much
+    /// cheaper than the read-side miss (`flag_op`).
+    pub flag_set_op: SimTime,
+    /// Whether spin loops yield the CPU after `spin_slice` of
+    /// unsuccessful spinning (SRM's policy; see §2.4).
+    pub yield_enabled: bool,
+    /// Spin budget before a waiting task yields its time slice.
+    pub spin_slice: SimTime,
+    /// Wake-up penalty paid by a waiter that yielded (scheduler
+    /// round-trip) — only when `yield_enabled`.
+    pub yield_wake_penalty: SimTime,
+
+    // ---- computation ----
+    /// Per-byte cost of applying a reduction operator (sum of doubles on
+    /// a single CPU, streaming from memory).
+    pub reduce_per_byte: PerByte,
+}
+
+impl MachineConfig {
+    /// The paper's platform: IBM SP, 16-way Power3-II nodes, Colony
+    /// switch, LAPI available, ~2002.
+    pub fn ibm_sp_colony() -> Self {
+        MachineConfig {
+            net_latency: SimTime::from_us_f64(12.0),
+            net_per_byte: PerByte::from_mb_per_s(350.0),
+            // Zero-byte MPI latency on Colony was ~20 us of which the
+            // wire is ~12 us; the rest is the MPI software path at the
+            // two ends.
+            mpi_send_overhead: SimTime::from_us_f64(4.5),
+            mpi_recv_overhead: SimTime::from_us_f64(4.2),
+            mpi_match_overhead: SimTime::from_us_f64(1.4),
+            mpi_coll_call_overhead: SimTime::from_us_f64(5.0),
+            lapi_origin_overhead: SimTime::from_us_f64(1.2),
+            lapi_target_overhead: SimTime::from_us_f64(1.4),
+            lapi_counter_check: SimTime::from_us_f64(0.3),
+            interrupt_cost: SimTime::from_us_f64(24.0),
+            dispatcher_starve_penalty: SimTime::from_us_f64(35.0),
+            shm_per_byte: PerByte::from_mb_per_s(750.0),
+            // Nighthawk-II nodes had an aggressive memory subsystem
+            // (~14-16 GB/s aggregate); 6 GB/s is a conservative
+            // effective ceiling for concurrent copy streams.
+            shm_bus_per_byte: PerByte::from_mb_per_s(6000.0),
+            copy_startup: SimTime::from_us_f64(0.5),
+            flag_op: SimTime::from_us_f64(0.18),
+            flag_set_op: SimTime::from_us_f64(0.06),
+            yield_enabled: true,
+            // Tuned (as the paper did) so that the waits inside one
+            // small collective rarely yield, while idle waits between
+            // phases of large operations do.
+            spin_slice: SimTime::from_us_f64(60.0),
+            yield_wake_penalty: SimTime::from_us_f64(6.0),
+            reduce_per_byte: PerByte::from_mb_per_s(500.0),
+        }
+    }
+
+    /// A commodity Linux/VIA cluster of the era (Giganet cLAN-like):
+    /// lower latency, lower bandwidth, smaller nodes. Used by tests and
+    /// the tuning-study example to show the model is not hard-wired to
+    /// one machine.
+    pub fn commodity_via_cluster() -> Self {
+        MachineConfig {
+            net_latency: SimTime::from_us_f64(8.5),
+            net_per_byte: PerByte::from_mb_per_s(105.0),
+            mpi_send_overhead: SimTime::from_us_f64(2.0),
+            mpi_recv_overhead: SimTime::from_us_f64(2.0),
+            mpi_match_overhead: SimTime::from_us_f64(0.9),
+            mpi_coll_call_overhead: SimTime::from_us_f64(3.0),
+            lapi_origin_overhead: SimTime::from_us_f64(1.3),
+            lapi_target_overhead: SimTime::from_us_f64(1.1),
+            lapi_counter_check: SimTime::from_us_f64(0.3),
+            interrupt_cost: SimTime::from_us_f64(15.0),
+            dispatcher_starve_penalty: SimTime::from_us_f64(25.0),
+            shm_per_byte: PerByte::from_mb_per_s(900.0),
+            shm_bus_per_byte: PerByte::from_mb_per_s(4000.0),
+            copy_startup: SimTime::from_us_f64(0.4),
+            flag_op: SimTime::from_us_f64(0.2),
+            flag_set_op: SimTime::from_us_f64(0.07),
+            yield_enabled: true,
+            spin_slice: SimTime::from_us_f64(40.0),
+            yield_wake_penalty: SimTime::from_us_f64(8.0),
+            reduce_per_byte: PerByte::from_mb_per_s(600.0),
+        }
+    }
+
+    /// Round numbers for unit tests that assert exact virtual times:
+    /// latency 10 µs, network 1000 ps/B, memcpy 1000 ps/B, bus floor
+    /// 500 ps/B, 1 µs overheads, 100 ns flags, no yield machinery.
+    pub fn uniform_test() -> Self {
+        MachineConfig {
+            net_latency: SimTime::from_us(10),
+            net_per_byte: PerByte(1000),
+            mpi_send_overhead: SimTime::from_us(1),
+            mpi_recv_overhead: SimTime::from_us(1),
+            mpi_match_overhead: SimTime::from_us(1),
+            mpi_coll_call_overhead: SimTime::ZERO,
+            lapi_origin_overhead: SimTime::from_us(1),
+            lapi_target_overhead: SimTime::from_us(1),
+            lapi_counter_check: SimTime::from_ns(100),
+            interrupt_cost: SimTime::from_us(20),
+            dispatcher_starve_penalty: SimTime::from_us(30),
+            shm_per_byte: PerByte(1000),
+            shm_bus_per_byte: PerByte(500),
+            copy_startup: SimTime::ZERO,
+            flag_op: SimTime::from_ns(100),
+            flag_set_op: SimTime::from_ns(100),
+            yield_enabled: true,
+            spin_slice: SimTime::from_us(1_000_000), // effectively never yields
+            yield_wake_penalty: SimTime::ZERO,
+            reduce_per_byte: PerByte(1000),
+        }
+    }
+
+    /// Time for one intra-node copy of `bytes` bytes when `streams`
+    /// copies share the memory bus (deterministic contention model: each
+    /// stream pays `max(single-stream rate, streams × bus floor)`).
+    pub fn shm_copy_cost(&self, bytes: usize, streams: usize) -> SimTime {
+        let streams = streams.max(1) as u64;
+        let per_byte = self.shm_per_byte.0.max(self.shm_bus_per_byte.0 * streams);
+        self.copy_startup + SimTime(per_byte * bytes as u64)
+    }
+
+    /// Pure wire time for `bytes` bytes: latency plus serialization.
+    pub fn net_wire_cost(&self, bytes: usize) -> SimTime {
+        self.net_latency + self.net_per_byte.cost_of(bytes)
+    }
+
+    /// Cost of combining `bytes` bytes with a reduction operator.
+    pub fn reduce_cost(&self, bytes: usize) -> SimTime {
+        self.reduce_per_byte.cost_of(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for cfg in [
+            MachineConfig::ibm_sp_colony(),
+            MachineConfig::commodity_via_cluster(),
+            MachineConfig::uniform_test(),
+        ] {
+            assert!(cfg.net_latency > SimTime::ZERO);
+            assert!(cfg.net_per_byte.0 > 0);
+            assert!(cfg.shm_per_byte.0 > 0);
+            // Shared memory must beat the network per byte, or the whole
+            // premise of the paper is violated.
+            assert!(cfg.shm_per_byte.0 < cfg.net_per_byte.0 + cfg.net_latency.0);
+            // Interrupts must be expensive relative to a counter check.
+            assert!(cfg.interrupt_cost > cfg.lapi_counter_check);
+        }
+    }
+
+    #[test]
+    fn copy_contention_model() {
+        let cfg = MachineConfig::uniform_test();
+        // Single stream: limited by single-stream rate (1000 ps/B).
+        assert_eq!(cfg.shm_copy_cost(1000, 1), SimTime::from_ps(1_000_000));
+        // Two streams: 2 * 500 = 1000 == single rate, unchanged.
+        assert_eq!(cfg.shm_copy_cost(1000, 2), SimTime::from_ps(1_000_000));
+        // Four streams: bus-bound at 2000 ps/B per stream.
+        assert_eq!(cfg.shm_copy_cost(1000, 4), SimTime::from_ps(2_000_000));
+        // Zero streams treated as one.
+        assert_eq!(cfg.shm_copy_cost(1000, 0), cfg.shm_copy_cost(1000, 1));
+    }
+
+    #[test]
+    fn wire_cost() {
+        let cfg = MachineConfig::uniform_test();
+        assert_eq!(cfg.net_wire_cost(0), SimTime::from_us(10));
+        assert_eq!(
+            cfg.net_wire_cost(1000),
+            SimTime::from_us(10) + SimTime::from_ps(1_000_000)
+        );
+    }
+
+    #[test]
+    fn colony_bandwidth_matches_source() {
+        let cfg = MachineConfig::ibm_sp_colony();
+        assert!((cfg.net_per_byte.as_mb_per_s() - 350.0).abs() < 1.0);
+        assert!((cfg.shm_per_byte.as_mb_per_s() - 750.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulation failure modes.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A logical process observed in a deadlock report.
+#[derive(Clone, Debug)]
+pub struct BlockedLp {
+    /// Name given at spawn time.
+    pub name: String,
+    /// Virtual time at which the process blocked.
+    pub time: SimTime,
+    /// The label passed to the wait that never completed.
+    pub waiting_on: &'static str,
+}
+
+/// Why a simulation run failed.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// Every live logical process is blocked and no store can ever wake
+    /// them: the protocol under simulation has deadlocked.
+    Deadlock {
+        /// All blocked processes with what they were waiting for.
+        blocked: Vec<BlockedLp>,
+    },
+    /// A logical process panicked; the message is the panic payload when
+    /// it was a string.
+    LpPanic {
+        /// Name of the process that panicked first.
+        name: String,
+        /// Panic message, if extractable.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                writeln!(f, "simulation deadlock: {} process(es) blocked forever", blocked.len())?;
+                for lp in blocked {
+                    writeln!(f, "  {} @ {} waiting on '{}'", lp.name, lp.time, lp.waiting_on)?;
+                }
+                Ok(())
+            }
+            SimError::LpPanic { name, message } => {
+                write!(f, "logical process '{name}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,672 @@
+//! The deterministic virtual-time kernel.
+//!
+//! Every simulated MPI task is a **logical process (LP)**: a real OS
+//! thread running real protocol code, with a private virtual clock.
+//! The kernel enforces two invariants that together make runs
+//! bit-deterministic on any host, regardless of core count or load:
+//!
+//! 1. **One turn at a time.** Exactly one LP executes simulated code at
+//!    any instant. All others are parked on per-LP condvars.
+//! 2. **Minimum time first.** The turn is always handed to the runnable
+//!    LP with the smallest virtual clock (ties broken by lowest id).
+//!    Consequently simulated actions execute in globally nondecreasing
+//!    time order, which is what makes the causal wake-up rule of
+//!    [`SimVar`](crate::simvar::SimVar) correct.
+//!
+//! Virtual time only moves when an LP calls [`Ctx::advance`] (modelling
+//! busy work: a memory copy, per-message CPU overhead, a reduction) or
+//! resumes from a wait whose enabling write happened later than the
+//! moment it blocked.
+
+use crate::config::MachineConfig;
+use crate::error::{BlockedLp, SimError};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a logical process, dense from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LpId(pub usize);
+
+/// Scheduler-visible state of one LP.
+#[derive(Debug)]
+enum LpState {
+    /// Wants the turn (either never started or preempted by a smaller clock).
+    Ready,
+    /// Currently holds the turn.
+    Running,
+    /// Parked in a wait on the SimVar with key `var`.
+    Blocked {
+        var: u64,
+        label: &'static str,
+        /// Set when a store to `var` may have made the predicate true.
+        poked: bool,
+        /// Virtual time of the first such store since blocking.
+        poke_time: SimTime,
+    },
+    /// Closure returned.
+    Done,
+}
+
+struct Lp {
+    time: SimTime,
+    state: LpState,
+    name: String,
+}
+
+pub(crate) struct Sched {
+    lps: Vec<Lp>,
+    cvs: Vec<Arc<Condvar>>,
+    live: usize,
+    /// First fatal outcome (deadlock or LP panic); ends the run.
+    outcome: Option<SimError>,
+    started: bool,
+}
+
+/// Shared kernel state; one per simulation run.
+pub(crate) struct Shared {
+    pub(crate) sched: Mutex<Sched>,
+    pub(crate) metrics: Metrics,
+    pub(crate) config: MachineConfig,
+    pub(crate) next_var_key: AtomicU64,
+    pub(crate) trace: parking_lot::RwLock<Option<crate::trace::Trace>>,
+}
+
+/// Payload used to unwind LP threads quietly when the run is aborted
+/// (deadlock detected or another LP panicked). Never observed by users.
+struct AbortSim;
+
+impl Shared {
+    fn abort_all(sched: &mut Sched, outcome: SimError) {
+        if sched.outcome.is_none() {
+            sched.outcome = Some(outcome);
+        }
+        for cv in &sched.cvs {
+            cv.notify_one();
+        }
+    }
+
+    /// Pick the runnable LP with the minimum effective time; ties go to
+    /// the lowest id. Blocked-but-poked LPs compete at
+    /// `max(block_time, poke_time)`.
+    fn pick_next(sched: &Sched) -> Option<usize> {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, lp) in sched.lps.iter().enumerate() {
+            let eff = match lp.state {
+                LpState::Ready => lp.time,
+                LpState::Blocked {
+                    poked: true,
+                    poke_time,
+                    ..
+                } => lp.time.max(poke_time),
+                _ => continue,
+            };
+            match best {
+                Some((t, _)) if t <= eff => {}
+                _ => best = Some((eff, i)),
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Hand the turn to `next`, committing a poked LP's tentative resume
+    /// time (the wait loop overwrites or rolls it back after the
+    /// predicate re-check).
+    fn grant(sched: &mut Sched, next: usize) {
+        let lp = &mut sched.lps[next];
+        if let LpState::Blocked {
+            poked: true,
+            poke_time,
+            ..
+        } = lp.state
+        {
+            lp.time = lp.time.max(poke_time);
+        }
+        lp.state = LpState::Running;
+        sched.cvs[next].notify_one();
+    }
+
+    /// Called by the turn holder after changing its own state away from
+    /// `Running`: pass the turn on, or end the run (completion/deadlock).
+    fn dispatch(sched: &mut Sched) {
+        if sched.outcome.is_some() {
+            Self::abort_all(sched, sched.outcome.clone().expect("just checked"));
+            return;
+        }
+        match Self::pick_next(sched) {
+            Some(next) => Self::grant(sched, next),
+            None => {
+                if sched.live > 0 {
+                    let blocked = sched
+                        .lps
+                        .iter()
+                        .filter_map(|lp| match lp.state {
+                            LpState::Blocked { label, .. } => Some(BlockedLp {
+                                name: lp.name.clone(),
+                                time: lp.time,
+                                waiting_on: label,
+                            }),
+                            _ => None,
+                        })
+                        .collect();
+                    Self::abort_all(sched, SimError::Deadlock { blocked });
+                }
+                // live == 0: run complete, nothing to do.
+            }
+        }
+    }
+}
+
+/// Execution context handed to each LP closure.
+///
+/// All simulated actions (time advances, [`SimVar`](crate::SimVar)
+/// operations) go through the `Ctx`; it is the capability proving the
+/// caller holds the turn.
+pub struct Ctx {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) id: usize,
+}
+
+impl Ctx {
+    /// This LP's id.
+    pub fn lp(&self) -> LpId {
+        LpId(self.id)
+    }
+
+    /// Current virtual time of this LP.
+    pub fn now(&self) -> SimTime {
+        self.shared.sched.lock().lps[self.id].time
+    }
+
+    /// The machine cost model for this run.
+    pub fn config(&self) -> &MachineConfig {
+        &self.shared.config
+    }
+
+    /// Global event counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Snapshot of the counters (for measuring a single operation).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Model `d` of busy CPU/memory time on this LP, then let any LP
+    /// whose clock is now smaller run first.
+    pub fn advance(&self, d: SimTime) {
+        if d.is_zero() {
+            return;
+        }
+        let mut sched = self.shared.sched.lock();
+        debug_assert!(
+            matches!(sched.lps[self.id].state, LpState::Running),
+            "advance() without holding the turn"
+        );
+        sched.lps[self.id].time += d;
+        self.reschedule(sched);
+    }
+
+    /// Advance this LP's clock to absolute time `t` (no-op if already
+    /// past it). Models waiting for a scheduled event such as a network
+    /// arrival.
+    pub fn advance_to(&self, t: SimTime) {
+        let now = self.now();
+        if t > now {
+            self.advance(t - now);
+        }
+    }
+
+    /// Give up the turn and wait for it back; used after this LP's clock
+    /// moved or when it transitioned to Ready.
+    fn reschedule(&self, mut sched: parking_lot::MutexGuard<'_, Sched>) {
+        sched.lps[self.id].state = LpState::Ready;
+        match Shared::pick_next(&sched) {
+            Some(next) if next == self.id => {
+                sched.lps[self.id].state = LpState::Running;
+            }
+            Some(next) => {
+                Shared::grant(&mut sched, next);
+                self.wait_for_turn(sched);
+            }
+            None => unreachable!("the calling LP is Ready"),
+        }
+    }
+
+    /// Park until this LP is `Running` again (or the run is aborted).
+    pub(crate) fn wait_for_turn(&self, mut sched: parking_lot::MutexGuard<'_, Sched>) {
+        loop {
+            if sched.outcome.is_some() {
+                drop(sched);
+                std::panic::resume_unwind(Box::new(AbortSim));
+            }
+            if matches!(sched.lps[self.id].state, LpState::Running) {
+                return;
+            }
+            let cv = sched.cvs[self.id].clone();
+            cv.wait(&mut sched);
+        }
+    }
+
+    /// Block this LP on SimVar `var_key` with a diagnostic `label`, hand
+    /// the turn on, and return when poked and granted. The caller
+    /// re-checks its predicate and either commits a resume time or calls
+    /// [`Ctx::rollback_block`].
+    pub(crate) fn block_on(&self, var_key: u64, label: &'static str) {
+        let mut sched = self.shared.sched.lock();
+        sched.lps[self.id].state = LpState::Blocked {
+            var: var_key,
+            label,
+            poked: false,
+            poke_time: SimTime::ZERO,
+        };
+        Shared::dispatch(&mut sched);
+        self.wait_for_turn(sched);
+    }
+
+    /// Predicate re-check failed after a poke: restore the clock to the
+    /// time at which the LP originally blocked (the tentative poke time
+    /// consumed no simulated work) and hand the turn back. The caller
+    /// loops back into [`Ctx::block_on`].
+    pub(crate) fn rollback_time(&self, to: SimTime) {
+        let mut sched = self.shared.sched.lock();
+        sched.lps[self.id].time = to;
+    }
+
+    /// Set this LP's clock (used by SimVar to commit a causal resume time;
+    /// never moves backwards past the blocking time).
+    pub(crate) fn set_time(&self, t: SimTime) {
+        let mut sched = self.shared.sched.lock();
+        sched.lps[self.id].time = t;
+    }
+
+    /// Wake every LP currently blocked on `var_key`, stamping the first
+    /// poke with the writer's current time.
+    pub(crate) fn poke_waiters(&self, var_key: u64, at: SimTime) {
+        let mut sched = self.shared.sched.lock();
+        for lp in &mut sched.lps {
+            if let LpState::Blocked {
+                var, poked, poke_time, ..
+            } = &mut lp.state
+            {
+                if *var == var_key && !*poked {
+                    *poked = true;
+                    *poke_time = at;
+                }
+            }
+        }
+    }
+
+    /// Handle for creating new [`SimVar`](crate::SimVar)s mid-run.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Record a labelled event in the attached [`Trace`](crate::Trace)
+    /// at this LP's current time. A no-op when no trace is attached.
+    pub fn trace(&self, label: &'static str) {
+        if let Some(t) = self.shared.trace.read().as_ref() {
+            t.record(self.id, self.now(), label);
+        }
+    }
+}
+
+/// Handle for creating [`SimVar`](crate::SimVar)s during setup (before
+/// `run`) or inside LP closures.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl SimHandle {
+    pub(crate) fn alloc_var_key(&self) -> u64 {
+        self.shared.next_var_key.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The cost model this simulation runs with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.shared.config
+    }
+}
+
+type LpMain = Box<dyn FnOnce(Ctx) + Send + 'static>;
+
+/// Builder + runner for one simulation.
+///
+/// ```
+/// use simnet::{Sim, MachineConfig, SimTime};
+///
+/// let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+/// let flag = sim.handle().var(false);
+/// let f2 = flag.clone();
+/// sim.spawn("setter", move |ctx| {
+///     ctx.advance(SimTime::from_us(5));
+///     f2.store(&ctx, true);
+/// });
+/// sim.spawn("waiter", move |ctx| {
+///     flag.wait(&ctx, "flag set", |v| *v);
+///     assert_eq!(ctx.now(), SimTime::from_us(5));
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time, SimTime::from_us(5));
+/// ```
+pub struct Sim {
+    shared: Arc<Shared>,
+    mains: Vec<LpMain>,
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Largest LP clock at completion — the makespan of the simulation.
+    pub end_time: SimTime,
+    /// Final clock of every LP, indexed by [`LpId`].
+    pub lp_times: Vec<SimTime>,
+    /// Final event counters.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Sim {
+    /// New simulation with the given machine cost model.
+    pub fn new(config: MachineConfig) -> Sim {
+        Sim {
+            shared: Arc::new(Shared {
+                sched: Mutex::new(Sched {
+                    lps: Vec::new(),
+                    cvs: Vec::new(),
+                    live: 0,
+                    outcome: None,
+                    started: false,
+                }),
+                metrics: Metrics::default(),
+                config,
+                next_var_key: AtomicU64::new(0),
+                trace: parking_lot::RwLock::new(None),
+            }),
+            mains: Vec::new(),
+        }
+    }
+
+    /// Attach an event-trace recorder; protocol calls to [`Ctx::trace`]
+    /// will append to it. Call before [`Sim::run`].
+    pub fn attach_trace(&mut self, trace: crate::trace::Trace) {
+        *self.shared.trace.write() = Some(trace);
+    }
+
+    /// Handle for creating shared [`SimVar`](crate::SimVar)s.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Register a logical process. Order of registration defines
+    /// [`LpId`]s (0, 1, ...). Must be called before [`Sim::run`].
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(Ctx) + Send + 'static) -> LpId {
+        let mut sched = self.shared.sched.lock();
+        assert!(!sched.started, "spawn after run()");
+        let id = sched.lps.len();
+        sched.lps.push(Lp {
+            time: SimTime::ZERO,
+            state: LpState::Ready,
+            name: name.into(),
+        });
+        sched.cvs.push(Arc::new(Condvar::new()));
+        sched.live += 1;
+        drop(sched);
+        self.mains.push(Box::new(f));
+        LpId(id)
+    }
+
+    /// Run to completion. Returns the report, or the first fatal outcome
+    /// (deadlock with a per-LP diagnosis, or an LP panic).
+    pub fn run(self) -> Result<Report, SimError> {
+        let Sim { shared, mains } = self;
+        let n = mains.len();
+        assert!(n > 0, "no logical processes spawned");
+        {
+            let mut sched = shared.sched.lock();
+            sched.started = true;
+        }
+
+        let handles: Vec<_> = mains
+            .into_iter()
+            .enumerate()
+            .map(|(id, main)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lp{id}"))
+                    .stack_size(512 * 1024)
+                    .spawn(move || lp_thread(shared, id, main))
+                    .expect("spawn LP thread")
+            })
+            .collect();
+
+        // Optional hang diagnosis: SIMNET_WATCHDOG=1 dumps every LP's
+        // scheduler state periodically.
+        if std::env::var("SIMNET_WATCHDOG").map(|v| v == "1").unwrap_or(false) {
+            let weak = Arc::downgrade(&shared);
+            std::thread::spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_secs(5));
+                let Some(sh) = weak.upgrade() else { return };
+                let sched = sh.sched.lock();
+                eprintln!("--- simnet watchdog: live={} ---", sched.live);
+                for lp in &sched.lps {
+                    eprintln!("  {:<24} t={:<14} {:?}", lp.name, format!("{}", lp.time), lp.state);
+                }
+            });
+        }
+
+        // Kick off: hand the turn to LP 0 (all clocks are zero; lowest id
+        // wins the tie, same rule the scheduler uses throughout).
+        {
+            let mut sched = shared.sched.lock();
+            Shared::dispatch(&mut sched);
+        }
+
+        for h in handles {
+            // AbortSim unwinds are quiet and expected on failure paths.
+            let _ = h.join();
+        }
+
+        let sched = shared.sched.lock();
+        if let Some(outcome) = sched.outcome.clone() {
+            return Err(outcome);
+        }
+        let lp_times: Vec<SimTime> = sched.lps.iter().map(|lp| lp.time).collect();
+        let end_time = lp_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+        Ok(Report {
+            end_time,
+            lp_times,
+            metrics: shared.metrics.snapshot(),
+        })
+    }
+}
+
+fn lp_thread(shared: Arc<Shared>, id: usize, main: LpMain) {
+    let ctx = Ctx {
+        shared: shared.clone(),
+        id,
+    };
+    // Wait for the initial grant.
+    {
+        let sched = shared.sched.lock();
+        ctx.wait_for_turn(sched);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || main(ctx)));
+    let mut sched = shared.sched.lock();
+    match result {
+        Ok(()) => {
+            sched.lps[id].state = LpState::Done;
+            sched.live -= 1;
+            Shared::dispatch(&mut sched);
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortSim>().is_some() {
+                // Unwound because the run was already aborted; nothing to record.
+                return;
+            }
+            let message = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            let name = sched.lps[id].name.clone();
+            sched.lps[id].state = LpState::Done;
+            sched.live -= 1;
+            Shared::abort_all(&mut sched, SimError::LpPanic { name, message });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn sim() -> Sim {
+        Sim::new(MachineConfig::ibm_sp_colony())
+    }
+
+    #[test]
+    fn single_lp_advances() {
+        let mut s = sim();
+        s.spawn("a", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimTime::from_us(10));
+            assert_eq!(ctx.now(), SimTime::from_us(10));
+            ctx.advance(SimTime::ZERO); // no-op
+            assert_eq!(ctx.now(), SimTime::from_us(10));
+        });
+        let r = s.run().unwrap();
+        assert_eq!(r.end_time, SimTime::from_us(10));
+        assert_eq!(r.lp_times, vec![SimTime::from_us(10)]);
+    }
+
+    #[test]
+    fn min_time_first_is_deterministic() {
+        // Two LPs interleave by clock; record the global order of actions.
+        use std::sync::Mutex as StdMutex;
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        let mut s = sim();
+        let o1 = order.clone();
+        s.spawn("a", move |ctx| {
+            for i in 0..3 {
+                ctx.advance(SimTime::from_us(10)); // a at 10, 20, 30
+                o1.lock().unwrap().push(("a", i, ctx.now()));
+            }
+        });
+        let o2 = order.clone();
+        s.spawn("b", move |ctx| {
+            for i in 0..2 {
+                ctx.advance(SimTime::from_us(15)); // b at 15, 30
+                o2.lock().unwrap().push(("b", i, ctx.now()));
+            }
+        });
+        s.run().unwrap();
+        let got = order.lock().unwrap().clone();
+        // Global nondecreasing time order; tie at 30 goes to lower id (a).
+        assert_eq!(
+            got,
+            vec![
+                ("a", 0, SimTime::from_us(10)),
+                ("b", 0, SimTime::from_us(15)),
+                ("a", 1, SimTime::from_us(20)),
+                ("a", 2, SimTime::from_us(30)),
+                ("b", 1, SimTime::from_us(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn report_collects_all_lp_times() {
+        let mut s = sim();
+        for i in 1..=4u64 {
+            s.spawn(format!("lp{i}"), move |ctx| {
+                ctx.advance(SimTime::from_us(i));
+            });
+        }
+        let r = s.run().unwrap();
+        assert_eq!(r.end_time, SimTime::from_us(4));
+        assert_eq!(
+            r.lp_times,
+            (1..=4u64).map(SimTime::from_us).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lp_panic_is_reported() {
+        let mut s = sim();
+        s.spawn("bad", |_ctx| panic!("boom"));
+        s.spawn("other", |ctx| {
+            // Would run forever if the abort did not propagate.
+            let v = ctx.handle().var(false);
+            v.wait(&ctx, "never", |b| *b);
+        });
+        match s.run() {
+            Err(SimError::LpPanic { name, message }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_diagnosed() {
+        let mut s = sim();
+        let h = s.handle();
+        let v = h.var(0u32);
+        let v2 = v.clone();
+        s.spawn("stuck-a", move |ctx| {
+            ctx.advance(SimTime::from_us(1));
+            v.wait(&ctx, "value becomes 1", |x| *x == 1);
+        });
+        s.spawn("stuck-b", move |ctx| {
+            v2.wait(&ctx, "value becomes 2", |x| *x == 2);
+        });
+        match s.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 2);
+                let labels: Vec<_> = blocked.iter().map(|b| b.waiting_on).collect();
+                assert!(labels.contains(&"value becomes 1"));
+                assert!(labels.contains(&"value becomes 2"));
+                let a = blocked.iter().find(|b| b.name == "stuck-a").unwrap();
+                assert_eq!(a.time, SimTime::from_us(1));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finished_lp_does_not_deadlock_others() {
+        let mut s = sim();
+        let h = s.handle();
+        let v = h.var(false);
+        let v2 = v.clone();
+        s.spawn("early-exit", move |ctx| {
+            ctx.advance(SimTime::from_us(2));
+            v.store(&ctx, true);
+            // exits immediately
+        });
+        s.spawn("waiter", move |ctx| {
+            v2.wait(&ctx, "flag", |b| *b);
+            ctx.advance(SimTime::from_us(1));
+            assert_eq!(ctx.now(), SimTime::from_us(3));
+        });
+        let r = s.run().unwrap();
+        assert_eq!(r.end_time, SimTime::from_us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no logical processes")]
+    fn empty_run_panics() {
+        let s = sim();
+        let _ = s.run();
+    }
+}

@@ -1,0 +1,122 @@
+//! Global event counters for a simulation run.
+//!
+//! The counters answer the paper's structural claims directly: SRM's
+//! advantage comes from *fewer data movements* and *no tag matching*, so
+//! tests assert on `shm_copies`, `net_messages`, `matches`, etc. rather
+//! than only on modelled times.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! metrics {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Live counters, incremented with relaxed atomics (the kernel
+        /// serializes logical processes, so these are uncontended).
+        #[derive(Default, Debug)]
+        pub struct Metrics {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`Metrics`], cheap to diff and assert on.
+        #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl Metrics {
+            /// Copy every counter.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Reset every counter to zero (between benchmark repetitions).
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Counter-wise `self - earlier`, for measuring one operation
+            /// inside a longer run.
+            pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name - earlier.$name,)+
+                }
+            }
+        }
+    };
+}
+
+metrics! {
+    /// Intra-node shared-memory copy operations (each chunk counts once).
+    shm_copies,
+    /// Bytes moved by intra-node shared-memory copies.
+    shm_bytes,
+    /// Cache-line flag set/clear operations in shared memory.
+    flag_ops,
+    /// Messages injected into the inter-node network (puts and sends).
+    net_messages,
+    /// Bytes injected into the inter-node network.
+    net_bytes,
+    /// RMA put operations issued.
+    rma_puts,
+    /// RMA get operations issued.
+    rma_gets,
+    /// Active messages issued.
+    rma_ams,
+    /// Interrupts taken by LAPI-style dispatchers (data arrived while the
+    /// target was not polling and interrupts were enabled).
+    interrupts,
+    /// Point-to-point messages sent via the eager protocol.
+    eager_sends,
+    /// Point-to-point messages sent via the rendezvous protocol.
+    rndv_sends,
+    /// Receive-side tag-matching operations performed.
+    matches,
+    /// Messages that arrived before the matching receive was posted and
+    /// had to be staged in an early-arrival buffer (extra copy).
+    early_arrivals,
+    /// Bytes combined by reduction operators.
+    reduce_bytes,
+}
+
+impl Metrics {
+    /// Bump one counter by `n`.
+    #[inline]
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let m = Metrics::default();
+        m.shm_copies.fetch_add(3, Ordering::Relaxed);
+        m.net_bytes.fetch_add(100, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.shm_copies, 3);
+        assert_eq!(s.net_bytes, 100);
+        assert_eq!(s.flag_ops, 0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn since_diffs() {
+        let m = Metrics::default();
+        m.matches.fetch_add(2, Ordering::Relaxed);
+        let a = m.snapshot();
+        m.matches.fetch_add(5, Ordering::Relaxed);
+        m.eager_sends.fetch_add(1, Ordering::Relaxed);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.matches, 5);
+        assert_eq!(d.eager_sends, 1);
+        assert_eq!(d.shm_bytes, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulated time.
+//!
+//! All virtual time in the simulator is kept as an integral number of
+//! **picoseconds** in a [`SimTime`]. Picosecond granularity lets per-byte
+//! costs (a 350 MB/s link moves one byte every ~2857 ps) be represented
+//! exactly as integers, which keeps the simulation bit-deterministic —
+//! no floating-point accumulation anywhere on the hot path.
+//!
+//! A `u64` of picoseconds covers ~213 days of simulated time, far beyond
+//! any collective-operation benchmark.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in picoseconds.
+///
+/// `SimTime` is used both as an absolute clock value and as a duration;
+/// the arithmetic is the same and the simulator never mixes clocks from
+/// different runs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — every logical process starts here.
+    pub const ZERO: SimTime = SimTime(0);
+    /// One picosecond.
+    pub const PICO: SimTime = SimTime(1);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Construct from a fractional number of microseconds.
+    ///
+    /// Only used when building cost models from human-readable constants;
+    /// never on the simulation hot path.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(us >= 0.0, "negative duration");
+        SimTime((us * 1e6).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds (lossy, for reporting).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in nanoseconds (lossy, for reporting).
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction; handy for "elapsed since" computations.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Is this the zero time/duration?
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated time overflowed u64 picoseconds"),
+        )
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulated time went backwards"),
+        )
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(
+            self.0
+                .checked_mul(rhs)
+                .expect("simulated time overflowed u64 picoseconds"),
+        )
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{:.1}ns", self.as_ns())
+        }
+    }
+}
+
+/// Per-byte cost expressed in picoseconds per byte.
+///
+/// Kept as an integer so `cost_of(bytes)` is an exact integer multiply.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PerByte(pub u64);
+
+impl PerByte {
+    /// Derive a per-byte cost from a bandwidth in MB/s (10^6 bytes/s).
+    ///
+    /// 350 MB/s -> 2857 ps/B. Rounded to the nearest picosecond.
+    pub fn from_mb_per_s(mb: f64) -> Self {
+        assert!(mb > 0.0, "bandwidth must be positive");
+        PerByte((1e6 / mb).round() as u64)
+    }
+
+    /// Bandwidth in MB/s implied by this per-byte cost (for reporting).
+    pub fn as_mb_per_s(self) -> f64 {
+        1e6 / self.0 as f64
+    }
+
+    /// Time to move `bytes` bytes at this rate.
+    #[inline]
+    pub fn cost_of(self, bytes: usize) -> SimTime {
+        SimTime(
+            self.0
+                .checked_mul(bytes as u64)
+                .expect("per-byte cost overflowed"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(3), SimTime::from_ns(3_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_us_f64(1.5), SimTime::from_ns(1_500));
+        assert_eq!(SimTime::from_ps(7).as_ps(), 7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(a + b, SimTime::from_us(14));
+        assert_eq!(a - b, SimTime::from_us(6));
+        assert_eq!(b * 3, SimTime::from_us(12));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_us(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn underflow_panics() {
+        let _ = SimTime::from_us(1) - SimTime::from_us(2);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimTime = (1..=4u64).map(SimTime::from_us).sum();
+        assert_eq!(total, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn per_byte_roundtrip() {
+        let pb = PerByte::from_mb_per_s(350.0);
+        assert_eq!(pb.0, 2857);
+        assert!((pb.as_mb_per_s() - 350.0).abs() < 0.1);
+        assert_eq!(pb.cost_of(1000), SimTime::from_ps(2_857_000));
+        assert_eq!(pb.cost_of(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_ns(500)), "500.0ns");
+        assert_eq!(format!("{}", SimTime::from_us(17)), "17.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(2)), "2.000ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(999) < SimTime::from_us(1));
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::PICO.is_zero());
+    }
+}

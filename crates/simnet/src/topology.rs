@@ -1,0 +1,186 @@
+//! Cluster topology: `n` SMP nodes × `p` tasks per node.
+//!
+//! Ranks are placed **block-wise** (rank = node·p + slot), matching how
+//! LoadLeveler placed contiguous MPI ranks on SP nodes — the layout the
+//! paper's embedding (its Figure 1) assumes. The task in slot 0 of each
+//! node is that node's **master**: the only task that talks to the
+//! network in SRM.
+
+use std::fmt;
+
+/// Global task identifier, `0..nprocs`.
+pub type Rank = usize;
+/// SMP node identifier, `0..nodes`.
+pub type NodeId = usize;
+
+/// Shape of the simulated cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Topology {
+    nodes: usize,
+    tasks_per_node: usize,
+}
+
+impl Topology {
+    /// A cluster of `nodes` SMP nodes with `tasks_per_node` tasks each.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn new(nodes: usize, tasks_per_node: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(tasks_per_node >= 1, "need at least one task per node");
+        Topology {
+            nodes,
+            tasks_per_node,
+        }
+    }
+
+    /// The paper's standard configuration: 16 tasks per node.
+    pub fn sp_16way(nodes: usize) -> Self {
+        Topology::new(nodes, 16)
+    }
+
+    /// Number of SMP nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Tasks on each node.
+    pub fn tasks_per_node(&self) -> usize {
+        self.tasks_per_node
+    }
+
+    /// Total number of tasks.
+    pub fn nprocs(&self) -> usize {
+        self.nodes * self.tasks_per_node
+    }
+
+    /// Node that hosts `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        debug_assert!(rank < self.nprocs());
+        rank / self.tasks_per_node
+    }
+
+    /// Position of `rank` within its node (`0..tasks_per_node`).
+    #[inline]
+    pub fn slot_of(&self, rank: Rank) -> usize {
+        debug_assert!(rank < self.nprocs());
+        rank % self.tasks_per_node
+    }
+
+    /// Rank of the task in `slot` on `node`.
+    #[inline]
+    pub fn rank_of(&self, node: NodeId, slot: usize) -> Rank {
+        debug_assert!(node < self.nodes && slot < self.tasks_per_node);
+        node * self.tasks_per_node + slot
+    }
+
+    /// The master task (slot 0) of `node`.
+    #[inline]
+    pub fn master_of(&self, node: NodeId) -> Rank {
+        self.rank_of(node, 0)
+    }
+
+    /// Is `rank` its node's master?
+    #[inline]
+    pub fn is_master(&self, rank: Rank) -> bool {
+        self.slot_of(rank) == 0
+    }
+
+    /// Do two ranks share an SMP node (i.e. can talk via shared memory)?
+    #[inline]
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// All ranks hosted on `node`, in slot order.
+    pub fn ranks_on(&self, node: NodeId) -> impl Iterator<Item = Rank> + '_ {
+        let base = node * self.tasks_per_node;
+        (0..self.tasks_per_node).map(move |s| base + s)
+    }
+
+    /// The master rank of every node, in node order.
+    pub fn masters(&self) -> impl Iterator<Item = Rank> + '_ {
+        (0..self.nodes).map(move |n| self.master_of(n))
+    }
+
+    /// Whether the cluster has more than one node (the "nontrivial"
+    /// case in the paper: otherwise all communication is shared memory).
+    pub fn multi_node(&self) -> bool {
+        self.nodes > 1
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} node(s) x {} task(s) = {} procs",
+            self.nodes,
+            self.tasks_per_node,
+            self.nprocs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_roundtrip() {
+        let t = Topology::new(8, 16);
+        assert_eq!(t.nprocs(), 128);
+        for rank in 0..t.nprocs() {
+            let (n, s) = (t.node_of(rank), t.slot_of(rank));
+            assert_eq!(t.rank_of(n, s), rank);
+        }
+    }
+
+    #[test]
+    fn masters_are_slot_zero() {
+        let t = Topology::sp_16way(4);
+        let masters: Vec<_> = t.masters().collect();
+        assert_eq!(masters, vec![0, 16, 32, 48]);
+        for m in masters {
+            assert!(t.is_master(m));
+        }
+        assert!(!t.is_master(1));
+        assert!(!t.is_master(17));
+    }
+
+    #[test]
+    fn ranks_on_node() {
+        let t = Topology::new(3, 4);
+        assert_eq!(t.ranks_on(1).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn degenerate_single_node() {
+        let t = Topology::new(1, 16);
+        assert!(!t.multi_node());
+        assert!(t.same_node(0, 15));
+    }
+
+    #[test]
+    fn fifteen_of_sixteen_case() {
+        // The paper's "leave one CPU for daemons" configuration.
+        let t = Topology::new(8, 15);
+        assert_eq!(t.nprocs(), 120);
+        assert_eq!(t.master_of(7), 105);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let _ = Topology::new(4, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Reproduces the paper's Figure 1: embedding the 128-processor
+//! binomial tree into an 8-node × 16-way SMP cluster, and checks the
+//! height-optimality observation of §2.1 (including the 15-of-16
+//! "leave a CPU for the daemons" case).
+//!
+//! ```sh
+//! cargo run --release --example tree_embedding
+//! ```
+
+use simnet::Topology;
+use srm::{embed, Embedding, TreeKind};
+
+fn describe(topo: Topology, kind: TreeKind) {
+    let e = Embedding::new(topo, 0, kind);
+    println!("\n{kind:?} tree embedded in {topo}");
+    println!(
+        "  intra-node height {} + inter-node height {} = {} dependent hops (flat tree on {}: {})",
+        embed::height(kind, topo.tasks_per_node()),
+        embed::height(kind, topo.nodes()),
+        e.embedded_height(),
+        topo.nprocs(),
+        embed::height(kind, topo.nprocs()),
+    );
+    println!("  inter-node tree (node -> children):");
+    for node in 0..topo.nodes() {
+        let children = e.node_children(node);
+        if !children.is_empty() {
+            println!("    node {node:2} -> {children:?}");
+        }
+    }
+    let masters: Vec<_> = topo.masters().collect();
+    println!("  masters (the only ranks that touch the network): {masters:?}");
+}
+
+fn main() {
+    println!("Figure 1: SMP-aware embedding of collective trees\n===");
+
+    // The paper's figure: 128 procs on 8 x 16.
+    describe(Topology::new(8, 16), TreeKind::Binomial);
+
+    // The intra-node subtree of one node, rooted at its master.
+    let topo = Topology::new(8, 16);
+    let e = Embedding::new(topo, 0, TreeKind::Binomial);
+    println!("\n  intra-node subtree on node 1 (ranks 16..32):");
+    for rank in topo.ranks_on(1) {
+        match e.smp_parent(rank) {
+            Some(p) => println!("    rank {rank:3} <- parent {p}"),
+            None => println!("    rank {rank:3} (master, feeds the inter-node tree)"),
+        }
+    }
+
+    // Height optimality for the daemon configuration.
+    describe(Topology::new(8, 15), TreeKind::Binomial);
+
+    // The alternatives the paper measured and rejected for inter-node use.
+    for kind in [TreeKind::Binary, TreeKind::Fibonacci] {
+        let h = embed::height(kind, 16);
+        println!(
+            "\n{kind:?} tree over 16 nodes: height {h} (binomial: {})",
+            embed::height(TreeKind::Binomial, 16)
+        );
+    }
+}

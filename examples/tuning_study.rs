@@ -1,0 +1,70 @@
+//! Tuning study: how SRM's switch points interact with the machine.
+//!
+//! The paper's future work asks for "an analytical performance model
+//! ... helpful in tuning the pipeline parameters in SRM" under
+//! different assumptions about SMP node size, memory bandwidth and
+//! network performance. The simulator *is* such a model: this example
+//! sweeps the pipeline chunk size and the node size on two machine
+//! presets and prints where the optima move.
+//!
+//! ```sh
+//! cargo run --release --example tuning_study
+//! ```
+
+use simnet::{MachineConfig, Topology};
+use srm::SrmTuning;
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
+
+fn main() {
+    let machines = [
+        ("IBM SP (Colony)", MachineConfig::ibm_sp_colony()),
+        ("commodity VIA cluster", MachineConfig::commodity_via_cluster()),
+    ];
+
+    println!("Pipeline chunk size for a 24 KB broadcast on 4x16 (paper default: 4 KB)\n");
+    print!("{:>24}", "machine");
+    let chunks = [1usize << 10, 2 << 10, 4 << 10, 8 << 10, 24 << 10];
+    for c in chunks {
+        print!(" {:>9}", format!("{}K", c >> 10));
+    }
+    println!();
+    for (name, machine) in &machines {
+        print!("{name:>24}");
+        for chunk in chunks {
+            let tuning = SrmTuning {
+                pipeline_chunk: chunk,
+                pipeline_max: 32 << 10,
+                ..SrmTuning::default()
+            };
+            let m = measure(
+                Impl::Srm,
+                machine.clone(),
+                Topology::sp_16way(4),
+                Op::Bcast,
+                24 << 10,
+                HarnessOpts { iters: 5, srm: tuning },
+            );
+            print!(" {:>8.1}u", m.per_call.as_us());
+        }
+        println!();
+    }
+
+    println!("\nNode size at fixed P=64: where does SMP-awareness pay most? (4 KB broadcast)\n");
+    println!("{:>24} {:>12} {:>12} {:>12}", "machine", "4 x 16", "8 x 8", "16 x 4");
+    for (name, machine) in &machines {
+        print!("{name:>24}");
+        for (nodes, tpn) in [(4usize, 16usize), (8, 8), (16, 4)] {
+            let m = measure(
+                Impl::Srm,
+                machine.clone(),
+                Topology::new(nodes, tpn),
+                Op::Bcast,
+                4096,
+                HarnessOpts { iters: 5, ..Default::default() },
+            );
+            print!(" {:>11.1}u", m.per_call.as_us());
+        }
+        println!();
+    }
+    println!("\nFatter nodes shift work onto shared memory — the trend the paper's introduction banks on.");
+}

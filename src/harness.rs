@@ -1,0 +1,212 @@
+//! Unified measurement harness: run any collective implementation
+//! (SRM, IBM-MPI-like, MPICH-like) on any topology/machine and measure
+//! the mean virtual time per call — the paper's metric ("average
+//! execution time for 1000 calls of a given operation").
+
+use collops::{Collectives, DType, ReduceOp};
+use mpi_coll::MpiColl;
+use msg::{MsgWorld, Vendor};
+use simnet::{MachineConfig, MetricsSnapshot, Rank, Sim, SimTime, Topology};
+use srm::{SrmTuning, SrmWorld};
+use std::sync::{Arc, Mutex};
+
+/// Per-rank timing sample: (timed-region start, end, metrics over it).
+type Samples = Arc<Mutex<Vec<(SimTime, SimTime, MetricsSnapshot)>>>;
+
+/// Which implementation to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Impl {
+    /// The paper's contribution.
+    Srm,
+    /// Binomial-tree collectives over eager/rendezvous point-to-point
+    /// with IBM-like tuning.
+    IbmMpi,
+    /// Same layering with MPICH-like tuning and algorithms.
+    Mpich,
+}
+
+impl Impl {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Impl::Srm => "SRM",
+            Impl::IbmMpi => "IBM MPI",
+            Impl::Mpich => "MPICH",
+        }
+    }
+
+    /// All three implementations, SRM first.
+    pub const ALL: [Impl; 3] = [Impl::Srm, Impl::IbmMpi, Impl::Mpich];
+}
+
+/// Which collective to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// `MPI_Bcast` equivalent, root 0.
+    Bcast,
+    /// `MPI_Reduce` equivalent (sum of doubles, root 0).
+    Reduce,
+    /// `MPI_Allreduce` equivalent (sum of doubles).
+    Allreduce,
+    /// `MPI_Barrier` equivalent.
+    Barrier,
+}
+
+impl Op {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Bcast => "broadcast",
+            Op::Reduce => "reduce",
+            Op::Allreduce => "allreduce",
+            Op::Barrier => "barrier",
+        }
+    }
+}
+
+/// Result of one measurement configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Mean virtual time per call.
+    pub per_call: SimTime,
+    /// Event counters accumulated over the measured calls (not the
+    /// warmup).
+    pub metrics: MetricsSnapshot,
+    /// Calls measured.
+    pub iters: usize,
+}
+
+/// Tuning knobs of the harness itself.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Measured calls per configuration (after one warmup call).
+    pub iters: usize,
+    /// SRM tuning (ignored by the MPI baselines).
+    pub srm: SrmTuning,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            iters: 4,
+            srm: SrmTuning::default(),
+        }
+    }
+}
+
+/// Measure `op` at payload `len` bytes under `imp` on `topo`.
+///
+/// Methodology: every rank performs one warmup call (fills pipelines,
+/// triggers any lazy setup), synchronizes with the implementation's own
+/// barrier, then performs `iters` timed calls. The reported time is
+/// rank 0's elapsed virtual time over the timed region divided by
+/// `iters` — the same "mean time per call" the paper plots.
+pub fn measure(
+    imp: Impl,
+    machine: MachineConfig,
+    topo: Topology,
+    op: Op,
+    len: usize,
+    opts: HarnessOpts,
+) -> Measurement {
+    let mut sim = Sim::new(machine);
+    let iters = opts.iters;
+    let out: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    // Factory per implementation; each rank gets its own collectives
+    // object plus a shutdown hook.
+    enum World {
+        Srm(SrmWorld),
+        Mpi(MsgWorld),
+    }
+    let world = match imp {
+        Impl::Srm => World::Srm(SrmWorld::new(&mut sim, topo, opts.srm)),
+        Impl::IbmMpi => World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::IbmMpi)),
+        Impl::Mpich => World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::Mpich)),
+    };
+
+    for rank in 0..topo.nprocs() {
+        let out = out.clone();
+        let (coll, srm_comm): (Box<dyn Collectives + Send>, Option<srm::SrmComm>) = match &world {
+            World::Srm(w) => {
+                let c = w.comm(rank);
+                // SAFETY-free duplication: SrmComm is cheap to create;
+                // make one for the trait object and keep none aside —
+                // shutdown goes through a second comm handle.
+                let c2 = w.comm(rank);
+                (Box::new(c), Some(c2))
+            }
+            World::Mpi(w) => (Box::new(MpiColl::new(w.endpoint(rank))), None),
+        };
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            run_rank(&ctx, rank, coll.as_ref(), op, len, iters, &out);
+            if let Some(c) = srm_comm {
+                c.shutdown(&ctx);
+            }
+        });
+    }
+    let _report = sim.run().expect("measurement run must complete");
+    let samples = out.lock().unwrap();
+    assert_eq!(samples.len(), topo.nprocs());
+    // The operation starts when the last rank is ready and completes
+    // when the last rank finishes.
+    let start = samples.iter().map(|s| s.0).max().expect("nonempty");
+    let end = samples.iter().map(|s| s.1).max().expect("nonempty");
+    let metrics = samples
+        .iter()
+        .min_by_key(|s| s.0)
+        .expect("nonempty")
+        .2;
+    Measurement {
+        per_call: SimTime::from_ps((end - start).as_ps() / iters as u64),
+        metrics,
+        iters,
+    }
+}
+
+fn run_rank(
+    ctx: &simnet::Ctx,
+    rank: Rank,
+    coll: &(dyn Collectives + Send),
+    op: Op,
+    len: usize,
+    iters: usize,
+    out: &Samples,
+) {
+    let buf = shmem::ShmBuffer::new(len.max(8));
+    let init = |b: &shmem::ShmBuffer| {
+        b.with_mut(|d| {
+            for (i, x) in d.iter_mut().enumerate() {
+                *x = (i as u8).wrapping_add(rank as u8);
+            }
+        })
+    };
+    init(&buf);
+
+    let one_call = |ctx: &simnet::Ctx| match op {
+        Op::Bcast => coll.broadcast(ctx, &buf, len, 0),
+        Op::Reduce => coll.reduce(ctx, &buf, len, DType::F64, ReduceOp::Sum, 0),
+        Op::Allreduce => coll.allreduce(ctx, &buf, len, DType::F64, ReduceOp::Sum),
+        Op::Barrier => coll.barrier(ctx),
+    };
+
+    let _ = rank;
+    // Warmup + sync.
+    one_call(ctx);
+    coll.barrier(ctx);
+
+    let t0 = ctx.now();
+    let m0 = ctx.metrics_snapshot();
+    for _ in 0..iters {
+        one_call(ctx);
+    }
+    let t1 = ctx.now();
+    let metrics = ctx.metrics_snapshot().since(&m0);
+    out.lock().unwrap().push((t0, t1, metrics));
+}
+
+/// `T_SRM / T_MPI × 100 %` — the ratio the paper's Figures 9–11 plot
+/// (lower is better; < 100 means SRM is faster).
+pub fn ratio_percent(srm: SimTime, mpi: SimTime) -> f64 {
+    100.0 * srm.as_ps() as f64 / mpi.as_ps() as f64
+}

@@ -1,0 +1,276 @@
+//! Cross-implementation integration tests: SRM and both MPI baselines
+//! run the same collectives on the same inputs; results must agree,
+//! and the paper's structural claims must hold in the metrics and in
+//! the modelled times.
+
+use collops::{from_bytes_u64, reference_reduce, to_bytes_u64, Collectives, DType, ReduceOp};
+use mpi_coll::MpiColl;
+use msg::{MsgWorld, Vendor};
+use simnet::{MachineConfig, Sim, SimTime, Topology};
+use srm::{SrmTuning, SrmWorld};
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
+use std::sync::{Arc, Mutex};
+
+/// Run one collective under an implementation, returning every rank's
+/// final buffer.
+fn run_once(
+    imp: Impl,
+    topo: Topology,
+    len: usize,
+    init: impl Fn(usize) -> Vec<u8> + Send + Sync + 'static,
+    op: Op,
+    root: usize,
+) -> Vec<Vec<u8>> {
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    enum World {
+        Srm(SrmWorld),
+        Mpi(MsgWorld),
+    }
+    let world = match imp {
+        Impl::Srm => World::Srm(SrmWorld::new(&mut sim, topo, SrmTuning::default())),
+        Impl::IbmMpi => World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::IbmMpi)),
+        Impl::Mpich => World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::Mpich)),
+    };
+    let out = Arc::new(Mutex::new(vec![Vec::new(); topo.nprocs()]));
+    let init = Arc::new(init);
+    for rank in 0..topo.nprocs() {
+        let (coll, srm_comm): (Box<dyn Collectives + Send>, Option<srm::SrmComm>) = match &world {
+            World::Srm(w) => (Box::new(w.comm(rank)), Some(w.comm(rank))),
+            World::Mpi(w) => (Box::new(MpiColl::new(w.endpoint(rank))), None),
+        };
+        let out = out.clone();
+        let init = init.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = shmem::ShmBuffer::new(len.max(1));
+            buf.with_mut(|d| d[..len].copy_from_slice(&init(rank)));
+            match op {
+                Op::Bcast => coll.broadcast(&ctx, &buf, len, root),
+                Op::Reduce => coll.reduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum, root),
+                Op::Allreduce => coll.allreduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum),
+                Op::Barrier => coll.barrier(&ctx),
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d[..len].to_vec());
+            if let Some(c) = srm_comm {
+                c.shutdown(&ctx);
+            }
+        });
+    }
+    sim.run().expect("run completes");
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn all_implementations_agree_on_broadcast() {
+    let topo = Topology::new(3, 4);
+    let len = 24 << 10;
+    let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    let mut reference = None;
+    for imp in Impl::ALL {
+        let p = payload.clone();
+        let results = run_once(
+            imp,
+            topo,
+            len,
+            move |rank| if rank == 5 { p.clone() } else { vec![0; len] },
+            Op::Bcast,
+            5,
+        );
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r, &payload, "{} rank {rank}", imp.name());
+        }
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(r, &results, "{} diverged", imp.name()),
+        }
+    }
+}
+
+#[test]
+fn all_implementations_agree_on_allreduce() {
+    let topo = Topology::new(2, 5);
+    let n = topo.nprocs();
+    let elems = 128usize;
+    let len = elems * 8;
+    let contribs: Vec<Vec<u8>> = (0..n)
+        .map(|r| to_bytes_u64(&(0..elems).map(|i| (r * 3 + i) as u64).collect::<Vec<_>>()))
+        .collect();
+    let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+    for imp in Impl::ALL {
+        let c = contribs.clone();
+        let results = run_once(imp, topo, len, move |r| c[r].clone(), Op::Allreduce, 0);
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(
+                from_bytes_u64(r),
+                from_bytes_u64(&expect),
+                "{} rank {rank}",
+                imp.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_implementations_agree_on_reduce_at_root() {
+    let topo = Topology::new(4, 3);
+    let n = topo.nprocs();
+    let len = 64usize;
+    let contribs: Vec<Vec<u8>> = (0..n)
+        .map(|r| to_bytes_u64(&[(r * r) as u64; 8]))
+        .collect();
+    let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+    for imp in Impl::ALL {
+        let c = contribs.clone();
+        let results = run_once(imp, topo, len, move |r| c[r].clone(), Op::Reduce, 7);
+        assert_eq!(results[7], expect, "{} root buffer", imp.name());
+    }
+}
+
+/// The headline claim as an invariant: SRM is faster than both MPI
+/// baselines across representative sizes and topologies.
+#[test]
+fn srm_outperforms_both_baselines() {
+    let opts = HarnessOpts {
+        iters: 3,
+        ..Default::default()
+    };
+    for topo in [Topology::sp_16way(2), Topology::sp_16way(4)] {
+        for (op, len) in [
+            (Op::Bcast, 512usize),
+            (Op::Bcast, 64 << 10),
+            (Op::Reduce, 4096),
+            (Op::Allreduce, 4096),
+            (Op::Barrier, 8),
+        ] {
+            let srm = measure(Impl::Srm, MachineConfig::ibm_sp_colony(), topo, op, len, opts);
+            for base in [Impl::IbmMpi, Impl::Mpich] {
+                let mpi = measure(base, MachineConfig::ibm_sp_colony(), topo, op, len, opts);
+                assert!(
+                    srm.per_call < mpi.per_call,
+                    "{} {} {}B P={}: SRM {} !< {} {}",
+                    op.name(),
+                    base.name(),
+                    len,
+                    topo.nprocs(),
+                    srm.per_call,
+                    base.name(),
+                    mpi.per_call
+                );
+            }
+        }
+    }
+}
+
+/// Structural claims from the paper, checked in event counts rather
+/// than times: SRM does no tag matching, uses fewer data movements
+/// intra-node, and takes no interrupts on the small path.
+#[test]
+fn srm_structural_advantages_show_in_metrics() {
+    let topo = Topology::sp_16way(1); // single 16-way node
+    let len = 4096usize;
+    let opts = HarnessOpts {
+        iters: 2,
+        ..Default::default()
+    };
+    let srm = measure(Impl::Srm, MachineConfig::ibm_sp_colony(), topo, Op::Bcast, len, opts);
+    let mpi = measure(Impl::IbmMpi, MachineConfig::ibm_sp_colony(), topo, Op::Bcast, len, opts);
+    assert_eq!(srm.metrics.matches, 0, "SRM never tag-matches");
+    assert!(mpi.metrics.matches > 0, "MPI matches on every message");
+    assert!(
+        srm.metrics.shm_copies < mpi.metrics.shm_copies,
+        "fewer data movements: SRM {} vs MPI {}",
+        srm.metrics.shm_copies,
+        mpi.metrics.shm_copies
+    );
+    assert_eq!(srm.metrics.interrupts, 0, "small path runs interrupt-free");
+}
+
+/// The embedding claim: with SMP-aware SRM, only masters touch the
+/// network, so inter-node message counts are independent of the node
+/// width.
+#[test]
+fn only_masters_touch_network() {
+    let opts = HarnessOpts {
+        iters: 1,
+        ..Default::default()
+    };
+    let narrow = measure(
+        Impl::Srm,
+        MachineConfig::ibm_sp_colony(),
+        Topology::new(2, 2),
+        Op::Bcast,
+        1024,
+        opts,
+    );
+    let wide = measure(
+        Impl::Srm,
+        MachineConfig::ibm_sp_colony(),
+        Topology::new(2, 16),
+        Op::Bcast,
+        1024,
+        opts,
+    );
+    assert_eq!(
+        narrow.metrics.net_messages, wide.metrics.net_messages,
+        "node width must not change network traffic"
+    );
+}
+
+/// Modelled times are identical across repeated runs (bit-determinism
+/// of the whole stack, end to end).
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        measure(
+            Impl::Srm,
+            MachineConfig::ibm_sp_colony(),
+            Topology::sp_16way(2),
+            Op::Allreduce,
+            32 << 10,
+            HarnessOpts {
+                iters: 2,
+                ..Default::default()
+            },
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.per_call, b.per_call);
+    assert_eq!(a.metrics, b.metrics);
+    assert!(a.per_call > SimTime::ZERO);
+}
+
+/// The typed convenience API (CollectivesExt) and the bitwise
+/// operators work end-to-end through every implementation.
+#[test]
+fn typed_helpers_and_bitwise_ops() {
+    use collops::CollectivesExt;
+    let topo = Topology::new(2, 3);
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    let out = Arc::new(Mutex::new(vec![(0.0f64, 0u64); n]));
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let mut v = vec![rank as f64 + 0.5; 4];
+            comm.allreduce_f64(&ctx, &mut v, ReduceOp::Sum);
+            let mut bits = vec![1u64 << rank; 2];
+            comm.allreduce_u64(&ctx, &mut bits, ReduceOp::Bor);
+            let mut b = vec![0.0f64; 3];
+            if rank == 1 {
+                b = vec![2.25; 3];
+            }
+            comm.broadcast_f64(&ctx, &mut b, 1);
+            assert_eq!(b, vec![2.25; 3]);
+            out.lock().unwrap()[rank] = (v[0], bits[0]);
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().unwrap();
+    let expect_sum: f64 = (0..n).map(|r| r as f64 + 0.5).sum();
+    let expect_bits: u64 = (0..n).map(|r| 1u64 << r).sum();
+    for &(s, b) in out.lock().unwrap().iter() {
+        assert_eq!(s, expect_sum);
+        assert_eq!(b, expect_bits);
+    }
+}

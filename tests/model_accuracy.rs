@@ -1,0 +1,92 @@
+//! The analytical model (the paper's §5 future work) must stay within
+//! a bounded factor of the full simulation across operations, sizes
+//! and cluster shapes — otherwise it is useless as the tuning tool the
+//! authors wanted. The `model_vs_sim` binary prints the full grid;
+//! this test pins the envelope.
+
+use simnet::{MachineConfig, Topology};
+use srm::{SrmModel, SrmTuning};
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
+
+const MAX_FACTOR: f64 = 2.5;
+
+#[test]
+fn model_within_factor_of_simulation() {
+    let machine = MachineConfig::ibm_sp_colony();
+    for nodes in [2usize, 4, 8] {
+        let topo = Topology::sp_16way(nodes);
+        let model = SrmModel::new(machine.clone(), topo, SrmTuning::default());
+        for (op, len) in [
+            (Op::Bcast, 512usize),
+            (Op::Bcast, 64 << 10),
+            (Op::Bcast, 512 << 10),
+            (Op::Reduce, 512),
+            (Op::Reduce, 256 << 10),
+            (Op::Allreduce, 512),
+            (Op::Allreduce, 256 << 10),
+            (Op::Barrier, 8),
+        ] {
+            let predicted = match op {
+                Op::Bcast => model.bcast(len),
+                Op::Reduce => model.reduce(len),
+                Op::Allreduce => model.allreduce(len),
+                Op::Barrier => model.barrier(),
+            };
+            let sim = measure(
+                Impl::Srm,
+                machine.clone(),
+                topo,
+                op,
+                len,
+                HarnessOpts {
+                    iters: 2,
+                    ..Default::default()
+                },
+            )
+            .per_call;
+            let ratio = sim.as_us() / predicted.as_us();
+            assert!(
+                (1.0 / MAX_FACTOR..MAX_FACTOR).contains(&ratio),
+                "{} {}B on {} nodes: model {predicted} vs sim {sim} (x{ratio:.2})",
+                op.name(),
+                len,
+                nodes
+            );
+        }
+    }
+}
+
+#[test]
+fn model_predicts_tuning_direction() {
+    // The model must agree with the simulator about *which way to tune*:
+    // a coarser pipeline chunk for a 24 KB broadcast is better on the
+    // Colony preset (see the tuning_study example).
+    let machine = MachineConfig::ibm_sp_colony();
+    let topo = Topology::sp_16way(4);
+    let fine = SrmTuning {
+        pipeline_chunk: 1 << 10,
+        pipeline_max: 32 << 10,
+        ..SrmTuning::default()
+    };
+    let coarse = SrmTuning {
+        pipeline_chunk: 8 << 10,
+        pipeline_max: 32 << 10,
+        ..SrmTuning::default()
+    };
+    let m_fine = SrmModel::new(machine.clone(), topo, fine).bcast(24 << 10);
+    let m_coarse = SrmModel::new(machine.clone(), topo, coarse).bcast(24 << 10);
+    assert!(m_coarse < m_fine, "model: coarse {m_coarse} !< fine {m_fine}");
+
+    let s = |t: SrmTuning| {
+        measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            24 << 10,
+            HarnessOpts { iters: 4, srm: t },
+        )
+        .per_call
+    };
+    assert!(s(coarse) < s(fine), "simulation disagrees with the model");
+}

@@ -1,0 +1,208 @@
+//! Property-based tests: for arbitrary topologies, payload sizes,
+//! roots, operators and data, the collectives must match the
+//! sequential reference, and runs must be deterministic.
+
+use collops::{reference_reduce, Collectives, DType, ReduceOp};
+use proptest::prelude::*;
+use simnet::{MachineConfig, Sim, Topology};
+use srm::{SrmTuning, SrmWorld, TreeKind};
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Copy, Debug)]
+enum WhichOp {
+    Bcast,
+    Reduce,
+    Allreduce,
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (1usize..=4, 1usize..=6).prop_map(|(n, p)| Topology::new(n, p))
+}
+
+fn arb_op() -> impl Strategy<Value = (WhichOp, ReduceOp)> {
+    (
+        prop_oneof![
+            Just(WhichOp::Bcast),
+            Just(WhichOp::Reduce),
+            Just(WhichOp::Allreduce)
+        ],
+        prop_oneof![
+            Just(ReduceOp::Sum),
+            Just(ReduceOp::Min),
+            Just(ReduceOp::Max),
+        ],
+    )
+}
+
+fn arb_tree() -> impl Strategy<Value = TreeKind> {
+    prop_oneof![
+        Just(TreeKind::Binomial),
+        Just(TreeKind::Binary),
+        Just(TreeKind::Fibonacci)
+    ]
+}
+
+/// Run the collective on every rank; return per-rank final payloads.
+fn run_srm(
+    topo: Topology,
+    tree: TreeKind,
+    op: WhichOp,
+    rop: ReduceOp,
+    root: usize,
+    contribs: Vec<Vec<u64>>,
+) -> Vec<Vec<u8>> {
+    let len = contribs[0].len() * 8;
+    let tuning = SrmTuning {
+        tree,
+        ..SrmTuning::default()
+    };
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, tuning);
+    let out = Arc::new(Mutex::new(vec![Vec::new(); topo.nprocs()]));
+    let contribs = Arc::new(contribs);
+    for rank in 0..topo.nprocs() {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        let contribs = contribs.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(len.max(1));
+            buf.with_mut(|d| d[..len].copy_from_slice(&collops::to_bytes_u64(&contribs[rank])));
+            match op {
+                WhichOp::Bcast => comm.broadcast(&ctx, &buf, len, root),
+                WhichOp::Reduce => comm.reduce(&ctx, &buf, len, DType::U64, rop, root),
+                WhichOp::Allreduce => comm.allreduce(&ctx, &buf, len, DType::U64, rop),
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d[..len].to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().expect("simulation completes");
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Every collective on every shape matches the sequential reference.
+    #[test]
+    fn collectives_match_reference(
+        topo in arb_topology(),
+        tree in arb_tree(),
+        (op, rop) in arb_op(),
+        root_seed in 0usize..64,
+        elems in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let n = topo.nprocs();
+        let root = root_seed % n;
+        // Deterministic pseudo-random contributions from the seed.
+        let contribs: Vec<Vec<u64>> = (0..n)
+            .map(|r| {
+                (0..elems)
+                    .map(|i| {
+                        seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add((r * 1009 + i) as u64)
+                            >> 17
+                    })
+                    .collect()
+            })
+            .collect();
+        let results = run_srm(topo, tree, op, rop, root, contribs.clone());
+
+        let bytes: Vec<Vec<u8>> = contribs.iter().map(|c| collops::to_bytes_u64(c)).collect();
+        match op {
+            WhichOp::Bcast => {
+                for (rank, r) in results.iter().enumerate() {
+                    prop_assert_eq!(r, &bytes[root], "bcast rank {}", rank);
+                }
+            }
+            WhichOp::Reduce => {
+                let expect = reference_reduce(DType::U64, rop, &bytes);
+                prop_assert_eq!(&results[root], &expect, "reduce at root {}", root);
+            }
+            WhichOp::Allreduce => {
+                let expect = reference_reduce(DType::U64, rop, &bytes);
+                for (rank, r) in results.iter().enumerate() {
+                    prop_assert_eq!(r, &expect, "allreduce rank {}", rank);
+                }
+            }
+        }
+    }
+
+    /// Identical inputs give identical outputs and identical traces
+    /// (determinism as a property, not a spot check).
+    #[test]
+    fn runs_are_reproducible(
+        topo in arb_topology(),
+        elems in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let n = topo.nprocs();
+        let contribs: Vec<Vec<u64>> = (0..n)
+            .map(|r| (0..elems).map(|i| seed ^ ((r * 31 + i) as u64)).collect())
+            .collect();
+        let a = run_srm(topo, TreeKind::Binomial, WhichOp::Allreduce, ReduceOp::Max, 0, contribs.clone());
+        let b = run_srm(topo, TreeKind::Binomial, WhichOp::Allreduce, ReduceOp::Max, 0, contribs);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Tree-structure properties over the full parameter space (cheap, so
+/// more cases).
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn trees_span_and_are_acyclic(size in 1usize..200, kind_pick in 0usize..3) {
+        let kind = [TreeKind::Binomial, TreeKind::Binary, TreeKind::Fibonacci][kind_pick];
+        let mut seen = vec![false; size];
+        seen[0] = true;
+        let mut count = 1;
+        for v in 0..size {
+            for c in srm::embed::children(kind, v, size) {
+                prop_assert!(c < size);
+                prop_assert!(!seen[c], "{:?}: vertex {} reached twice", kind, c);
+                prop_assert_eq!(srm::embed::parent(kind, c, size), Some(v));
+                seen[c] = true;
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, size, "{:?}: not spanning", kind);
+    }
+
+    #[test]
+    fn embedding_covers_every_rank(nodes in 1usize..12, tpn in 1usize..12, root_seed in 0usize..144) {
+        let topo = Topology::new(nodes, tpn);
+        let root = root_seed % topo.nprocs();
+        let e = srm::Embedding::new(topo, root, TreeKind::Binomial);
+        // Every node is reachable from the root's node.
+        let mut seen_nodes = vec![false; nodes];
+        seen_nodes[e.root_node()] = true;
+        let mut stack = vec![e.root_node()];
+        while let Some(n) = stack.pop() {
+            for c in e.node_children(n) {
+                prop_assert!(!seen_nodes[c]);
+                seen_nodes[c] = true;
+                stack.push(c);
+            }
+        }
+        prop_assert!(seen_nodes.iter().all(|&b| b));
+        // Every rank has a path to its node master.
+        for rank in 0..topo.nprocs() {
+            let mut cur = rank;
+            let mut hops = 0;
+            while let Some(p) = e.smp_parent(cur) {
+                cur = p;
+                hops += 1;
+                prop_assert!(hops <= tpn, "cycle in smp tree");
+            }
+            prop_assert_eq!(cur, topo.master_of(topo.node_of(rank)));
+        }
+    }
+}
