@@ -4,19 +4,50 @@
 //! cost.
 
 use simnet::{MachineConfig, Topology};
-use srm_cluster::{measure, HarnessOpts, Impl, Op};
 use srm::SrmTuning;
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
 
 fn main() {
     let machine = MachineConfig::ibm_sp_colony();
     let topo = Topology::sp_16way(16);
     println!("Ablation A4: interrupt policy, SRM broadcast, P=256\n");
-    println!("{:>10} {:>16} {:>16}", "bytes", "SRM policy (us)", "always-on (us)");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "bytes", "SRM policy (us)", "always-on (us)"
+    );
     for len in [8usize, 512, 4096, 8 << 10] {
         let policy = SrmTuning::default();
-        let always_on = SrmTuning { interrupt_disable_max: 0, ..policy };
-        let a = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 5, srm: policy });
-        let b = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 5, srm: always_on });
-        println!("{:>10} {:>16.1} {:>16.1}", len, a.per_call.as_us(), b.per_call.as_us());
+        let always_on = SrmTuning {
+            interrupt_disable_max: 0,
+            ..policy
+        };
+        let a = measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            len,
+            HarnessOpts {
+                iters: 5,
+                srm: policy,
+            },
+        );
+        let b = measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            len,
+            HarnessOpts {
+                iters: 5,
+                srm: always_on,
+            },
+        );
+        println!(
+            "{:>10} {:>16.1} {:>16.1}",
+            len,
+            a.per_call.as_us(),
+            b.per_call.as_us()
+        );
     }
 }

@@ -3,8 +3,8 @@
 //! the 64 KB small/large switch point.
 
 use simnet::{MachineConfig, Topology};
-use srm_cluster::{measure, HarnessOpts, Impl, Op};
 use srm::SrmTuning;
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
 
 fn main() {
     let machine = MachineConfig::ibm_sp_colony();
@@ -12,10 +12,20 @@ fn main() {
 
     println!("Ablation A3a: pipeline chunk size for a 16 KB broadcast (paper: 4 KB), P=256");
     for chunk in [1usize << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10] {
-        let tuning = SrmTuning { pipeline_chunk: chunk, ..SrmTuning::default() };
+        let tuning = SrmTuning {
+            pipeline_chunk: chunk,
+            ..SrmTuning::default()
+        };
         let m = measure(
-            Impl::Srm, machine.clone(), topo, Op::Bcast, 16 << 10,
-            HarnessOpts { iters: 5, srm: tuning },
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            16 << 10,
+            HarnessOpts {
+                iters: 5,
+                srm: tuning,
+            },
         );
         println!("  chunk {:>6} B -> {:>8.1} us", chunk, m.per_call.as_us());
     }
@@ -25,25 +35,73 @@ fn main() {
         let on = SrmTuning::default();
         // An empty pipelined sub-range disables chunking: every small
         // message goes as a single put.
-        let off = SrmTuning { pipeline_min: on.small_large_switch, pipeline_max: on.small_large_switch, ..on };
-        let t_on = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 5, srm: on });
-        let t_off = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 5, srm: off });
+        let off = SrmTuning {
+            pipeline_min: on.small_large_switch,
+            pipeline_max: on.small_large_switch,
+            ..on
+        };
+        let t_on = measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            len,
+            HarnessOpts { iters: 5, srm: on },
+        );
+        let t_off = measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            len,
+            HarnessOpts { iters: 5, srm: off },
+        );
         println!(
             "  {:>6} B: pipelined {:>8.1} us   single-put {:>8.1} us   ({:+.0}%)",
-            len, t_on.per_call.as_us(), t_off.per_call.as_us(),
+            len,
+            t_on.per_call.as_us(),
+            t_off.per_call.as_us(),
             100.0 * (t_on.per_call.as_us() / t_off.per_call.as_us() - 1.0)
         );
     }
 
     println!("\nAblation A3c: small/large switch point for a 64-128 KB broadcast (paper: 64 KB)");
     for len in [48usize << 10, 64 << 10, 96 << 10, 128 << 10] {
-        let small = SrmTuning { small_large_switch: 128 << 10, ..SrmTuning::default() };
-        let large = SrmTuning { small_large_switch: 32 << 10, ..SrmTuning::default() };
-        let t_small = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 3, srm: small });
-        let t_large = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, HarnessOpts { iters: 3, srm: large });
+        let small = SrmTuning {
+            small_large_switch: 128 << 10,
+            ..SrmTuning::default()
+        };
+        let large = SrmTuning {
+            small_large_switch: 32 << 10,
+            ..SrmTuning::default()
+        };
+        let t_small = measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            len,
+            HarnessOpts {
+                iters: 3,
+                srm: small,
+            },
+        );
+        let t_large = measure(
+            Impl::Srm,
+            machine.clone(),
+            topo,
+            Op::Bcast,
+            len,
+            HarnessOpts {
+                iters: 3,
+                srm: large,
+            },
+        );
         println!(
             "  {:>7} B: buffered {:>8.1} us   zero-copy {:>8.1} us",
-            len, t_small.per_call.as_us(), t_large.per_call.as_us()
+            len,
+            t_small.per_call.as_us(),
+            t_large.per_call.as_us()
         );
     }
 }

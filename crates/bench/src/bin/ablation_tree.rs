@@ -4,20 +4,26 @@
 //! experiment on the model.
 
 use simnet::{MachineConfig, Topology};
-use srm_cluster::{measure, HarnessOpts, Impl, Op};
 use srm::{SrmTuning, TreeKind};
+use srm_cluster::{measure, HarnessOpts, Impl, Op};
 
 fn main() {
     let machine = MachineConfig::ibm_sp_colony();
     let topo = Topology::sp_16way(16);
     println!("Ablation A1: inter-node tree kind, SRM broadcast, P=256\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "bytes", "binomial", "binary", "fibonacci");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "bytes", "binomial", "binary", "fibonacci"
+    );
     for len in [8usize, 4096, 64 << 10, 1 << 20] {
         let mut row = format!("{len:>10}");
         for kind in [TreeKind::Binomial, TreeKind::Binary, TreeKind::Fibonacci] {
             let opts = HarnessOpts {
                 iters: srm_bench::iters_for(len),
-                srm: SrmTuning { tree: kind, ..SrmTuning::default() },
+                srm: SrmTuning {
+                    tree: kind,
+                    ..SrmTuning::default()
+                },
             };
             let m = measure(Impl::Srm, machine.clone(), topo, Op::Bcast, len, opts);
             row += &format!(" {:>11.1}u", m.per_call.as_us());

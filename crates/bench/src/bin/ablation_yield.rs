@@ -8,14 +8,43 @@ use srm_cluster::{measure, HarnessOpts, Impl, Op};
 fn main() {
     let topo = Topology::sp_16way(16);
     println!("Ablation A6: spin-then-yield vs pure spinning, P=256\n");
-    println!("{:>10} {:>6} {:>14} {:>14}", "op", "bytes", "yield (us)", "pure spin (us)");
+    println!(
+        "{:>10} {:>6} {:>14} {:>14}",
+        "op", "bytes", "yield (us)", "pure spin (us)"
+    );
     for (op, len) in [(Op::Bcast, 4096usize), (Op::Reduce, 4096), (Op::Barrier, 8)] {
         let mut with_yield = MachineConfig::ibm_sp_colony();
         with_yield.yield_enabled = true;
         let mut no_yield = MachineConfig::ibm_sp_colony();
         no_yield.yield_enabled = false;
-        let a = measure(Impl::Srm, with_yield, topo, op, len, HarnessOpts { iters: 5, ..Default::default() });
-        let b = measure(Impl::Srm, no_yield, topo, op, len, HarnessOpts { iters: 5, ..Default::default() });
-        println!("{:>10} {:>6} {:>14.1} {:>14.1}", op.name(), len, a.per_call.as_us(), b.per_call.as_us());
+        let a = measure(
+            Impl::Srm,
+            with_yield,
+            topo,
+            op,
+            len,
+            HarnessOpts {
+                iters: 5,
+                ..Default::default()
+            },
+        );
+        let b = measure(
+            Impl::Srm,
+            no_yield,
+            topo,
+            op,
+            len,
+            HarnessOpts {
+                iters: 5,
+                ..Default::default()
+            },
+        );
+        println!(
+            "{:>10} {:>6} {:>14.1} {:>14.1}",
+            op.name(),
+            len,
+            a.per_call.as_us(),
+            b.per_call.as_us()
+        );
     }
 }

@@ -7,7 +7,10 @@ use srm_cluster::Impl;
 fn main() {
     let pts = sweep_barrier();
     println!("\nFigure 12: barrier time vs number of processors");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "procs", "SRM (us)", "MPI (us)", "MPICH (us)", "SRM/MPI");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "procs", "SRM (us)", "MPI (us)", "MPICH (us)", "SRM/MPI"
+    );
     let mut procs: Vec<usize> = pts.iter().map(|p| p.nprocs).collect();
     procs.sort_unstable();
     procs.dedup();

@@ -26,20 +26,20 @@ fn main() {
     println!("Group-embedding study on {topo} (binomial trees)\n");
 
     study("full communicator", topo, (0..256).collect());
-    study(
-        "round-robin order (1 per node first)",
-        topo,
-        {
-            let mut v = Vec::new();
-            for slot in 0..16 {
-                for node in 0..16 {
-                    v.push(topo.rank_of(node, slot));
-                }
+    study("round-robin order (1 per node first)", topo, {
+        let mut v = Vec::new();
+        for slot in 0..16 {
+            for node in 0..16 {
+                v.push(topo.rank_of(node, slot));
             }
-            v
-        },
+        }
+        v
+    });
+    study(
+        "one task per node",
+        topo,
+        (0..16).map(|n| topo.rank_of(n, 3)).collect(),
     );
-    study("one task per node", topo, (0..16).map(|n| topo.rank_of(n, 3)).collect());
     study("two adjacent nodes", topo, (0..32).collect());
     study(
         "odd ranks only",

@@ -44,7 +44,5 @@ fn main() {
             .unwrap()
     };
     let impr = 100.0 - 100.0 * get(Impl::Srm) / get(Impl::IbmMpi);
-    println!(
-        "barrier   vs IBM MPI at P={max_p}: improvement {impr:.0}% (paper: 73% on 256 procs)"
-    );
+    println!("barrier   vs IBM MPI at P={max_p}: improvement {impr:.0}% (paper: 73% on 256 procs)");
 }

@@ -33,6 +33,9 @@ fn main() {
                     Op::Reduce => model.reduce(len),
                     Op::Allreduce => model.allreduce(len),
                     Op::Barrier => model.barrier(),
+                    // The model covers the paper's four measured ops;
+                    // the segment ops are simulation-only for now.
+                    Op::Gather | Op::Scatter | Op::Allgather => unreachable!(),
                 };
                 let sim = measure(
                     Impl::Srm,

@@ -39,7 +39,9 @@ pub struct Sweep {
 
 /// Is the fast (coarse) grid requested?
 pub fn fast_mode() -> bool {
-    std::env::var("SRM_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SRM_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Message-size grid (bytes): the paper sweeps 8 B – 8 MB.
@@ -57,7 +59,11 @@ pub fn size_grid() -> Vec<usize> {
 
 /// Processor-count grid: 16-way nodes, like the paper's runs.
 pub fn proc_grid() -> Vec<Topology> {
-    let nodes: &[usize] = if fast_mode() { &[1, 4, 16] } else { &[1, 2, 4, 8, 16] };
+    let nodes: &[usize] = if fast_mode() {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     nodes.iter().map(|&n| Topology::sp_16way(n)).collect()
 }
 
@@ -78,13 +84,20 @@ pub fn iters_for(len: usize) -> usize {
 /// Run (or load) the full sweep for `op`.
 pub fn sweep(op: Op) -> Sweep {
     let cache = cache_path(op);
-    if std::env::var("SRM_BENCH_NO_CACHE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("SRM_BENCH_NO_CACHE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         let s = run_sweep(op);
         save(&cache, &s);
         return s;
     }
     if let Some(s) = load(&cache) {
-        eprintln!("[cache] loaded {} points from {}", s.points.len(), cache.display());
+        eprintln!(
+            "[cache] loaded {} points from {}",
+            s.points.len(),
+            cache.display()
+        );
         return s;
     }
     let s = run_sweep(op);
@@ -242,7 +255,10 @@ pub fn print_comparison_panel(title: &str, s: &Sweep, max_len: usize) {
 /// processor count, one block per baseline. Values < 100 mean SRM wins.
 pub fn print_ratio_panels(title: &str, s: &Sweep) {
     for base in [Impl::IbmMpi, Impl::Mpich] {
-        println!("\n{title}: T_SRM/T_{} x 100% (lower is better)", base.name());
+        println!(
+            "\n{title}: T_SRM/T_{} x 100% (lower is better)",
+            base.name()
+        );
         println!("{}", "-".repeat(60));
         let procs = s.procs();
         let mut header = format!("{:>10}", "bytes");
@@ -377,8 +393,18 @@ mod tests {
     fn csv_roundtrip() {
         let s = Sweep {
             points: vec![
-                Point { imp: Impl::Srm, nprocs: 16, len: 8, us: 12.5 },
-                Point { imp: Impl::IbmMpi, nprocs: 16, len: 8, us: 30.0 },
+                Point {
+                    imp: Impl::Srm,
+                    nprocs: 16,
+                    len: 8,
+                    us: 12.5,
+                },
+                Point {
+                    imp: Impl::IbmMpi,
+                    nprocs: 16,
+                    len: 8,
+                    us: 30.0,
+                },
             ],
         };
         let path = std::env::temp_dir().join("srm_bench_csv_roundtrip.csv");
@@ -394,10 +420,30 @@ mod tests {
     fn improvement_band_math() {
         let s = Sweep {
             points: vec![
-                Point { imp: Impl::Srm, nprocs: 16, len: 8, us: 20.0 },
-                Point { imp: Impl::IbmMpi, nprocs: 16, len: 8, us: 80.0 },
-                Point { imp: Impl::Srm, nprocs: 16, len: 64, us: 50.0 },
-                Point { imp: Impl::IbmMpi, nprocs: 16, len: 64, us: 100.0 },
+                Point {
+                    imp: Impl::Srm,
+                    nprocs: 16,
+                    len: 8,
+                    us: 20.0,
+                },
+                Point {
+                    imp: Impl::IbmMpi,
+                    nprocs: 16,
+                    len: 8,
+                    us: 80.0,
+                },
+                Point {
+                    imp: Impl::Srm,
+                    nprocs: 16,
+                    len: 64,
+                    us: 50.0,
+                },
+                Point {
+                    imp: Impl::IbmMpi,
+                    nprocs: 16,
+                    len: 64,
+                    us: 100.0,
+                },
             ],
         };
         let (lo, hi) = improvement_band(&s, Impl::IbmMpi);

@@ -100,8 +100,20 @@ macro_rules! combine_float {
             let r: $t = match $op {
                 ReduceOp::Sum => av + sv,
                 ReduceOp::Prod => av * sv,
-                ReduceOp::Min => if sv < av { sv } else { av },
-                ReduceOp::Max => if sv > av { sv } else { av },
+                ReduceOp::Min => {
+                    if sv < av {
+                        sv
+                    } else {
+                        av
+                    }
+                }
+                ReduceOp::Max => {
+                    if sv > av {
+                        sv
+                    } else {
+                        av
+                    }
+                }
                 other => panic!("operator {} undefined for floating point", other.name()),
             };
             a.copy_from_slice(&r.to_le_bytes());
@@ -118,8 +130,20 @@ macro_rules! combine_int {
             let r: $t = match $op {
                 ReduceOp::Sum => av.wrapping_add(sv),
                 ReduceOp::Prod => av.wrapping_mul(sv),
-                ReduceOp::Min => if sv < av { sv } else { av },
-                ReduceOp::Max => if sv > av { sv } else { av },
+                ReduceOp::Min => {
+                    if sv < av {
+                        sv
+                    } else {
+                        av
+                    }
+                }
+                ReduceOp::Max => {
+                    if sv > av {
+                        sv
+                    } else {
+                        av
+                    }
+                }
                 ReduceOp::Band => av & sv,
                 ReduceOp::Bor => av | sv,
                 ReduceOp::Bxor => av ^ sv,
@@ -277,7 +301,7 @@ mod tests {
     #[should_panic(expected = "whole number")]
     fn ragged_payload_panics() {
         let mut a = vec![0u8; 12];
-        combine(DType::F64, ReduceOp::Sum, &mut a, &vec![0u8; 12]);
+        combine(DType::F64, ReduceOp::Sum, &mut a, &[0u8; 12]);
     }
 
     #[test]
@@ -291,7 +315,12 @@ mod tests {
     #[test]
     fn bitwise_ops_on_integers() {
         let mut a = to_bytes_u64(&[0b1100, 0b1010]);
-        combine(DType::U64, ReduceOp::Band, &mut a, &to_bytes_u64(&[0b1010, 0b0110]));
+        combine(
+            DType::U64,
+            ReduceOp::Band,
+            &mut a,
+            &to_bytes_u64(&[0b1010, 0b0110]),
+        );
         assert_eq!(from_bytes_u64(&a), vec![0b1000, 0b0010]);
         let mut b = to_bytes_u64(&[0b1100]);
         combine(DType::U64, ReduceOp::Bor, &mut b, &to_bytes_u64(&[0b0011]));

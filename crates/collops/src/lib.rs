@@ -12,7 +12,7 @@ pub mod dtype;
 pub mod traits;
 
 pub use dtype::{
-    combine, combine_costed, combine_from_buffer_costed, from_bytes_f64, from_bytes_u64, reference_reduce, to_bytes_f64,
-    to_bytes_u64, DType, ReduceOp,
+    combine, combine_costed, combine_from_buffer_costed, from_bytes_f64, from_bytes_u64,
+    reference_reduce, to_bytes_f64, to_bytes_u64, DType, ReduceOp,
 };
 pub use traits::{Collectives, CollectivesExt};

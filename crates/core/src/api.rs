@@ -1,5 +1,8 @@
-//! The public [`Collectives`] face of [`SrmComm`].
+//! The public [`Collectives`] face of [`SrmComm`]: validate the call,
+//! then plan-and-execute it through the engine (the only execution
+//! path; see [`crate::plan`]).
 
+use crate::plan::PlanKey;
 use crate::world::SrmComm;
 use collops::{Collectives, DType, ReduceOp};
 use shmem::ShmBuffer;
@@ -7,19 +10,63 @@ use simnet::{Ctx, Rank};
 
 impl Collectives for SrmComm {
     fn broadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
-        self.bcast_impl(ctx, buf, len, root);
+        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        self.run_planned(ctx, PlanKey::Bcast { len, root }, buf, None);
     }
 
-    fn reduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp, root: Rank) {
-        self.reduce_impl(ctx, buf, len, dtype, op, root);
+    fn reduce(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+        root: Rank,
+    ) {
+        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        self.run_planned(ctx, PlanKey::Reduce { len, root }, buf, Some((dtype, op)));
     }
 
     fn allreduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
-        self.allreduce_impl(ctx, buf, len, dtype, op);
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        self.run_planned(ctx, PlanKey::Allreduce { len }, buf, Some((dtype, op)));
     }
 
     fn barrier(&self, ctx: &Ctx) {
-        self.barrier_impl(ctx);
+        // The barrier needs no payload; reuse a zero-length handle.
+        let empty = ShmBuffer::new(0);
+        self.run_planned(ctx, PlanKey::Barrier, &empty, None);
+    }
+
+    fn gather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        let n = self.topology().nprocs();
+        assert!(root < n, "root out of range");
+        assert!(
+            n * len <= buf.capacity(),
+            "gather needs nprocs*len capacity"
+        );
+        self.run_planned(ctx, PlanKey::Gather { len, root }, buf, None);
+    }
+
+    fn scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        let n = self.topology().nprocs();
+        assert!(root < n, "root out of range");
+        assert!(
+            n * len <= buf.capacity(),
+            "scatter needs nprocs*len capacity"
+        );
+        self.run_planned(ctx, PlanKey::Scatter { len, root }, buf, None);
+    }
+
+    fn allgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
+        let n = self.topology().nprocs();
+        assert!(
+            n * len <= buf.capacity(),
+            "allgather needs nprocs*len capacity"
+        );
+        self.run_planned(ctx, PlanKey::Allgather { len }, buf, None);
     }
 
     fn name(&self) -> &'static str {

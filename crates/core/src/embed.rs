@@ -478,7 +478,7 @@ mod tests {
         assert_eq!(e.smp_parent(0), None);
         assert_eq!(e.smp_parent(17), Some(16)); // slot 1 -> master of node 1
         assert_eq!(e.smp_parent(24), Some(16)); // slot 8 -> master
-        // Total steps: log2(16) + log2(8) = 4 + 3 = 7 = log2(128).
+                                                // Total steps: log2(16) + log2(8) = 4 + 3 = 7 = log2(128).
         assert_eq!(e.embedded_height(), 7);
     }
 
@@ -533,10 +533,12 @@ mod tests {
     fn edges_span_group(g: &GroupEmbedding, group: &[Rank]) {
         let mut reached: HashSet<Rank> = HashSet::from([g.group_master(0)]);
         for (p, c) in g.inter_edges() {
-            assert!(reached.contains(&p) || p == g.group_master(0) || {
-                // inter edges may come in any order; do a fixpoint below
-                true
-            });
+            assert!(
+                reached.contains(&p) || p == g.group_master(0) || {
+                    // inter edges may come in any order; do a fixpoint below
+                    true
+                }
+            );
             let _ = (p, c);
         }
         // Fixpoint reachability over all edges.
@@ -561,11 +563,11 @@ mod tests {
     fn group_embedding_spans_arbitrary_subsets() {
         let topo = Topology::new(4, 4);
         for group in [
-            vec![0usize, 1, 2, 3],              // one node
-            vec![3, 7, 11, 15],                 // one rank per node
-            vec![1, 2, 5, 9, 10, 14],           // mixed
-            vec![6],                            // singleton
-            vec![0, 4, 8, 12, 1, 5, 9, 13],     // two per node
+            vec![0usize, 1, 2, 3],          // one node
+            vec![3, 7, 11, 15],             // one rank per node
+            vec![1, 2, 5, 9, 10, 14],       // mixed
+            vec![6],                        // singleton
+            vec![0, 4, 8, 12, 1, 5, 9, 13], // two per node
         ] {
             let root = group[group.len() / 2];
             let g = GroupEmbedding::new(topo, &group, root, TreeKind::Binomial);
@@ -590,7 +592,7 @@ mod tests {
         }
         let g = GroupEmbedding::new(topo, &group, 0, TreeKind::Binomial);
         assert_eq!(g.inter_edges().len(), 3); // n-1 for 4 nodes
-        // The rank-order tree crosses nodes on almost every edge.
+                                              // The rank-order tree crosses nodes on almost every edge.
         assert!(
             g.naive_inter_edges() > 4 * g.inter_edges().len(),
             "naive {} vs aware {}",

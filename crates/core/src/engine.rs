@@ -1,0 +1,370 @@
+//! The schedule executor: replays a compiled [`Plan`] against the SRM
+//! substrates — the node's shared-memory board, the masters' network
+//! landing state and the RMA endpoint.
+//!
+//! The engine is the **only** execution path for the collectives: the
+//! protocol logic lives entirely in the planners
+//! ([`crate::inter`]/[`crate::smp`]), and this module mechanically
+//! resolves each [`Step`]'s operands against the communicator. All
+//! relative values (buffer sides, cumulative flag targets, drain
+//! guards) resolve against the sequence bases sampled once at entry,
+//! which is what makes plans reusable across calls.
+//!
+//! Per call the engine counts a plan-cache hit or miss and per-step
+//! categories into the simulator metrics, and — when
+//! [`SrmTuning::trace_steps`](crate::SrmTuning) is set — emits one
+//! trace event per step for timeline rendering.
+
+use crate::plan::{
+    BufRef, CopyCost, CtrRef, FlagRef, HandleSrc, Off, PairSel, Plan, PlanKey, SeqBase, Side, Step,
+    Val, SEQ_BASES,
+};
+use crate::world::SrmComm;
+use collops::{combine_from_buffer_costed, DType, ReduceOp};
+use rma::LapiCounter;
+use shmem::{BufPair, ShmBuffer, SpinFlag};
+use simnet::Ctx;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn val_of(bases: &[u64; SEQ_BASES], v: Val) -> u64 {
+    match v {
+        Val::Lit(x) => x,
+        Val::Seq { base, rel } => bases[base.index()] + rel,
+    }
+}
+
+fn side_of(bases: &[u64; SEQ_BASES], s: Side) -> usize {
+    match s {
+        Side::Lit(x) => x,
+        Side::Parity { base, rel } => ((bases[base.index()] + rel) % 2) as usize,
+    }
+}
+
+fn off_of(bases: &[u64; SEQ_BASES], o: Off) -> usize {
+    match o {
+        Off::Lit(x) => x,
+        Off::Parity { base, rel, stride } => ((bases[base.index()] + rel) % 2) as usize * stride,
+    }
+}
+
+fn pair_of(comm: &SrmComm, sel: PairSel) -> &BufPair {
+    match sel {
+        PairSel::Smp => &comm.board().smp,
+        PairSel::Landing => &comm.board().landing,
+    }
+}
+
+fn flag_of(comm: &SrmComm, f: FlagRef) -> &SpinFlag {
+    let board = comm.board();
+    match f {
+        FlagRef::Barrier { slot } => board.barrier_flags.flag(slot),
+        FlagRef::ContribReady { slot } => &board.contrib_ready[slot],
+        FlagRef::ContribDone { slot } => &board.contrib_done[slot],
+        FlagRef::XferReady => &board.xfer_ready,
+        FlagRef::XferDone => &board.xfer_done,
+        FlagRef::TreeReady { slot } => &board.tree_ready[slot],
+        FlagRef::TreeDone { slot } => &board.tree_done[slot],
+    }
+}
+
+fn ctr_of<'a>(comm: &'a SrmComm, bases: &[u64; SEQ_BASES], c: CtrRef) -> &'a LapiCounter {
+    let lpar = |rel| ((bases[SeqBase::Landing.index()] + rel) % 2) as usize;
+    let rpar = |rel| ((bases[SeqBase::Reduce.index()] + rel) % 2) as usize;
+    match c {
+        CtrRef::LandingData { node, rel } => &comm.world.boards[node].landing_data[lpar(rel)],
+        CtrRef::BcastFree { node, child, rel } => &comm.inter(node).bcast_free[child][lpar(rel)],
+        CtrRef::ReduceData { node, src, rel } => &comm.inter(node).reduce_data[src][rpar(rel)],
+        CtrRef::ReduceFree { node, dst, rel } => &comm.inter(node).reduce_free[dst][rpar(rel)],
+        CtrRef::LargeData { node } => &comm.inter(node).large_data,
+        CtrRef::RdData { node, round } => &comm.inter(node).rd_data[round],
+        CtrRef::RdFree { node, round } => &comm.inter(node).rd_free[round],
+        CtrRef::FoldData { node } => &comm.inter(node).fold_data,
+        CtrRef::FoldFree { node } => &comm.inter(node).fold_free,
+        CtrRef::UnfoldData { node } => &comm.inter(node).unfold_data,
+        CtrRef::BarRound { node, round } => &comm.inter(node).bar_round[round],
+    }
+}
+
+/// Resolve a shared-memory buffer operand. [`BufRef::Acc`] has no
+/// backing `ShmBuffer` and is special-cased by the copy steps.
+fn buf_of<'a>(
+    comm: &'a SrmComm,
+    bases: &[u64; SEQ_BASES],
+    user: &'a ShmBuffer,
+    child_bufs: &'a [ShmBuffer],
+    root_buf: &'a Option<ShmBuffer>,
+    r: BufRef,
+) -> &'a ShmBuffer {
+    let rpar = |rel| ((bases[SeqBase::Reduce.index()] + rel) % 2) as usize;
+    match r {
+        BufRef::User => user,
+        BufRef::Acc => panic!("accumulator is not an addressable buffer"),
+        BufRef::Smp { side } => comm.board().smp.buf(side_of(bases, side)),
+        BufRef::Landing { node, side } => comm.world.boards[node].landing.buf(side_of(bases, side)),
+        BufRef::Contrib { slot } => &comm.board().contrib[slot],
+        BufRef::Xfer => &comm.board().xfer,
+        BufRef::ReduceLanding { node, src, rel } => {
+            &comm.inter(node).reduce_landing[src][rpar(rel)]
+        }
+        BufRef::RdLanding { node, round } => &comm.inter(node).rd_landing[round],
+        BufRef::FoldLanding { node } => &comm.inter(node).fold_landing,
+        BufRef::ChildUser { idx } => &child_bufs[idx],
+        BufRef::RootUser => root_buf
+            .as_ref()
+            .expect("root user-buffer handle not captured yet"),
+    }
+}
+
+impl SrmComm {
+    /// Fetch the cached plan for `key`, compiling it on a miss.
+    /// Bumps the `plan_hits`/`plan_misses` metrics accordingly.
+    pub fn plan_for(&self, ctx: &Ctx, key: PlanKey) -> Arc<Plan> {
+        if let Some(plan) = self.plan_cache.borrow_mut().get(&key) {
+            ctx.metrics().plan_hits.fetch_add(1, Ordering::Relaxed);
+            return plan;
+        }
+        ctx.metrics().plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(self.build_plan(&key));
+        self.plan_cache.borrow_mut().insert(key, plan.clone());
+        plan
+    }
+
+    /// Plan (or fetch) and execute the collective described by `key`.
+    pub(crate) fn run_planned(
+        &self,
+        ctx: &Ctx,
+        key: PlanKey,
+        buf: &ShmBuffer,
+        reduce: Option<(DType, ReduceOp)>,
+    ) {
+        let plan = self.plan_for(ctx, key);
+        self.execute_plan(ctx, &plan, buf, reduce);
+    }
+
+    /// Replay `plan` step by step against this communicator. `buf` is
+    /// the call's user payload; `reduce` late-binds the operator for
+    /// plans containing [`Step::LocalReduce`].
+    pub fn execute_plan(
+        &self,
+        ctx: &Ctx,
+        plan: &Plan,
+        buf: &ShmBuffer,
+        reduce: Option<(DType, ReduceOp)>,
+    ) {
+        let bases: [u64; SEQ_BASES] = [
+            self.smp_seq.get(),
+            self.landing_seq.get(),
+            self.tree_seq.get(),
+            self.reduce_cum.get(),
+            self.xfer_cum.get(),
+            self.barrier_seq.get(),
+        ];
+        let trace_steps = self.tuning().trace_steps;
+        let mut acc: Vec<u8> = Vec::new();
+        let mut child_bufs: Vec<ShmBuffer> = Vec::new();
+        let mut root_buf: Option<ShmBuffer> = None;
+
+        let metrics = ctx.metrics();
+        metrics
+            .engine_steps
+            .fetch_add(plan.steps.len() as u64, Ordering::Relaxed);
+
+        for step in &plan.steps {
+            if trace_steps {
+                ctx.trace(step.label());
+            }
+            match *step {
+                Step::Trace(label) => ctx.trace(label),
+                Step::SetInterrupts(on) => self.rma.set_interrupts(ctx, on),
+                Step::ShmCopy {
+                    src,
+                    src_off,
+                    dst,
+                    dst_off,
+                    len,
+                    cost,
+                } => {
+                    metrics.engine_copy_steps.fetch_add(1, Ordering::Relaxed);
+                    let so = off_of(&bases, src_off);
+                    let dofs = off_of(&bases, dst_off);
+                    let resolve = |r: BufRef| buf_of(self, &bases, buf, &child_bufs, &root_buf, r);
+                    match cost {
+                        CopyCost::Read(streams) => {
+                            // Charged read out of shared memory; the
+                            // private-side store rides along for free.
+                            let mut tmp = vec![0u8; len];
+                            resolve(src).read(ctx, so, &mut tmp, streams);
+                            match dst {
+                                BufRef::Acc => acc = tmp,
+                                _ => resolve(dst)
+                                    .with_mut(|d| d[dofs..dofs + len].copy_from_slice(&tmp)),
+                            }
+                        }
+                        CopyCost::Write(streams) => {
+                            // Charged write into shared memory.
+                            let tmp = match src {
+                                BufRef::Acc => acc[..len].to_vec(),
+                                _ => resolve(src).with(|d| d[so..so + len].to_vec()),
+                            };
+                            resolve(dst).write(ctx, dofs, &tmp, streams);
+                        }
+                        CopyCost::Free => {
+                            // Operator output stream: no charge.
+                            let tmp = match src {
+                                BufRef::Acc => acc[..len].to_vec(),
+                                _ => resolve(src).with(|d| d[so..so + len].to_vec()),
+                            };
+                            match dst {
+                                BufRef::Acc => acc = tmp,
+                                _ => resolve(dst)
+                                    .with_mut(|d| d[dofs..dofs + len].copy_from_slice(&tmp)),
+                            }
+                        }
+                    }
+                }
+                Step::LoadAcc { off, len } => {
+                    acc.resize(len, 0);
+                    buf.with(|d| acc.copy_from_slice(&d[off..off + len]));
+                }
+                Step::LocalReduce { src, src_off, len } => {
+                    metrics.engine_copy_steps.fetch_add(1, Ordering::Relaxed);
+                    let (dtype, op) =
+                        reduce.expect("plan reduces but the call carries no operator");
+                    debug_assert_eq!(acc.len(), len);
+                    let so = off_of(&bases, src_off);
+                    let src = buf_of(self, &bases, buf, &child_bufs, &root_buf, src);
+                    combine_from_buffer_costed(ctx, dtype, op, &mut acc, src, so);
+                }
+                Step::FlagRaise { flag, val } => {
+                    flag_of(self, flag).set(ctx, val_of(&bases, val));
+                }
+                Step::FlagAdd { flag, n } => {
+                    flag_of(self, flag).fetch_add(ctx, n);
+                }
+                Step::FlagWaitEq { flag, val, label } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    flag_of(self, flag).wait_eq(ctx, label, val_of(&bases, val));
+                }
+                Step::FlagWaitGe { flag, val, label } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    flag_of(self, flag).wait_ge(ctx, label, val_of(&bases, val));
+                }
+                Step::DrainWait {
+                    flag,
+                    base,
+                    rel,
+                    scale,
+                    label,
+                } => {
+                    let cum = bases[base.index()] + rel;
+                    if cum >= 2 {
+                        metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                        flag_of(self, flag).wait_ge(ctx, label, (cum - 1) * scale);
+                    }
+                }
+                Step::PairWaitFree { pair, side } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    pair_of(self, pair).wait_free(ctx, side_of(&bases, side));
+                }
+                Step::PairPublish { pair, side } => {
+                    let p = self.topology().tasks_per_node();
+                    let my = self.slot();
+                    let pr = pair_of(self, pair);
+                    let s = side_of(&bases, side);
+                    for slot in 0..p {
+                        if slot != my {
+                            pr.ready(s).flag(slot).set(ctx, 1);
+                        }
+                    }
+                }
+                Step::PairWaitPublished { pair, side } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    pair_of(self, pair).wait_published(ctx, side_of(&bases, side), self.slot());
+                }
+                Step::PairRelease { pair, side } => {
+                    pair_of(self, pair).release(ctx, side_of(&bases, side), self.slot());
+                }
+                Step::RmaPut {
+                    to,
+                    src,
+                    src_off,
+                    dst,
+                    dst_off,
+                    len,
+                    ctr,
+                } => {
+                    metrics.engine_put_steps.fetch_add(1, Ordering::Relaxed);
+                    let so = off_of(&bases, src_off);
+                    let dofs = off_of(&bases, dst_off);
+                    let src = buf_of(self, &bases, buf, &child_bufs, &root_buf, src);
+                    let dst = buf_of(self, &bases, buf, &child_bufs, &root_buf, dst);
+                    let ctr = ctr.map(|c| ctr_of(self, &bases, c));
+                    self.rma.put(ctx, to, src, so, len, dst, dofs, ctr);
+                }
+                Step::CounterPut { to, ctr } => {
+                    metrics.engine_put_steps.fetch_add(1, Ordering::Relaxed);
+                    self.rma.put_counter(ctx, to, ctr_of(self, &bases, ctr));
+                }
+                Step::CounterWait { ctr, n } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    self.rma.wait_counter(ctx, ctr_of(self, &bases, ctr), n);
+                }
+                Step::CounterWaitGe { ctr, val } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    self.rma
+                        .wait_counter_ge(ctx, ctr_of(self, &bases, ctr), val_of(&bases, val));
+                }
+                Step::AddrSend { to, am, src } => {
+                    metrics.engine_put_steps.fetch_add(1, Ordering::Relaxed);
+                    let handle = match src {
+                        HandleSrc::User => buf.clone(),
+                        HandleSrc::RootUser => root_buf
+                            .clone()
+                            .expect("root user-buffer handle not captured yet"),
+                    };
+                    self.rma.am(ctx, to, am, Vec::new(), Some(handle));
+                }
+                Step::AddrTake { child } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    let taken = self.inter(self.node()).addr_slot[child].wait_take(
+                        ctx,
+                        "child user-buffer address",
+                        |s| s.take(),
+                    );
+                    child_bufs.push(taken);
+                }
+                Step::GsRootTake => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    root_buf = Some(self.inter(self.node()).gs_root.wait_take(
+                        ctx,
+                        "gather root address",
+                        |s| s.take(),
+                    ));
+                }
+                Step::BoardAddrPut => {
+                    self.board().gs_addr.store(ctx, Some(buf.clone()));
+                }
+                Step::BoardAddrTake => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    root_buf = Some(self.board().gs_addr.wait_take(
+                        ctx,
+                        "gather root address",
+                        |s| s.take(),
+                    ));
+                }
+                Step::Advance { base, by } => {
+                    let cell = match base {
+                        SeqBase::Smp => &self.smp_seq,
+                        SeqBase::Landing => &self.landing_seq,
+                        SeqBase::Tree => &self.tree_seq,
+                        SeqBase::Reduce => &self.reduce_cum,
+                        SeqBase::Xfer => &self.xfer_cum,
+                        SeqBase::Barrier => &self.barrier_seq,
+                    };
+                    cell.set(cell.get() + by);
+                }
+            }
+        }
+    }
+}

@@ -1,5 +1,8 @@
 //! The integrated shared-memory + RMA collective protocols (paper
-//! §2.3–2.4 and Figures 4–5).
+//! §2.3–2.4 and Figures 4–5), as **planners**: each protocol compiles
+//! its per-rank step schedule into a [`PlanBuilder`]; the
+//! [engine](crate::engine) replays it. No collective executes directly
+//! from here.
 //!
 //! Only one task per node — the **master** — touches the network. Data
 //! put by a parent node lands in shared memory (the node's landing
@@ -14,84 +17,132 @@
 //! put when its node has drained a buffer. Counters are waited on with
 //! `LAPI_Waitcntr`-style calls so the dispatcher makes progress without
 //! interrupts while interrupts are disabled for small operations.
+//!
+//! The gather/scatter family extends the same machinery: scatter
+//! streams per-node blocks through the reduce landing channels (whose
+//! credit protocol it reuses unchanged), gather relays segments through
+//! the per-slot contribution buffers and puts them straight into the
+//! root's user buffer at their final offsets (one address exchange,
+//! zero staging at the root), and allgather is literally a gather plan
+//! concatenated with a broadcast plan.
 
 use crate::embed::Embedding;
+use crate::plan::{
+    BufRef, CopyCost, CtrRef, FlagRef, HandleSrc, Off, PairSel, PlanBuilder, SeqBase, Side, Step,
+    Val,
+};
 use crate::tuning::SrmTuning;
-use crate::world::{SrmComm, AM_ADDR_XCHG};
-use collops::{combine_from_buffer_costed, DType, ReduceOp};
-use shmem::ShmBuffer;
-use simnet::{Ctx, NodeId, Rank};
+use crate::world::{SrmComm, AM_ADDR_XCHG, AM_GS_ADDR};
+use simnet::{NodeId, Rank};
+
+fn seq(base: SeqBase, rel: u64) -> Val {
+    Val::Seq { base, rel }
+}
+
+fn par(base: SeqBase, rel: u64) -> Side {
+    Side::Parity { base, rel }
+}
+
+fn poff(base: SeqBase, rel: u64, stride: usize) -> Off {
+    Off::Parity { base, rel, stride }
+}
 
 impl SrmComm {
+    /// Re-synchronize my contribution channel with [`SeqBase::Reduce`].
+    ///
+    /// Invariant of the contrib channels: after every operation that
+    /// advances the reduce cumulative, **every** slot's `ContribReady`
+    /// and `ContribDone` equal the new cumulative. Contributing slots
+    /// get there through the protocol itself (the contributor raises
+    /// READY, its consumer raises DONE); a slot whose channel went
+    /// unused this operation — the consumer of a reduce tree, a gather
+    /// root, every rank of a scatter — raises both itself so a later
+    /// operation's [`Step::DrainWait`] sees a fully drained channel.
+    /// Safe because an unused channel has no other writer this call.
+    fn plan_contrib_catchup(&self, b: &mut PlanBuilder, rel_end: u64) {
+        let my = self.slot();
+        b.push(Step::FlagRaise {
+            flag: FlagRef::ContribReady { slot: my },
+            val: seq(SeqBase::Reduce, rel_end),
+        });
+        b.push(Step::FlagRaise {
+            flag: FlagRef::ContribDone { slot: my },
+            val: seq(SeqBase::Reduce, rel_end),
+        });
+    }
+
     // ----------------------------------------------------------------
     // Broadcast
     // ----------------------------------------------------------------
 
-    /// Broadcast entry point: route to pure shared memory, the buffered
+    /// Plan a broadcast: route to pure shared memory, the buffered
     /// small-message protocol, or the zero-copy large-message protocol.
-    pub(crate) fn bcast_impl(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+    pub(crate) fn plan_bcast(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
         let topo = self.topology();
-        assert!(root < topo.nprocs(), "broadcast root out of range");
-        assert!(len <= buf.capacity(), "payload longer than buffer");
         if len == 0 || topo.nprocs() == 1 {
             return;
         }
         if !topo.multi_node() {
-            self.smp_bcast(ctx, buf, len, root);
+            self.plan_smp_bcast(b, len, root);
             return;
         }
         let t = self.tuning();
         let emb = Embedding::new(topo, root, self.tree());
         let toggles = self.is_master() && len <= t.interrupt_disable_max;
         if toggles {
-            self.rma.set_interrupts(ctx, false);
+            b.push(Step::SetInterrupts(false));
         }
         if len <= t.small_large_switch {
-            self.bcast_small(ctx, buf, len, &emb);
+            self.plan_bcast_small(b, len, &emb);
         } else {
-            self.bcast_large(ctx, buf, len, &emb);
+            self.plan_bcast_large(b, len, &emb);
         }
         if toggles {
-            self.rma.set_interrupts(ctx, true);
+            b.push(Step::SetInterrupts(true));
         }
     }
 
     /// Forward one landing-buffer chunk to every child node, honouring
-    /// the per-edge credits (Figure 4, left).
-    fn forward_landing_chunk(&self, ctx: &Ctx, children: &[NodeId], side: usize, clen: usize) {
+    /// the per-edge credits (Figure 4, left). `rel` is the chunk index
+    /// against [`SeqBase::Landing`].
+    fn plan_forward_landing_chunk(
+        &self,
+        b: &mut PlanBuilder,
+        children: &[NodeId],
+        rel: u64,
+        clen: usize,
+    ) {
         let topo = self.topology();
         let my_node = self.node();
+        let side = par(SeqBase::Landing, rel);
         for &c in children {
-            self.rma
-                .wait_counter(ctx, &self.inter(my_node).bcast_free[c][side], 1);
-            self.rma.put(
-                ctx,
-                topo.master_of(c),
-                self.board().landing.buf(side),
-                0,
-                clen,
-                self.world.boards[c].landing.buf(side),
-                0,
-                Some(&self.world.boards[c].landing_data[side]),
-            );
-        }
-    }
-
-    /// Publish landing side `side` to every local task except myself.
-    fn publish_landing(&self, ctx: &Ctx, side: usize) {
-        let p = self.topology().tasks_per_node();
-        let my = self.slot();
-        for s in 0..p {
-            if s != my {
-                self.board().landing.ready(side).flag(s).set(ctx, 1);
-            }
+            b.push(Step::CounterWait {
+                ctr: CtrRef::BcastFree {
+                    node: my_node,
+                    child: c,
+                    rel,
+                },
+                n: 1,
+            });
+            b.push(Step::RmaPut {
+                to: topo.master_of(c),
+                src: BufRef::Landing {
+                    node: my_node,
+                    side,
+                },
+                src_off: Off::Lit(0),
+                dst: BufRef::Landing { node: c, side },
+                dst_off: Off::Lit(0),
+                len: clen,
+                ctr: Some(CtrRef::LandingData { node: c, rel }),
+            });
         }
     }
 
     /// Small-message broadcast (≤ 64 KB): puts land in the node's two
     /// shared landing buffers; 8–32 KB messages are pipelined in 4 KB
     /// chunks through them (§2.4).
-    fn bcast_small(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, emb: &Embedding) {
+    fn plan_bcast_small(&self, b: &mut PlanBuilder, len: usize, emb: &Embedding) {
         let topo = self.topology();
         let t = self.tuning();
         let chunk = t.small_bcast_chunk(len);
@@ -105,81 +156,140 @@ impl SrmComm {
         } else {
             Vec::new()
         };
-        let mut tmp = vec![0u8; chunk.min(len)];
-        let lbase = self.landing_seq.get();
+        let rel0 = b.rel(SeqBase::Landing);
+        let read_streams = p.saturating_sub(1).max(1);
 
         for k in 0..chunks {
             let off = k * chunk;
             let clen = chunk.min(len - off);
-            let side = ((lbase + k as u64) % 2) as usize;
+            let rel = rel0 + k as u64;
+            let side = par(SeqBase::Landing, rel);
             if on_root_node && self.me == root {
                 // Stage the chunk into the landing buffer: it serves
                 // both the local distribution and the network puts.
-                ctx.trace("bcast:stage");
-                self.board().landing.wait_free(ctx, side);
-                buf.with(|d| tmp[..clen].copy_from_slice(&d[off..off + clen]));
-                self.board().landing.buf(side).write(ctx, 0, &tmp[..clen], 1);
+                b.push(Step::Trace("bcast:stage"));
+                b.push(Step::PairWaitFree {
+                    pair: PairSel::Landing,
+                    side,
+                });
+                b.push(Step::ShmCopy {
+                    src: BufRef::User,
+                    src_off: Off::Lit(off),
+                    dst: BufRef::Landing {
+                        node: my_node,
+                        side,
+                    },
+                    dst_off: Off::Lit(0),
+                    len: clen,
+                    cost: CopyCost::Write(1),
+                });
                 // Publish locally before the (possibly credit-blocked)
                 // network puts: the puts are one-sided and lose nothing,
                 // while the local readers can start draining at once.
-                self.publish_landing(ctx, side);
+                b.push(Step::PairPublish {
+                    pair: PairSel::Landing,
+                    side,
+                });
                 if self.is_master() {
-                    self.forward_landing_chunk(ctx, &children, side, clen);
+                    self.plan_forward_landing_chunk(b, &children, rel, clen);
                 }
             } else if on_root_node && self.is_master() {
                 // Root is another task on this node: read its published
                 // chunk, forward it down the tree, then consume it.
-                self.board().landing.wait_published(ctx, side, self.slot());
-                self.forward_landing_chunk(ctx, &children, side, clen);
-                self.board()
-                    .landing
-                    .buf(side)
-                    .read(ctx, 0, &mut tmp[..clen], p.saturating_sub(1).max(1));
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
-                self.board().landing.release(ctx, side, self.slot());
+                b.push(Step::PairWaitPublished {
+                    pair: PairSel::Landing,
+                    side,
+                });
+                self.plan_forward_landing_chunk(b, &children, rel, clen);
+                b.push(Step::ShmCopy {
+                    src: BufRef::Landing {
+                        node: my_node,
+                        side,
+                    },
+                    src_off: Off::Lit(0),
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(read_streams),
+                });
+                b.push(Step::PairRelease {
+                    pair: PairSel::Landing,
+                    side,
+                });
             } else if self.is_master() {
                 // Interior/leaf node master: wait for the parent's put,
                 // send the data down the tree first (Figure 4, step 2),
                 // then run the local distribution and return the credit.
-                self.rma
-                    .wait_counter(ctx, &self.board().landing_data[side], 1);
-                ctx.trace("bcast:chunk-in");
-                self.publish_landing(ctx, side);
-                self.forward_landing_chunk(ctx, &children, side, clen);
-                self.board()
-                    .landing
-                    .buf(side)
-                    .read(ctx, 0, &mut tmp[..clen], p.saturating_sub(1).max(1));
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
-                self.board().landing.wait_free(ctx, side);
-                ctx.trace("bcast:ack");
-                let parent = emb.node_parent(my_node).expect("non-root node has a parent");
-                self.rma.put_counter(
-                    ctx,
-                    topo.master_of(parent),
-                    &self.inter(parent).bcast_free[my_node][side],
-                );
+                b.push(Step::CounterWait {
+                    ctr: CtrRef::LandingData { node: my_node, rel },
+                    n: 1,
+                });
+                b.push(Step::Trace("bcast:chunk-in"));
+                b.push(Step::PairPublish {
+                    pair: PairSel::Landing,
+                    side,
+                });
+                self.plan_forward_landing_chunk(b, &children, rel, clen);
+                b.push(Step::ShmCopy {
+                    src: BufRef::Landing {
+                        node: my_node,
+                        side,
+                    },
+                    src_off: Off::Lit(0),
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(read_streams),
+                });
+                b.push(Step::PairWaitFree {
+                    pair: PairSel::Landing,
+                    side,
+                });
+                b.push(Step::Trace("bcast:ack"));
+                let parent = emb
+                    .node_parent(my_node)
+                    .expect("non-root node has a parent");
+                b.push(Step::CounterPut {
+                    to: topo.master_of(parent),
+                    ctr: CtrRef::BcastFree {
+                        node: parent,
+                        child: my_node,
+                        rel,
+                    },
+                });
             } else {
                 // Plain reader: the put target is shared memory, so the
                 // data is consumed with a single copy.
-                self.board().landing.wait_published(ctx, side, self.slot());
-                ctx.trace("bcast:read");
-                self.board()
-                    .landing
-                    .buf(side)
-                    .read(ctx, 0, &mut tmp[..clen], p.saturating_sub(1).max(1));
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
-                self.board().landing.release(ctx, side, self.slot());
+                b.push(Step::PairWaitPublished {
+                    pair: PairSel::Landing,
+                    side,
+                });
+                b.push(Step::Trace("bcast:read"));
+                b.push(Step::ShmCopy {
+                    src: BufRef::Landing {
+                        node: my_node,
+                        side,
+                    },
+                    src_off: Off::Lit(0),
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(read_streams),
+                });
+                b.push(Step::PairRelease {
+                    pair: PairSel::Landing,
+                    side,
+                });
             }
         }
-        self.landing_seq.set(lbase + chunks as u64);
+        b.advance(SeqBase::Landing, chunks as u64);
     }
 
     /// Large-message broadcast (> 64 KB, Figure 4 right): an address
     /// exchange, then pipelined puts straight into the user buffers —
     /// no intermediate buffers whatsoever — overlapped with the
     /// intra-node two-buffer broadcast.
-    fn bcast_large(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, emb: &Embedding) {
+    fn plan_bcast_large(&self, b: &mut PlanBuilder, len: usize, emb: &Embedding) {
         let topo = self.topology();
         let t = self.tuning();
         let lc = t.large_chunk;
@@ -192,45 +302,36 @@ impl SrmComm {
 
         // Stage 1: address exchange (leaf→parent user-buffer handles).
         if master && my_node != root_node {
-            let parent = emb.node_parent(my_node).expect("non-root node has a parent");
-            self.rma.am(
-                ctx,
-                topo.master_of(parent),
-                AM_ADDR_XCHG,
-                Vec::new(),
-                Some(buf.clone()),
-            );
+            let parent = emb
+                .node_parent(my_node)
+                .expect("non-root node has a parent");
+            b.push(Step::AddrSend {
+                to: topo.master_of(parent),
+                am: AM_ADDR_XCHG,
+                src: HandleSrc::User,
+            });
         }
         let children = if master {
             emb.node_children(my_node)
         } else {
             Vec::new()
         };
-        let child_bufs: Vec<ShmBuffer> = children
-            .iter()
-            .map(|&c| {
-                self.inter(my_node).addr_slot[c].wait_take(
-                    ctx,
-                    "child user-buffer address",
-                    |s| s.take(),
-                )
-            })
-            .collect();
+        let child_idx: Vec<(NodeId, usize)> =
+            children.iter().map(|&c| (c, b.take_addr(c))).collect();
 
-        let put_chunk_to_children = |ctx: &Ctx, k: usize| {
+        let emit_puts_for_chunk = |b: &mut PlanBuilder, k: usize| {
             let coff = k * lc;
             let cl = lc.min(len - coff);
-            for (ci, &c) in children.iter().enumerate() {
-                self.rma.put(
-                    ctx,
-                    topo.master_of(c),
-                    buf,
-                    coff,
-                    cl,
-                    &child_bufs[ci],
-                    coff,
-                    Some(&self.inter(c).large_data),
-                );
+            for &(c, idx) in &child_idx {
+                b.push(Step::RmaPut {
+                    to: topo.master_of(c),
+                    src: BufRef::User,
+                    src_off: Off::Lit(coff),
+                    dst: BufRef::ChildUser { idx },
+                    dst_off: Off::Lit(coff),
+                    len: cl,
+                    ctr: Some(CtrRef::LargeData { node: c }),
+                });
             }
         };
 
@@ -239,60 +340,62 @@ impl SrmComm {
                 if master {
                     // Stage 2: pipelined zero-copy puts down the tree.
                     for k in 0..chunks {
-                        put_chunk_to_children(ctx, k);
+                        emit_puts_for_chunk(b, k);
                     }
                 }
                 // Stage 3: intra-node broadcast on the root node.
-                self.smp_bcast(ctx, buf, len, root);
+                self.plan_smp_bcast(b, len, root);
             } else if master {
                 // Master is an ordinary reader locally, but forwards
                 // each completed large chunk down the tree as soon as
                 // its cells have arrived through shared memory.
                 let cells = self.smp_cells(len);
-                let base = self.smp_seq.get();
+                let rel0 = b.rel(SeqBase::Smp);
                 let mut next_chunk = 0usize;
                 for j in 0..cells {
                     let (off, clen) = self.smp_cell(len, j);
-                    self.smp_cell_read(ctx, buf, off, clen, base + j as u64);
+                    self.plan_smp_cell_read(b, off, clen, rel0 + j as u64);
                     let done = off + clen;
                     while next_chunk < chunks && done >= (next_chunk * lc + lc).min(len) {
-                        put_chunk_to_children(ctx, next_chunk);
+                        emit_puts_for_chunk(b, next_chunk);
                         next_chunk += 1;
                     }
                 }
-                self.smp_seq.set(base + cells as u64);
+                b.advance(SeqBase::Smp, cells as u64);
             } else {
-                self.smp_bcast(ctx, buf, len, root);
+                self.plan_smp_bcast(b, len, root);
             }
         } else if master {
             // Stage 4 driver on a non-root node: as each chunk lands in
             // the user buffer, forward it, then feed the intra-node
             // pipeline cell by cell.
             let cells = self.smp_cells(len);
-            let base = self.smp_seq.get();
+            let rel0 = b.rel(SeqBase::Smp);
             let mut j = 0usize;
             for k in 0..chunks {
                 let coff = k * lc;
                 let cl = lc.min(len - coff);
-                self.rma
-                    .wait_counter(ctx, &self.inter(my_node).large_data, 1);
-                put_chunk_to_children(ctx, k);
+                b.push(Step::CounterWait {
+                    ctr: CtrRef::LargeData { node: my_node },
+                    n: 1,
+                });
+                emit_puts_for_chunk(b, k);
                 if p > 1 {
                     while j < cells {
                         let (off, clen) = self.smp_cell(len, j);
                         if off + clen > coff + cl {
                             break;
                         }
-                        self.smp_cell_write(ctx, buf, off, clen, base + j as u64);
+                        self.plan_smp_cell_write(b, off, clen, rel0 + j as u64);
                         j += 1;
                     }
                 }
             }
             if p > 1 {
-                self.smp_seq.set(base + cells as u64);
+                b.advance(SeqBase::Smp, cells as u64);
             }
         } else {
-            self.smp_bcast(ctx, buf, len, topo.master_of(my_node));
+            self.plan_smp_bcast(b, len, topo.master_of(my_node));
         }
     }
 
@@ -300,21 +403,11 @@ impl SrmComm {
     // Reduce
     // ----------------------------------------------------------------
 
-    /// Pipelined reduce (§2.4): a binomial tree within each node and
-    /// between the masters, chunked so that memory copies, operator
-    /// execution and network transfers overlap.
-    pub(crate) fn reduce_impl(
-        &self,
-        ctx: &Ctx,
-        buf: &ShmBuffer,
-        len: usize,
-        dtype: DType,
-        op: ReduceOp,
-        root: Rank,
-    ) {
+    /// Plan the pipelined reduce (§2.4): a binomial tree within each
+    /// node and between the masters, chunked so that memory copies,
+    /// operator execution and network transfers overlap.
+    pub(crate) fn plan_reduce(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
         let topo = self.topology();
-        assert!(root < topo.nprocs(), "reduce root out of range");
-        assert!(len <= buf.capacity(), "payload longer than buffer");
         if len == 0 || topo.nprocs() == 1 {
             return;
         }
@@ -322,7 +415,7 @@ impl SrmComm {
         let emb = Embedding::new(topo, root, self.tree());
         let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
         if toggles {
-            self.rma.set_interrupts(ctx, false);
+            b.push(Step::SetInterrupts(false));
         }
 
         let chunk = t.reduce_chunk;
@@ -330,89 +423,148 @@ impl SrmComm {
         let my_node = self.node();
         let root_node = emb.root_node();
         let xfer_case = my_node == root_node && root != topo.master_of(root_node);
-        let base_cum = self.reduce_cum.get();
-        let xbase = self.xfer_cum.get();
+        let rel0 = b.rel(SeqBase::Reduce);
+        let xrel0 = b.rel(SeqBase::Xfer);
 
         for k in 0..chunks {
             let off = k * chunk;
             let clen = chunk.min(len - off);
-            let cum = base_cum + k as u64;
-            let side = (cum % 2) as usize;
-            let result = self.smp_reduce_chunk(ctx, buf, off, clen, cum, 0, dtype, op);
+            let rel = rel0 + k as u64;
+            let has_acc = self.plan_smp_reduce_chunk(b, off, clen, rel, 0);
 
             if self.is_master() {
-                let mut acc = result.expect("master is the intra-node subtree root");
+                debug_assert!(has_acc, "master is the intra-node subtree root");
                 for c in emb.node_children_ascending(my_node) {
-                    self.rma
-                        .wait_counter(ctx, &self.inter(my_node).reduce_data[c][side], 1);
-                    combine_from_buffer_costed(
-                        ctx,
-                        dtype,
-                        op,
-                        &mut acc,
-                        &self.inter(my_node).reduce_landing[c][side],
-                        0,
-                    );
-                    self.rma.put_counter(
-                        ctx,
-                        topo.master_of(c),
-                        &self.inter(c).reduce_free[my_node][side],
-                    );
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::ReduceData {
+                            node: my_node,
+                            src: c,
+                            rel,
+                        },
+                        n: 1,
+                    });
+                    b.push(Step::LocalReduce {
+                        src: BufRef::ReduceLanding {
+                            node: my_node,
+                            src: c,
+                            rel,
+                        },
+                        src_off: Off::Lit(0),
+                        len: clen,
+                    });
+                    b.push(Step::CounterPut {
+                        to: topo.master_of(c),
+                        ctr: CtrRef::ReduceFree {
+                            node: c,
+                            dst: my_node,
+                            rel,
+                        },
+                    });
                 }
                 if my_node != root_node {
                     let parent = emb.node_parent(my_node).expect("non-root node");
-                    self.rma
-                        .wait_counter(ctx, &self.inter(my_node).reduce_free[parent][side], 1);
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::ReduceFree {
+                            node: my_node,
+                            dst: parent,
+                            rel,
+                        },
+                        n: 1,
+                    });
                     // Stage the combined chunk (the operator's output
                     // stream) and ship it.
-                    let soff = (cum % 2) as usize * chunk;
-                    self.board().contrib[0]
-                        .with_mut(|d| d[soff..soff + clen].copy_from_slice(&acc));
-                    self.rma.put(
-                        ctx,
-                        topo.master_of(parent),
-                        &self.board().contrib[0],
-                        soff,
-                        clen,
-                        &self.inter(parent).reduce_landing[my_node][side],
-                        0,
-                        Some(&self.inter(parent).reduce_data[my_node][side]),
-                    );
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Contrib { slot: 0 },
+                        dst_off: poff(SeqBase::Reduce, rel, chunk),
+                        len: clen,
+                        cost: CopyCost::Free,
+                    });
+                    b.push(Step::RmaPut {
+                        to: topo.master_of(parent),
+                        src: BufRef::Contrib { slot: 0 },
+                        src_off: poff(SeqBase::Reduce, rel, chunk),
+                        dst: BufRef::ReduceLanding {
+                            node: parent,
+                            src: my_node,
+                            rel,
+                        },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        ctr: Some(CtrRef::ReduceData {
+                            node: parent,
+                            src: my_node,
+                            rel,
+                        }),
+                    });
                 } else if self.me == root {
                     // The final operator pass writes directly at the
                     // destination (no intermediate buffer, §4).
-                    buf.with_mut(|d| d[off..off + clen].copy_from_slice(&acc));
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(off),
+                        len: clen,
+                        cost: CopyCost::Free,
+                    });
                 } else {
                     // Root is a non-master task on this node: hand the
                     // chunk over through the xfer buffer.
-                    let xcum = xbase + k as u64;
-                    let xoff = (xcum % 2) as usize * chunk;
-                    if xcum >= 2 {
-                        self.board().xfer_done.wait_ge(ctx, "xfer side drained", xcum - 1);
-                    }
-                    self.board()
-                        .xfer
-                        .with_mut(|d| d[xoff..xoff + clen].copy_from_slice(&acc));
-                    self.board().xfer_ready.set(ctx, xcum + 1);
+                    let xrel = xrel0 + k as u64;
+                    b.push(Step::DrainWait {
+                        flag: FlagRef::XferDone,
+                        base: SeqBase::Xfer,
+                        rel: xrel,
+                        scale: 1,
+                        label: "xfer side drained",
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Xfer,
+                        dst_off: poff(SeqBase::Xfer, xrel, chunk),
+                        len: clen,
+                        cost: CopyCost::Free,
+                    });
+                    b.push(Step::FlagRaise {
+                        flag: FlagRef::XferReady,
+                        val: seq(SeqBase::Xfer, xrel + 1),
+                    });
                 }
             } else if xfer_case && self.me == root {
-                let xcum = xbase + k as u64;
-                let xoff = (xcum % 2) as usize * chunk;
-                self.board()
-                    .xfer_ready
-                    .wait_ge(ctx, "xfer chunk ready", xcum + 1);
-                let mut tmp = vec![0u8; clen];
-                self.board().xfer.read(ctx, xoff, &mut tmp, 1);
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
-                self.board().xfer_done.set(ctx, xcum + 1);
+                let xrel = xrel0 + k as u64;
+                b.push(Step::FlagWaitGe {
+                    flag: FlagRef::XferReady,
+                    val: seq(SeqBase::Xfer, xrel + 1),
+                    label: "xfer chunk ready",
+                });
+                b.push(Step::ShmCopy {
+                    src: BufRef::Xfer,
+                    src_off: poff(SeqBase::Xfer, xrel, chunk),
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(1),
+                });
+                b.push(Step::FlagRaise {
+                    flag: FlagRef::XferDone,
+                    val: seq(SeqBase::Xfer, xrel + 1),
+                });
             }
         }
-        self.reduce_cum.set(base_cum + chunks as u64);
+        if self.is_master() {
+            // The tree root's own contribution channel went unused
+            // (slot 0's buffer stages puts; its flags carry no data).
+            self.plan_contrib_catchup(b, rel0 + chunks as u64);
+        }
+        b.advance(SeqBase::Reduce, chunks as u64);
         if xfer_case {
-            self.xfer_cum.set(xbase + chunks as u64);
+            b.advance(SeqBase::Xfer, chunks as u64);
         }
         if toggles {
-            self.rma.set_interrupts(ctx, true);
+            b.push(Step::SetInterrupts(true));
         }
     }
 
@@ -420,57 +572,54 @@ impl SrmComm {
     // Allreduce
     // ----------------------------------------------------------------
 
-    /// Allreduce entry point: recursive doubling between nodes up to
-    /// 16 KB, the four-stage pipeline above (§2.4, Figure 5).
-    pub(crate) fn allreduce_impl(
-        &self,
-        ctx: &Ctx,
-        buf: &ShmBuffer,
-        len: usize,
-        dtype: DType,
-        op: ReduceOp,
-    ) {
+    /// Plan an allreduce: recursive doubling between nodes up to 16 KB,
+    /// the four-stage pipeline above (§2.4, Figure 5).
+    pub(crate) fn plan_allreduce(&self, b: &mut PlanBuilder, len: usize) {
         let topo = self.topology();
-        assert!(len <= buf.capacity(), "payload longer than buffer");
         if len == 0 || topo.nprocs() == 1 {
             return;
         }
         let t = self.tuning();
         let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
         if toggles {
-            self.rma.set_interrupts(ctx, false);
+            b.push(Step::SetInterrupts(false));
         }
         if len <= t.allreduce_rd_max {
-            self.allreduce_small(ctx, buf, len, dtype, op);
+            self.plan_allreduce_small(b, len);
         } else {
-            self.allreduce_large(ctx, buf, len, dtype, op);
+            self.plan_allreduce_large(b, len);
         }
         if toggles {
-            self.rma.set_interrupts(ctx, true);
+            b.push(Step::SetInterrupts(true));
         }
     }
 
     /// Up to 16 KB: one intra-node reduce to the master,
-    /// recursive-doubling
-    /// pairwise exchange between the masters, intra-node broadcast.
-    fn allreduce_small(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+    /// recursive-doubling pairwise exchange between the masters,
+    /// intra-node broadcast.
+    fn plan_allreduce_small(&self, b: &mut PlanBuilder, len: usize) {
         let topo = self.topology();
         let chunk = self.tuning().reduce_chunk;
-        let cum = self.reduce_cum.get();
-        let result = self.smp_reduce_chunk(ctx, buf, 0, len, cum, 0, dtype, op);
-        self.reduce_cum.set(cum + 1);
+        let rel = b.rel(SeqBase::Reduce);
+        let has_acc = self.plan_smp_reduce_chunk(b, 0, len, rel, 0);
+        let soff = poff(SeqBase::Reduce, rel, chunk);
 
         if self.is_master() {
-            let mut acc = result.expect("master is the subtree root");
+            debug_assert!(has_acc, "master is the subtree root");
             let n = topo.nodes();
             if n > 1 {
                 let my = self.node();
-                let soff = (cum % 2) as usize * chunk;
                 // Staging a chunk for a put is the output stream of the
                 // last operator pass — no charged copy.
-                let stage = |data: &[u8]| {
-                    self.board().contrib[0]
-                        .with_mut(|d| d[soff..soff + data.len()].copy_from_slice(data));
+                let stage = |b: &mut PlanBuilder| {
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Contrib { slot: 0 },
+                        dst_off: soff,
+                        len,
+                        cost: CopyCost::Free,
+                    });
                 };
                 let pof2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
                 let rem = n - pof2;
@@ -478,31 +627,35 @@ impl SrmComm {
                 // Fold the extra nodes into their even neighbours.
                 let newnode: isize = if my < 2 * rem {
                     if my % 2 == 1 {
-                        self.rma.wait_counter(ctx, &self.inter(my).fold_free, 1);
-                        stage(&acc);
-                        self.rma.put(
-                            ctx,
-                            topo.master_of(my - 1),
-                            &self.board().contrib[0],
-                            soff,
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::FoldFree { node: my },
+                            n: 1,
+                        });
+                        stage(b);
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(my - 1),
+                            src: BufRef::Contrib { slot: 0 },
+                            src_off: soff,
+                            dst: BufRef::FoldLanding { node: my - 1 },
+                            dst_off: Off::Lit(0),
                             len,
-                            &self.inter(my - 1).fold_landing,
-                            0,
-                            Some(&self.inter(my - 1).fold_data),
-                        );
+                            ctr: Some(CtrRef::FoldData { node: my - 1 }),
+                        });
                         -1
                     } else {
-                        self.rma.wait_counter(ctx, &self.inter(my).fold_data, 1);
-                        combine_from_buffer_costed(
-                            ctx,
-                            dtype,
-                            op,
-                            &mut acc,
-                            &self.inter(my).fold_landing,
-                            0,
-                        );
-                        self.rma
-                            .put_counter(ctx, topo.master_of(my + 1), &self.inter(my + 1).fold_free);
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::FoldData { node: my },
+                            n: 1,
+                        });
+                        b.push(Step::LocalReduce {
+                            src: BufRef::FoldLanding { node: my },
+                            src_off: Off::Lit(0),
+                            len,
+                        });
+                        b.push(Step::CounterPut {
+                            to: topo.master_of(my + 1),
+                            ctr: CtrRef::FoldFree { node: my + 1 },
+                        });
                         (my / 2) as isize
                     }
                 } else {
@@ -516,29 +669,42 @@ impl SrmComm {
                     while mask < pof2 {
                         let pn = newnode ^ mask;
                         let partner = if pn < rem { pn * 2 } else { pn + rem };
-                        self.rma.wait_counter(ctx, &self.inter(my).rd_free[round], 1);
-                        stage(&acc);
-                        self.rma.put(
-                            ctx,
-                            topo.master_of(partner),
-                            &self.board().contrib[0],
-                            soff,
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::RdFree { node: my, round },
+                            n: 1,
+                        });
+                        stage(b);
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(partner),
+                            src: BufRef::Contrib { slot: 0 },
+                            src_off: soff,
+                            dst: BufRef::RdLanding {
+                                node: partner,
+                                round,
+                            },
+                            dst_off: Off::Lit(0),
                             len,
-                            &self.inter(partner).rd_landing[round],
-                            0,
-                            Some(&self.inter(partner).rd_data[round]),
-                        );
-                        self.rma.wait_counter(ctx, &self.inter(my).rd_data[round], 1);
-                        combine_from_buffer_costed(
-                            ctx,
-                            dtype,
-                            op,
-                            &mut acc,
-                            &self.inter(my).rd_landing[round],
-                            0,
-                        );
-                        self.rma
-                            .put_counter(ctx, topo.master_of(partner), &self.inter(partner).rd_free[round]);
+                            ctr: Some(CtrRef::RdData {
+                                node: partner,
+                                round,
+                            }),
+                        });
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::RdData { node: my, round },
+                            n: 1,
+                        });
+                        b.push(Step::LocalReduce {
+                            src: BufRef::RdLanding { node: my, round },
+                            src_off: Off::Lit(0),
+                            len,
+                        });
+                        b.push(Step::CounterPut {
+                            to: topo.master_of(partner),
+                            ctr: CtrRef::RdFree {
+                                node: partner,
+                                round,
+                            },
+                        });
                         mask <<= 1;
                         round += 1;
                     }
@@ -547,33 +713,54 @@ impl SrmComm {
                 // Unfold: hand the result back to the folded-out nodes.
                 if my < 2 * rem {
                     if my.is_multiple_of(2) {
-                        stage(&acc);
-                        self.rma.put(
-                            ctx,
-                            topo.master_of(my + 1),
-                            &self.board().contrib[0],
-                            soff,
+                        stage(b);
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(my + 1),
+                            src: BufRef::Contrib { slot: 0 },
+                            src_off: soff,
+                            dst: BufRef::FoldLanding { node: my + 1 },
+                            dst_off: Off::Lit(0),
                             len,
-                            &self.inter(my + 1).fold_landing,
-                            0,
-                            Some(&self.inter(my + 1).unfold_data),
-                        );
+                            ctr: Some(CtrRef::UnfoldData { node: my + 1 }),
+                        });
                     } else {
-                        self.rma.wait_counter(ctx, &self.inter(my).unfold_data, 1);
-                        self.inter(my).fold_landing.read(ctx, 0, &mut acc, 1);
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::UnfoldData { node: my },
+                            n: 1,
+                        });
+                        b.push(Step::ShmCopy {
+                            src: BufRef::FoldLanding { node: my },
+                            src_off: Off::Lit(0),
+                            dst: BufRef::Acc,
+                            dst_off: Off::Lit(0),
+                            len,
+                            cost: CopyCost::Read(1),
+                        });
                     }
                 }
             }
-            buf.with_mut(|d| d[..len].copy_from_slice(&acc));
+            b.push(Step::ShmCopy {
+                src: BufRef::Acc,
+                src_off: Off::Lit(0),
+                dst: BufRef::User,
+                dst_off: Off::Lit(0),
+                len,
+                cost: CopyCost::Free,
+            });
         }
-        self.smp_bcast(ctx, buf, len, topo.master_of(self.node()));
+        if self.is_master() {
+            // The tree root's own contribution channel went unused.
+            self.plan_contrib_catchup(b, rel + 1);
+        }
+        b.advance(SeqBase::Reduce, 1);
+        self.plan_smp_bcast(b, len, topo.master_of(self.node()));
     }
 
     /// Above 16 KB: the four-stage pipeline of Figure 5 — per chunk:
     /// intra-node reduce, inter-node reduce toward node 0, inter-node
     /// broadcast away from node 0, intra-node broadcast. One-sided puts
     /// let the stages of consecutive chunks overlap.
-    fn allreduce_large(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+    fn plan_allreduce_large(&self, b: &mut PlanBuilder, len: usize) {
         let topo = self.topology();
         let t = self.tuning();
         let emb = Embedding::new(topo, 0, self.tree());
@@ -581,8 +768,9 @@ impl SrmComm {
         let chunks = SrmTuning::chunk_count(len, chunk);
         let p = topo.tasks_per_node();
         let my_node = self.node();
-        let base_cum = self.reduce_cum.get();
-        let lbase = self.landing_seq.get();
+        let rel0 = b.rel(SeqBase::Reduce);
+        let lrel0 = b.rel(SeqBase::Landing);
+        let read_streams = p.saturating_sub(1).max(1);
         let bcast_children = if self.is_master() {
             emb.node_children(my_node)
         } else {
@@ -592,130 +780,772 @@ impl SrmComm {
         for k in 0..chunks {
             let off = k * chunk;
             let clen = chunk.min(len - off);
-            let cum = base_cum + k as u64;
-            let side = (cum % 2) as usize;
-            let lside = ((lbase + k as u64) % 2) as usize;
-            let result = self.smp_reduce_chunk(ctx, buf, off, clen, cum, 0, dtype, op);
+            let rel = rel0 + k as u64;
+            let lrel = lrel0 + k as u64;
+            let lside = par(SeqBase::Landing, lrel);
+            let has_acc = self.plan_smp_reduce_chunk(b, off, clen, rel, 0);
 
             if self.is_master() {
-                let mut acc = result.expect("master is the subtree root");
+                debug_assert!(has_acc, "master is the subtree root");
                 // Inter-node reduce leg.
                 for c in emb.node_children_ascending(my_node) {
-                    self.rma
-                        .wait_counter(ctx, &self.inter(my_node).reduce_data[c][side], 1);
-                    combine_from_buffer_costed(
-                        ctx,
-                        dtype,
-                        op,
-                        &mut acc,
-                        &self.inter(my_node).reduce_landing[c][side],
-                        0,
-                    );
-                    self.rma.put_counter(
-                        ctx,
-                        topo.master_of(c),
-                        &self.inter(c).reduce_free[my_node][side],
-                    );
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::ReduceData {
+                            node: my_node,
+                            src: c,
+                            rel,
+                        },
+                        n: 1,
+                    });
+                    b.push(Step::LocalReduce {
+                        src: BufRef::ReduceLanding {
+                            node: my_node,
+                            src: c,
+                            rel,
+                        },
+                        src_off: Off::Lit(0),
+                        len: clen,
+                    });
+                    b.push(Step::CounterPut {
+                        to: topo.master_of(c),
+                        ctr: CtrRef::ReduceFree {
+                            node: c,
+                            dst: my_node,
+                            rel,
+                        },
+                    });
                 }
                 if my_node != 0 {
                     let parent = emb.node_parent(my_node).expect("non-zero node");
-                    self.rma
-                        .wait_counter(ctx, &self.inter(my_node).reduce_free[parent][side], 1);
-                    let soff = (cum % 2) as usize * chunk;
-                    self.board().contrib[0]
-                        .with_mut(|d| d[soff..soff + clen].copy_from_slice(&acc));
-                    self.rma.put(
-                        ctx,
-                        topo.master_of(parent),
-                        &self.board().contrib[0],
-                        soff,
-                        clen,
-                        &self.inter(parent).reduce_landing[my_node][side],
-                        0,
-                        Some(&self.inter(parent).reduce_data[my_node][side]),
-                    );
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::ReduceFree {
+                            node: my_node,
+                            dst: parent,
+                            rel,
+                        },
+                        n: 1,
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Contrib { slot: 0 },
+                        dst_off: poff(SeqBase::Reduce, rel, chunk),
+                        len: clen,
+                        cost: CopyCost::Free,
+                    });
+                    b.push(Step::RmaPut {
+                        to: topo.master_of(parent),
+                        src: BufRef::Contrib { slot: 0 },
+                        src_off: poff(SeqBase::Reduce, rel, chunk),
+                        dst: BufRef::ReduceLanding {
+                            node: parent,
+                            src: my_node,
+                            rel,
+                        },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        ctr: Some(CtrRef::ReduceData {
+                            node: parent,
+                            src: my_node,
+                            rel,
+                        }),
+                    });
                     // Inter-node broadcast leg: wait for the combined
                     // chunk to come back, forward, distribute locally.
-                    self.rma
-                        .wait_counter(ctx, &self.board().landing_data[lside], 1);
-                    self.publish_landing(ctx, lside);
-                    self.forward_landing_chunk(ctx, &bcast_children, lside, clen);
-                    let mut tmp = vec![0u8; clen];
-                    self.board()
-                        .landing
-                        .buf(lside)
-                        .read(ctx, 0, &mut tmp, p.saturating_sub(1).max(1));
-                    buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
-                    self.board().landing.wait_free(ctx, lside);
-                    self.rma.put_counter(
-                        ctx,
-                        topo.master_of(parent),
-                        &self.inter(parent).bcast_free[my_node][lside],
-                    );
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::LandingData {
+                            node: my_node,
+                            rel: lrel,
+                        },
+                        n: 1,
+                    });
+                    b.push(Step::PairPublish {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    self.plan_forward_landing_chunk(b, &bcast_children, lrel, clen);
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Landing {
+                            node: my_node,
+                            side: lside,
+                        },
+                        src_off: Off::Lit(0),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(off),
+                        len: clen,
+                        cost: CopyCost::Read(read_streams),
+                    });
+                    b.push(Step::PairWaitFree {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    b.push(Step::CounterPut {
+                        to: topo.master_of(parent),
+                        ctr: CtrRef::BcastFree {
+                            node: parent,
+                            child: my_node,
+                            rel: lrel,
+                        },
+                    });
                 } else {
                     // Node 0: the chunk is fully combined; start the
                     // broadcast leg from here.
-                    self.board().landing.wait_free(ctx, lside);
-                    self.board().landing.buf(lside).write(ctx, 0, &acc, 1);
-                    self.publish_landing(ctx, lside);
-                    self.forward_landing_chunk(ctx, &bcast_children, lside, clen);
-                    buf.with_mut(|d| d[off..off + clen].copy_from_slice(&acc));
+                    b.push(Step::PairWaitFree {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Landing {
+                            node: my_node,
+                            side: lside,
+                        },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        cost: CopyCost::Write(1),
+                    });
+                    b.push(Step::PairPublish {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    self.plan_forward_landing_chunk(b, &bcast_children, lrel, clen);
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(off),
+                        len: clen,
+                        cost: CopyCost::Free,
+                    });
                 }
             } else {
                 // Non-master: consume the broadcast chunk from the
                 // landing buffer.
-                self.board().landing.wait_published(ctx, lside, self.slot());
-                let mut tmp = vec![0u8; clen];
-                self.board()
-                    .landing
-                    .buf(lside)
-                    .read(ctx, 0, &mut tmp, p.saturating_sub(1).max(1));
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
-                self.board().landing.release(ctx, lside, self.slot());
+                b.push(Step::PairWaitPublished {
+                    pair: PairSel::Landing,
+                    side: lside,
+                });
+                b.push(Step::ShmCopy {
+                    src: BufRef::Landing {
+                        node: my_node,
+                        side: lside,
+                    },
+                    src_off: Off::Lit(0),
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(read_streams),
+                });
+                b.push(Step::PairRelease {
+                    pair: PairSel::Landing,
+                    side: lside,
+                });
             }
         }
-        self.reduce_cum.set(base_cum + chunks as u64);
-        self.landing_seq.set(lbase + chunks as u64);
+        if self.is_master() {
+            // The tree root's own contribution channel went unused.
+            self.plan_contrib_catchup(b, rel0 + chunks as u64);
+        }
+        b.advance(SeqBase::Reduce, chunks as u64);
+        b.advance(SeqBase::Landing, chunks as u64);
     }
 
     // ----------------------------------------------------------------
     // Barrier
     // ----------------------------------------------------------------
 
-    /// Global barrier (§2.4 and [17]): flat flag check-in on each node,
-    /// pairwise-exchange (dissemination) rounds with zero-byte puts
-    /// between the masters on cumulative counters, then the flag reset
-    /// releases the node.
-    pub(crate) fn barrier_impl(&self, ctx: &Ctx) {
+    /// Plan a global barrier (§2.4 and [17]): flat flag check-in on
+    /// each node, pairwise-exchange (dissemination) rounds with
+    /// zero-byte puts between the masters on cumulative counters, then
+    /// the flag reset releases the node.
+    pub(crate) fn plan_barrier(&self, b: &mut PlanBuilder) {
         let topo = self.topology();
         if topo.nprocs() == 1 {
             return;
         }
         let toggles = topo.multi_node() && self.is_master();
         if toggles {
-            self.rma.set_interrupts(ctx, false);
+            b.push(Step::SetInterrupts(false));
         }
-        self.smp_barrier_enter(ctx);
+        self.plan_smp_barrier_enter(b);
         let n = topo.nodes();
         if self.is_master() && n > 1 {
-            let seq = self.barrier_seq.get() + 1;
             let my = self.node();
             let mut dist = 1usize;
             let mut round = 0usize;
             while dist < n {
                 let to = (my + dist) % n;
-                self.rma
-                    .put_counter(ctx, topo.master_of(to), &self.inter(to).bar_round[round]);
-                self.rma
-                    .wait_counter_ge(ctx, &self.inter(my).bar_round[round], seq);
+                b.push(Step::CounterPut {
+                    to: topo.master_of(to),
+                    ctr: CtrRef::BarRound { node: to, round },
+                });
+                b.push(Step::CounterWaitGe {
+                    ctr: CtrRef::BarRound { node: my, round },
+                    val: seq(SeqBase::Barrier, 1),
+                });
                 dist <<= 1;
                 round += 1;
             }
         }
-        self.barrier_seq.set(self.barrier_seq.get() + 1);
-        self.smp_barrier_release(ctx);
+        b.advance(SeqBase::Barrier, 1);
+        self.plan_smp_barrier_release(b);
         if toggles {
-            self.rma.set_interrupts(ctx, true);
+            b.push(Step::SetInterrupts(true));
         }
+    }
+
+    // ----------------------------------------------------------------
+    // Gather / Scatter / Allgather
+    // ----------------------------------------------------------------
+
+    /// Plan a gather: every rank's segment `buf[me*len..(me+1)*len]`
+    /// reaches the root's buffer at the same global offsets.
+    ///
+    /// Protocol: non-master tasks relay their segment in reduce-chunk
+    /// pieces through their per-slot contribution buffers (the reduce
+    /// leaf pattern); each master puts the pieces **straight into the
+    /// root's user buffer** at their final offsets — zero staging at
+    /// the root — after a one-AM address exchange, bumping the root
+    /// node's `large_data` counter per piece. The root consumes local
+    /// contributions through shared memory and finally waits for the
+    /// full remote piece count. Interrupts stay enabled: the root-node
+    /// master may finish its own steps before remote puts arrive.
+    pub(crate) fn plan_gather(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
+        let topo = self.topology();
+        if len == 0 || topo.nprocs() == 1 {
+            return;
+        }
+        let t = self.tuning();
+        let chunk = t.reduce_chunk;
+        let chunks = SrmTuning::chunk_count(len, chunk);
+        let p = topo.tasks_per_node();
+        let nodes = topo.nodes();
+        let my_node = self.node();
+        let my = self.slot();
+        let root_node = topo.node_of(root);
+        let root_slot = topo.slot_of(root);
+        let multi = topo.multi_node();
+        // When the root is not its node's master, the *master* is the
+        // target of the remote puts, so the master must be the rank
+        // that waits for them (it may not leave the call — and later
+        // disable interrupts or shut down — while puts are in flight);
+        // it then signals the root over the xfer channel.
+        let master_waits = multi && root_slot != 0;
+        let rel0 = b.rel(SeqBase::Reduce);
+        let xrel0 = b.rel(SeqBase::Xfer);
+        let write_streams = p.saturating_sub(1).max(1);
+
+        // Relay my segment chunk-by-chunk through my contribution
+        // buffer (producer half of the reduce-leaf pattern).
+        let contribute = |b: &mut PlanBuilder, comm: &SrmComm| {
+            for k in 0..chunks {
+                let rel = rel0 + k as u64;
+                let koff = k * chunk;
+                let clen = chunk.min(len - koff);
+                b.push(Step::DrainWait {
+                    flag: FlagRef::ContribDone { slot: my },
+                    base: SeqBase::Reduce,
+                    rel,
+                    scale: 1,
+                    label: "contrib side drained",
+                });
+                b.push(Step::ShmCopy {
+                    src: BufRef::User,
+                    src_off: Off::Lit(comm.me * len + koff),
+                    dst: BufRef::Contrib { slot: my },
+                    dst_off: poff(SeqBase::Reduce, rel, chunk),
+                    len: clen,
+                    cost: CopyCost::Write(write_streams),
+                });
+                b.push(Step::FlagRaise {
+                    flag: FlagRef::ContribReady { slot: my },
+                    val: seq(SeqBase::Reduce, rel + 1),
+                });
+            }
+        };
+
+        if self.me == root {
+            // Hand my buffer handle to my master so it can forward it
+            // to the remote masters.
+            if multi && my != 0 {
+                b.push(Step::BoardAddrPut);
+            }
+            if multi && my == 0 {
+                for m in 0..nodes {
+                    if m != root_node {
+                        b.push(Step::AddrSend {
+                            to: topo.master_of(m),
+                            am: AM_GS_ADDR,
+                            src: HandleSrc::User,
+                        });
+                    }
+                }
+            }
+            // Consume every other local slot's segment.
+            for s in 0..p {
+                if s == root_slot {
+                    continue;
+                }
+                let seg = (my_node * p + s) * len;
+                for k in 0..chunks {
+                    let rel = rel0 + k as u64;
+                    let koff = k * chunk;
+                    let clen = chunk.min(len - koff);
+                    b.push(Step::FlagWaitGe {
+                        flag: FlagRef::ContribReady { slot: s },
+                        val: seq(SeqBase::Reduce, rel + 1),
+                        label: "gather contribution ready",
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Contrib { slot: s },
+                        src_off: poff(SeqBase::Reduce, rel, chunk),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(seg + koff),
+                        len: clen,
+                        cost: CopyCost::Read(1),
+                    });
+                    b.push(Step::FlagRaise {
+                        flag: FlagRef::ContribDone { slot: s },
+                        val: seq(SeqBase::Reduce, rel + 1),
+                    });
+                }
+            }
+            // Wait for every remote piece to land in my buffer.
+            if multi {
+                if master_waits {
+                    b.push(Step::FlagWaitGe {
+                        flag: FlagRef::XferReady,
+                        val: seq(SeqBase::Xfer, xrel0 + 1),
+                        label: "gather remote pieces landed",
+                    });
+                    b.push(Step::FlagRaise {
+                        flag: FlagRef::XferDone,
+                        val: seq(SeqBase::Xfer, xrel0 + 1),
+                    });
+                } else {
+                    let remote = ((nodes - 1) * p * chunks) as u64;
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::LargeData { node: root_node },
+                        n: remote,
+                    });
+                }
+                b.push(Step::Trace("gather:done"));
+            }
+            // The root's own contribution channel went unused.
+            self.plan_contrib_catchup(b, rel0 + chunks as u64);
+        } else if my_node == root_node {
+            // Root-node master (when it is not the root) forwards the
+            // root's handle before contributing its own segment.
+            if multi && my == 0 {
+                b.push(Step::BoardAddrTake);
+                for m in 0..nodes {
+                    if m != root_node {
+                        b.push(Step::AddrSend {
+                            to: topo.master_of(m),
+                            am: AM_GS_ADDR,
+                            src: HandleSrc::RootUser,
+                        });
+                    }
+                }
+            }
+            contribute(b, self);
+            if master_waits && my == 0 {
+                // I am the target of the remote puts: absorb them all,
+                // then wake the root through the xfer flags.
+                let remote = ((nodes - 1) * p * chunks) as u64;
+                b.push(Step::CounterWait {
+                    ctr: CtrRef::LargeData { node: root_node },
+                    n: remote,
+                });
+                b.push(Step::FlagRaise {
+                    flag: FlagRef::XferReady,
+                    val: seq(SeqBase::Xfer, xrel0 + 1),
+                });
+            }
+        } else if my == 0 {
+            // Remote master: learn the root's buffer, put my own
+            // segment, then relay every local slot's pieces.
+            b.push(Step::GsRootTake);
+            for k in 0..chunks {
+                let koff = k * chunk;
+                let clen = chunk.min(len - koff);
+                b.push(Step::RmaPut {
+                    to: topo.master_of(root_node),
+                    src: BufRef::User,
+                    src_off: Off::Lit(self.me * len + koff),
+                    dst: BufRef::RootUser,
+                    dst_off: Off::Lit(self.me * len + koff),
+                    len: clen,
+                    ctr: Some(CtrRef::LargeData { node: root_node }),
+                });
+            }
+            for s in 1..p {
+                let seg = (my_node * p + s) * len;
+                for k in 0..chunks {
+                    let rel = rel0 + k as u64;
+                    let koff = k * chunk;
+                    let clen = chunk.min(len - koff);
+                    b.push(Step::FlagWaitGe {
+                        flag: FlagRef::ContribReady { slot: s },
+                        val: seq(SeqBase::Reduce, rel + 1),
+                        label: "gather contribution ready",
+                    });
+                    b.push(Step::Trace("gather:relay"));
+                    b.push(Step::RmaPut {
+                        to: topo.master_of(root_node),
+                        src: BufRef::Contrib { slot: s },
+                        src_off: poff(SeqBase::Reduce, rel, chunk),
+                        dst: BufRef::RootUser,
+                        dst_off: Off::Lit(seg + koff),
+                        len: clen,
+                        ctr: Some(CtrRef::LargeData { node: root_node }),
+                    });
+                    b.push(Step::FlagRaise {
+                        flag: FlagRef::ContribDone { slot: s },
+                        val: seq(SeqBase::Reduce, rel + 1),
+                    });
+                }
+            }
+            // My own segment bypassed my contribution channel.
+            self.plan_contrib_catchup(b, rel0 + chunks as u64);
+        } else {
+            contribute(b, self);
+        }
+        b.advance(SeqBase::Reduce, chunks as u64);
+        if master_waits && my_node == root_node {
+            b.advance(SeqBase::Xfer, 1);
+        }
+    }
+
+    /// Plan a scatter: the root's `buf[..nprocs*len]` is cut into
+    /// per-rank segments; rank `i` receives `buf[i*len..(i+1)*len]`.
+    ///
+    /// Protocol: the root streams each destination node's `p*len`-byte
+    /// block in chunks through the reduce landing channels (reusing
+    /// their credit protocol unchanged); the receiving master relays
+    /// each chunk into the node's landing pair, where every slot copies
+    /// out just the overlap with its own segment. A root that is not
+    /// its node's master hands chunks to the master through the `xfer`
+    /// buffer, exactly like the reduce handoff in the other direction.
+    pub(crate) fn plan_scatter(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
+        let topo = self.topology();
+        if len == 0 || topo.nprocs() == 1 {
+            return;
+        }
+        let t = self.tuning();
+        let chunk = t.reduce_chunk.min(t.small_large_switch);
+        let p = topo.tasks_per_node();
+        let nodes = topo.nodes();
+        let block = p * len;
+        let chunks = SrmTuning::chunk_count(block, chunk);
+        let my_node = self.node();
+        let my = self.slot();
+        let root_node = topo.node_of(root);
+        let root_slot = topo.slot_of(root);
+        let multi = topo.multi_node();
+        let xfer_relay = multi && root_slot != 0;
+        let rel0 = b.rel(SeqBase::Reduce);
+        let lrel0 = b.rel(SeqBase::Landing);
+        let xrel0 = b.rel(SeqBase::Xfer);
+        let read_streams = p.saturating_sub(1).max(1);
+
+        // Overlap of block-chunk `k` with slot `s`'s segment, in block
+        // coordinates: `None` when the chunk carries none of it.
+        let overlap = |k: usize, s: usize| -> Option<(usize, usize)> {
+            let koff = k * chunk;
+            let kend = (koff + chunk).min(block);
+            let lo = koff.max(s * len);
+            let hi = kend.min((s + 1) * len);
+            (lo < hi).then(|| (lo, hi - lo))
+        };
+        // Reader side of the landing-pair distribution of my node's
+        // block (every non-publishing slot must release every chunk).
+        let read_block = |b: &mut PlanBuilder| {
+            for k in 0..chunks {
+                let lrel = lrel0 + k as u64;
+                let lside = par(SeqBase::Landing, lrel);
+                b.push(Step::PairWaitPublished {
+                    pair: PairSel::Landing,
+                    side: lside,
+                });
+                if let Some((lo, olen)) = overlap(k, my) {
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Landing {
+                            node: my_node,
+                            side: lside,
+                        },
+                        src_off: Off::Lit(lo - k * chunk),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(my_node * block + lo),
+                        len: olen,
+                        cost: CopyCost::Read(read_streams),
+                    });
+                }
+                b.push(Step::PairRelease {
+                    pair: PairSel::Landing,
+                    side: lside,
+                });
+            }
+        };
+
+        if self.me == root {
+            // Ship every other node's block through the reduce landing
+            // channels (directly, or via my master over `xfer`).
+            if multi {
+                let mut xi = 0u64;
+                for c in 0..nodes {
+                    if c == root_node {
+                        continue;
+                    }
+                    for k in 0..chunks {
+                        let rel = rel0 + k as u64;
+                        let goff = c * block + k * chunk;
+                        let clen = chunk.min(block - k * chunk);
+                        if root_slot == 0 {
+                            b.push(Step::CounterWait {
+                                ctr: CtrRef::ReduceFree {
+                                    node: root_node,
+                                    dst: c,
+                                    rel,
+                                },
+                                n: 1,
+                            });
+                            b.push(Step::RmaPut {
+                                to: topo.master_of(c),
+                                src: BufRef::User,
+                                src_off: Off::Lit(goff),
+                                dst: BufRef::ReduceLanding {
+                                    node: c,
+                                    src: root_node,
+                                    rel,
+                                },
+                                dst_off: Off::Lit(0),
+                                len: clen,
+                                ctr: Some(CtrRef::ReduceData {
+                                    node: c,
+                                    src: root_node,
+                                    rel,
+                                }),
+                            });
+                        } else {
+                            let xrel = xrel0 + xi;
+                            b.push(Step::DrainWait {
+                                flag: FlagRef::XferDone,
+                                base: SeqBase::Xfer,
+                                rel: xrel,
+                                scale: 1,
+                                label: "xfer side drained",
+                            });
+                            b.push(Step::ShmCopy {
+                                src: BufRef::User,
+                                src_off: Off::Lit(goff),
+                                dst: BufRef::Xfer,
+                                dst_off: poff(SeqBase::Xfer, xrel, chunk),
+                                len: clen,
+                                cost: CopyCost::Free,
+                            });
+                            b.push(Step::FlagRaise {
+                                flag: FlagRef::XferReady,
+                                val: seq(SeqBase::Xfer, xrel + 1),
+                            });
+                            xi += 1;
+                        }
+                    }
+                }
+            }
+            // Distribute my own node's block through the landing pair.
+            if p > 1 {
+                for k in 0..chunks {
+                    let lrel = lrel0 + k as u64;
+                    let lside = par(SeqBase::Landing, lrel);
+                    let clen = chunk.min(block - k * chunk);
+                    b.push(Step::PairWaitFree {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::User,
+                        src_off: Off::Lit(root_node * block + k * chunk),
+                        dst: BufRef::Landing {
+                            node: my_node,
+                            side: lside,
+                        },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        cost: CopyCost::Write(1),
+                    });
+                    b.push(Step::PairPublish {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                }
+            }
+        } else if my_node == root_node {
+            if my == 0 && xfer_relay {
+                // Master relays the root's xfer chunks onto the wire.
+                let mut xi = 0u64;
+                for c in 0..nodes {
+                    if c == root_node {
+                        continue;
+                    }
+                    for k in 0..chunks {
+                        let rel = rel0 + k as u64;
+                        let clen = chunk.min(block - k * chunk);
+                        let xrel = xrel0 + xi;
+                        b.push(Step::FlagWaitGe {
+                            flag: FlagRef::XferReady,
+                            val: seq(SeqBase::Xfer, xrel + 1),
+                            label: "xfer chunk ready",
+                        });
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::ReduceFree {
+                                node: root_node,
+                                dst: c,
+                                rel,
+                            },
+                            n: 1,
+                        });
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(c),
+                            src: BufRef::Xfer,
+                            src_off: poff(SeqBase::Xfer, xrel, chunk),
+                            dst: BufRef::ReduceLanding {
+                                node: c,
+                                src: root_node,
+                                rel,
+                            },
+                            dst_off: Off::Lit(0),
+                            len: clen,
+                            ctr: Some(CtrRef::ReduceData {
+                                node: c,
+                                src: root_node,
+                                rel,
+                            }),
+                        });
+                        // The put snapshots the source synchronously, so
+                        // the side is reusable as soon as it is issued.
+                        b.push(Step::FlagRaise {
+                            flag: FlagRef::XferDone,
+                            val: seq(SeqBase::Xfer, xrel + 1),
+                        });
+                        xi += 1;
+                    }
+                }
+            }
+            read_block(b);
+        } else if my == 0 {
+            // Destination-node master: land each chunk, republish it on
+            // the landing pair, return the credit, take my overlap.
+            for k in 0..chunks {
+                let rel = rel0 + k as u64;
+                let lrel = lrel0 + k as u64;
+                let lside = par(SeqBase::Landing, lrel);
+                let clen = chunk.min(block - k * chunk);
+                b.push(Step::CounterWait {
+                    ctr: CtrRef::ReduceData {
+                        node: my_node,
+                        src: root_node,
+                        rel,
+                    },
+                    n: 1,
+                });
+                b.push(Step::Trace("scatter:chunk-in"));
+                if p > 1 {
+                    b.push(Step::PairWaitFree {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::ReduceLanding {
+                            node: my_node,
+                            src: root_node,
+                            rel,
+                        },
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Landing {
+                            node: my_node,
+                            side: lside,
+                        },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        cost: CopyCost::Write(1),
+                    });
+                    b.push(Step::PairPublish {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    b.push(Step::CounterPut {
+                        to: topo.master_of(root_node),
+                        ctr: CtrRef::ReduceFree {
+                            node: root_node,
+                            dst: my_node,
+                            rel,
+                        },
+                    });
+                    if let Some((lo, olen)) = overlap(k, my) {
+                        b.push(Step::ShmCopy {
+                            src: BufRef::Landing {
+                                node: my_node,
+                                side: lside,
+                            },
+                            src_off: Off::Lit(lo - k * chunk),
+                            dst: BufRef::User,
+                            dst_off: Off::Lit(my_node * block + lo),
+                            len: olen,
+                            cost: CopyCost::Read(read_streams),
+                        });
+                    }
+                } else {
+                    b.push(Step::ShmCopy {
+                        src: BufRef::ReduceLanding {
+                            node: my_node,
+                            src: root_node,
+                            rel,
+                        },
+                        src_off: Off::Lit(0),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(my_node * block + k * chunk),
+                        len: clen,
+                        cost: CopyCost::Read(1),
+                    });
+                    b.push(Step::CounterPut {
+                        to: topo.master_of(root_node),
+                        ctr: CtrRef::ReduceFree {
+                            node: root_node,
+                            dst: my_node,
+                            rel,
+                        },
+                    });
+                }
+            }
+        } else {
+            read_block(b);
+        }
+
+        // Scatter advances the reduce cumulative (it borrows the
+        // reduce landing channels) but no contribution channel carries
+        // data — every rank re-synchronizes its own.
+        self.plan_contrib_catchup(b, rel0 + chunks as u64);
+        b.advance(SeqBase::Reduce, chunks as u64);
+        if p > 1 {
+            b.advance(SeqBase::Landing, chunks as u64);
+        }
+        if xfer_relay && my_node == root_node {
+            b.advance(SeqBase::Xfer, ((nodes - 1) * chunks) as u64);
+        }
+    }
+
+    /// Plan an allgather: a gather to rank 0 concatenated with a
+    /// broadcast of the assembled `nprocs*len` bytes — the planner
+    /// composition the schedule IR makes trivial (the broadcast's
+    /// relative sequence values land after the gather's advances).
+    pub(crate) fn plan_allgather(&self, b: &mut PlanBuilder, len: usize) {
+        let topo = self.topology();
+        if len == 0 || topo.nprocs() == 1 {
+            return;
+        }
+        self.plan_gather(b, len, 0);
+        self.plan_bcast(b, topo.nprocs() * len, 0);
     }
 }

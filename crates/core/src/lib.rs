@@ -29,10 +29,15 @@
 //!   control and 4 KB pipelining, zero-copy large-message broadcast
 //!   with address exchange, pipelined reduce, recursive-doubling and
 //!   four-stage-pipeline allreduce, and the dissemination barrier;
+//! * [`plan`] — the schedule IR: every collective call compiles to a
+//!   per-rank [`Plan`] of primitive steps, cached per call shape;
+//! * [`engine`] (methods on [`SrmComm`]) — the executor that replays a
+//!   plan against the substrates; the *only* execution path;
 //! * [`world`] — the per-node shared boards and per-master network
 //!   state, assembled once at setup;
 //! * [`tuning`] — every switch point and buffer size, defaulting to the
-//!   paper's published values.
+//!   paper's published values (plus the plan-cache capacity and the
+//!   per-step trace switch).
 //!
 //! ```
 //! use collops::Collectives;
@@ -61,13 +66,16 @@
 
 pub mod api;
 pub mod embed;
+pub mod engine;
 pub mod inter;
 pub mod model;
+pub mod plan;
 pub mod smp;
 pub mod tuning;
 pub mod world;
 
 pub use embed::{Embedding, GroupEmbedding, TreeKind};
 pub use model::SrmModel;
+pub use plan::{Plan, PlanBuilder, PlanCache, PlanKey, Step};
 pub use tuning::SrmTuning;
 pub use world::{InterState, NodeBoard, SrmComm, SrmWorld};

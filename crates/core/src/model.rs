@@ -79,7 +79,8 @@ impl SrmModel {
             let cell = self.tuning.smp_buf;
             let chunks = SrmTuning::chunk_count(len, cell) as u64;
             let last = len - (chunks as usize - 1) * cell.min(len);
-            return self.stage(cell.min(len)) + self.smp_chunk_out(cell.min(len)) * (chunks - 1)
+            return self.stage(cell.min(len))
+                + self.smp_chunk_out(cell.min(len)) * (chunks - 1)
                 + self.smp_chunk_out(last);
         }
         let hops = self.net_hops();
@@ -105,7 +106,8 @@ impl SrmModel {
             let per_hop = self.put_time(chunk);
             // The root serializes its children's copies on one adapter:
             // the bottleneck interval is fanout x wire time.
-            let fanout = crate::embed::children(self.tuning.tree, 0, self.topo.nodes()).len()
+            let fanout = crate::embed::children(self.tuning.tree, 0, self.topo.nodes())
+                .len()
                 .max(1) as u64;
             let interval = self.cfg.net_per_byte.cost_of(chunk) * fanout;
             let smp_cells = SrmTuning::chunk_count(chunk, self.tuning.smp_buf) as u64;

@@ -1,0 +1,792 @@
+//! The collective-plan IR: every SRM collective compiles into a
+//! per-rank [`Plan`] — a straight-line schedule of primitive [`Step`]s
+//! — which the [engine](crate::engine) replays against the shared and
+//! remote memory substrates.
+//!
+//! Plans are **cacheable**: nothing in a step refers to the mutable
+//! protocol state directly. Buffer sides, cumulative flag targets and
+//! drain guards are expressed relative to the per-rank cumulative
+//! sequence cells ([`SeqBase`]), which the engine samples once at the
+//! start of a call. Re-running the same plan later therefore resolves
+//! to fresh buffer parities and flag values automatically, and a call
+//! of a given shape `(op, root, len)` plans exactly once per
+//! communicator (see [`PlanCache`]).
+//!
+//! The reduction operator and datatype are *late-bound*: a plan for
+//! `reduce(len, root)` serves every `(dtype, op)` pair, because the
+//! only data-dependent step, [`Step::LocalReduce`], reads them from the
+//! executing call.
+
+use crate::world::SrmComm;
+use simnet::{NodeId, Rank};
+use std::sync::Arc;
+
+/// The per-rank cumulative sequence cells a plan's relative values are
+/// resolved against. The engine samples all of them once when a call
+/// starts; `Seq { base, rel }` then means `sample[base] + rel`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqBase {
+    /// Chunks through the node's intra-node broadcast pair.
+    Smp,
+    /// Chunks through the node's landing pair.
+    Landing,
+    /// Chunks through the tree-variant broadcast buffers.
+    Tree,
+    /// Reduce chunks through the contribution buffers.
+    Reduce,
+    /// Chunks through the master→root `xfer` handoff buffer.
+    Xfer,
+    /// Barriers completed.
+    Barrier,
+}
+
+/// Number of [`SeqBase`] cells (size of the engine's sample array).
+pub const SEQ_BASES: usize = 6;
+
+impl SeqBase {
+    /// Index of this base in the engine's sample array.
+    pub fn index(self) -> usize {
+        match self {
+            SeqBase::Smp => 0,
+            SeqBase::Landing => 1,
+            SeqBase::Tree => 2,
+            SeqBase::Reduce => 3,
+            SeqBase::Xfer => 4,
+            SeqBase::Barrier => 5,
+        }
+    }
+}
+
+/// A `u64` resolved at execution time.
+#[derive(Clone, Copy, Debug)]
+pub enum Val {
+    /// A literal.
+    Lit(u64),
+    /// `bases[base] + rel` — a cumulative flag/counter target.
+    Seq {
+        /// Sequence cell to resolve against.
+        base: SeqBase,
+        /// Offset added to the sampled base.
+        rel: u64,
+    },
+}
+
+/// A double-buffer side (0 or 1) resolved at execution time.
+#[derive(Clone, Copy, Debug)]
+pub enum Side {
+    /// A fixed side (the Sistare variant uses a single buffer).
+    Lit(usize),
+    /// `(bases[base] + rel) % 2` — consecutive operations alternate
+    /// buffers.
+    Parity {
+        /// Sequence cell driving the alternation.
+        base: SeqBase,
+        /// Chunk index within this plan.
+        rel: u64,
+    },
+}
+
+/// A byte offset resolved at execution time.
+#[derive(Clone, Copy, Debug)]
+pub enum Off {
+    /// A fixed offset.
+    Lit(usize),
+    /// `((bases[base] + rel) % 2) * stride` — the side-selected half of
+    /// a parity-double-buffered staging area.
+    Parity {
+        /// Sequence cell driving the alternation.
+        base: SeqBase,
+        /// Chunk index within this plan.
+        rel: u64,
+        /// Byte stride between the two halves.
+        stride: usize,
+    },
+}
+
+/// Which side of a [`Step::ShmCopy`] pays the simulated memory cost.
+///
+/// The SRM protocols charge each logical data movement exactly once:
+/// a copy *into* shared memory is charged as the shared-side write
+/// (the private-side read rides the same pass), a copy *out of* shared
+/// memory as the shared-side read, and operator output streams (an
+/// accumulator staged for a put) are free because the last operator
+/// pass already produced the bytes.
+#[derive(Clone, Copy, Debug)]
+pub enum CopyCost {
+    /// No charge (operator output stream).
+    Free,
+    /// Charge a read of the source with this many concurrent streams.
+    Read(usize),
+    /// Charge a write of the destination with this many streams.
+    Write(usize),
+}
+
+/// A buffer operand. `User` is the executing call's payload buffer;
+/// everything else names a shared structure of the fabric or a handle
+/// the plan captured earlier ([`Step::AddrTake`] and friends).
+#[derive(Clone, Copy, Debug)]
+pub enum BufRef {
+    /// The collective call's user payload buffer.
+    User,
+    /// The executor's private accumulator (operator scratch).
+    Acc,
+    /// My node's intra-node broadcast pair, one side.
+    Smp {
+        /// Which side.
+        side: Side,
+    },
+    /// `node`'s landing pair, one side (remote for put targets).
+    Landing {
+        /// Whose landing pair.
+        node: NodeId,
+        /// Which side.
+        side: Side,
+    },
+    /// My node's per-slot contribution buffer.
+    Contrib {
+        /// Which slot's buffer.
+        slot: usize,
+    },
+    /// My node's master→root `xfer` handoff buffer.
+    Xfer,
+    /// `node`'s reduce landing buffer for puts from `src`, side by
+    /// [`SeqBase::Reduce`] parity.
+    ReduceLanding {
+        /// Whose landing (the put target's node).
+        node: NodeId,
+        /// The sending node.
+        src: NodeId,
+        /// Chunk index within this plan (parity).
+        rel: u64,
+    },
+    /// `node`'s recursive-doubling landing for `round`.
+    RdLanding {
+        /// Whose landing.
+        node: NodeId,
+        /// Recursive-doubling round.
+        round: usize,
+    },
+    /// `node`'s fold/unfold landing.
+    FoldLanding {
+        /// Whose landing.
+        node: NodeId,
+    },
+    /// The user-buffer handle taken by the `idx`-th [`Step::AddrTake`]
+    /// of this plan (large-broadcast children, in take order).
+    ChildUser {
+        /// Capture index.
+        idx: usize,
+    },
+    /// The gather root's user-buffer handle (captured by
+    /// [`Step::GsRootTake`] or [`Step::BoardAddrTake`]).
+    RootUser,
+}
+
+/// A LAPI-style counter operand, named structurally. Counters indexed
+/// by a buffer side resolve it from the indicated cumulative base.
+#[derive(Clone, Copy, Debug)]
+pub enum CtrRef {
+    /// `node`'s landing-pair data counter ([`SeqBase::Landing`] side).
+    LandingData {
+        /// Whose counter.
+        node: NodeId,
+        /// Chunk index (parity).
+        rel: u64,
+    },
+    /// `node`'s broadcast credit toward `child` ([`SeqBase::Landing`]).
+    BcastFree {
+        /// Whose credit pool.
+        node: NodeId,
+        /// The child edge.
+        child: NodeId,
+        /// Chunk index (parity).
+        rel: u64,
+    },
+    /// `node`'s reduce data counter for puts from `src`
+    /// ([`SeqBase::Reduce`] side).
+    ReduceData {
+        /// Whose counter.
+        node: NodeId,
+        /// The sending node.
+        src: NodeId,
+        /// Chunk index (parity).
+        rel: u64,
+    },
+    /// `node`'s reduce credit toward destination `dst`
+    /// ([`SeqBase::Reduce`] side).
+    ReduceFree {
+        /// Whose credit pool.
+        node: NodeId,
+        /// The destination node.
+        dst: NodeId,
+        /// Chunk index (parity).
+        rel: u64,
+    },
+    /// `node`'s large-transfer chunk counter.
+    LargeData {
+        /// Whose counter.
+        node: NodeId,
+    },
+    /// `node`'s recursive-doubling data counter for `round`.
+    RdData {
+        /// Whose counter.
+        node: NodeId,
+        /// Round.
+        round: usize,
+    },
+    /// `node`'s recursive-doubling credit for `round`.
+    RdFree {
+        /// Whose counter.
+        node: NodeId,
+        /// Round.
+        round: usize,
+    },
+    /// `node`'s fold-in data counter.
+    FoldData {
+        /// Whose counter.
+        node: NodeId,
+    },
+    /// `node`'s fold-in credit.
+    FoldFree {
+        /// Whose counter.
+        node: NodeId,
+    },
+    /// `node`'s unfold data counter.
+    UnfoldData {
+        /// Whose counter.
+        node: NodeId,
+    },
+    /// `node`'s dissemination-barrier counter for `round`.
+    BarRound {
+        /// Whose counter.
+        node: NodeId,
+        /// Round.
+        round: usize,
+    },
+}
+
+/// A spin-flag operand on my node's board.
+#[derive(Clone, Copy, Debug)]
+pub enum FlagRef {
+    /// Flat-barrier flag of `slot`.
+    Barrier {
+        /// Which slot's flag.
+        slot: usize,
+    },
+    /// Cumulative chunks `slot` published in its contribution buffer.
+    ContribReady {
+        /// Which slot's flag.
+        slot: usize,
+    },
+    /// Cumulative chunks of `slot` its consumer has drained.
+    ContribDone {
+        /// Which slot's flag.
+        slot: usize,
+    },
+    /// Cumulative chunks the master wrote into `xfer`.
+    XferReady,
+    /// Cumulative chunks the root consumed from `xfer`.
+    XferDone,
+    /// Tree-variant publish counter of `slot`.
+    TreeReady {
+        /// Which slot's flag.
+        slot: usize,
+    },
+    /// Tree-variant drain counter of `slot`.
+    TreeDone {
+        /// Which slot's flag.
+        slot: usize,
+    },
+}
+
+/// Which of my node's double-buffer pairs a pair-protocol step drives.
+#[derive(Clone, Copy, Debug)]
+pub enum PairSel {
+    /// The intra-node broadcast pair.
+    Smp,
+    /// The landing pair.
+    Landing,
+}
+
+/// Which handle an [`Step::AddrSend`] ships.
+#[derive(Clone, Copy, Debug)]
+pub enum HandleSrc {
+    /// The executing call's user buffer.
+    User,
+    /// The gather root's captured user buffer.
+    RootUser,
+}
+
+/// One primitive operation of a schedule. The engine executes steps in
+/// order; blocking steps yield to the simulator exactly like the
+/// direct-style protocols they were compiled from.
+#[derive(Clone, Copy, Debug)]
+pub enum Step {
+    /// Emit a protocol trace event (preserves the legacy markers).
+    Trace(&'static str),
+    /// Toggle LAPI interrupts on my dispatcher.
+    SetInterrupts(bool),
+    /// Copy `len` bytes between buffers, charging per [`CopyCost`].
+    ShmCopy {
+        /// Source buffer.
+        src: BufRef,
+        /// Source byte offset.
+        src_off: Off,
+        /// Destination buffer.
+        dst: BufRef,
+        /// Destination byte offset.
+        dst_off: Off,
+        /// Bytes to move.
+        len: usize,
+        /// Which side is charged, and with how many streams.
+        cost: CopyCost,
+    },
+    /// Snapshot `user[off..off+len]` into the accumulator (free: the
+    /// operator's input stream).
+    LoadAcc {
+        /// User-buffer offset.
+        off: usize,
+        /// Bytes.
+        len: usize,
+    },
+    /// Fold `src[src_off..src_off+len]` into the accumulator with the
+    /// executing call's `(dtype, op)` — operator execution only.
+    LocalReduce {
+        /// Contribution buffer.
+        src: BufRef,
+        /// Its byte offset.
+        src_off: Off,
+        /// Bytes.
+        len: usize,
+    },
+    /// Set `flag` to `val` (cumulative flags only ever grow).
+    FlagRaise {
+        /// Target flag.
+        flag: FlagRef,
+        /// New value.
+        val: Val,
+    },
+    /// `fetch_add(n)` on `flag` (tree-variant drain counting).
+    FlagAdd {
+        /// Target flag.
+        flag: FlagRef,
+        /// Increment.
+        n: u64,
+    },
+    /// Block until `flag == val`.
+    FlagWaitEq {
+        /// Flag to watch.
+        flag: FlagRef,
+        /// Value to wait for.
+        val: Val,
+        /// Wait label for traces and deadlock reports.
+        label: &'static str,
+    },
+    /// Block until `flag >= val`.
+    FlagWaitGe {
+        /// Flag to watch.
+        flag: FlagRef,
+        /// Threshold.
+        val: Val,
+        /// Wait label.
+        label: &'static str,
+    },
+    /// The double-buffer drain guard: with `cum = bases[base] + rel`,
+    /// if `cum >= 2` wait until `flag >= (cum - 1) * scale` (the side
+    /// about to be overwritten has been drained `scale` times).
+    DrainWait {
+        /// Flag to watch.
+        flag: FlagRef,
+        /// Cumulative base.
+        base: SeqBase,
+        /// Chunk index within this plan.
+        rel: u64,
+        /// Consumers per chunk (1 except for the tree variant).
+        scale: u64,
+        /// Wait label.
+        label: &'static str,
+    },
+    /// Writer claim of a pair side (block until every reader released).
+    PairWaitFree {
+        /// Which pair.
+        pair: PairSel,
+        /// Which side.
+        side: Side,
+    },
+    /// Raise the READY flag of every other slot for a pair side.
+    PairPublish {
+        /// Which pair.
+        pair: PairSel,
+        /// Which side.
+        side: Side,
+    },
+    /// Reader wait for my READY flag on a pair side.
+    PairWaitPublished {
+        /// Which pair.
+        pair: PairSel,
+        /// Which side.
+        side: Side,
+    },
+    /// Reader release of a pair side.
+    PairRelease {
+        /// Which pair.
+        pair: PairSel,
+        /// Which side.
+        side: Side,
+    },
+    /// One-sided put to rank `to`, optionally bumping a counter there.
+    RmaPut {
+        /// Target rank (a master).
+        to: Rank,
+        /// Source buffer (mine).
+        src: BufRef,
+        /// Source offset.
+        src_off: Off,
+        /// Destination buffer (the target's).
+        dst: BufRef,
+        /// Destination offset.
+        dst_off: Off,
+        /// Bytes.
+        len: usize,
+        /// Counter bumped at the target on completion.
+        ctr: Option<CtrRef>,
+    },
+    /// Zero-byte put that only bumps a counter at rank `to`.
+    CounterPut {
+        /// Target rank.
+        to: Rank,
+        /// Counter to bump.
+        ctr: CtrRef,
+    },
+    /// Consume `n` from a counter (LAPI `Waitcntr` semantics).
+    CounterWait {
+        /// Counter to drain.
+        ctr: CtrRef,
+        /// Count to consume.
+        n: u64,
+    },
+    /// Block until a counter reaches `val` without consuming.
+    CounterWaitGe {
+        /// Counter to watch.
+        ctr: CtrRef,
+        /// Threshold.
+        val: Val,
+    },
+    /// Ship a buffer handle to rank `to` via active message `am`.
+    AddrSend {
+        /// Target rank (a master).
+        to: Rank,
+        /// Active-message handler id.
+        am: u32,
+        /// Which handle to ship.
+        src: HandleSrc,
+    },
+    /// Take the handle `child`'s master sent me (large broadcast) and
+    /// append it to the capture list ([`BufRef::ChildUser`] indices).
+    AddrTake {
+        /// The child node.
+        child: NodeId,
+    },
+    /// Take the gather-root handle another master sent me.
+    GsRootTake,
+    /// Publish my user-buffer handle on my node's board (gather root
+    /// that is not the node master).
+    BoardAddrPut,
+    /// Take the handle the gather root published on my node's board.
+    BoardAddrTake,
+    /// Advance a cumulative sequence cell (end-of-protocol bookkeeping;
+    /// the engine's sampled bases are unaffected).
+    Advance {
+        /// Which cell.
+        base: SeqBase,
+        /// Chunks pushed through it by this plan.
+        by: u64,
+    },
+}
+
+impl Step {
+    /// Short static label for the per-step trace hook and debugging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Step::Trace(_) => "step:trace",
+            Step::SetInterrupts(_) => "step:interrupts",
+            Step::ShmCopy { .. } => "step:shm-copy",
+            Step::LoadAcc { .. } => "step:load-acc",
+            Step::LocalReduce { .. } => "step:local-reduce",
+            Step::FlagRaise { .. } => "step:flag-raise",
+            Step::FlagAdd { .. } => "step:flag-add",
+            Step::FlagWaitEq { .. } | Step::FlagWaitGe { .. } => "step:flag-wait",
+            Step::DrainWait { .. } => "step:drain-wait",
+            Step::PairWaitFree { .. } => "step:pair-wait-free",
+            Step::PairPublish { .. } => "step:pair-publish",
+            Step::PairWaitPublished { .. } => "step:pair-wait-published",
+            Step::PairRelease { .. } => "step:pair-release",
+            Step::RmaPut { .. } => "step:rma-put",
+            Step::CounterPut { .. } => "step:counter-put",
+            Step::CounterWait { .. } | Step::CounterWaitGe { .. } => "step:counter-wait",
+            Step::AddrSend { .. } => "step:addr-send",
+            Step::AddrTake { .. } | Step::GsRootTake => "step:addr-take",
+            Step::BoardAddrPut => "step:board-addr-put",
+            Step::BoardAddrTake => "step:board-addr-take",
+            Step::Advance { .. } => "step:advance",
+        }
+    }
+}
+
+/// A compiled per-rank schedule: the full step sequence of one
+/// collective call for one rank.
+#[derive(Debug, Default)]
+pub struct Plan {
+    /// The steps, executed in order.
+    pub steps: Vec<Step>,
+}
+
+impl Plan {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty schedule (trivial calls compile to nothing).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Incremental plan construction. The builder tracks, per [`SeqBase`],
+/// how far the plan has already advanced each cumulative cell, so
+/// planners composed back to back (allgather = gather ++ broadcast)
+/// emit correctly offset relative values.
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    steps: Vec<Step>,
+    adv: [u64; SEQ_BASES],
+    addrs: usize,
+}
+
+impl PlanBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        PlanBuilder::default()
+    }
+
+    /// Append a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// How far this plan has advanced `base` so far — the relative
+    /// origin for the next protocol leg using that cell.
+    pub fn rel(&self, base: SeqBase) -> u64 {
+        self.adv[base.index()]
+    }
+
+    /// Record that the plan pushes `by` chunks through `base` (emits
+    /// the [`Step::Advance`] and shifts subsequent [`Self::rel`]s).
+    pub fn advance(&mut self, base: SeqBase, by: u64) {
+        if by == 0 {
+            return;
+        }
+        self.adv[base.index()] += by;
+        self.steps.push(Step::Advance { base, by });
+    }
+
+    /// Emit an [`Step::AddrTake`] for `child` and return its capture
+    /// index (for [`BufRef::ChildUser`]).
+    pub fn take_addr(&mut self, child: NodeId) -> usize {
+        let idx = self.addrs;
+        self.addrs += 1;
+        self.steps.push(Step::AddrTake { child });
+        idx
+    }
+
+    /// Finish: hand over the plan.
+    pub fn finish(self) -> Plan {
+        Plan { steps: self.steps }
+    }
+}
+
+/// Cache key: the shape of a collective call. Topology, tuning and
+/// tree kind are fixed per world, the datatype and operator are
+/// late-bound, so the shape is fully described by the operation, the
+/// payload length and the root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanKey {
+    /// `broadcast(len, root)`.
+    Bcast {
+        /// Payload bytes.
+        len: usize,
+        /// Root rank.
+        root: Rank,
+    },
+    /// `reduce(len, root)` (any datatype/operator).
+    Reduce {
+        /// Payload bytes.
+        len: usize,
+        /// Root rank.
+        root: Rank,
+    },
+    /// `allreduce(len)` (any datatype/operator).
+    Allreduce {
+        /// Payload bytes.
+        len: usize,
+    },
+    /// `barrier()`.
+    Barrier,
+    /// `gather(len, root)` — `len` is the per-rank segment.
+    Gather {
+        /// Per-rank segment bytes.
+        len: usize,
+        /// Root rank.
+        root: Rank,
+    },
+    /// `scatter(len, root)` — `len` is the per-rank segment.
+    Scatter {
+        /// Per-rank segment bytes.
+        len: usize,
+        /// Root rank.
+        root: Rank,
+    },
+    /// `allgather(len)` — `len` is the per-rank segment.
+    Allgather {
+        /// Per-rank segment bytes.
+        len: usize,
+    },
+    /// Stand-alone intra-node broadcast (flat two-buffer algorithm).
+    SmpBcast {
+        /// Payload bytes.
+        len: usize,
+        /// Writing rank.
+        writer: Rank,
+    },
+    /// Intra-node broadcast, tree-based ablation variant.
+    SmpBcastTree {
+        /// Payload bytes.
+        len: usize,
+        /// Writing rank.
+        writer: Rank,
+    },
+    /// Intra-node broadcast, barrier-synchronized ablation variant.
+    SmpBcastSistare {
+        /// Payload bytes.
+        len: usize,
+        /// Writing rank.
+        writer: Rank,
+    },
+}
+
+/// Per-communicator LRU cache of compiled plans, keyed by call shape.
+/// Capacity comes from [`SrmTuning::plan_cache_cap`]
+/// (`crate::SrmTuning`); the benchmark sweeps repeat each shape
+/// hundreds of times, so a small cache removes all re-planning from
+/// the measurement loops.
+#[derive(Debug)]
+pub struct PlanCache {
+    cap: usize,
+    entries: Vec<(PlanKey, Arc<Plan>)>,
+}
+
+impl PlanCache {
+    /// Cache with room for `cap` plans (0 disables caching).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let plan = entry.1.clone();
+        self.entries.insert(0, entry);
+        Some(plan)
+    }
+
+    /// Insert a freshly compiled plan, evicting the least recently
+    /// used entry if full.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<Plan>) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, plan));
+        self.entries.truncate(self.cap);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl SrmComm {
+    /// Compile the plan for `key` on this rank (no caching — the
+    /// cached path is [`SrmComm::plan_for`]).
+    pub fn build_plan(&self, key: &PlanKey) -> Plan {
+        let mut b = PlanBuilder::new();
+        match *key {
+            PlanKey::Bcast { len, root } => self.plan_bcast(&mut b, len, root),
+            PlanKey::Reduce { len, root } => self.plan_reduce(&mut b, len, root),
+            PlanKey::Allreduce { len } => self.plan_allreduce(&mut b, len),
+            PlanKey::Barrier => self.plan_barrier(&mut b),
+            PlanKey::Gather { len, root } => self.plan_gather(&mut b, len, root),
+            PlanKey::Scatter { len, root } => self.plan_scatter(&mut b, len, root),
+            PlanKey::Allgather { len } => self.plan_allgather(&mut b, len),
+            PlanKey::SmpBcast { len, writer } => self.plan_smp_bcast(&mut b, len, writer),
+            PlanKey::SmpBcastTree { len, writer } => self.plan_smp_bcast_tree(&mut b, len, writer),
+            PlanKey::SmpBcastSistare { len, writer } => {
+                self.plan_smp_bcast_sistare(&mut b, len, writer)
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = PlanCache::new(2);
+        let p = Arc::new(Plan::default());
+        c.insert(PlanKey::Barrier, p.clone());
+        c.insert(PlanKey::Allreduce { len: 8 }, p.clone());
+        assert!(c.get(&PlanKey::Barrier).is_some()); // refresh
+        c.insert(PlanKey::Allgather { len: 8 }, p);
+        assert!(c.get(&PlanKey::Barrier).is_some());
+        assert!(c.get(&PlanKey::Allreduce { len: 8 }).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert(PlanKey::Barrier, Arc::new(Plan::default()));
+        assert!(c.get(&PlanKey::Barrier).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn builder_tracks_rel_and_addrs() {
+        let mut b = PlanBuilder::new();
+        assert_eq!(b.rel(SeqBase::Landing), 0);
+        b.advance(SeqBase::Landing, 3);
+        assert_eq!(b.rel(SeqBase::Landing), 3);
+        assert_eq!(b.rel(SeqBase::Smp), 0);
+        assert_eq!(b.take_addr(1), 0);
+        assert_eq!(b.take_addr(2), 1);
+        let plan = b.finish();
+        assert_eq!(plan.len(), 3); // advance + 2 takes
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,4 +1,7 @@
-//! Intra-node collective building blocks (paper §2.2).
+//! Intra-node collective building blocks (paper §2.2), as **planners**:
+//! each routine emits its step sequence into a [`PlanBuilder`] instead
+//! of executing directly; the [engine](crate::engine) replays the
+//! schedule.
 //!
 //! * **Broadcast** — the flat two-buffer algorithm of Figure 3 that
 //!   beat the tree-based variants: the writer alternates between two
@@ -17,62 +20,81 @@
 //! a global grid of `smp_buf`-sized cells, and each cell moves through
 //! one side of the two-buffer pair (side = cumulative cell sequence mod
 //! 2 — "consecutive broadcast operations alternate between the
-//! buffers"). The inter-node protocols interleave cell writes with
-//! network work to build their pipelines.
+//! buffers"). The inter-node planners interleave cell writes with
+//! network steps to build their pipelines.
 
+use crate::plan::{
+    BufRef, CopyCost, FlagRef, Off, PairSel, PlanBuilder, PlanKey, SeqBase, Side, Step, Val,
+};
 use crate::world::SrmComm;
-use collops::{combine_from_buffer_costed, DType, ReduceOp};
 use shmem::ShmBuffer;
 use simnet::{Ctx, Rank};
 
 impl SrmComm {
-    /// Writer side of one broadcast cell: claim the `seq`-parity
-    /// buffer, fill it from `buf[off..off+clen]`, raise every other
-    /// task's READY flag.
-    pub(crate) fn smp_cell_write(
+    /// Writer side of one broadcast cell: claim the parity buffer,
+    /// fill it from `user[off..off+clen]`, raise every other task's
+    /// READY flag.
+    pub(crate) fn plan_smp_cell_write(
         &self,
-        ctx: &Ctx,
-        buf: &ShmBuffer,
+        b: &mut PlanBuilder,
         off: usize,
         clen: usize,
-        seq: u64,
+        rel: u64,
     ) {
-        let p = self.topology().tasks_per_node();
-        let board = self.board();
-        let side = (seq % 2) as usize;
-        let my = self.slot();
-        board.smp.wait_free(ctx, side);
-        let mut tmp = vec![0u8; clen];
-        buf.with(|d| tmp.copy_from_slice(&d[off..off + clen]));
-        board.smp.buf(side).write(ctx, 0, &tmp, 1);
-        for s in 0..p {
-            if s != my {
-                board.smp.ready(side).flag(s).set(ctx, 1);
-            }
-        }
+        let side = Side::Parity {
+            base: SeqBase::Smp,
+            rel,
+        };
+        b.push(Step::PairWaitFree {
+            pair: PairSel::Smp,
+            side,
+        });
+        b.push(Step::ShmCopy {
+            src: BufRef::User,
+            src_off: Off::Lit(off),
+            dst: BufRef::Smp { side },
+            dst_off: Off::Lit(0),
+            len: clen,
+            cost: CopyCost::Write(1),
+        });
+        b.push(Step::PairPublish {
+            pair: PairSel::Smp,
+            side,
+        });
     }
 
     /// Reader side of one broadcast cell: wait for the READY flag, copy
     /// the cell out (all `p-1` readers drain concurrently and share the
     /// bus), clear the flag.
-    pub(crate) fn smp_cell_read(
+    pub(crate) fn plan_smp_cell_read(
         &self,
-        ctx: &Ctx,
-        buf: &ShmBuffer,
+        b: &mut PlanBuilder,
         off: usize,
         clen: usize,
-        seq: u64,
+        rel: u64,
     ) {
         let p = self.topology().tasks_per_node();
-        let board = self.board();
-        let side = (seq % 2) as usize;
-        let my = self.slot();
-        board.smp.wait_published(ctx, side, my);
-        ctx.trace("smp:read");
-        let mut tmp = vec![0u8; clen];
-        board.smp.buf(side).read(ctx, 0, &mut tmp, p.saturating_sub(1).max(1));
-        buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
-        board.smp.release(ctx, side, my);
+        let side = Side::Parity {
+            base: SeqBase::Smp,
+            rel,
+        };
+        b.push(Step::PairWaitPublished {
+            pair: PairSel::Smp,
+            side,
+        });
+        b.push(Step::Trace("smp:read"));
+        b.push(Step::ShmCopy {
+            src: BufRef::Smp { side },
+            src_off: Off::Lit(0),
+            dst: BufRef::User,
+            dst_off: Off::Lit(off),
+            len: clen,
+            cost: CopyCost::Read(p.saturating_sub(1).max(1)),
+        });
+        b.push(Step::PairRelease {
+            pair: PairSel::Smp,
+            side,
+        });
     }
 
     /// The global cell grid of a `len`-byte payload: `(offset, length)`
@@ -92,89 +114,100 @@ impl SrmComm {
         }
     }
 
-    /// Flat double-buffer broadcast within the node: `writer`'s
-    /// `buf[..len]` reaches every node task's `buf[..len]`.
-    pub fn smp_bcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+    /// Plan the flat double-buffer broadcast within the node: the
+    /// writer's `user[..len]` reaches every node task's `user[..len]`.
+    pub(crate) fn plan_smp_bcast(&self, b: &mut PlanBuilder, len: usize, writer: Rank) {
         let topo = self.topology();
         debug_assert!(topo.same_node(self.me, writer));
         if topo.tasks_per_node() == 1 || len == 0 {
             return;
         }
         let cells = self.smp_cells(len);
-        let base = self.smp_seq.get();
+        let rel0 = b.rel(SeqBase::Smp);
         let am_writer = self.me == writer;
         for j in 0..cells {
             let (off, clen) = self.smp_cell(len, j);
-            let seq = base + j as u64;
+            let rel = rel0 + j as u64;
             if am_writer {
-                self.smp_cell_write(ctx, buf, off, clen, seq);
+                self.plan_smp_cell_write(b, off, clen, rel);
             } else {
-                self.smp_cell_read(ctx, buf, off, clen, seq);
+                self.plan_smp_cell_read(b, off, clen, rel);
             }
         }
-        self.smp_seq.set(base + cells as u64);
+        b.advance(SeqBase::Smp, cells as u64);
+    }
+
+    /// Flat double-buffer broadcast within the node: `writer`'s
+    /// `buf[..len]` reaches every node task's `buf[..len]`.
+    pub fn smp_bcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+        debug_assert!(self.topology().same_node(self.me, writer));
+        self.run_planned(ctx, PlanKey::SmpBcast { len, writer }, buf, None);
     }
 
     /// First half of the flat barrier: non-masters check in; the master
     /// observes every check-in.
-    pub(crate) fn smp_barrier_enter(&self, ctx: &Ctx) {
+    pub(crate) fn plan_smp_barrier_enter(&self, b: &mut PlanBuilder) {
         let p = self.topology().tasks_per_node();
         if p == 1 {
             return;
         }
-        let board = self.board();
         if self.is_master() {
             for s in 1..p {
-                board
-                    .barrier_flags
-                    .flag(s)
-                    .wait_eq(ctx, "smp barrier check-in", 1);
+                b.push(Step::FlagWaitEq {
+                    flag: FlagRef::Barrier { slot: s },
+                    val: Val::Lit(1),
+                    label: "smp barrier check-in",
+                });
             }
         } else {
-            board.barrier_flags.flag(self.slot()).set(ctx, 1);
+            b.push(Step::FlagRaise {
+                flag: FlagRef::Barrier { slot: self.slot() },
+                val: Val::Lit(1),
+            });
         }
     }
 
     /// Second half: the master resets every flag, releasing the
     /// non-masters, which spin on their own flag.
-    pub(crate) fn smp_barrier_release(&self, ctx: &Ctx) {
+    pub(crate) fn plan_smp_barrier_release(&self, b: &mut PlanBuilder) {
         let p = self.topology().tasks_per_node();
         if p == 1 {
             return;
         }
-        let board = self.board();
         if self.is_master() {
             for s in 1..p {
-                board.barrier_flags.flag(s).set(ctx, 0);
+                b.push(Step::FlagRaise {
+                    flag: FlagRef::Barrier { slot: s },
+                    val: Val::Lit(0),
+                });
             }
         } else {
-            board
-                .barrier_flags
-                .flag(self.slot())
-                .wait_eq(ctx, "smp barrier release", 0);
+            b.push(Step::FlagWaitEq {
+                flag: FlagRef::Barrier { slot: self.slot() },
+                val: Val::Lit(0),
+                label: "smp barrier release",
+            });
         }
     }
 
-    /// The **tree-based** intra-node broadcast the paper implemented,
-    /// measured, and rejected in favour of the flat two-buffer
-    /// algorithm (§2.2: "Despite the contention in simultaneous read
-    /// access to the shared memory buffer, this \[flat\] algorithm has
-    /// achieved a much better performance than the tree-based
-    /// algorithms"). Kept for the ablation study: data store-and-
-    /// forwards down a binomial tree of per-slot shared buffers, so
-    /// every level adds a full copy to the critical path.
-    pub fn smp_bcast_tree(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+    /// Plan the **tree-based** intra-node broadcast the paper
+    /// implemented, measured, and rejected in favour of the flat
+    /// two-buffer algorithm (§2.2: "Despite the contention in
+    /// simultaneous read access to the shared memory buffer, this
+    /// \[flat\] algorithm has achieved a much better performance than
+    /// the tree-based algorithms"). Kept for the ablation study: data
+    /// store-and-forwards down a binomial tree of per-slot shared
+    /// buffers, so every level adds a full copy to the critical path.
+    pub(crate) fn plan_smp_bcast_tree(&self, b: &mut PlanBuilder, len: usize, writer: Rank) {
         let topo = self.topology();
         let p = topo.tasks_per_node();
-        debug_assert!(topo.same_node(self.me, writer));
         if p == 1 || len == 0 {
             return;
         }
-        let board = self.board();
         let kind = self.tree();
         let chunk_cap = self.tuning().reduce_chunk;
         let chunks = crate::tuning::SrmTuning::chunk_count(len, chunk_cap);
-        let base = self.tree_seq.get();
+        let rel0 = b.rel(SeqBase::Tree);
         let wslot = topo.slot_of(writer);
         let my = self.slot();
         let vs = (my + p - wslot) % p;
@@ -187,136 +220,243 @@ impl SrmComm {
         for k in 0..chunks {
             let off = k * chunk_cap;
             let clen = chunk_cap.min(len - off);
-            let cum = base + k as u64;
-            let side_off = (cum % 2) as usize * chunk_cap;
+            let rel = rel0 + k as u64;
+            let side_off = Off::Parity {
+                base: SeqBase::Tree,
+                rel,
+                stride: chunk_cap,
+            };
             if let Some(pslot) = parent {
                 // Copy the chunk out of the parent's shared buffer into
                 // the user buffer (one copy per tree level).
-                board.tree_ready[pslot].wait_ge(ctx, "tree parent chunk", cum + 1);
-                let mut tmp = vec![0u8; clen];
-                board.contrib[pslot].read(ctx, side_off, &mut tmp, 2);
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp));
-                board.tree_done[pslot].fetch_add(ctx, 1);
+                b.push(Step::FlagWaitGe {
+                    flag: FlagRef::TreeReady { slot: pslot },
+                    val: Val::Seq {
+                        base: SeqBase::Tree,
+                        rel: rel + 1,
+                    },
+                    label: "tree parent chunk",
+                });
+                b.push(Step::ShmCopy {
+                    src: BufRef::Contrib { slot: pslot },
+                    src_off: side_off,
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(2),
+                });
+                b.push(Step::FlagAdd {
+                    flag: FlagRef::TreeDone { slot: pslot },
+                    n: 1,
+                });
             }
             if !kids.is_empty() {
-                // Stage the chunk for the children (store-and-forward).
-                if cum >= 2 {
-                    let expect = (cum - 1) * kids.len() as u64;
-                    board.tree_done[my].wait_ge(ctx, "tree buffer drained", expect);
-                }
-                let mut tmp = vec![0u8; clen];
-                buf.with(|d| tmp.copy_from_slice(&d[off..off + clen]));
-                board.contrib[my].write(ctx, side_off, &tmp, 1);
-                board.tree_ready[my].set(ctx, cum + 1);
+                // Stage the chunk for the children (store-and-forward);
+                // wait until every child drained the side being reused.
+                b.push(Step::DrainWait {
+                    flag: FlagRef::TreeDone { slot: my },
+                    base: SeqBase::Tree,
+                    rel,
+                    scale: kids.len() as u64,
+                    label: "tree buffer drained",
+                });
+                b.push(Step::ShmCopy {
+                    src: BufRef::User,
+                    src_off: Off::Lit(off),
+                    dst: BufRef::Contrib { slot: my },
+                    dst_off: side_off,
+                    len: clen,
+                    cost: CopyCost::Write(1),
+                });
+                b.push(Step::FlagRaise {
+                    flag: FlagRef::TreeReady { slot: my },
+                    val: Val::Seq {
+                        base: SeqBase::Tree,
+                        rel: rel + 1,
+                    },
+                });
             }
         }
-        self.tree_seq.set(base + chunks as u64);
+        b.advance(SeqBase::Tree, chunks as u64);
     }
 
-    /// The **barrier-synchronized** intra-node broadcast in the style
-    /// of Sistare et al. \[11\], which the paper contrasts with SRM in
-    /// §4: access to the shared buffer is arbitrated with full node
-    /// barriers instead of per-pair flags, making the algorithm
+    /// Tree-based intra-node broadcast (ablation variant; see
+    /// [`Self::plan_smp_bcast_tree`]).
+    pub fn smp_bcast_tree(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+        debug_assert!(self.topology().same_node(self.me, writer));
+        self.run_planned(ctx, PlanKey::SmpBcastTree { len, writer }, buf, None);
+    }
+
+    /// Plan the **barrier-synchronized** intra-node broadcast in the
+    /// style of Sistare et al. \[11\], which the paper contrasts with
+    /// SRM in §4: access to the shared buffer is arbitrated with full
+    /// node barriers instead of per-pair flags, making the algorithm
     /// stiffer against late arrivals and adding two barriers per
     /// buffer-full of data. Kept for the ablation study.
-    pub fn smp_bcast_sistare(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+    pub(crate) fn plan_smp_bcast_sistare(&self, b: &mut PlanBuilder, len: usize, writer: Rank) {
         let topo = self.topology();
         let p = topo.tasks_per_node();
-        debug_assert!(topo.same_node(self.me, writer));
         if p == 1 || len == 0 {
             return;
         }
-        let board = self.board();
         let chunk = self.tuning().smp_buf;
         let chunks = crate::tuning::SrmTuning::chunk_count(len, chunk);
         let am_writer = self.me == writer;
-        let mut tmp = vec![0u8; chunk.min(len)];
         for k in 0..chunks {
             let off = k * chunk;
             let clen = chunk.min(len - off);
             // Barrier #1: everyone (including the writer) agrees the
             // single buffer is free.
-            self.smp_barrier_enter(ctx);
-            self.smp_barrier_release(ctx);
+            self.plan_smp_barrier_enter(b);
+            self.plan_smp_barrier_release(b);
             if am_writer {
-                buf.with(|d| tmp[..clen].copy_from_slice(&d[off..off + clen]));
-                board.smp.buf(0).write(ctx, 0, &tmp[..clen], 1);
+                b.push(Step::ShmCopy {
+                    src: BufRef::User,
+                    src_off: Off::Lit(off),
+                    dst: BufRef::Smp { side: Side::Lit(0) },
+                    dst_off: Off::Lit(0),
+                    len: clen,
+                    cost: CopyCost::Write(1),
+                });
             }
             // Barrier #2: the data is published.
-            self.smp_barrier_enter(ctx);
-            self.smp_barrier_release(ctx);
+            self.plan_smp_barrier_enter(b);
+            self.plan_smp_barrier_release(b);
             if !am_writer {
-                board.smp.buf(0).read(ctx, 0, &mut tmp[..clen], p - 1);
-                buf.with_mut(|d| d[off..off + clen].copy_from_slice(&tmp[..clen]));
+                b.push(Step::ShmCopy {
+                    src: BufRef::Smp { side: Side::Lit(0) },
+                    src_off: Off::Lit(0),
+                    dst: BufRef::User,
+                    dst_off: Off::Lit(off),
+                    len: clen,
+                    cost: CopyCost::Read(p - 1),
+                });
             }
         }
     }
 
-    /// One chunk of the intra-node reduce tree (Figure 2), executed by
-    /// every task on the node. `cum` is the node's cumulative chunk
-    /// index (drives buffer parity and the cumulative flags);
-    /// `dst_slot` is the slot the subtree is rooted at. Returns the
-    /// combined chunk at the subtree root, `None` elsewhere.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn smp_reduce_chunk(
+    /// Barrier-synchronized intra-node broadcast (ablation variant; see
+    /// [`Self::plan_smp_bcast_sistare`]).
+    pub fn smp_bcast_sistare(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
+        debug_assert!(self.topology().same_node(self.me, writer));
+        self.run_planned(ctx, PlanKey::SmpBcastSistare { len, writer }, buf, None);
+    }
+
+    /// Plan one chunk of the intra-node reduce tree (Figure 2) for
+    /// every task on the node. `rel` is the plan-relative chunk index
+    /// against [`SeqBase::Reduce`] (drives buffer parity and the
+    /// cumulative flags); `dst_slot` is the slot the subtree is rooted
+    /// at. Returns `true` at the subtree root, where the accumulator
+    /// holds the combined chunk after the emitted steps run.
+    pub(crate) fn plan_smp_reduce_chunk(
         &self,
-        ctx: &Ctx,
-        buf: &ShmBuffer,
+        b: &mut PlanBuilder,
         off: usize,
         clen: usize,
-        cum: u64,
+        rel: u64,
         dst_slot: usize,
-        dtype: DType,
-        op: ReduceOp,
-    ) -> Option<Vec<u8>> {
+    ) -> bool {
         let topo = self.topology();
         let p = topo.tasks_per_node();
-        let board = self.board();
         let kind = self.tree();
         let chunk_cap = self.tuning().reduce_chunk;
         debug_assert!(clen <= chunk_cap);
-        let side_off = (cum % 2) as usize * chunk_cap;
+        let side_off = Off::Parity {
+            base: SeqBase::Reduce,
+            rel,
+            stride: chunk_cap,
+        };
 
         let my = self.slot();
         let vs = (my + p - dst_slot) % p;
         let kids = crate::embed::children_ascending(kind, vs, p);
         let unv = |v: usize| (v + dst_slot) % p;
 
-        let mut acc = vec![0u8; clen];
-        buf.with(|d| acc.copy_from_slice(&d[off..off + clen]));
+        b.push(Step::LoadAcc { off, len: clen });
 
         if vs != 0 && kids.is_empty() {
             // Lowest level: the one real memory copy of the algorithm.
             // Roughly half the node's tasks copy concurrently.
-            if cum >= 2 {
-                board.contrib_done[my].wait_ge(ctx, "contrib side drained", cum - 1);
-            }
-            board.contrib[my].write(ctx, side_off, &acc, (p / 2).max(1));
-            board.contrib_ready[my].set(ctx, cum + 1);
-            return None;
+            b.push(Step::DrainWait {
+                flag: FlagRef::ContribDone { slot: my },
+                base: SeqBase::Reduce,
+                rel,
+                scale: 1,
+                label: "contrib side drained",
+            });
+            b.push(Step::ShmCopy {
+                src: BufRef::Acc,
+                src_off: Off::Lit(0),
+                dst: BufRef::Contrib { slot: my },
+                dst_off: side_off,
+                len: clen,
+                cost: CopyCost::Write((p / 2).max(1)),
+            });
+            b.push(Step::FlagRaise {
+                flag: FlagRef::ContribReady { slot: my },
+                val: Val::Seq {
+                    base: SeqBase::Reduce,
+                    rel: rel + 1,
+                },
+            });
+            return false;
         }
 
         // Interior (or root): fold each child's shared buffer into the
         // running chunk — operator execution only, no data movement.
         for kv in kids {
             let cslot = unv(kv);
-            board.contrib_ready[cslot].wait_ge(ctx, "child contribution ready", cum + 1);
-            combine_from_buffer_costed(ctx, dtype, op, &mut acc, &board.contrib[cslot], side_off);
-            board.contrib_done[cslot].set(ctx, cum + 1);
+            b.push(Step::FlagWaitGe {
+                flag: FlagRef::ContribReady { slot: cslot },
+                val: Val::Seq {
+                    base: SeqBase::Reduce,
+                    rel: rel + 1,
+                },
+                label: "child contribution ready",
+            });
+            b.push(Step::LocalReduce {
+                src: BufRef::Contrib { slot: cslot },
+                src_off: side_off,
+                len: clen,
+            });
+            b.push(Step::FlagRaise {
+                flag: FlagRef::ContribDone { slot: cslot },
+                val: Val::Seq {
+                    base: SeqBase::Reduce,
+                    rel: rel + 1,
+                },
+            });
         }
 
         if vs == 0 {
-            // Subtree root: hand the result back; the caller writes it
-            // directly at its destination (the last operator pass's
-            // output stream — no extra copy).
-            Some(acc)
+            // Subtree root: the accumulator holds the result; the
+            // caller routes it onward (the last operator pass's output
+            // stream — no extra copy).
+            true
         } else {
-            if cum >= 2 {
-                board.contrib_done[my].wait_ge(ctx, "contrib side drained", cum - 1);
-            }
-            board.contrib[my].with_mut(|d| d[side_off..side_off + clen].copy_from_slice(&acc));
-            board.contrib_ready[my].set(ctx, cum + 1);
-            None
+            b.push(Step::DrainWait {
+                flag: FlagRef::ContribDone { slot: my },
+                base: SeqBase::Reduce,
+                rel,
+                scale: 1,
+                label: "contrib side drained",
+            });
+            b.push(Step::ShmCopy {
+                src: BufRef::Acc,
+                src_off: Off::Lit(0),
+                dst: BufRef::Contrib { slot: my },
+                dst_off: side_off,
+                len: clen,
+                cost: CopyCost::Free,
+            });
+            b.push(Step::FlagRaise {
+                flag: FlagRef::ContribReady { slot: my },
+                val: Val::Seq {
+                    base: SeqBase::Reduce,
+                    rel: rel + 1,
+                },
+            });
+            false
         }
     }
 }

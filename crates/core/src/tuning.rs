@@ -42,6 +42,15 @@ pub struct SrmTuning {
     /// Collectives with payloads at or below this size disable LAPI
     /// interrupts for their duration (§2.3); the barrier always does.
     pub interrupt_disable_max: usize,
+    /// Capacity of the per-communicator compiled-schedule cache
+    /// ([`crate::plan::PlanCache`]): how many distinct call shapes
+    /// `(op, root, len)` keep their plans. 0 disables caching (every
+    /// call re-plans).
+    pub plan_cache_cap: usize,
+    /// Emit one trace event per engine step (`step:*` labels) on top of
+    /// the protocol-level markers — the raw material for per-step
+    /// timeline rendering. Off by default: it multiplies trace volume.
+    pub trace_steps: bool,
 }
 
 impl Default for SrmTuning {
@@ -57,6 +66,8 @@ impl Default for SrmTuning {
             large_chunk: 64 * 1024,
             allreduce_rd_max: 16 * 1024,
             interrupt_disable_max: 8 * 1024,
+            plan_cache_cap: 32,
+            trace_steps: false,
         }
     }
 }

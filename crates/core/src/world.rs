@@ -4,17 +4,23 @@
 //! address exchange).
 
 use crate::embed::TreeKind;
+use crate::plan::PlanCache;
 use crate::tuning::SrmTuning;
 use rma::{LapiCounter, Rma, RmaWorld};
 use shmem::{BufPair, FlagBank, ShmBuffer, SpinFlag};
 use simnet::{NodeId, Rank, Sim, SimHandle, SimVar, Topology};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// Active-message handler id used for the large-broadcast address
 /// exchange (a child master sends its user-buffer handle to its
 /// parent).
 pub(crate) const AM_ADDR_XCHG: u32 = 1;
+
+/// Active-message handler id used by gather/allgather to distribute the
+/// root's user-buffer handle to every master (the masters then put
+/// segments straight into the root's buffer at their final offsets).
+pub(crate) const AM_GS_ADDR: u32 = 2;
 
 /// Shared-memory structures of one SMP node, used by every task on it.
 pub struct NodeBoard {
@@ -50,6 +56,9 @@ pub struct NodeBoard {
     /// Consumption counters for `tree_ready` (children of a slot count
     /// their reads so the writer can reuse its buffer side).
     pub tree_done: Vec<SpinFlag>,
+    /// Mailbox a gather root that is not the node master uses to hand
+    /// its user-buffer handle to the master for distribution.
+    pub gs_addr: SimVar<Option<ShmBuffer>>,
 }
 
 impl NodeBoard {
@@ -77,6 +86,7 @@ impl NodeBoard {
             tree_done: (0..tasks_per_node)
                 .map(|_| SpinFlag::new(handle, 0))
                 .collect(),
+            gs_addr: handle.var(None),
         }
     }
 }
@@ -118,6 +128,9 @@ pub struct InterState {
     pub unfold_data: LapiCounter,
     /// Cumulative barrier round counters (dissemination).
     pub bar_round: Vec<LapiCounter>,
+    /// The gather root's user-buffer handle, delivered by
+    /// [`AM_GS_ADDR`] (taken once per gather by the master).
+    pub gs_root: SimVar<Option<ShmBuffer>>,
 }
 
 impl InterState {
@@ -125,7 +138,12 @@ impl InterState {
         let rounds = usize::BITS as usize - nodes.leading_zeros() as usize + 1;
         let pair_counters = |init: u64| -> Vec<[LapiCounter; 2]> {
             (0..nodes)
-                .map(|_| [LapiCounter::new(handle, init), LapiCounter::new(handle, init)])
+                .map(|_| {
+                    [
+                        LapiCounter::new(handle, init),
+                        LapiCounter::new(handle, init),
+                    ]
+                })
                 .collect()
         };
         InterState {
@@ -152,6 +170,7 @@ impl InterState {
             fold_free: LapiCounter::new(handle, 1),
             unfold_data: LapiCounter::new(handle, 0),
             bar_round: (0..rounds).map(|_| LapiCounter::new(handle, 0)).collect(),
+            gs_root: handle.var(None),
         }
     }
 }
@@ -214,6 +233,11 @@ impl SrmWorld {
                 let buf = msg.buf.expect("address exchange carries a handle");
                 my_inter.addr_slot[src_node].store(hctx, Some(buf));
             });
+            let my_inter = node_inter.clone();
+            ep.register_handler(AM_GS_ADDR, move |hctx, msg| {
+                let buf = msg.buf.expect("gather root address carries a handle");
+                my_inter.gs_root.store(hctx, Some(buf));
+            });
         }
         SrmWorld {
             inner: Arc::new(WorldInner {
@@ -240,6 +264,7 @@ impl SrmWorld {
             reduce_cum: Cell::new(0),
             xfer_cum: Cell::new(0),
             barrier_seq: Cell::new(0),
+            plan_cache: RefCell::new(PlanCache::new(self.inner.tuning.plan_cache_cap)),
         }
     }
 
@@ -275,6 +300,9 @@ pub struct SrmComm {
     pub(crate) xfer_cum: Cell<u64>,
     /// Barriers completed (drives the cumulative round counters).
     pub(crate) barrier_seq: Cell<u64>,
+    /// Compiled-schedule cache, keyed by call shape (see
+    /// [`crate::plan::PlanCache`]).
+    pub(crate) plan_cache: RefCell<PlanCache>,
 }
 
 impl SrmComm {

@@ -3,9 +3,7 @@
 //! (master and non-master), tree kinds, and repeated operations
 //! (exercising buffer/flag/credit reuse).
 
-use collops::{
-    from_bytes_u64, reference_reduce, to_bytes_u64, Collectives, DType, ReduceOp,
-};
+use collops::{from_bytes_u64, reference_reduce, to_bytes_u64, Collectives, DType, ReduceOp};
 use simnet::{MachineConfig, Rank, Report, Sim, Topology};
 use srm::{SrmTuning, SrmWorld};
 use std::sync::{Arc, Mutex};
@@ -36,7 +34,9 @@ fn run_srm(
 }
 
 fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+        .collect()
 }
 
 #[test]
@@ -98,7 +98,13 @@ fn reduce_single_and_multi_chunk() {
         for &elems in &[16usize, 5000] {
             let len = elems * 8;
             let contribs: Vec<Vec<u8>> = (0..n)
-                .map(|r| to_bytes_u64(&(0..elems).map(|i| (r * 1000 + i) as u64).collect::<Vec<_>>()))
+                .map(|r| {
+                    to_bytes_u64(
+                        &(0..elems)
+                            .map(|i| (r * 1000 + i) as u64)
+                            .collect::<Vec<_>>(),
+                    )
+                })
                 .collect();
             let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
             for root in [0usize, n - 1] {
@@ -163,7 +169,9 @@ fn allreduce_f64_sum_matches_reference_bitwise() {
     let elems = 256usize;
     let len = elems * 8;
     let (results, _) = run_srm(topo, tuning, move |ctx, comm, rank| {
-        let vals: Vec<f64> = (0..elems).map(|i| (rank + 1) as f64 * 0.5 + i as f64).collect();
+        let vals: Vec<f64> = (0..elems)
+            .map(|i| (rank + 1) as f64 * 0.5 + i as f64)
+            .collect();
         let buf = comm.alloc_buffer(len);
         buf.with_mut(|d| d.copy_from_slice(&collops::to_bytes_f64(&vals)));
         comm.allreduce(ctx, &buf, len, DType::F64, ReduceOp::Sum);
@@ -234,7 +242,9 @@ fn repeated_mixed_operations_reuse_state_correctly() {
             let abuf = comm.alloc_buffer(elems * 8);
             abuf.with_mut(|d| {
                 d.copy_from_slice(&to_bytes_u64(
-                    &(0..elems).map(|i| (rank * (round + 1) + i) as u64).collect::<Vec<_>>(),
+                    &(0..elems)
+                        .map(|i| (rank * (round + 1) + i) as u64)
+                        .collect::<Vec<_>>(),
                 ))
             });
             comm.allreduce(ctx, &abuf, elems * 8, DType::U64, ReduceOp::Sum);
@@ -273,7 +283,9 @@ fn repeated_reduce_back_to_back() {
             for round in 0..rounds {
                 buf.with_mut(|d| {
                     d.copy_from_slice(&to_bytes_u64(
-                        &(0..32).map(|i| (rank + round + i) as u64).collect::<Vec<_>>(),
+                        &(0..32)
+                            .map(|i| (rank + round + i) as u64)
+                            .collect::<Vec<_>>(),
                     ))
                 });
                 comm.reduce(ctx, &buf, 256, DType::U64, ReduceOp::Sum, 0);
@@ -324,7 +336,11 @@ fn alternative_tree_kinds_are_correct() {
             assert_eq!(&r[..len], &expect[..], "{kind:?} bcast rank {rank}");
         }
         let total: u64 = (0..n as u64).sum();
-        assert_eq!(from_bytes_u64(&results[0][len..]), vec![total; 8], "{kind:?} reduce");
+        assert_eq!(
+            from_bytes_u64(&results[0][len..]),
+            vec![total; 8],
+            "{kind:?} reduce"
+        );
     }
 }
 
@@ -363,7 +379,11 @@ fn smp_bcast_variants_all_correct() {
         for (round, &len) in sizes.iter().enumerate() {
             let pat = pattern(len, round as u8);
             let start = round * 32;
-            assert_eq!(&results[0][start..start + 16], &pat[..16], "variant {variant} head");
+            assert_eq!(
+                &results[0][start..start + 16],
+                &pat[..16],
+                "variant {variant} head"
+            );
             assert_eq!(
                 &results[0][start + 16..start + 32],
                 &pat[len - 16..],
@@ -387,7 +407,10 @@ fn small_bcast_counts_no_interrupts_and_few_messages() {
         comm.broadcast(ctx, &buf, 1024, 0);
         Vec::new()
     });
-    assert_eq!(report.metrics.interrupts, 0, "small path must not interrupt");
+    assert_eq!(
+        report.metrics.interrupts, 0,
+        "small path must not interrupt"
+    );
     assert_eq!(report.metrics.net_messages, 2, "one put + one credit ack");
     assert_eq!(report.metrics.net_bytes, 1024);
     assert_eq!(report.metrics.matches, 0, "SRM performs no tag matching");

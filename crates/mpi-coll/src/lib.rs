@@ -11,6 +11,9 @@
 //! | reduce | binomial tree | binomial tree |
 //! | allreduce | recursive doubling | reduce + broadcast |
 //! | barrier | binomial gather/release | binomial gather/release |
+//! | gather | linear | linear |
+//! | scatter | linear | linear |
+//! | allgather | gather + broadcast | ring |
 //!
 //! The profiles also differ through the fabric itself: IBM's eager
 //! limit shrinks with task count, MPICH pays an extra per-message
@@ -53,7 +56,15 @@ impl Collectives for MpiColl {
         buf.with_mut(|d| d[..len].copy_from_slice(&data));
     }
 
-    fn reduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp, root: Rank) {
+    fn reduce(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+        root: Rank,
+    ) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
         let mut data = buf.with(|d| d[..len].to_vec());
         ops::reduce_binomial(&self.ep, ctx, &mut data, dtype, op, root);
@@ -64,7 +75,9 @@ impl Collectives for MpiColl {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
         let mut data = buf.with(|d| d[..len].to_vec());
         match self.ep.vendor() {
-            Vendor::IbmMpi => ops::allreduce_recursive_doubling(&self.ep, ctx, &mut data, dtype, op),
+            Vendor::IbmMpi => {
+                ops::allreduce_recursive_doubling(&self.ep, ctx, &mut data, dtype, op)
+            }
             Vendor::Mpich => ops::allreduce_reduce_bcast(&self.ep, ctx, &mut data, dtype, op),
         }
         buf.with_mut(|d| d[..len].copy_from_slice(&data));
@@ -80,6 +93,33 @@ impl Collectives for MpiColl {
             Vendor::IbmMpi => ops::barrier_tree(&self.ep, ctx),
             Vendor::Mpich => ops::barrier_tree(&self.ep, ctx),
         }
+    }
+
+    fn gather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let n = self.ep.topology().nprocs();
+        let mut data = buf.with(|d| d[..n * len].to_vec());
+        ops::gather_linear(&self.ep, ctx, &mut data, len, root);
+        buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
+    }
+
+    fn scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let n = self.ep.topology().nprocs();
+        let mut data = buf.with(|d| d[..n * len].to_vec());
+        ops::scatter_linear(&self.ep, ctx, &mut data, len, root);
+        buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
+    }
+
+    fn allgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let n = self.ep.topology().nprocs();
+        let mut data = buf.with(|d| d[..n * len].to_vec());
+        match self.ep.vendor() {
+            Vendor::IbmMpi => ops::allgather_gather_bcast(&self.ep, ctx, &mut data, len),
+            Vendor::Mpich => ops::allgather_ring(&self.ep, ctx, &mut data, len),
+        }
+        buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
     }
 
     fn name(&self) -> &'static str {
@@ -106,8 +146,7 @@ mod tests {
     ) -> (Vec<Vec<u8>>, Report) {
         let mut sim = Sim::new(MachineConfig::uniform_test());
         let world = MsgWorld::new(&mut sim, topo, vendor);
-        let out: Arc<Mutex<Vec<Vec<u8>>>> =
-            Arc::new(Mutex::new(vec![Vec::new(); topo.nprocs()]));
+        let out: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(vec![Vec::new(); topo.nprocs()]));
         let init = Arc::new(init);
         let body = Arc::new(body);
         for rank in 0..topo.nprocs() {
@@ -234,8 +273,9 @@ mod tests {
         let topo = Topology::new(2, 3);
         let n = topo.nprocs();
         for op in [ReduceOp::Min, ReduceOp::Max] {
-            let contribs: Vec<Vec<u8>> =
-                (0..n).map(|r| to_bytes_u64(&[(r * 13 % 7) as u64])).collect();
+            let contribs: Vec<Vec<u8>> = (0..n)
+                .map(|r| to_bytes_u64(&[(r * 13 % 7) as u64]))
+                .collect();
             let expect = reference_reduce(DType::U64, op, &contribs);
             let c2 = contribs.clone();
             let (results, _) = run_cluster(
@@ -307,13 +347,7 @@ mod tests {
     #[test]
     fn intra_node_bcast_uses_no_network() {
         let topo = Topology::new(1, 8);
-        let (_, report) = run_cluster(
-            topo,
-            Vendor::IbmMpi,
-            32,
-            |_| vec![1u8; 32],
-            bcast_body(0),
-        );
+        let (_, report) = run_cluster(topo, Vendor::IbmMpi, 32, |_| vec![1u8; 32], bcast_body(0));
         assert_eq!(report.metrics.net_messages, 0);
         // 7 point-to-point hops x 2 copies each.
         assert_eq!(report.metrics.shm_copies, 14);

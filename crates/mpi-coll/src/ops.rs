@@ -8,7 +8,10 @@
 //! * allreduce — recursive doubling (IBM profile) or reduce-then-
 //!   broadcast (MPICH profile);
 //! * barrier — dissemination (IBM profile) or binomial gather+release
-//!   (MPICH profile).
+//!   (MPICH profile);
+//! * gather / scatter — linear at the root (both vendors);
+//! * allgather — gather+broadcast (IBM profile) or ring (MPICH
+//!   profile).
 //!
 //! Every hop is an ordinary tagged message through [`msg`], so each hop
 //! pays matching, per-message overheads, eager/rendezvous protocol
@@ -26,6 +29,9 @@ const TAG_ALLREDUCE: Tag = 0x0300;
 const TAG_BARRIER_UP: Tag = 0x0400;
 const TAG_BARRIER_DOWN: Tag = 0x0401;
 const TAG_BARRIER_DISS: Tag = 0x0402;
+const TAG_GATHER: Tag = 0x0500;
+const TAG_SCATTER: Tag = 0x0600;
+const TAG_ALLGATHER: Tag = 0x0700;
 
 /// Binomial-tree broadcast of `data` (significant at `root`); on return
 /// every rank's `data` holds the payload.
@@ -111,7 +117,15 @@ pub fn allreduce_recursive_doubling(
             } else {
                 partner_new + rem
             };
-            ep.sendrecv(ctx, partner, TAG_ALLREDUCE, data, partner, TAG_ALLREDUCE, &mut tmp);
+            ep.sendrecv(
+                ctx,
+                partner,
+                TAG_ALLREDUCE,
+                data,
+                partner,
+                TAG_ALLREDUCE,
+                &mut tmp,
+            );
             combine_costed(ctx, dtype, op, data, &tmp);
             mask <<= 1;
         }
@@ -176,6 +190,82 @@ pub fn barrier_tree(ep: &MsgEndpoint, ctx: &Ctx) {
     }
     for child in tree::binomial_children(me, size) {
         ep.send(ctx, child, TAG_BARRIER_DOWN, &[]);
+    }
+}
+
+/// Linear gather (both era vendors gathered linearly at the root):
+/// every rank sends its segment `data[me*seg..(me+1)*seg]` straight to
+/// `root`; the root receives `P-1` tagged messages into their final
+/// offsets.
+pub fn gather_linear(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize, root: Rank) {
+    let size = ep.topology().nprocs();
+    if size == 1 || seg == 0 {
+        return;
+    }
+    let me = ep.rank();
+    if me == root {
+        for r in 0..size {
+            if r != root {
+                ep.recv(ctx, r, TAG_GATHER, &mut data[r * seg..(r + 1) * seg]);
+            }
+        }
+    } else {
+        ep.send(ctx, root, TAG_GATHER, &data[me * seg..(me + 1) * seg]);
+    }
+}
+
+/// Linear scatter: the root sends each rank its segment
+/// `data[r*seg..(r+1)*seg]` as one tagged message.
+pub fn scatter_linear(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize, root: Rank) {
+    let size = ep.topology().nprocs();
+    if size == 1 || seg == 0 {
+        return;
+    }
+    let me = ep.rank();
+    if me == root {
+        for r in 0..size {
+            if r != root {
+                ep.send(ctx, r, TAG_SCATTER, &data[r * seg..(r + 1) * seg]);
+            }
+        }
+    } else {
+        ep.recv(ctx, root, TAG_SCATTER, &mut data[me * seg..(me + 1) * seg]);
+    }
+}
+
+/// Gather-then-broadcast allgather (IBM profile): linear gather of the
+/// segments to rank 0, binomial broadcast of the assembled buffer.
+pub fn allgather_gather_bcast(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) {
+    gather_linear(ep, ctx, data, seg, 0);
+    bcast_binomial(ep, ctx, data, 0);
+}
+
+/// Ring allgather (MPICH profile): `P-1` rounds; in round `s` each rank
+/// forwards to its right neighbour the segment it received in round
+/// `s-1` (its own in round 0), so every segment travels the whole ring.
+pub fn allgather_ring(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) {
+    let size = ep.topology().nprocs();
+    if size == 1 || seg == 0 {
+        return;
+    }
+    let me = ep.rank();
+    let right = (me + 1) % size;
+    let left = (me + size - 1) % size;
+    for step in 0..size - 1 {
+        let send_seg = (me + size - step) % size;
+        let recv_seg = (me + size - step - 1) % size;
+        let out = data[send_seg * seg..(send_seg + 1) * seg].to_vec();
+        let mut inb = vec![0u8; seg];
+        ep.sendrecv(
+            ctx,
+            right,
+            TAG_ALLGATHER,
+            &out,
+            left,
+            TAG_ALLGATHER,
+            &mut inb,
+        );
+        data[recv_seg * seg..(recv_seg + 1) * seg].copy_from_slice(&inb);
     }
 }
 

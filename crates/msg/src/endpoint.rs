@@ -70,10 +70,7 @@ enum SendState {
     /// Shm/eager: sender-side work already charged; buffer reusable.
     Complete,
     /// Rendezvous: must wait for CTS, then clock out the data.
-    Rndv {
-        handshake: SimVar<bool>,
-        len: usize,
-    },
+    Rndv { handshake: SimVar<bool>, len: usize },
 }
 
 struct Inner {
@@ -102,7 +99,9 @@ impl MsgWorld {
     pub fn new(sim: &mut Sim, topo: Topology, vendor: Vendor) -> Self {
         let handle = sim.handle();
         let queues = (0..topo.nprocs()).map(|_| handle.var(Vec::new())).collect();
-        let node_link = (0..topo.nodes()).map(|_| handle.var(SimTime::ZERO)).collect();
+        let node_link = (0..topo.nodes())
+            .map(|_| handle.var(SimTime::ZERO))
+            .collect();
         MsgWorld {
             inner: Arc::new(Inner {
                 topo,
@@ -251,7 +250,10 @@ impl MsgEndpoint {
             m.eager_sends.fetch_add(1, Ordering::Relaxed);
             // Sender clocks the message onto the wire through the
             // node's shared adapter.
-            let wire = self.inner.vendor.scale_wire(cfg.net_per_byte.cost_of(data.len()));
+            let wire = self
+                .inner
+                .vendor
+                .scale_wire(cfg.net_per_byte.cost_of(data.len()));
             ctx.advance(cfg.mpi_send_overhead + extra);
             let link = &self.inner.node_link[self.inner.topo.node_of(self.me)];
             let done = ctx.now().max(link.get()) + wire;
@@ -388,7 +390,10 @@ impl MsgEndpoint {
                 handshake.store(ctx, true);
                 // The sender resumes one latency later, restarts its
                 // send path, and queues on its node's shared adapter.
-                let wire = self.inner.vendor.scale_wire(cfg.net_per_byte.cost_of(data.len()));
+                let wire = self
+                    .inner
+                    .vendor
+                    .scale_wire(cfg.net_per_byte.cost_of(data.len()));
                 let floor = granted_at
                     + cfg.net_latency // CTS travel
                     + cfg.mpi_send_overhead

@@ -118,9 +118,7 @@ mod tests {
         // MPICH keeps the limit fixed, so memory scales with P...
         assert_eq!(Vendor::Mpich.eager_buffer_bytes(256), 255 * 4096);
         // ...while IBM bounds it by shrinking the limit.
-        assert!(
-            Vendor::IbmMpi.eager_buffer_bytes(256) < Vendor::Mpich.eager_buffer_bytes(256) / 4
-        );
+        assert!(Vendor::IbmMpi.eager_buffer_bytes(256) < Vendor::Mpich.eager_buffer_bytes(256) / 4);
     }
 
     #[test]

@@ -310,7 +310,8 @@ impl Rma {
     pub fn wait_counter_ge(&self, ctx: &Ctx, cntr: &LapiCounter, value: u64) {
         let state = &self.world.tasks[self.me].state;
         state.update(ctx, |s| s.in_call = true);
-        cntr.var.wait(ctx, "LAPI counter (cumulative)", move |v| *v >= value);
+        cntr.var
+            .wait(ctx, "LAPI counter (cumulative)", move |v| *v >= value);
         state.update(ctx, |s| s.in_call = false);
         ctx.advance(ctx.config().lapi_counter_check);
     }
@@ -387,25 +388,27 @@ fn dispatcher_main(ctx: Ctx, world: Arc<WorldInner>, me: Rank) {
     // still share this task's (node's) adapter on the receive side.
     let mut rx_free = SimTime::ZERO;
     loop {
-        let item = world.tasks[me].inbox.wait_take(&ctx, "network arrival", |q| {
-            if q.is_empty() {
-                return None;
-            }
-            // Deliver the earliest arrival first; Shutdown only when
-            // nothing else is pending.
-            let mut best: Option<(usize, SimTime)> = None;
-            for (i, it) in q.iter().enumerate() {
-                let at = match it {
-                    Item::Shutdown => SimTime(u64::MAX),
-                    Item::Arrival(a) => a.deliver_at,
-                };
-                if best.is_none_or(|(_, bt)| at < bt) {
-                    best = Some((i, at));
+        let item = world.tasks[me]
+            .inbox
+            .wait_take(&ctx, "network arrival", |q| {
+                if q.is_empty() {
+                    return None;
                 }
-            }
-            let (i, _) = best.expect("nonempty");
-            Some(q.remove(i))
-        });
+                // Deliver the earliest arrival first; Shutdown only when
+                // nothing else is pending.
+                let mut best: Option<(usize, SimTime)> = None;
+                for (i, it) in q.iter().enumerate() {
+                    let at = match it {
+                        Item::Shutdown => SimTime(u64::MAX),
+                        Item::Arrival(a) => a.deliver_at,
+                    };
+                    if best.is_none_or(|(_, bt)| at < bt) {
+                        best = Some((i, at));
+                    }
+                }
+                let (i, _) = best.expect("nonempty");
+                Some(q.remove(i))
+            });
         let mut arrival = match item {
             Item::Shutdown => break,
             Item::Arrival(a) => a,

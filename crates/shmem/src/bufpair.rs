@@ -59,7 +59,8 @@ impl BufPair {
     /// Writer side: block until every reader has released buffer `side`
     /// (all READY flags clear again).
     pub fn wait_free(&self, ctx: &Ctx, side: usize) {
-        self.ready(side).wait_all_eq(ctx, "buffer released by readers", 0);
+        self.ready(side)
+            .wait_all_eq(ctx, "buffer released by readers", 0);
     }
 
     /// Writer side: publish buffer `side` to all readers (set every
@@ -71,7 +72,9 @@ impl BufPair {
     /// Reader side: block until buffer `side` is published to reader
     /// `me`.
     pub fn wait_published(&self, ctx: &Ctx, side: usize, me: usize) {
-        self.ready(side).flag(me).wait_eq(ctx, "buffer published", 1);
+        self.ready(side)
+            .flag(me)
+            .wait_eq(ctx, "buffer published", 1);
     }
 
     /// Reader side: release buffer `side` (clear own READY flag).

@@ -19,10 +19,10 @@
 
 #![warn(missing_docs)]
 
-pub mod bufpair;
 pub mod buffer;
+pub mod bufpair;
 pub mod flag;
 
-pub use bufpair::BufPair;
 pub use buffer::ShmBuffer;
+pub use bufpair::BufPair;
 pub use flag::{FlagBank, SpinFlag};

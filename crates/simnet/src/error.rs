@@ -37,9 +37,17 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { blocked } => {
-                writeln!(f, "simulation deadlock: {} process(es) blocked forever", blocked.len())?;
+                writeln!(
+                    f,
+                    "simulation deadlock: {} process(es) blocked forever",
+                    blocked.len()
+                )?;
                 for lp in blocked {
-                    writeln!(f, "  {} @ {} waiting on '{}'", lp.name, lp.time, lp.waiting_on)?;
+                    writeln!(
+                        f,
+                        "  {} @ {} waiting on '{}'",
+                        lp.name, lp.time, lp.waiting_on
+                    )?;
                 }
                 Ok(())
             }

@@ -289,7 +289,10 @@ impl Ctx {
         let mut sched = self.shared.sched.lock();
         for lp in &mut sched.lps {
             if let LpState::Blocked {
-                var, poked, poke_time, ..
+                var,
+                poked,
+                poke_time,
+                ..
             } = &mut lp.state
             {
                 if *var == var_key && !*poked {
@@ -449,7 +452,10 @@ impl Sim {
 
         // Optional hang diagnosis: SIMNET_WATCHDOG=1 dumps every LP's
         // scheduler state periodically.
-        if std::env::var("SIMNET_WATCHDOG").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("SIMNET_WATCHDOG")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             let weak = Arc::downgrade(&shared);
             std::thread::spawn(move || loop {
                 std::thread::sleep(std::time::Duration::from_secs(5));
@@ -457,7 +463,12 @@ impl Sim {
                 let sched = sh.sched.lock();
                 eprintln!("--- simnet watchdog: live={} ---", sched.live);
                 for lp in &sched.lps {
-                    eprintln!("  {:<24} t={:<14} {:?}", lp.name, format!("{}", lp.time), lp.state);
+                    eprintln!(
+                        "  {:<24} t={:<14} {:?}",
+                        lp.name,
+                        format!("{}", lp.time),
+                        lp.state
+                    );
                 }
             });
         }

@@ -56,5 +56,5 @@ pub use kernel::{Ctx, LpId, Report, Sim, SimHandle};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use simvar::SimVar;
 pub use time::{PerByte, SimTime};
-pub use trace::{Trace, TraceEvent};
 pub use topology::{NodeId, Rank, Topology};
+pub use trace::{Trace, TraceEvent};

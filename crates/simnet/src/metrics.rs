@@ -79,6 +79,19 @@ metrics! {
     early_arrivals,
     /// Bytes combined by reduction operators.
     reduce_bytes,
+    /// Collective calls served from the compiled-schedule cache.
+    plan_hits,
+    /// Collective calls that had to compile their schedule.
+    plan_misses,
+    /// Schedule steps executed by the plan engine.
+    engine_steps,
+    /// Engine steps that moved or combined payload bytes.
+    engine_copy_steps,
+    /// Engine steps that blocked on a flag, counter or buffer side.
+    engine_wait_steps,
+    /// Engine steps that injected one-sided traffic (puts, counter
+    /// bumps, address messages).
+    engine_put_steps,
 }
 
 impl Metrics {

@@ -125,11 +125,14 @@ mod tests {
         for w in ev.windows(2) {
             assert!(w[0].at <= w[1].at);
         }
-        assert_eq!(trace.for_lp(1), vec![TraceEvent {
-            lp: 1,
-            at: SimTime::from_us(3),
-            label: "b-work",
-        }]);
+        assert_eq!(
+            trace.for_lp(1),
+            vec![TraceEvent {
+                lp: 1,
+                at: SimTime::from_us(3),
+                label: "b-work",
+            }]
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ fn run(imp: Impl) -> (SimTime, f64) {
         Mpi(msg::MsgWorld),
     }
     let world = match imp {
-        Impl::Srm => World::Srm(srm::SrmWorld::new(&mut sim, topo, srm::SrmTuning::default())),
+        Impl::Srm => World::Srm(srm::SrmWorld::new(
+            &mut sim,
+            topo,
+            srm::SrmTuning::default(),
+        )),
         Impl::IbmMpi => World::Mpi(msg::MsgWorld::new(&mut sim, topo, msg::Vendor::IbmMpi)),
         Impl::Mpich => World::Mpi(msg::MsgWorld::new(&mut sim, topo, msg::Vendor::Mpich)),
     };
@@ -71,8 +75,7 @@ fn run(imp: Impl) -> (SimTime, f64) {
                 // Global stopping criterion: sum of residuals.
                 resbuf.with_mut(|d| d.copy_from_slice(&local_res.to_le_bytes()));
                 coll.allreduce(&ctx, &resbuf, 8, DType::F64, ReduceOp::Sum);
-                residual =
-                    f64::from_le_bytes(resbuf.with(|d| d[..8].try_into().expect("8 bytes")));
+                residual = f64::from_le_bytes(resbuf.with(|d| d[..8].try_into().expect("8 bytes")));
             }
             coll.barrier(&ctx);
             if rank == 0 {
@@ -109,5 +112,7 @@ fn main() {
             }
         );
     }
-    println!("\nIdentical numerics on every implementation; only the collective transport differs.");
+    println!(
+        "\nIdentical numerics on every implementation; only the collective transport differs."
+    );
 }

@@ -27,7 +27,11 @@ fn main() {
             let t0 = ctx.now();
             comm.broadcast(&ctx, &buf, len, 0);
             if rank == 0 {
-                println!("broadcast  1 MB to {:3} ranks: {}", topo.nprocs(), ctx.now() - t0);
+                println!(
+                    "broadcast  1 MB to {:3} ranks: {}",
+                    topo.nprocs(),
+                    ctx.now() - t0
+                );
             }
             buf.with(|d| assert_eq!(d[12345], 12345usize as u8));
 
@@ -47,12 +51,33 @@ fn main() {
                 println!("sum over ranks of rank+0 = {} (expected {expect})", sums[0]);
             }
 
+            // --- allgather: every rank's 1 KB segment, everywhere ---
+            let seg = 1024;
+            let gbuf = comm.alloc_buffer(topo.nprocs() * seg);
+            gbuf.with_mut(|d| d[rank * seg..(rank + 1) * seg].fill(rank as u8));
+            comm.barrier(&ctx);
+            let t0 = ctx.now();
+            comm.allgather(&ctx, &gbuf, seg);
+            if rank == 0 {
+                println!("allgather  1 KB per rank:     {}", ctx.now() - t0);
+                gbuf.with(|d| {
+                    assert!(d[..topo.nprocs() * seg]
+                        .chunks(seg)
+                        .enumerate()
+                        .all(|(r, c)| c.iter().all(|&b| b == r as u8)))
+                });
+            }
+
             // --- barrier ---
             comm.barrier(&ctx);
             let t0 = ctx.now();
             comm.barrier(&ctx);
             if rank == 0 {
-                println!("barrier    {:3} ranks:         {}", topo.nprocs(), ctx.now() - t0);
+                println!(
+                    "barrier    {:3} ranks:         {}",
+                    topo.nprocs(),
+                    ctx.now() - t0
+                );
             }
 
             comm.shutdown(&ctx);

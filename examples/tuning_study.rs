@@ -18,7 +18,10 @@ use srm_cluster::{measure, HarnessOpts, Impl, Op};
 fn main() {
     let machines = [
         ("IBM SP (Colony)", MachineConfig::ibm_sp_colony()),
-        ("commodity VIA cluster", MachineConfig::commodity_via_cluster()),
+        (
+            "commodity VIA cluster",
+            MachineConfig::commodity_via_cluster(),
+        ),
     ];
 
     println!("Pipeline chunk size for a 24 KB broadcast on 4x16 (paper default: 4 KB)\n");
@@ -42,7 +45,10 @@ fn main() {
                 Topology::sp_16way(4),
                 Op::Bcast,
                 24 << 10,
-                HarnessOpts { iters: 5, srm: tuning },
+                HarnessOpts {
+                    iters: 5,
+                    srm: tuning,
+                },
             );
             print!(" {:>8.1}u", m.per_call.as_us());
         }
@@ -50,7 +56,10 @@ fn main() {
     }
 
     println!("\nNode size at fixed P=64: where does SMP-awareness pay most? (4 KB broadcast)\n");
-    println!("{:>24} {:>12} {:>12} {:>12}", "machine", "4 x 16", "8 x 8", "16 x 4");
+    println!(
+        "{:>24} {:>12} {:>12} {:>12}",
+        "machine", "4 x 16", "8 x 8", "16 x 4"
+    );
     for (name, machine) in &machines {
         print!("{name:>24}");
         for (nodes, tpn) in [(4usize, 16usize), (8, 8), (16, 4)] {
@@ -60,7 +69,10 @@ fn main() {
                 Topology::new(nodes, tpn),
                 Op::Bcast,
                 4096,
-                HarnessOpts { iters: 5, ..Default::default() },
+                HarnessOpts {
+                    iters: 5,
+                    ..Default::default()
+                },
             );
             print!(" {:>11.1}u", m.per_call.as_us());
         }

@@ -50,6 +50,12 @@ pub enum Op {
     Allreduce,
     /// `MPI_Barrier` equivalent.
     Barrier,
+    /// `MPI_Gather` equivalent, root 0 (`len` is the per-rank segment).
+    Gather,
+    /// `MPI_Scatter` equivalent, root 0 (`len` is the per-rank segment).
+    Scatter,
+    /// `MPI_Allgather` equivalent (`len` is the per-rank segment).
+    Allgather,
 }
 
 impl Op {
@@ -60,6 +66,19 @@ impl Op {
             Op::Reduce => "reduce",
             Op::Allreduce => "allreduce",
             Op::Barrier => "barrier",
+            Op::Gather => "gather",
+            Op::Scatter => "scatter",
+            Op::Allgather => "allgather",
+        }
+    }
+
+    /// Buffer capacity one rank needs for a payload parameter of `len`
+    /// bytes on `nprocs` ranks (the segment ops assemble `nprocs`
+    /// segments in place).
+    pub fn buf_len(self, len: usize, nprocs: usize) -> usize {
+        match self {
+            Op::Gather | Op::Scatter | Op::Allgather => (nprocs * len).max(8),
+            _ => len.max(8),
         }
     }
 }
@@ -138,8 +157,9 @@ pub fn measure(
             }
             World::Mpi(w) => (Box::new(MpiColl::new(w.endpoint(rank))), None),
         };
+        let nprocs = topo.nprocs();
         sim.spawn(format!("rank{rank}"), move |ctx| {
-            run_rank(&ctx, rank, coll.as_ref(), op, len, iters, &out);
+            run_rank(&ctx, rank, nprocs, coll.as_ref(), op, len, iters, &out);
             if let Some(c) = srm_comm {
                 c.shutdown(&ctx);
             }
@@ -152,11 +172,7 @@ pub fn measure(
     // when the last rank finishes.
     let start = samples.iter().map(|s| s.0).max().expect("nonempty");
     let end = samples.iter().map(|s| s.1).max().expect("nonempty");
-    let metrics = samples
-        .iter()
-        .min_by_key(|s| s.0)
-        .expect("nonempty")
-        .2;
+    let metrics = samples.iter().min_by_key(|s| s.0).expect("nonempty").2;
     Measurement {
         per_call: SimTime::from_ps((end - start).as_ps() / iters as u64),
         metrics,
@@ -164,16 +180,18 @@ pub fn measure(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_rank(
     ctx: &simnet::Ctx,
     rank: Rank,
+    nprocs: usize,
     coll: &(dyn Collectives + Send),
     op: Op,
     len: usize,
     iters: usize,
     out: &Samples,
 ) {
-    let buf = shmem::ShmBuffer::new(len.max(8));
+    let buf = shmem::ShmBuffer::new(op.buf_len(len, nprocs));
     let init = |b: &shmem::ShmBuffer| {
         b.with_mut(|d| {
             for (i, x) in d.iter_mut().enumerate() {
@@ -188,6 +206,9 @@ fn run_rank(
         Op::Reduce => coll.reduce(ctx, &buf, len, DType::F64, ReduceOp::Sum, 0),
         Op::Allreduce => coll.allreduce(ctx, &buf, len, DType::F64, ReduceOp::Sum),
         Op::Barrier => coll.barrier(ctx),
+        Op::Gather => coll.gather(ctx, &buf, len, 0),
+        Op::Scatter => coll.scatter(ctx, &buf, len, 0),
+        Op::Allgather => coll.allgather(ctx, &buf, len),
     };
 
     let _ = rank;

@@ -48,6 +48,9 @@ fn run_once(
                 Op::Reduce => coll.reduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum, root),
                 Op::Allreduce => coll.allreduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum),
                 Op::Barrier => coll.barrier(&ctx),
+                // Segment ops need nprocs*len buffers; their cross-impl
+                // agreement lives in tests/prop_collectives.rs.
+                Op::Gather | Op::Scatter | Op::Allgather => unreachable!(),
             }
             out.lock().unwrap()[rank] = buf.with(|d| d[..len].to_vec());
             if let Some(c) = srm_comm {
@@ -114,9 +117,7 @@ fn all_implementations_agree_on_reduce_at_root() {
     let topo = Topology::new(4, 3);
     let n = topo.nprocs();
     let len = 64usize;
-    let contribs: Vec<Vec<u8>> = (0..n)
-        .map(|r| to_bytes_u64(&[(r * r) as u64; 8]))
-        .collect();
+    let contribs: Vec<Vec<u8>> = (0..n).map(|r| to_bytes_u64(&[(r * r) as u64; 8])).collect();
     let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
     for imp in Impl::ALL {
         let c = contribs.clone();
@@ -141,7 +142,14 @@ fn srm_outperforms_both_baselines() {
             (Op::Allreduce, 4096),
             (Op::Barrier, 8),
         ] {
-            let srm = measure(Impl::Srm, MachineConfig::ibm_sp_colony(), topo, op, len, opts);
+            let srm = measure(
+                Impl::Srm,
+                MachineConfig::ibm_sp_colony(),
+                topo,
+                op,
+                len,
+                opts,
+            );
             for base in [Impl::IbmMpi, Impl::Mpich] {
                 let mpi = measure(base, MachineConfig::ibm_sp_colony(), topo, op, len, opts);
                 assert!(
@@ -171,8 +179,22 @@ fn srm_structural_advantages_show_in_metrics() {
         iters: 2,
         ..Default::default()
     };
-    let srm = measure(Impl::Srm, MachineConfig::ibm_sp_colony(), topo, Op::Bcast, len, opts);
-    let mpi = measure(Impl::IbmMpi, MachineConfig::ibm_sp_colony(), topo, Op::Bcast, len, opts);
+    let srm = measure(
+        Impl::Srm,
+        MachineConfig::ibm_sp_colony(),
+        topo,
+        Op::Bcast,
+        len,
+        opts,
+    );
+    let mpi = measure(
+        Impl::IbmMpi,
+        MachineConfig::ibm_sp_colony(),
+        topo,
+        Op::Bcast,
+        len,
+        opts,
+    );
     assert_eq!(srm.metrics.matches, 0, "SRM never tag-matches");
     assert!(mpi.metrics.matches > 0, "MPI matches on every message");
     assert!(

@@ -18,7 +18,14 @@ fn per_call_time_grows_with_message_size() {
     for imp in Impl::ALL {
         let mut last = SimTime::ZERO;
         for len in [8usize, 4096, 64 << 10, 512 << 10] {
-            let m = measure(imp, MachineConfig::ibm_sp_colony(), topo, Op::Bcast, len, opts(2));
+            let m = measure(
+                imp,
+                MachineConfig::ibm_sp_colony(),
+                topo,
+                Op::Bcast,
+                len,
+                opts(2),
+            );
             assert!(
                 m.per_call > last,
                 "{}: {}B not slower than previous size",

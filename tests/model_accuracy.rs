@@ -31,6 +31,9 @@ fn model_within_factor_of_simulation() {
                 Op::Reduce => model.reduce(len),
                 Op::Allreduce => model.allreduce(len),
                 Op::Barrier => model.barrier(),
+                // The analytical model covers the paper's four measured
+                // ops; the segment ops are simulation-only for now.
+                Op::Gather | Op::Scatter | Op::Allgather => unreachable!(),
             };
             let sim = measure(
                 Impl::Srm,
@@ -75,7 +78,10 @@ fn model_predicts_tuning_direction() {
     };
     let m_fine = SrmModel::new(machine.clone(), topo, fine).bcast(24 << 10);
     let m_coarse = SrmModel::new(machine.clone(), topo, coarse).bcast(24 << 10);
-    assert!(m_coarse < m_fine, "model: coarse {m_coarse} !< fine {m_fine}");
+    assert!(
+        m_coarse < m_fine,
+        "model: coarse {m_coarse} !< fine {m_fine}"
+    );
 
     let s = |t: SrmTuning| {
         measure(

@@ -3,6 +3,8 @@
 //! sequential reference, and runs must be deterministic.
 
 use collops::{reference_reduce, Collectives, DType, ReduceOp};
+use mpi_coll::MpiColl;
+use msg::{MsgWorld, Vendor};
 use proptest::prelude::*;
 use simnet::{MachineConfig, Sim, Topology};
 use srm::{SrmTuning, SrmWorld, TreeKind};
@@ -13,6 +15,15 @@ enum WhichOp {
     Bcast,
     Reduce,
     Allreduce,
+}
+
+/// The segmented (vector) collectives: `len` is per-rank segment size
+/// and buffers hold `nprocs` segments.
+#[derive(Clone, Copy, Debug)]
+enum SegOp {
+    Gather,
+    Scatter,
+    Allgather,
 }
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
@@ -78,6 +89,95 @@ fn run_srm(
     }
     sim.run().expect("simulation completes");
     Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+/// Run one segmented collective on every SRM rank. `init[rank]` is the
+/// rank's full initial buffer (`nprocs * len` bytes); returns the final
+/// full buffers.
+fn run_seg_srm(
+    topo: Topology,
+    op: SegOp,
+    len: usize,
+    root: usize,
+    init: Vec<Vec<u8>>,
+) -> Vec<Vec<u8>> {
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let init = Arc::new(init);
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        let init = init.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer((n * len).max(1));
+            buf.with_mut(|d| d[..n * len].copy_from_slice(&init[rank]));
+            match op {
+                SegOp::Gather => comm.gather(&ctx, &buf, len, root),
+                SegOp::Scatter => comm.scatter(&ctx, &buf, len, root),
+                SegOp::Allgather => comm.allgather(&ctx, &buf, len),
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d[..n * len].to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().expect("simulation completes");
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+/// Same as [`run_seg_srm`] but through a point-to-point MPI baseline.
+fn run_seg_mpi(
+    topo: Topology,
+    vendor: Vendor,
+    op: SegOp,
+    len: usize,
+    root: usize,
+    init: Vec<Vec<u8>>,
+) -> Vec<Vec<u8>> {
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = MsgWorld::new(&mut sim, topo, vendor);
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let init = Arc::new(init);
+    for rank in 0..n {
+        let coll = MpiColl::new(world.endpoint(rank));
+        let out = out.clone();
+        let init = init.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = shmem::ShmBuffer::new((n * len).max(1));
+            buf.with_mut(|d| d[..n * len].copy_from_slice(&init[rank]));
+            match op {
+                SegOp::Gather => coll.gather(&ctx, &buf, len, root),
+                SegOp::Scatter => coll.scatter(&ctx, &buf, len, root),
+                SegOp::Allgather => coll.allgather(&ctx, &buf, len),
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d[..n * len].to_vec());
+        });
+    }
+    sim.run().expect("simulation completes");
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+/// Deterministic pseudo-random full buffers, one per rank.
+fn seg_init(n: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|r| {
+            (0..n * len)
+                .map(|i| {
+                    (seed
+                        .wrapping_mul(0x9e3779b97f4a7c15)
+                        .wrapping_add((r * 65537 + i) as u64)
+                        >> 11) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The byte range of rank `r`'s segment.
+fn seg(r: usize, len: usize) -> std::ops::Range<usize> {
+    r * len..(r + 1) * len
 }
 
 proptest! {
@@ -148,10 +248,206 @@ proptest! {
         let b = run_srm(topo, TreeKind::Binomial, WhichOp::Allreduce, ReduceOp::Max, 0, contribs);
         prop_assert_eq!(a, b);
     }
+
+    /// Gather delivers every rank's segment to the root; scatter
+    /// delivers the root's segments to their owners; allgather delivers
+    /// everything everywhere. Topologies include non-power-of-two rank
+    /// counts and arbitrary (non-zero) roots.
+    #[test]
+    fn segmented_collectives_semantics(
+        topo in arb_topology(),
+        op_pick in 0usize..3,
+        root_seed in 0usize..64,
+        len in 1usize..3000,
+        seed in any::<u64>(),
+    ) {
+        let n = topo.nprocs();
+        let op = [SegOp::Gather, SegOp::Scatter, SegOp::Allgather][op_pick];
+        let root = root_seed % n;
+        let init = seg_init(n, len, seed);
+        let results = run_seg_srm(topo, op, len, root, init.clone());
+        match op {
+            SegOp::Gather => {
+                for r in 0..n {
+                    prop_assert_eq!(
+                        &results[root][seg(r, len)],
+                        &init[r][seg(r, len)],
+                        "gather root {} missing rank {}'s segment", root, r
+                    );
+                }
+            }
+            SegOp::Scatter => {
+                for r in 0..n {
+                    prop_assert_eq!(
+                        &results[r][seg(r, len)],
+                        &init[root][seg(r, len)],
+                        "scatter rank {} from root {}", r, root
+                    );
+                }
+            }
+            SegOp::Allgather => {
+                for (rank, res) in results.iter().enumerate() {
+                    for r in 0..n {
+                        prop_assert_eq!(
+                            &res[seg(r, len)],
+                            &init[r][seg(r, len)],
+                            "allgather rank {} segment {}", rank, r
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// SRM and both point-to-point vendor baselines agree on the
+    /// defined regions of every segmented collective.
+    #[test]
+    fn segmented_collectives_agree_with_baselines(
+        topo in arb_topology(),
+        op_pick in 0usize..3,
+        root_seed in 0usize..64,
+        len in 1usize..600,
+        seed in any::<u64>(),
+    ) {
+        let n = topo.nprocs();
+        let op = [SegOp::Gather, SegOp::Scatter, SegOp::Allgather][op_pick];
+        let root = root_seed % n;
+        let init = seg_init(n, len, seed);
+        let srm = run_seg_srm(topo, op, len, root, init.clone());
+        for vendor in [Vendor::IbmMpi, Vendor::Mpich] {
+            let mpi = run_seg_mpi(topo, vendor, op, len, root, init.clone());
+            match op {
+                SegOp::Gather => {
+                    for r in 0..n {
+                        prop_assert_eq!(
+                            &srm[root][seg(r, len)],
+                            &mpi[root][seg(r, len)],
+                            "{:?} gather root {} segment {}", vendor, root, r
+                        );
+                    }
+                }
+                SegOp::Scatter => {
+                    for r in 0..n {
+                        prop_assert_eq!(
+                            &srm[r][seg(r, len)],
+                            &mpi[r][seg(r, len)],
+                            "{:?} scatter rank {}", vendor, r
+                        );
+                    }
+                }
+                SegOp::Allgather => {
+                    prop_assert_eq!(&srm, &mpi, "{:?} allgather", vendor);
+                }
+            }
+        }
+    }
+
+    /// A scatter undoes a gather: after `gather(root)` then
+    /// `scatter(root)`, every rank's own segment is back to its
+    /// original contents.
+    #[test]
+    fn scatter_after_gather_is_identity(
+        topo in arb_topology(),
+        root_seed in 0usize..64,
+        len in 1usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let n = topo.nprocs();
+        let root = root_seed % n;
+        let init = seg_init(n, len, seed);
+        let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+        let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+        let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+        let init_arc = Arc::new(init.clone());
+        for rank in 0..n {
+            let comm = world.comm(rank);
+            let out = out.clone();
+            let init_arc = init_arc.clone();
+            sim.spawn(format!("rank{rank}"), move |ctx| {
+                let buf = comm.alloc_buffer((n * len).max(1));
+                buf.with_mut(|d| d[..n * len].copy_from_slice(&init_arc[rank]));
+                comm.gather(&ctx, &buf, len, root);
+                comm.scatter(&ctx, &buf, len, root);
+                out.lock().unwrap()[rank] = buf.with(|d| d[..n * len].to_vec());
+                comm.shutdown(&ctx);
+            });
+        }
+        sim.run().expect("simulation completes");
+        let results = Arc::try_unwrap(out).unwrap().into_inner().unwrap();
+        for r in 0..n {
+            prop_assert_eq!(
+                &results[r][seg(r, len)],
+                &init[r][seg(r, len)],
+                "scatter∘gather changed rank {}'s segment (root {})", r, root
+            );
+        }
+    }
 }
 
-/// Tree-structure properties over the full parameter space (cheap, so
-/// more cases).
+/// Repeating a call shape must hit the plan cache: only the first call
+/// of each `(op, root, len)` shape compiles a schedule.
+#[test]
+fn repeated_shapes_hit_plan_cache() {
+    let topo = Topology::new(3, 2);
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..topo.nprocs() {
+        let comm = world.comm(rank);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(6 * 256);
+            for _ in 0..5 {
+                comm.broadcast(&ctx, &buf, 1024, 1);
+                comm.allreduce(&ctx, &buf, 256, DType::U64, ReduceOp::Sum);
+                comm.allgather(&ctx, &buf, 64);
+                comm.barrier(&ctx);
+            }
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("simulation completes");
+    let m = report.metrics;
+    assert!(m.plan_hits > 0, "repeated shapes never hit the cache");
+    assert!(m.engine_steps > 0, "engine executed no steps");
+    assert!(m.engine_copy_steps > 0 && m.engine_wait_steps > 0 && m.engine_put_steps > 0);
+    // 6 ranks x 4 shapes planned once each (+ the allgather-internal
+    // second shape is part of the same plan): misses stay bounded while
+    // hits grow with repetitions.
+    assert!(
+        m.plan_hits > m.plan_misses,
+        "hits {} should exceed misses {} over 5 repetitions",
+        m.plan_hits,
+        m.plan_misses
+    );
+}
+
+/// The cache is keyed by shape: disabling it via tuning re-plans every
+/// call and still computes the same results.
+#[test]
+fn zero_cache_capacity_still_correct() {
+    let topo = Topology::new(2, 3);
+    let tuning = SrmTuning {
+        plan_cache_cap: 0,
+        ..SrmTuning::default()
+    };
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, tuning);
+    for rank in 0..topo.nprocs() {
+        let comm = world.comm(rank);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(1024);
+            buf.with_mut(|d| d.fill(rank as u8 + 1));
+            comm.broadcast(&ctx, &buf, 512, 0);
+            comm.broadcast(&ctx, &buf, 512, 0);
+            buf.with(|d| assert!(d[..512].iter().all(|&b| b == 1)));
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("simulation completes");
+    assert_eq!(report.metrics.plan_hits, 0, "disabled cache must not hit");
+}
+
+// Tree-structure properties over the full parameter space (cheap, so
+// more cases).
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 256,

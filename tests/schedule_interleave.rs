@@ -1,0 +1,164 @@
+//! Liveness scans for the plan/execute engine: every collective must
+//! compose with every other on the same communicator without deadlock.
+//!
+//! The schedules share substrate state across calls — the cumulative
+//! sequence cells, the per-slot contribution channels, the xfer
+//! handoff buffer and the credit counters — so the dangerous bugs are
+//! *interleaving* bugs: an op that leaves a channel out of sync with
+//! the cumulative it advanced, or that returns from the call while
+//! puts targeting it are still in flight. These scans sweep topology
+//! shapes (including single-node and non-power-of-two), roots
+//! (master/non-master, first/middle/last) and op sequences that mix
+//! the channel users. A failure surfaces as a simulator-detected
+//! deadlock naming the blocked ranks.
+
+use collops::Collectives;
+use simnet::{MachineConfig, Sim, Topology};
+use srm::{SrmTuning, SrmWorld};
+
+fn try_one(nodes: usize, tpn: usize, op: &str, len: usize, root: usize) -> Result<(), String> {
+    let topo = Topology::new(nodes, tpn);
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let op = op.to_string();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer((n * len).max(1));
+            match op.as_str() {
+                "gather" => comm.gather(&ctx, &buf, len, root),
+                "scatter" => comm.scatter(&ctx, &buf, len, root),
+                "allgather" => comm.allgather(&ctx, &buf, len),
+                _ => unreachable!(),
+            }
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().map(|_| ()).map_err(|e| format!("{e:?}"))
+}
+
+fn try_seq(nodes: usize, tpn: usize, calls: &[(&str, usize, usize)]) -> Result<(), String> {
+    let topo = Topology::new(nodes, tpn);
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let calls: Vec<(String, usize, usize)> = calls
+            .iter()
+            .map(|&(op, len, root)| (op.to_string(), len, root))
+            .collect();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let maxlen = calls.iter().map(|c| c.1).max().unwrap();
+            let buf = comm.alloc_buffer((n * maxlen).max(8));
+            for (op, len, root) in &calls {
+                match op.as_str() {
+                    "gather" => comm.gather(&ctx, &buf, *len, *root),
+                    "scatter" => comm.scatter(&ctx, &buf, *len, *root),
+                    "allgather" => comm.allgather(&ctx, &buf, *len),
+                    "bcast" => comm.broadcast(&ctx, &buf, *len, *root),
+                    "reduce" => comm.reduce(
+                        &ctx,
+                        &buf,
+                        *len,
+                        collops::DType::F64,
+                        collops::ReduceOp::Sum,
+                        *root,
+                    ),
+                    "allreduce" => comm.allreduce(
+                        &ctx,
+                        &buf,
+                        *len,
+                        collops::DType::F64,
+                        collops::ReduceOp::Sum,
+                    ),
+                    "barrier" => comm.barrier(&ctx),
+                    _ => unreachable!(),
+                }
+            }
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().map(|_| ()).map_err(|e| format!("{e:?}"))
+}
+
+/// Mixed-op sequences over one communicator: every op must leave the
+/// shared substrate in a state every other op can start from.
+#[test]
+fn scan_sequences() {
+    let len = 40_000; // chunks = 3 at the default 16 KB reduce_chunk
+    let mut failures = Vec::new();
+    for (nodes, tpn) in [(1, 4), (2, 2), (2, 3), (3, 2), (3, 4)] {
+        let n = nodes * tpn;
+        let seqs: Vec<Vec<(&str, usize, usize)>> = vec![
+            vec![("reduce", len, 0), ("reduce", len, 1)],
+            vec![("reduce", len, 0), ("reduce", len, n - 1)],
+            vec![("reduce", len, 1), ("reduce", len, 1)],
+            vec![("gather", len, 0), ("reduce", len, 0)],
+            vec![("gather", len, n - 1), ("reduce", len, n - 1)],
+            vec![("scatter", len, 0), ("reduce", len, 0)],
+            vec![("scatter", len, n - 1), ("reduce", len, 1)],
+            vec![("gather", len, 1), ("scatter", len, 1)],
+            vec![("allgather", len, 0), ("reduce", len, 0)],
+            vec![("reduce", len, 1), ("gather", len, 0)],
+            vec![("reduce", len, 0), ("gather", len, n / 2)],
+            vec![
+                ("allreduce", len, 0),
+                ("gather", len, 1),
+                ("reduce", len, 2 % n),
+            ],
+            vec![
+                ("bcast", len, 1),
+                ("scatter", len, 1),
+                ("allreduce", len, 0),
+            ],
+        ];
+        for calls in seqs {
+            if let Err(e) = try_seq(nodes, tpn, &calls) {
+                failures.push(format!(
+                    "({nodes}x{tpn}) {:?}: {}",
+                    calls,
+                    &e[..e.len().min(160)]
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Single segmented ops across shapes, sizes and root placements.
+#[test]
+fn scan_single_ops() {
+    let mut failures = Vec::new();
+    for (nodes, tpn) in [
+        (1, 1),
+        (1, 4),
+        (2, 1),
+        (2, 2),
+        (2, 3),
+        (3, 2),
+        (4, 1),
+        (3, 4),
+    ] {
+        let n = nodes * tpn;
+        for op in ["gather", "scatter", "allgather"] {
+            for len in [1usize, 100, 5000, 20000] {
+                let roots: Vec<usize> = if op == "allgather" {
+                    vec![0]
+                } else {
+                    vec![0, n - 1, n / 2]
+                };
+                for root in roots {
+                    if let Err(e) = try_one(nodes, tpn, op, len, root) {
+                        failures.push(format!(
+                            "({nodes}x{tpn}) {op} len={len} root={root}: {}",
+                            &e[..e.len().min(160)]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
