@@ -1,6 +1,6 @@
 //! Ablation A5 (paper §4): sensitivity to late arrivals. The paper
 //! argues SRM's per-pair flags beat the barrier-synchronized buffer
-//! arbitration of Sistare et al. [11] because a full barrier makes the
+//! arbitration of Sistare et al. \[11\] because a full barrier makes the
 //! whole node wait for the slowest task *twice per buffer*. Here one
 //! task arrives late and we watch how much of the delay each algorithm
 //! absorbs.

@@ -1,7 +1,7 @@
 //! Does the SRM advantage transfer off the IBM SP? The paper's §1
 //! predicts it should ("supported by all the popular high-performance
 //! networks like Myrinet, Giganet/VIA, Quadrics, SCI, and InfiniBand"),
-//! and the authors' earlier barrier work [17] ran on a VIA cluster.
+//! and the authors' earlier barrier work \[17\] ran on a VIA cluster.
 //! This binary repeats the headline comparison on the
 //! `commodity_via_cluster` preset.
 

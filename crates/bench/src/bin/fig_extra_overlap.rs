@@ -1,0 +1,192 @@
+//! Extra figure (beyond the paper's 6–12): communication/computation
+//! **overlap** with the nonblocking collectives.
+//!
+//! For each (procs, size) point the sweep measures three per-rank
+//! times:
+//!
+//! * `comm` — the blocking broadcast alone;
+//! * `seq`  — blocking broadcast followed by a compute phase sized to
+//!   the broadcast itself (`compute = comm`, the hardest case: there is
+//!   exactly enough compute to hide the whole transfer);
+//! * `ovl`  — `ibroadcast`, the same compute sliced with periodic
+//!   `test` polls, then `wait`.
+//!
+//! The figure of merit is the **hidden fraction**
+//! `(seq - ovl) / comm`: 0 means issuing nonblocking bought nothing,
+//! 1 means the entire broadcast disappeared behind the compute. SRM
+//! can hide the inter-node puts (the dispatcher delivers into the
+//! landing buffers while ranks compute, and `test` runs the parked
+//! schedules forward); the eager MPI baseline completes the whole
+//! operation at issue, so its hidden fraction is ~0 by construction —
+//! that contrast is the point of the figure.
+//!
+//! The compute loop polls `test` every slice (16 slices per phase)
+//! because neither LAPI nor the executor makes progress outside calls;
+//! the polls themselves are charged (dispatcher poll cost), which is
+//! why hidden fractions saturate below 1.
+
+use collops::NonblockingCollectives;
+use mpi_coll::MpiColl;
+use msg::{MsgWorld, Vendor};
+use simnet::{Ctx, MachineConfig, Sim, SimTime, Topology};
+use srm::{SrmTuning, SrmWorld};
+use srm_bench::fast_mode;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// Blocking broadcast only.
+    Comm,
+    /// Blocking broadcast, then the compute phase.
+    Seq,
+    /// `ibroadcast`, compute sliced with `test` polls, `wait`.
+    Ovl,
+}
+
+const SLICES: u64 = 16;
+const ITERS: u64 = 4;
+
+/// Per-rank body of one measured iteration.
+fn iteration<C: NonblockingCollectives>(
+    ctx: &Ctx,
+    coll: &C,
+    buf: &shmem::ShmBuffer,
+    len: usize,
+    mode: Mode,
+    compute: SimTime,
+) {
+    match mode {
+        Mode::Comm => coll.broadcast(ctx, buf, len, 0),
+        Mode::Seq => {
+            coll.broadcast(ctx, buf, len, 0);
+            ctx.advance(compute);
+        }
+        Mode::Ovl => {
+            let req = coll.ibroadcast(ctx, buf, len, 0);
+            let slice = SimTime::from_us_f64(compute.as_us() / SLICES as f64);
+            for _ in 0..SLICES {
+                ctx.advance(slice);
+                coll.test(ctx, &req);
+            }
+            coll.wait(ctx, req);
+        }
+    }
+}
+
+/// Max-over-ranks per-iteration time (one warmup iteration excluded so
+/// plan compilation is not measured).
+fn run(srm: bool, topo: Topology, len: usize, mode: Mode, compute: SimTime) -> SimTime {
+    let machine = MachineConfig::ibm_sp_colony();
+    let n = topo.nprocs();
+    let mut sim = Sim::new(machine);
+    enum World {
+        Srm(SrmWorld),
+        Mpi(MsgWorld),
+    }
+    let world = if srm {
+        World::Srm(SrmWorld::new(&mut sim, topo, SrmTuning::default()))
+    } else {
+        World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::IbmMpi))
+    };
+    let spans = Arc::new(Mutex::new(vec![SimTime::ZERO; n]));
+    for rank in 0..n {
+        let spans = spans.clone();
+        match &world {
+            World::Srm(w) => {
+                let comm = w.comm(rank);
+                sim.spawn(format!("rank{rank}"), move |ctx| {
+                    let buf = comm.alloc_buffer(len.max(8));
+                    iteration(&ctx, &comm, &buf, len, mode, compute); // warmup
+                    let t0 = ctx.now();
+                    for _ in 0..ITERS {
+                        iteration(&ctx, &comm, &buf, len, mode, compute);
+                    }
+                    spans.lock().unwrap()[rank] = ctx.now() - t0;
+                    comm.shutdown(&ctx);
+                });
+            }
+            World::Mpi(w) => {
+                let coll = MpiColl::new(w.endpoint(rank));
+                sim.spawn(format!("rank{rank}"), move |ctx| {
+                    let buf = shmem::ShmBuffer::new(len.max(8));
+                    iteration(&ctx, &coll, &buf, len, mode, compute);
+                    let t0 = ctx.now();
+                    for _ in 0..ITERS {
+                        iteration(&ctx, &coll, &buf, len, mode, compute);
+                    }
+                    spans.lock().unwrap()[rank] = ctx.now() - t0;
+                });
+            }
+        }
+    }
+    sim.run().expect("simulation completes");
+    let max = spans
+        .lock()
+        .unwrap()
+        .iter()
+        .fold(SimTime::ZERO, |a, &b| a.max(b));
+    SimTime::from_us_f64(max.as_us() / ITERS as f64)
+}
+
+fn main() {
+    let sizes: Vec<usize> = if fast_mode() {
+        vec![64 << 10, 1 << 20]
+    } else {
+        vec![8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+    };
+    let topos = if fast_mode() {
+        vec![Topology::new(2, 4)]
+    } else {
+        vec![
+            Topology::new(2, 4),
+            Topology::new(4, 4),
+            Topology::new(8, 4),
+        ]
+    };
+    println!("# Overlap study: broadcast + equal-sized compute");
+    println!("# hidden = (seq - ovl) / comm  (1.0 = transfer fully hidden)");
+    for topo in topos {
+        println!(
+            "\n## {} procs ({} nodes x {})",
+            topo.nprocs(),
+            topo.nodes(),
+            topo.tasks_per_node()
+        );
+        println!(
+            "{:>10} | {:>10} {:>10} {:>10} {:>7} | {:>10} {:>10} {:>10} {:>7}",
+            "size",
+            "srm comm",
+            "srm seq",
+            "srm ovl",
+            "hidden",
+            "mpi comm",
+            "mpi seq",
+            "mpi ovl",
+            "hidden"
+        );
+        for &len in &sizes {
+            let mut cols = Vec::new();
+            for srm in [true, false] {
+                let comm = run(srm, topo, len, Mode::Comm, SimTime::ZERO);
+                let seq = run(srm, topo, len, Mode::Seq, comm);
+                let ovl = run(srm, topo, len, Mode::Ovl, comm);
+                let hidden = (seq.as_us() - ovl.as_us()) / comm.as_us();
+                cols.push((comm, seq, ovl, hidden));
+            }
+            let (sc, ss, so, sh) = cols[0];
+            let (mc, ms, mo, mh) = cols[1];
+            println!(
+                "{:>10} | {:>10.1} {:>10.1} {:>10.1} {:>7.2} | {:>10.1} {:>10.1} {:>10.1} {:>7.2}",
+                len,
+                sc.as_us(),
+                ss.as_us(),
+                so.as_us(),
+                sh,
+                mc.as_us(),
+                ms.as_us(),
+                mo.as_us(),
+                mh
+            );
+        }
+    }
+}

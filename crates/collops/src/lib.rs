@@ -6,7 +6,7 @@
 //! [`Collectives`] trait through which the benchmark harness drives
 //! SRM and the MPI baselines uniformly.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dtype;
 pub mod traits;
@@ -15,4 +15,4 @@ pub use dtype::{
     combine, combine_costed, combine_from_buffer_costed, from_bytes_f64, from_bytes_u64,
     reference_reduce, to_bytes_f64, to_bytes_u64, DType, ReduceOp,
 };
-pub use traits::{Collectives, CollectivesExt};
+pub use traits::{CollRequest, Collectives, CollectivesExt, NonblockingCollectives};

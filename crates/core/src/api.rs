@@ -1,10 +1,12 @@
-//! The public [`Collectives`] face of [`SrmComm`]: validate the call,
-//! then plan-and-execute it through the engine (the only execution
-//! path; see [`crate::plan`]).
+//! The public [`Collectives`] and [`NonblockingCollectives`] faces of
+//! [`SrmComm`]: validate the call, then plan-and-execute it through the
+//! engine (the only execution path; see [`crate::plan`]) — immediately
+//! for the blocking operations, via the interleaving executor
+//! ([`crate::nb`]) for the `i`-prefixed ones.
 
 use crate::plan::PlanKey;
 use crate::world::SrmComm;
-use collops::{Collectives, DType, ReduceOp};
+use collops::{CollRequest, Collectives, DType, NonblockingCollectives, ReduceOp};
 use shmem::ShmBuffer;
 use simnet::{Ctx, Rank};
 
@@ -71,5 +73,83 @@ impl Collectives for SrmComm {
 
     fn name(&self) -> &'static str {
         "SRM"
+    }
+}
+
+impl NonblockingCollectives for SrmComm {
+    fn ibroadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
+        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Bcast { len, root }, buf, None))
+    }
+
+    fn ireduce(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+        root: Rank,
+    ) -> CollRequest {
+        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Reduce { len, root }, buf, Some((dtype, op))))
+    }
+
+    fn iallreduce(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+    ) -> CollRequest {
+        assert!(len <= buf.capacity(), "payload longer than buffer");
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Allreduce { len }, buf, Some((dtype, op))))
+    }
+
+    fn ibarrier(&self, ctx: &Ctx) -> CollRequest {
+        // The schedule holds its own handle to the zero-length payload,
+        // so the local is safe to drop at return.
+        let empty = ShmBuffer::new(0);
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Barrier, &empty, None))
+    }
+
+    fn igather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
+        let n = self.topology().nprocs();
+        assert!(root < n, "root out of range");
+        assert!(
+            n * len <= buf.capacity(),
+            "gather needs nprocs*len capacity"
+        );
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Gather { len, root }, buf, None))
+    }
+
+    fn iscatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
+        let n = self.topology().nprocs();
+        assert!(root < n, "root out of range");
+        assert!(
+            n * len <= buf.capacity(),
+            "scatter needs nprocs*len capacity"
+        );
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Scatter { len, root }, buf, None))
+    }
+
+    fn iallgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
+        let n = self.topology().nprocs();
+        assert!(
+            n * len <= buf.capacity(),
+            "allgather needs nprocs*len capacity"
+        );
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Allgather { len }, buf, None))
+    }
+
+    fn test(&self, ctx: &Ctx, req: &CollRequest) -> bool {
+        self.nb_test(ctx, req.id())
+    }
+
+    fn wait(&self, ctx: &Ctx, req: CollRequest) {
+        self.nb_wait_id(ctx, req.id());
     }
 }

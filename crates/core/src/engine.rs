@@ -14,6 +14,17 @@
 //! categories into the simulator metrics, and — when
 //! [`SrmTuning::trace_steps`](crate::SrmTuning) is set — emits one
 //! trace event per step for timeline rendering.
+//!
+//! Execution state is factored so a call can be **suspended**: every
+//! mutable per-call datum (the sampled bases, the reduce accumulator,
+//! captured address handles) lives in a `CallState`, and `exec_step`
+//! executes exactly one step against it. The blocking path here simply
+//! folds `exec_step` over the plan; the nonblocking executor
+//! ([`crate::nb`]) runs the same steps with parks in between. A
+//! blocking call that arrives while nonblocking requests are
+//! outstanding routes through the nonblocking queue (issue + wait) so
+//! it orders correctly behind them instead of deadlocking against its
+//! own predecessors.
 
 use crate::plan::{
     BufRef, CopyCost, CtrRef, FlagRef, HandleSrc, Off, PairSel, Plan, PlanKey, SeqBase, Side, Step,
@@ -27,35 +38,35 @@ use simnet::Ctx;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-fn val_of(bases: &[u64; SEQ_BASES], v: Val) -> u64 {
+pub(crate) fn val_of(bases: &[u64; SEQ_BASES], v: Val) -> u64 {
     match v {
         Val::Lit(x) => x,
         Val::Seq { base, rel } => bases[base.index()] + rel,
     }
 }
 
-fn side_of(bases: &[u64; SEQ_BASES], s: Side) -> usize {
+pub(crate) fn side_of(bases: &[u64; SEQ_BASES], s: Side) -> usize {
     match s {
         Side::Lit(x) => x,
         Side::Parity { base, rel } => ((bases[base.index()] + rel) % 2) as usize,
     }
 }
 
-fn off_of(bases: &[u64; SEQ_BASES], o: Off) -> usize {
+pub(crate) fn off_of(bases: &[u64; SEQ_BASES], o: Off) -> usize {
     match o {
         Off::Lit(x) => x,
         Off::Parity { base, rel, stride } => ((bases[base.index()] + rel) % 2) as usize * stride,
     }
 }
 
-fn pair_of(comm: &SrmComm, sel: PairSel) -> &BufPair {
+pub(crate) fn pair_of(comm: &SrmComm, sel: PairSel) -> &BufPair {
     match sel {
         PairSel::Smp => &comm.board().smp,
         PairSel::Landing => &comm.board().landing,
     }
 }
 
-fn flag_of(comm: &SrmComm, f: FlagRef) -> &SpinFlag {
+pub(crate) fn flag_of(comm: &SrmComm, f: FlagRef) -> &SpinFlag {
     let board = comm.board();
     match f {
         FlagRef::Barrier { slot } => board.barrier_flags.flag(slot),
@@ -68,7 +79,11 @@ fn flag_of(comm: &SrmComm, f: FlagRef) -> &SpinFlag {
     }
 }
 
-fn ctr_of<'a>(comm: &'a SrmComm, bases: &[u64; SEQ_BASES], c: CtrRef) -> &'a LapiCounter {
+pub(crate) fn ctr_of<'a>(
+    comm: &'a SrmComm,
+    bases: &[u64; SEQ_BASES],
+    c: CtrRef,
+) -> &'a LapiCounter {
     let lpar = |rel| ((bases[SeqBase::Landing.index()] + rel) % 2) as usize;
     let rpar = |rel| ((bases[SeqBase::Reduce.index()] + rel) % 2) as usize;
     match c {
@@ -88,7 +103,7 @@ fn ctr_of<'a>(comm: &'a SrmComm, bases: &[u64; SEQ_BASES], c: CtrRef) -> &'a Lap
 
 /// Resolve a shared-memory buffer operand. [`BufRef::Acc`] has no
 /// backing `ShmBuffer` and is special-cased by the copy steps.
-fn buf_of<'a>(
+pub(crate) fn buf_of<'a>(
     comm: &'a SrmComm,
     bases: &[u64; SEQ_BASES],
     user: &'a ShmBuffer,
@@ -116,6 +131,41 @@ fn buf_of<'a>(
     }
 }
 
+/// Mutable state of one collective call mid-execution: the sequence
+/// bases sampled at entry plus everything the steps accumulate (the
+/// operator scratch and captured buffer handles). Extracting this from
+/// the executor loop is what lets the nonblocking engine park a call at
+/// a blocking step and resume it later with nothing lost.
+pub(crate) struct CallState {
+    /// [`SeqBase`] cells sampled once when the call entered.
+    pub(crate) bases: [u64; SEQ_BASES],
+    /// Operator scratch ([`BufRef::Acc`]).
+    pub(crate) acc: Vec<u8>,
+    /// Handles captured by [`Step::AddrTake`], in take order.
+    pub(crate) child_bufs: Vec<ShmBuffer>,
+    /// Handle captured by [`Step::GsRootTake`]/[`Step::BoardAddrTake`].
+    pub(crate) root_buf: Option<ShmBuffer>,
+    /// Suppress [`Step::Advance`]: the nonblocking issue path already
+    /// applied the plan's advance totals to the live cells at issue
+    /// time (sequence-base relocation), so executing them again would
+    /// double-count.
+    pub(crate) skip_advance: bool,
+}
+
+impl CallState {
+    /// State for a call entering now, with `bases` sampled from the
+    /// communicator's live cells.
+    pub(crate) fn new(bases: [u64; SEQ_BASES], skip_advance: bool) -> Self {
+        CallState {
+            bases,
+            acc: Vec::new(),
+            child_bufs: Vec::new(),
+            root_buf: None,
+            skip_advance,
+        }
+    }
+}
+
 impl SrmComm {
     /// Fetch the cached plan for `key`, compiling it on a miss.
     /// Bumps the `plan_hits`/`plan_misses` metrics accordingly.
@@ -131,6 +181,12 @@ impl SrmComm {
     }
 
     /// Plan (or fetch) and execute the collective described by `key`.
+    ///
+    /// When this rank has outstanding nonblocking collectives, the call
+    /// is routed through the pending queue (issue + wait) instead of
+    /// executing directly: a blocking call's steps may depend on flags
+    /// that only this rank's own parked schedules will raise, so
+    /// executing it to completion in line would self-deadlock.
     pub(crate) fn run_planned(
         &self,
         ctx: &Ctx,
@@ -138,13 +194,19 @@ impl SrmComm {
         buf: &ShmBuffer,
         reduce: Option<(DType, ReduceOp)>,
     ) {
+        if !self.pending.borrow().is_empty() {
+            let id = self.nb_issue(ctx, key, buf, reduce);
+            self.nb_wait_id(ctx, id);
+            return;
+        }
         let plan = self.plan_for(ctx, key);
         self.execute_plan(ctx, &plan, buf, reduce);
     }
 
-    /// Replay `plan` step by step against this communicator. `buf` is
-    /// the call's user payload; `reduce` late-binds the operator for
-    /// plans containing [`Step::LocalReduce`].
+    /// Replay `plan` step by step against this communicator, blocking
+    /// in place at every waiting step. `buf` is the call's user
+    /// payload; `reduce` late-binds the operator for plans containing
+    /// [`Step::LocalReduce`].
     pub fn execute_plan(
         &self,
         ctx: &Ctx,
@@ -152,28 +214,49 @@ impl SrmComm {
         buf: &ShmBuffer,
         reduce: Option<(DType, ReduceOp)>,
     ) {
-        let bases: [u64; SEQ_BASES] = [
+        let mut st = CallState::new(self.sample_bases(), false);
+        ctx.metrics()
+            .engine_steps
+            .fetch_add(plan.steps.len() as u64, Ordering::Relaxed);
+        for step in &plan.steps {
+            self.exec_step(ctx, &mut st, buf, reduce, step);
+        }
+    }
+
+    /// Snapshot the live sequence cells (the bases a call entering now
+    /// resolves its relative values against).
+    pub(crate) fn sample_bases(&self) -> [u64; SEQ_BASES] {
+        [
             self.smp_seq.get(),
             self.landing_seq.get(),
             self.tree_seq.get(),
             self.reduce_cum.get(),
             self.xfer_cum.get(),
             self.barrier_seq.get(),
-        ];
-        let trace_steps = self.tuning().trace_steps;
-        let mut acc: Vec<u8> = Vec::new();
-        let mut child_bufs: Vec<ShmBuffer> = Vec::new();
-        let mut root_buf: Option<ShmBuffer> = None;
+        ]
+    }
 
+    /// Execute one step of a call. Blocking steps block in place; the
+    /// nonblocking executor only calls this after probing readiness
+    /// (see `crate::nb`), in which case they return promptly.
+    pub(crate) fn exec_step(
+        &self,
+        ctx: &Ctx,
+        st: &mut CallState,
+        buf: &ShmBuffer,
+        reduce: Option<(DType, ReduceOp)>,
+        step: &Step,
+    ) {
+        let bases = st.bases;
+        let skip_advance = st.skip_advance;
+        let acc = &mut st.acc;
+        let child_bufs = &mut st.child_bufs;
+        let root_buf = &mut st.root_buf;
         let metrics = ctx.metrics();
-        metrics
-            .engine_steps
-            .fetch_add(plan.steps.len() as u64, Ordering::Relaxed);
-
-        for step in &plan.steps {
-            if trace_steps {
-                ctx.trace(step.label());
-            }
+        if self.tuning().trace_steps {
+            ctx.trace(step.label());
+        }
+        {
             match *step {
                 Step::Trace(label) => ctx.trace(label),
                 Step::SetInterrupts(on) => self.rma.set_interrupts(ctx, on),
@@ -188,7 +271,7 @@ impl SrmComm {
                     metrics.engine_copy_steps.fetch_add(1, Ordering::Relaxed);
                     let so = off_of(&bases, src_off);
                     let dofs = off_of(&bases, dst_off);
-                    let resolve = |r: BufRef| buf_of(self, &bases, buf, &child_bufs, &root_buf, r);
+                    let resolve = |r: BufRef| buf_of(self, &bases, buf, child_bufs, root_buf, r);
                     match cost {
                         CopyCost::Read(streams) => {
                             // Charged read out of shared memory; the
@@ -196,7 +279,7 @@ impl SrmComm {
                             let mut tmp = vec![0u8; len];
                             resolve(src).read(ctx, so, &mut tmp, streams);
                             match dst {
-                                BufRef::Acc => acc = tmp,
+                                BufRef::Acc => *acc = tmp,
                                 _ => resolve(dst)
                                     .with_mut(|d| d[dofs..dofs + len].copy_from_slice(&tmp)),
                             }
@@ -216,7 +299,7 @@ impl SrmComm {
                                 _ => resolve(src).with(|d| d[so..so + len].to_vec()),
                             };
                             match dst {
-                                BufRef::Acc => acc = tmp,
+                                BufRef::Acc => *acc = tmp,
                                 _ => resolve(dst)
                                     .with_mut(|d| d[dofs..dofs + len].copy_from_slice(&tmp)),
                             }
@@ -233,8 +316,8 @@ impl SrmComm {
                         reduce.expect("plan reduces but the call carries no operator");
                     debug_assert_eq!(acc.len(), len);
                     let so = off_of(&bases, src_off);
-                    let src = buf_of(self, &bases, buf, &child_bufs, &root_buf, src);
-                    combine_from_buffer_costed(ctx, dtype, op, &mut acc, src, so);
+                    let src = buf_of(self, &bases, buf, child_bufs, root_buf, src);
+                    combine_from_buffer_costed(ctx, dtype, op, acc, src, so);
                 }
                 Step::FlagRaise { flag, val } => {
                     flag_of(self, flag).set(ctx, val_of(&bases, val));
@@ -297,8 +380,8 @@ impl SrmComm {
                     metrics.engine_put_steps.fetch_add(1, Ordering::Relaxed);
                     let so = off_of(&bases, src_off);
                     let dofs = off_of(&bases, dst_off);
-                    let src = buf_of(self, &bases, buf, &child_bufs, &root_buf, src);
-                    let dst = buf_of(self, &bases, buf, &child_bufs, &root_buf, dst);
+                    let src = buf_of(self, &bases, buf, child_bufs, root_buf, src);
+                    let dst = buf_of(self, &bases, buf, child_bufs, root_buf, dst);
                     let ctr = ctr.map(|c| ctr_of(self, &bases, c));
                     self.rma.put(ctx, to, src, so, len, dst, dofs, ctr);
                 }
@@ -336,7 +419,7 @@ impl SrmComm {
                 }
                 Step::GsRootTake => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    root_buf = Some(self.inter(self.node()).gs_root.wait_take(
+                    *root_buf = Some(self.inter(self.node()).gs_root.wait_take(
                         ctx,
                         "gather root address",
                         |s| s.take(),
@@ -347,22 +430,27 @@ impl SrmComm {
                 }
                 Step::BoardAddrTake => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    root_buf = Some(self.board().gs_addr.wait_take(
+                    *root_buf = Some(self.board().gs_addr.wait_take(
                         ctx,
                         "gather root address",
                         |s| s.take(),
                     ));
                 }
                 Step::Advance { base, by } => {
-                    let cell = match base {
-                        SeqBase::Smp => &self.smp_seq,
-                        SeqBase::Landing => &self.landing_seq,
-                        SeqBase::Tree => &self.tree_seq,
-                        SeqBase::Reduce => &self.reduce_cum,
-                        SeqBase::Xfer => &self.xfer_cum,
-                        SeqBase::Barrier => &self.barrier_seq,
-                    };
-                    cell.set(cell.get() + by);
+                    // Nonblocking issue already relocated the live cells
+                    // (see `nb_issue`), so a queued call must not advance
+                    // them a second time when its schedule executes.
+                    if !skip_advance {
+                        let cell = match base {
+                            SeqBase::Smp => &self.smp_seq,
+                            SeqBase::Landing => &self.landing_seq,
+                            SeqBase::Tree => &self.tree_seq,
+                            SeqBase::Reduce => &self.reduce_cum,
+                            SeqBase::Xfer => &self.xfer_cum,
+                            SeqBase::Barrier => &self.barrier_seq,
+                        };
+                        cell.set(cell.get() + by);
+                    }
                 }
             }
         }

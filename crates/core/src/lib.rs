@@ -33,6 +33,10 @@
 //!   per-rank [`Plan`] of primitive steps, cached per call shape;
 //! * [`engine`] (methods on [`SrmComm`]) — the executor that replays a
 //!   plan against the substrates; the *only* execution path;
+//! * [`nb`] — the nonblocking interleaving executor: `i`-prefixed
+//!   collectives park their schedules on a per-rank queue and progress
+//!   inside `test`/`wait` calls, overlapping with each other and with
+//!   compute;
 //! * [`world`] — the per-node shared boards and per-master network
 //!   state, assembled once at setup;
 //! * [`tuning`] — every switch point and buffer size, defaulting to the
@@ -62,13 +66,14 @@
 //! sim.run().unwrap();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod embed;
 pub mod engine;
 pub mod inter;
 pub mod model;
+pub mod nb;
 pub mod plan;
 pub mod smp;
 pub mod tuning;

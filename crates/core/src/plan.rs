@@ -539,6 +539,13 @@ impl Step {
 pub struct Plan {
     /// The steps, executed in order.
     pub steps: Vec<Step>,
+    /// Total amount this plan advances each [`SeqBase`] cell (the sum
+    /// of its [`Step::Advance`] steps, indexed by [`SeqBase::index`]).
+    /// The nonblocking issue path applies these to the live cells *at
+    /// issue time* — see the sequence-base relocation rule in
+    /// `DESIGN.md` — so a later call outstanding concurrently samples
+    /// bases as if this one had already completed.
+    pub advances: [u64; SEQ_BASES],
 }
 
 impl Plan {
@@ -600,9 +607,12 @@ impl PlanBuilder {
         idx
     }
 
-    /// Finish: hand over the plan.
+    /// Finish: hand over the plan, with its per-base advance totals.
     pub fn finish(self) -> Plan {
-        Plan { steps: self.steps }
+        Plan {
+            steps: self.steps,
+            advances: self.adv,
+        }
     }
 }
 
@@ -676,7 +686,7 @@ pub enum PlanKey {
 }
 
 /// Per-communicator LRU cache of compiled plans, keyed by call shape.
-/// Capacity comes from [`SrmTuning::plan_cache_cap`]
+/// Capacity comes from [`SrmTuning::plan_cache_cap`](crate::SrmTuning::plan_cache_cap)
 /// (`crate::SrmTuning`); the benchmark sweeps repeat each shape
 /// hundreds of times, so a small cache removes all re-planning from
 /// the measurement loops.
@@ -788,5 +798,7 @@ mod tests {
         let plan = b.finish();
         assert_eq!(plan.len(), 3); // advance + 2 takes
         assert!(!plan.is_empty());
+        assert_eq!(plan.advances[SeqBase::Landing.index()], 3);
+        assert_eq!(plan.advances[SeqBase::Smp.index()], 0);
     }
 }

@@ -281,7 +281,7 @@ impl SrmComm {
     }
 
     /// Tree-based intra-node broadcast (ablation variant; see
-    /// [`Self::plan_smp_bcast_tree`]).
+    /// `plan_smp_bcast_tree`).
     pub fn smp_bcast_tree(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
         debug_assert!(self.topology().same_node(self.me, writer));
         self.run_planned(ctx, PlanKey::SmpBcastTree { len, writer }, buf, None);
@@ -336,7 +336,7 @@ impl SrmComm {
     }
 
     /// Barrier-synchronized intra-node broadcast (ablation variant; see
-    /// [`Self::plan_smp_bcast_sistare`]).
+    /// `plan_smp_bcast_sistare`).
     pub fn smp_bcast_sistare(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
         debug_assert!(self.topology().same_node(self.me, writer));
         self.run_planned(ctx, PlanKey::SmpBcastSistare { len, writer }, buf, None);

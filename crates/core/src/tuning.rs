@@ -51,6 +51,11 @@ pub struct SrmTuning {
     /// the protocol-level markers — the raw material for per-step
     /// timeline rendering. Off by default: it multiplies trace volume.
     pub trace_steps: bool,
+    /// Maximum nonblocking collectives outstanding per rank. Issuing
+    /// one more blocks until the oldest completes (MPI allows
+    /// implementations to throttle; bounding the queue bounds the
+    /// interleaving executor's per-poll scan).
+    pub max_outstanding: usize,
 }
 
 impl Default for SrmTuning {
@@ -68,6 +73,7 @@ impl Default for SrmTuning {
             interrupt_disable_max: 8 * 1024,
             plan_cache_cap: 32,
             trace_steps: false,
+            max_outstanding: 8,
         }
     }
 }

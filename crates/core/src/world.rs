@@ -10,6 +10,7 @@ use rma::{LapiCounter, Rma, RmaWorld};
 use shmem::{BufPair, FlagBank, ShmBuffer, SpinFlag};
 use simnet::{NodeId, Rank, Sim, SimHandle, SimVar, Topology};
 use std::cell::{Cell, RefCell};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Active-message handler id used for the large-broadcast address
@@ -129,7 +130,7 @@ pub struct InterState {
     /// Cumulative barrier round counters (dissemination).
     pub bar_round: Vec<LapiCounter>,
     /// The gather root's user-buffer handle, delivered by
-    /// [`AM_GS_ADDR`] (taken once per gather by the master).
+    /// `AM_GS_ADDR` (taken once per gather by the master).
     pub gs_root: SimVar<Option<ShmBuffer>>,
 }
 
@@ -265,6 +266,9 @@ impl SrmWorld {
             xfer_cum: Cell::new(0),
             barrier_seq: Cell::new(0),
             plan_cache: RefCell::new(PlanCache::new(self.inner.tuning.plan_cache_cap)),
+            pending: RefCell::new(VecDeque::new()),
+            completed: RefCell::new(HashSet::new()),
+            next_req: Cell::new(0),
         }
     }
 
@@ -303,6 +307,14 @@ pub struct SrmComm {
     /// Compiled-schedule cache, keyed by call shape (see
     /// [`crate::plan::PlanCache`]).
     pub(crate) plan_cache: RefCell<PlanCache>,
+    /// Outstanding nonblocking collectives, oldest first (see
+    /// [`crate::nb`]).
+    pub(crate) pending: RefCell<VecDeque<crate::nb::PendingCall>>,
+    /// Request ids whose schedules have retired but whose
+    /// [`CollRequest`](collops::CollRequest) has not been waited yet.
+    pub(crate) completed: RefCell<HashSet<u64>>,
+    /// Next request id to hand out.
+    pub(crate) next_req: Cell<u64>,
 }
 
 impl SrmComm {
@@ -363,8 +375,15 @@ impl SrmComm {
     }
 
     /// Tear down this rank's RMA dispatcher. Call exactly once, after
-    /// the last collective operation.
+    /// the last collective operation. Every nonblocking collective must
+    /// have been waited first.
     pub fn shutdown(&self, ctx: &simnet::Ctx) {
+        assert!(
+            self.pending.borrow().is_empty(),
+            "rank {} shut down with {} outstanding nonblocking collective(s)",
+            self.me,
+            self.pending.borrow().len()
+        );
         self.rma.shutdown(ctx);
     }
 }

@@ -19,32 +19,51 @@
 //! limit shrinks with task count, MPICH pays an extra per-message
 //! layering cost (see [`msg::Vendor`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ops;
 pub mod tree;
 
-use collops::{Collectives, DType, ReduceOp};
+use collops::{CollRequest, Collectives, DType, NonblockingCollectives, ReduceOp};
 use msg::{MsgEndpoint, Vendor};
 use shmem::ShmBuffer;
 use simnet::{Ctx, Rank};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One rank's handle on the baseline collectives.
 #[derive(Clone)]
 pub struct MpiColl {
     ep: MsgEndpoint,
+    /// Ids of issued-but-unwaited nonblocking requests (eager model:
+    /// the operation itself already ran at issue).
+    issued: Arc<Mutex<HashSet<u64>>>,
+    next_req: Arc<AtomicU64>,
 }
 
 impl MpiColl {
     /// Wrap a point-to-point endpoint; the algorithms are chosen by the
     /// endpoint's vendor profile.
     pub fn new(ep: MsgEndpoint) -> Self {
-        MpiColl { ep }
+        MpiColl {
+            ep,
+            issued: Arc::new(Mutex::new(HashSet::new())),
+            next_req: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The underlying endpoint.
     pub fn endpoint(&self) -> &MsgEndpoint {
         &self.ep
+    }
+
+    /// Eager-issue bookkeeping: record a request id for an operation
+    /// that already completed.
+    fn eager_request(&self) -> CollRequest {
+        let id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        self.issued.lock().expect("request set poisoned").insert(id);
+        CollRequest::new(id)
     }
 }
 
@@ -124,6 +143,88 @@ impl Collectives for MpiColl {
 
     fn name(&self) -> &'static str {
         self.ep.vendor().name()
+    }
+}
+
+/// **Eager** nonblocking collectives: the baselines have no progress
+/// engine for collectives, so each `i`-op simply runs its blocking twin
+/// to completion at issue time and returns an already-complete request.
+/// This is an honest model of era MPI libraries (MPI-1 had no
+/// nonblocking collectives at all; layered implementations made no
+/// asynchronous progress without calls into the library) and gives the
+/// overlap benchmarks a zero-overlap baseline with identical semantics.
+impl NonblockingCollectives for MpiColl {
+    fn ibroadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
+        self.broadcast(ctx, buf, len, root);
+        self.eager_request()
+    }
+
+    fn ireduce(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+        root: Rank,
+    ) -> CollRequest {
+        self.reduce(ctx, buf, len, dtype, op, root);
+        self.eager_request()
+    }
+
+    fn iallreduce(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+    ) -> CollRequest {
+        self.allreduce(ctx, buf, len, dtype, op);
+        self.eager_request()
+    }
+
+    fn ibarrier(&self, ctx: &Ctx) -> CollRequest {
+        self.barrier(ctx);
+        self.eager_request()
+    }
+
+    fn igather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
+        self.gather(ctx, buf, len, root);
+        self.eager_request()
+    }
+
+    fn iscatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
+        self.scatter(ctx, buf, len, root);
+        self.eager_request()
+    }
+
+    fn iallgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
+        self.allgather(ctx, buf, len);
+        self.eager_request()
+    }
+
+    fn test(&self, _ctx: &Ctx, req: &CollRequest) -> bool {
+        assert!(
+            self.issued
+                .lock()
+                .expect("request set poisoned")
+                .contains(&req.id()),
+            "test on unknown or already-waited request {}",
+            req.id()
+        );
+        true
+    }
+
+    fn wait(&self, _ctx: &Ctx, req: CollRequest) {
+        assert!(
+            self.issued
+                .lock()
+                .expect("request set poisoned")
+                .remove(&req.id()),
+            "wait on unknown or already-waited request {}",
+            req.id()
+        );
     }
 }
 

@@ -16,7 +16,7 @@
 //! * [`Vendor`] profiles reproducing IBM MPI's task-count-dependent
 //!   eager limit and MPICH/MPL's extra layering cost.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod endpoint;
 pub mod vendor;

@@ -37,11 +37,19 @@ impl LapiCounter {
         self.var.update(ctx, |v| *v += n);
     }
 
-    /// Current value, without cost (tests/diagnostics only — protocols
+    /// Current value, without cost (tests, diagnostics, and the
+    /// nonblocking executor's readiness probes — blocking protocol code
     /// must use [`Rma::wait_counter`](crate::Rma::wait_counter) or
     /// [`Rma::probe_counter`](crate::Rma::probe_counter)).
     pub fn peek(&self) -> u64 {
         self.var.get()
+    }
+
+    /// Kernel wake key of the counter's backing variable, for
+    /// multi-variable waits
+    /// ([`Ctx::wait_any_until`](simnet::Ctx::wait_any_until)).
+    pub fn wait_key(&self) -> u64 {
+        self.var.wait_key()
     }
 }
 

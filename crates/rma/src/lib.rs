@@ -10,7 +10,7 @@
 //! One hidden **dispatcher** logical process per task plays the role of
 //! the LAPI threads; see [`world`] for the wire and reception models.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod counter;
 pub mod world;

@@ -332,6 +332,27 @@ impl Rma {
         state.update(ctx, |s| s.in_call = false);
     }
 
+    /// Mark this task as being *inside a LAPI call* until the matching
+    /// [`Rma::end_call`]. While marked, the dispatcher may deliver
+    /// arrivals without interrupts even when the task is parked outside
+    /// the counter-wait paths — the nonblocking executor brackets its
+    /// multi-variable sleeps with this pair, which models waiting inside
+    /// `LAPI_Waitcntr` on whichever counter fires first.
+    pub fn begin_call(&self, ctx: &Ctx) {
+        self.world.tasks[self.me]
+            .state
+            .update(ctx, |s| s.in_call = true);
+    }
+
+    /// Leave the LAPI call entered by [`Rma::begin_call`]. Charges one
+    /// counter-check overhead, like the blocking wait paths.
+    pub fn end_call(&self, ctx: &Ctx) {
+        self.world.tasks[self.me]
+            .state
+            .update(ctx, |s| s.in_call = false);
+        ctx.advance(ctx.config().lapi_counter_check);
+    }
+
     /// Enable or disable interrupt-mode reception for this task
     /// (SRM disables interrupts for small-message collectives, §2.3).
     pub fn set_interrupts(&self, ctx: &Ctx, on: bool) {

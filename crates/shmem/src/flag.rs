@@ -46,9 +46,18 @@ impl SpinFlag {
         self.var.get()
     }
 
-    /// Peek without cost — for assertions in tests, never in protocols.
+    /// Peek without cost — for assertions in tests and for the
+    /// nonblocking executor's readiness probes (the eventual blocking
+    /// read pays the flag cost when the step executes).
     pub fn peek(&self) -> u64 {
         self.var.get()
+    }
+
+    /// Kernel wake key of this flag's backing variable, for
+    /// multi-variable waits
+    /// ([`Ctx::wait_any_until`](simnet::Ctx::wait_any_until)).
+    pub fn wait_key(&self) -> u64 {
+        self.var.wait_key()
     }
 
     /// Spin until the flag equals `value`.

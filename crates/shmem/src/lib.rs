@@ -17,7 +17,7 @@
 //! only if the topology places them on the same node; the higher layers
 //! enforce that.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod bufpair;

@@ -30,6 +30,29 @@ use std::sync::Arc;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LpId(pub usize);
 
+/// The set of SimVar keys a blocked LP is waiting on. The common case
+/// is a single variable (every [`SimVar`](crate::simvar::SimVar) wait);
+/// `Any` backs [`Ctx::wait_any_until`], which parks an LP until *one
+/// of* several variables is written — the primitive the nonblocking
+/// collective executor needs to sleep on the union of all its parked
+/// schedules' wake conditions.
+#[derive(Debug)]
+enum WaitTarget {
+    /// Blocked on one variable.
+    One(u64),
+    /// Blocked on any of these variables.
+    Any(Vec<u64>),
+}
+
+impl WaitTarget {
+    fn contains(&self, key: u64) -> bool {
+        match self {
+            WaitTarget::One(v) => *v == key,
+            WaitTarget::Any(vs) => vs.contains(&key),
+        }
+    }
+}
+
 /// Scheduler-visible state of one LP.
 #[derive(Debug)]
 enum LpState {
@@ -37,11 +60,12 @@ enum LpState {
     Ready,
     /// Currently holds the turn.
     Running,
-    /// Parked in a wait on the SimVar with key `var`.
+    /// Parked in a wait on one or more SimVars.
     Blocked {
-        var: u64,
+        target: WaitTarget,
         label: &'static str,
-        /// Set when a store to `var` may have made the predicate true.
+        /// Set when a store to a watched variable may have made the
+        /// predicate true.
         poked: bool,
         /// Virtual time of the first such store since blocking.
         poke_time: SimTime,
@@ -254,17 +278,59 @@ impl Ctx {
     /// Block this LP on SimVar `var_key` with a diagnostic `label`, hand
     /// the turn on, and return when poked and granted. The caller
     /// re-checks its predicate and either commits a resume time or calls
-    /// [`Ctx::rollback_block`].
+    /// [`Ctx::rollback_time`].
     pub(crate) fn block_on(&self, var_key: u64, label: &'static str) {
+        self.block_on_target(WaitTarget::One(var_key), label);
+    }
+
+    /// Like [`Ctx::block_on`], but wakes on a store to *any* of `keys`.
+    pub(crate) fn block_on_any(&self, keys: &[u64], label: &'static str) {
+        self.block_on_target(WaitTarget::Any(keys.to_vec()), label);
+    }
+
+    fn block_on_target(&self, target: WaitTarget, label: &'static str) {
         let mut sched = self.shared.sched.lock();
         sched.lps[self.id].state = LpState::Blocked {
-            var: var_key,
+            target,
             label,
             poked: false,
             poke_time: SimTime::ZERO,
         };
         Shared::dispatch(&mut sched);
         self.wait_for_turn(sched);
+    }
+
+    /// Block until `ready()` holds, waking whenever any of the SimVars
+    /// identified by `keys` (see
+    /// [`SimVar::wait_key`](crate::simvar::SimVar::wait_key)) is
+    /// written. The causal resume rule applies: if a wake-up's enabling
+    /// write happened at a later virtual time, the LP resumes at that
+    /// time; spurious wake-ups (a watched write after which `ready()` is
+    /// still false) consume no virtual time.
+    ///
+    /// `ready` must be a pure, costless probe of simulated state (peek,
+    /// not wait): it runs while the LP holds the turn and must not call
+    /// back into blocking operations. `keys` must cover every variable
+    /// whose write could make `ready()` true, otherwise the LP can miss
+    /// its wake-up and be reported as deadlocked under `label`.
+    pub fn wait_any_until(
+        &self,
+        keys: &[u64],
+        label: &'static str,
+        mut ready: impl FnMut() -> bool,
+    ) {
+        if ready() {
+            return;
+        }
+        debug_assert!(!keys.is_empty(), "wait_any_until with no wake keys");
+        let block_time = self.now();
+        loop {
+            self.block_on_any(keys, label);
+            if ready() {
+                return;
+            }
+            self.rollback_time(block_time);
+        }
     }
 
     /// Predicate re-check failed after a poke: restore the clock to the
@@ -289,13 +355,13 @@ impl Ctx {
         let mut sched = self.shared.sched.lock();
         for lp in &mut sched.lps {
             if let LpState::Blocked {
-                var,
+                target,
                 poked,
                 poke_time,
                 ..
             } = &mut lp.state
             {
-                if *var == var_key && !*poked {
+                if target.contains(var_key) && !*poked {
                     *poked = true;
                     *poke_time = at;
                 }
@@ -679,5 +745,57 @@ mod tests {
     fn empty_run_panics() {
         let s = sim();
         let _ = s.run();
+    }
+
+    #[test]
+    fn wait_any_wakes_on_either_var_and_is_causal() {
+        let mut s = sim();
+        let h = s.handle();
+        let a = h.var(0u32);
+        let b = h.var(0u32);
+        let (a2, b2) = (a.clone(), b.clone());
+        s.spawn("writer", move |ctx| {
+            ctx.advance(SimTime::from_us(5));
+            a2.store(&ctx, 1); // spurious for the waiter (needs b)
+            ctx.advance(SimTime::from_us(5));
+            b2.store(&ctx, 7);
+        });
+        let (a3, b3) = (a.clone(), b.clone());
+        s.spawn("waiter", move |ctx| {
+            let keys = [a3.wait_key(), b3.wait_key()];
+            ctx.wait_any_until(&keys, "b becomes 7", || b3.with(|v| *v == 7));
+            // The spurious poke at 5us consumed no time; the enabling
+            // write at 10us set the resume time.
+            assert_eq!(ctx.now(), SimTime::from_us(10));
+        });
+        s.run().unwrap();
+    }
+
+    #[test]
+    fn wait_any_already_ready_returns_immediately() {
+        let mut s = sim();
+        let v = s.handle().var(3u32);
+        s.spawn("lp", move |ctx| {
+            ctx.advance(SimTime::from_us(2));
+            ctx.wait_any_until(&[v.wait_key()], "already", || v.with(|x| *x == 3));
+            assert_eq!(ctx.now(), SimTime::from_us(2));
+        });
+        s.run().unwrap();
+    }
+
+    #[test]
+    fn wait_any_deadlock_reports_label() {
+        let mut s = sim();
+        let v = s.handle().var(0u32);
+        s.spawn("stuck", move |ctx| {
+            ctx.wait_any_until(&[v.wait_key()], "never satisfied", || v.with(|x| *x == 9));
+        });
+        match s.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].waiting_on, "never satisfied");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
     }
 }

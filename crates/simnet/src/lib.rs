@@ -39,7 +39,7 @@
 //! assert_eq!(report.end_time, SimTime::from_us(3));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod error;

@@ -92,6 +92,11 @@ metrics! {
     /// Engine steps that injected one-sided traffic (puts, counter
     /// bumps, address messages).
     engine_put_steps,
+    /// Nonblocking collective requests issued (`i`-prefixed calls).
+    nb_issued,
+    /// Times an outstanding schedule was parked at a blocking step by
+    /// the interleaving executor (its head probe came back not-ready).
+    nb_parks,
 }
 
 impl Metrics {

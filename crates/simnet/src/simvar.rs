@@ -69,6 +69,13 @@ impl<T: Send + 'static> SimVar<T> {
         f(&self.inner.cell.lock().value)
     }
 
+    /// The kernel key identifying this variable in multi-variable waits
+    /// ([`Ctx::wait_any_until`]): a write to this variable pokes any LP
+    /// blocked on a key set containing it.
+    pub fn wait_key(&self) -> u64 {
+        self.inner.key
+    }
+
     /// Copy the value out (requires `T: Clone`).
     pub fn get(&self) -> T
     where

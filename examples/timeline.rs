@@ -3,6 +3,24 @@
 //! way to *see* the protocol of Figure 4: staging, landing arrivals,
 //! local reads, credit acknowledgements.
 //!
+//! With `trace_steps` enabled in the tuning, the plan/execute engine
+//! additionally traces every `Step` it executes (labels `step:*`), so
+//! the run also prints the **executed schedule** of each rank as a
+//! swimlane: one line per rank, one `[index] label @time` entry per
+//! executed step, in execution order. Because the broadcast is
+//! compiled per *role* (root, on-node peer, remote landing reader),
+//! ranks on the same role show the same step sequence at different
+//! times — the step list is the Schedule, the times are the execution.
+//!
+//! Output format:
+//!
+//! ```text
+//! rank0 | [ 0] shm-copy @ 12.3 | [ 1] pair-publish @ 13.0 | ...
+//! rank1 | [ 0] pair-wait-published @ 0.0 | ...
+//! ```
+//!
+//! (`step:` prefixes are stripped; times are virtual microseconds.)
+//!
 //! ```sh
 //! cargo run --release --example timeline
 //! ```
@@ -16,7 +34,11 @@ fn main() {
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
     let trace = Trace::new();
     sim.attach_trace(trace.clone());
-    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    let tuning = SrmTuning {
+        trace_steps: true,
+        ..SrmTuning::default()
+    };
+    let world = SrmWorld::new(&mut sim, topo, tuning);
 
     for rank in 0..topo.nprocs() {
         let comm = world.comm(rank);
@@ -37,4 +59,22 @@ fn main() {
     println!("One 2 KB SRM broadcast on {topo}:\n");
     print!("{}", trace.render(&names));
     println!("\n{} events traced", trace.len());
+
+    // Executed-schedule swimlanes: the `step:*` events each rank's
+    // engine traced, in order. Rank r runs on LP nprocs + r.
+    println!("\nExecuted schedules (step index -> [label @us]):\n");
+    for rank in 0..topo.nprocs() {
+        let steps: Vec<String> = trace
+            .for_lp(topo.nprocs() + rank)
+            .into_iter()
+            .filter_map(|e| {
+                e.label
+                    .strip_prefix("step:")
+                    .map(|l| (l.to_string(), e.at.as_us()))
+            })
+            .enumerate()
+            .map(|(i, (label, at))| format!("[{i:>2}] {label} @{at:.1}"))
+            .collect();
+        println!("rank{rank} | {}", steps.join(" | "));
+    }
 }

@@ -162,3 +162,169 @@ fn scan_single_ops() {
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
+
+/// One step of a mixed blocking/nonblocking sequence: `nb` ops are
+/// issued and their requests held; blocking ops run in line (the
+/// engine routes them through the pending queue when requests are
+/// outstanding). All held requests are waited at the end, in issue
+/// order or reversed.
+#[derive(Clone)]
+struct NbCall {
+    op: String,
+    len: usize,
+    root: usize,
+    nb: bool,
+}
+
+fn nb(op: &str, len: usize, root: usize) -> NbCall {
+    NbCall {
+        op: op.to_string(),
+        len,
+        root,
+        nb: true,
+    }
+}
+
+fn bl(op: &str, len: usize, root: usize) -> NbCall {
+    NbCall {
+        op: op.to_string(),
+        len,
+        root,
+        nb: false,
+    }
+}
+
+fn try_seq_nb(
+    nodes: usize,
+    tpn: usize,
+    calls: &[NbCall],
+    reverse_wait: bool,
+) -> Result<(), String> {
+    use collops::NonblockingCollectives;
+    let topo = Topology::new(nodes, tpn);
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let calls = calls.to_vec();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            // Per-call buffers: outstanding schedules must not share
+            // payload storage with each other.
+            let bufs: Vec<_> = calls
+                .iter()
+                .map(|c| comm.alloc_buffer((n * c.len).max(8)))
+                .collect();
+            let mut reqs = Vec::new();
+            for (c, buf) in calls.iter().zip(&bufs) {
+                let (dt, op) = (collops::DType::F64, collops::ReduceOp::Sum);
+                if c.nb {
+                    reqs.push(match c.op.as_str() {
+                        "bcast" => comm.ibroadcast(&ctx, buf, c.len, c.root),
+                        "reduce" => comm.ireduce(&ctx, buf, c.len, dt, op, c.root),
+                        "allreduce" => comm.iallreduce(&ctx, buf, c.len, dt, op),
+                        "gather" => comm.igather(&ctx, buf, c.len, c.root),
+                        "scatter" => comm.iscatter(&ctx, buf, c.len, c.root),
+                        "allgather" => comm.iallgather(&ctx, buf, c.len),
+                        "barrier" => comm.ibarrier(&ctx),
+                        _ => unreachable!(),
+                    });
+                } else {
+                    match c.op.as_str() {
+                        "bcast" => comm.broadcast(&ctx, buf, c.len, c.root),
+                        "reduce" => comm.reduce(&ctx, buf, c.len, dt, op, c.root),
+                        "allreduce" => comm.allreduce(&ctx, buf, c.len, dt, op),
+                        "gather" => comm.gather(&ctx, buf, c.len, c.root),
+                        "scatter" => comm.scatter(&ctx, buf, c.len, c.root),
+                        "allgather" => comm.allgather(&ctx, buf, c.len),
+                        "barrier" => comm.barrier(&ctx),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            if reverse_wait {
+                reqs.reverse();
+            }
+            comm.wait_all(&ctx, reqs);
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().map(|_| ()).map_err(|e| format!("{e:?}"))
+}
+
+/// Mixed blocking/nonblocking sequences with at least two outstanding
+/// schedules per rank, across substrate-sharing op pairs, shapes and
+/// wait orders. A failure is a simulator-detected deadlock.
+#[test]
+fn scan_nonblocking_sequences() {
+    let len = 40_000; // multi-chunk through the 16 KB reduce pipeline
+    let big = 100_000; // above the 64 KB switch: address-exchange path
+    let mut failures = Vec::new();
+    for (nodes, tpn) in [(1, 4), (2, 2), (2, 3), (3, 2)] {
+        let n = nodes * tpn;
+        let seqs: Vec<Vec<NbCall>> = vec![
+            // Two outstanding on the same substrate (per-class FIFO).
+            vec![nb("bcast", len, 0), nb("bcast", len, n - 1)],
+            vec![nb("reduce", len, 0), nb("reduce", len, 1 % n)],
+            vec![nb("barrier", 0, 0), nb("barrier", 0, 0)],
+            // Different substrates: these genuinely interleave.
+            vec![nb("bcast", len, 0), nb("reduce", len, 0)],
+            vec![
+                nb("reduce", len, 0),
+                nb("bcast", len, 1 % n),
+                nb("barrier", 0, 0),
+            ],
+            vec![nb("gather", len, 0), nb("scatter", len, n - 1)],
+            vec![nb("allgather", len, 0), nb("bcast", len, 0)],
+            vec![nb("allreduce", len, 0), nb("gather", len, 1 % n)],
+            // Large-protocol broadcasts: address mailboxes must
+            // serialize across outstanding schedules.
+            vec![nb("bcast", big, 0), nb("bcast", big, n - 1)],
+            vec![nb("bcast", big, 0), nb("reduce", len, 0)],
+            // Blocking ops issued while requests are outstanding route
+            // through the pending queue.
+            vec![nb("bcast", len, 0), bl("reduce", len, 0)],
+            vec![
+                nb("reduce", len, 0),
+                bl("barrier", 0, 0),
+                nb("bcast", len, 0),
+            ],
+            vec![
+                nb("barrier", 0, 0),
+                bl("bcast", len, 1 % n),
+                nb("reduce", len, 0),
+            ],
+            // Three-plus outstanding with a mixed tail.
+            vec![
+                nb("bcast", len, 0),
+                nb("reduce", len, 1 % n),
+                nb("barrier", 0, 0),
+                bl("allreduce", len, 0),
+            ],
+        ];
+        for calls in seqs {
+            for reverse in [false, true] {
+                if let Err(e) = try_seq_nb(nodes, tpn, &calls, reverse) {
+                    let desc: Vec<String> = calls
+                        .iter()
+                        .map(|c| {
+                            format!(
+                                "{}{}({},{})",
+                                if c.nb { "i" } else { "" },
+                                c.op,
+                                c.len,
+                                c.root
+                            )
+                        })
+                        .collect();
+                    failures.push(format!(
+                        "({nodes}x{tpn}) rev={reverse} {:?}: {}",
+                        desc,
+                        &e[..e.len().min(160)]
+                    ));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
