@@ -35,7 +35,12 @@ fn main() {
                     Op::Barrier => model.barrier(),
                     // The model covers the paper's four measured ops;
                     // the segment ops are simulation-only for now.
-                    Op::Gather | Op::Scatter | Op::Allgather => unreachable!(),
+                    Op::Gather
+                    | Op::Scatter
+                    | Op::Allgather
+                    | Op::Alltoall
+                    | Op::Alltoallv
+                    | Op::ReduceScatter => unreachable!(),
                 };
                 let sim = measure(
                     Impl::Srm,

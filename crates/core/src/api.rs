@@ -9,6 +9,7 @@ use crate::world::SrmComm;
 use collops::{CollRequest, Collectives, DType, NonblockingCollectives, ReduceOp};
 use shmem::ShmBuffer;
 use simnet::{Ctx, Rank};
+use std::sync::Arc;
 
 impl Collectives for SrmComm {
     fn broadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
@@ -71,9 +72,51 @@ impl Collectives for SrmComm {
         self.run_planned(ctx, PlanKey::Allgather { len }, buf, None);
     }
 
+    fn alltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
+        let n = self.topology().nprocs();
+        assert!(
+            2 * n * len <= buf.capacity(),
+            "alltoall needs 2*nprocs*len capacity (send half + recv half)"
+        );
+        self.run_planned(ctx, PlanKey::Alltoall { len }, buf, None);
+    }
+
+    fn alltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) {
+        let n = self.topology().nprocs();
+        check_counts(n, seg, counts);
+        assert!(
+            2 * n * seg <= buf.capacity(),
+            "alltoallv needs 2*nprocs*seg capacity (send half + recv half)"
+        );
+        let counts: Arc<[usize]> = Arc::from(counts);
+        self.run_planned(ctx, PlanKey::Alltoallv { seg, counts }, buf, None);
+    }
+
+    fn reduce_scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+        let n = self.topology().nprocs();
+        assert!(
+            n * len <= buf.capacity(),
+            "reduce_scatter needs nprocs*len capacity"
+        );
+        self.run_planned(ctx, PlanKey::ReduceScatter { len }, buf, Some((dtype, op)));
+    }
+
     fn name(&self) -> &'static str {
         "SRM"
     }
+}
+
+/// Validate an alltoallv count matrix: full `n*n`, every cell within
+/// its `seg`-byte slot.
+fn check_counts(n: usize, seg: usize, counts: &[usize]) {
+    assert!(
+        counts.len() == n * n,
+        "alltoallv counts must be the full nprocs*nprocs matrix"
+    );
+    assert!(
+        counts.iter().all(|&c| c <= seg),
+        "alltoallv count exceeds its segment capacity"
+    );
 }
 
 impl NonblockingCollectives for SrmComm {
@@ -143,6 +186,42 @@ impl NonblockingCollectives for SrmComm {
             "allgather needs nprocs*len capacity"
         );
         CollRequest::new(self.nb_issue(ctx, PlanKey::Allgather { len }, buf, None))
+    }
+
+    fn ialltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
+        let n = self.topology().nprocs();
+        assert!(
+            2 * n * len <= buf.capacity(),
+            "alltoall needs 2*nprocs*len capacity (send half + recv half)"
+        );
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Alltoall { len }, buf, None))
+    }
+
+    fn ialltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) -> CollRequest {
+        let n = self.topology().nprocs();
+        check_counts(n, seg, counts);
+        assert!(
+            2 * n * seg <= buf.capacity(),
+            "alltoallv needs 2*nprocs*seg capacity (send half + recv half)"
+        );
+        let counts: Arc<[usize]> = Arc::from(counts);
+        CollRequest::new(self.nb_issue(ctx, PlanKey::Alltoallv { seg, counts }, buf, None))
+    }
+
+    fn ireduce_scatter(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+    ) -> CollRequest {
+        let n = self.topology().nprocs();
+        assert!(
+            n * len <= buf.capacity(),
+            "reduce_scatter needs nprocs*len capacity"
+        );
+        CollRequest::new(self.nb_issue(ctx, PlanKey::ReduceScatter { len }, buf, Some((dtype, op))))
     }
 
     fn test(&self, ctx: &Ctx, req: &CollRequest) -> bool {

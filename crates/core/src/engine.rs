@@ -98,6 +98,8 @@ pub(crate) fn ctr_of<'a>(
         CtrRef::FoldFree { node } => &comm.inter(node).fold_free,
         CtrRef::UnfoldData { node } => &comm.inter(node).unfold_data,
         CtrRef::BarRound { node, round } => &comm.inter(node).bar_round[round],
+        CtrRef::PairwiseData { node, src } => comm.world.pairwise.data(src, node),
+        CtrRef::PairwiseFree { node, dst } => comm.world.pairwise.free(node, dst),
     }
 }
 
@@ -124,6 +126,7 @@ pub(crate) fn buf_of<'a>(
         }
         BufRef::RdLanding { node, round } => &comm.inter(node).rd_landing[round],
         BufRef::FoldLanding { node } => &comm.inter(node).fold_landing,
+        BufRef::PairwiseRing { node, src } => comm.world.pairwise.ring(node, src),
         BufRef::ChildUser { idx } => &child_bufs[idx],
         BufRef::RootUser => root_buf
             .as_ref()
@@ -168,8 +171,11 @@ impl CallState {
 
 impl SrmComm {
     /// Fetch the cached plan for `key`, compiling it on a miss.
-    /// Bumps the `plan_hits`/`plan_misses` metrics accordingly.
+    /// Bumps the `plan_hits`/`plan_misses` metrics accordingly. Keys
+    /// are normalized first ([`PlanKey::normalized`]) so call shapes
+    /// that compile identically share one cache slot.
     pub fn plan_for(&self, ctx: &Ctx, key: PlanKey) -> Arc<Plan> {
+        let key = key.normalized(self.topology().nprocs());
         if let Some(plan) = self.plan_cache.borrow_mut().get(&key) {
             ctx.metrics().plan_hits.fetch_add(1, Ordering::Relaxed);
             return plan;
@@ -378,6 +384,9 @@ impl SrmComm {
                     ctr,
                 } => {
                     metrics.engine_put_steps.fetch_add(1, Ordering::Relaxed);
+                    if matches!(dst, BufRef::PairwiseRing { .. }) {
+                        metrics.pairwise_puts.fetch_add(1, Ordering::Relaxed);
+                    }
                     let so = off_of(&bases, src_off);
                     let dofs = off_of(&bases, dst_off);
                     let src = buf_of(self, &bases, buf, child_bufs, root_buf, src);
@@ -392,6 +401,14 @@ impl SrmComm {
                 Step::CounterWait { ctr, n } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
                     self.rma.wait_counter(ctx, ctr_of(self, &bases, ctr), n);
+                }
+                Step::CreditWait { ctr, n } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    let c = ctr_of(self, &bases, ctr);
+                    if c.peek() < n {
+                        metrics.credit_stalls.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.rma.wait_counter(ctx, c, n);
                 }
                 Step::CounterWaitGe { ctr, val } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);

@@ -35,15 +35,15 @@ use crate::tuning::SrmTuning;
 use crate::world::{SrmComm, AM_ADDR_XCHG, AM_GS_ADDR};
 use simnet::{NodeId, Rank};
 
-fn seq(base: SeqBase, rel: u64) -> Val {
+pub(crate) fn seq(base: SeqBase, rel: u64) -> Val {
     Val::Seq { base, rel }
 }
 
-fn par(base: SeqBase, rel: u64) -> Side {
+pub(crate) fn par(base: SeqBase, rel: u64) -> Side {
     Side::Parity { base, rel }
 }
 
-fn poff(base: SeqBase, rel: u64, stride: usize) -> Off {
+pub(crate) fn poff(base: SeqBase, rel: u64, stride: usize) -> Off {
     Off::Parity { base, rel, stride }
 }
 
@@ -59,7 +59,7 @@ impl SrmComm {
     /// root, every rank of a scatter — raises both itself so a later
     /// operation's [`Step::DrainWait`] sees a fully drained channel.
     /// Safe because an unused channel has no other writer this call.
-    fn plan_contrib_catchup(&self, b: &mut PlanBuilder, rel_end: u64) {
+    pub(crate) fn plan_contrib_catchup(&self, b: &mut PlanBuilder, rel_end: u64) {
         let my = self.slot();
         b.push(Step::FlagRaise {
             flag: FlagRef::ContribReady { slot: my },
@@ -573,13 +573,31 @@ impl SrmComm {
     // ----------------------------------------------------------------
 
     /// Plan an allreduce: recursive doubling between nodes up to 16 KB,
-    /// the four-stage pipeline above (§2.4, Figure 5).
+    /// the four-stage pipeline above (§2.4, Figure 5); past
+    /// [`allreduce_rs_min`](crate::SrmTuning::allreduce_rs_min) (when
+    /// the payload splits evenly) the Rabenseifner composition —
+    /// reduce-scatter over the pairwise subsystem, then allgather —
+    /// which moves each byte over the wire only `2(P-1)/P` times
+    /// instead of streaming the full vector through every node.
     pub(crate) fn plan_allreduce(&self, b: &mut PlanBuilder, len: usize) {
         let topo = self.topology();
         if len == 0 || topo.nprocs() == 1 {
             return;
         }
         let t = self.tuning();
+        let nprocs = topo.nprocs();
+        if topo.multi_node()
+            && len >= t.allreduce_rs_min
+            && len.is_multiple_of(nprocs)
+            && len / nprocs > 0
+        {
+            // Both halves use the same n-segment single-buffer layout:
+            // reduce-scatter leaves block `me` reduced in place, the
+            // allgather then fills in everyone else's blocks.
+            self.plan_reduce_scatter(b, len / nprocs);
+            self.plan_allgather(b, len / nprocs);
+            return;
+        }
         let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
         if toggles {
             b.push(Step::SetInterrupts(false));

@@ -29,6 +29,10 @@
 //!   control and 4 KB pipelining, zero-copy large-message broadcast
 //!   with address exchange, pipelined reduce, recursive-doubling and
 //!   four-stage-pipeline allreduce, and the dissemination barrier;
+//! * [`pairwise`] (methods on [`SrmComm`]) — the pairwise RMA exchange
+//!   subsystem: alltoall, alltoallv and reduce-scatter as credit-
+//!   windowed per-node-pair put streams over setup-time-registered
+//!   landing rings;
 //! * [`plan`] — the schedule IR: every collective call compiles to a
 //!   per-rank [`Plan`] of primitive steps, cached per call shape;
 //! * [`engine`] (methods on [`SrmComm`]) — the executor that replays a
@@ -74,6 +78,7 @@ pub mod engine;
 pub mod inter;
 pub mod model;
 pub mod nb;
+pub mod pairwise;
 pub mod plan;
 pub mod smp;
 pub mod tuning;
@@ -81,6 +86,7 @@ pub mod world;
 
 pub use embed::{Embedding, GroupEmbedding, TreeKind};
 pub use model::SrmModel;
+pub use pairwise::PairwiseState;
 pub use plan::{Plan, PlanBuilder, PlanCache, PlanKey, Step};
 pub use tuning::SrmTuning;
 pub use world::{InterState, NodeBoard, SrmComm, SrmWorld};

@@ -83,10 +83,13 @@ const CL_XFER: u8 = 1 << 4;
 const CL_ADDR: u8 = 1 << 5;
 /// Substrate class: barrier flags and round counters.
 const CL_BARRIER: u8 = 1 << 6;
+/// Substrate class: the pairwise exchange subsystem — landing rings,
+/// per-pair data/credit counter families (see [`crate::pairwise`]).
+const CL_PAIRWISE: u8 = 1 << 7;
 
 /// Number of substrate classes (width of the per-call remaining-step
 /// counters).
-const NCLASSES: usize = 7;
+const NCLASSES: usize = 8;
 
 fn flag_class(f: FlagRef) -> u8 {
     match f {
@@ -109,6 +112,7 @@ fn ctr_class(c: CtrRef) -> u8 {
         | CtrRef::UnfoldData { .. } => CL_REDUCE,
         CtrRef::LargeData { .. } => CL_ADDR,
         CtrRef::BarRound { .. } => CL_BARRIER,
+        CtrRef::PairwiseData { .. } | CtrRef::PairwiseFree { .. } => CL_PAIRWISE,
     }
 }
 
@@ -126,6 +130,7 @@ fn buf_class(b: BufRef) -> u8 {
             CL_REDUCE
         }
         BufRef::ChildUser { .. } | BufRef::RootUser => CL_ADDR,
+        BufRef::PairwiseRing { .. } => CL_PAIRWISE,
     }
 }
 
@@ -159,6 +164,7 @@ pub(crate) fn step_classes(step: &Step) -> u8 {
         Step::CounterPut { ctr, .. } => ctr_class(ctr),
         Step::CounterWait { ctr, .. } => ctr_class(ctr),
         Step::CounterWaitGe { ctr, .. } => ctr_class(ctr),
+        Step::CreditWait { ctr, .. } => ctr_class(ctr),
         Step::AddrSend { .. }
         | Step::AddrTake { .. }
         | Step::GsRootTake
@@ -179,6 +185,7 @@ fn step_blocks(step: &Step) -> bool {
             | Step::PairWaitPublished { .. }
             | Step::CounterWait { .. }
             | Step::CounterWaitGe { .. }
+            | Step::CreditWait { .. }
             | Step::AddrTake { .. }
             | Step::GsRootTake
             | Step::BoardAddrTake
@@ -215,7 +222,9 @@ fn step_ready(comm: &SrmComm, st: &CallState, step: &Step) -> bool {
                 .peek()
                 == 1
         }
-        Step::CounterWait { ctr, n } => ctr_of(comm, bases, ctr).peek() >= n,
+        Step::CounterWait { ctr, n } | Step::CreditWait { ctr, n } => {
+            ctr_of(comm, bases, ctr).peek() >= n
+        }
         Step::CounterWaitGe { ctr, val } => ctr_of(comm, bases, ctr).peek() >= val_of(bases, val),
         Step::AddrTake { child } => comm.inter(comm.node()).addr_slot[child].with(|s| s.is_some()),
         Step::GsRootTake => comm.inter(comm.node()).gs_root.with(|s| s.is_some()),
@@ -247,9 +256,9 @@ fn step_wait_keys(comm: &SrmComm, st: &CallState, step: &Step, out: &mut Vec<u64
                 .flag(comm.slot())
                 .wait_key(),
         ),
-        Step::CounterWait { ctr, .. } | Step::CounterWaitGe { ctr, .. } => {
-            out.push(ctr_of(comm, bases, ctr).wait_key())
-        }
+        Step::CounterWait { ctr, .. }
+        | Step::CounterWaitGe { ctr, .. }
+        | Step::CreditWait { ctr, .. } => out.push(ctr_of(comm, bases, ctr).wait_key()),
         Step::AddrTake { child } => out.push(comm.inter(comm.node()).addr_slot[child].wait_key()),
         Step::GsRootTake => out.push(comm.inter(comm.node()).gs_root.wait_key()),
         Step::BoardAddrTake => out.push(comm.board().gs_addr.wait_key()),
@@ -333,8 +342,11 @@ impl PendingCall {
 impl SrmComm {
     /// Compile (or fetch) the plan for `key`, relocate the sequence
     /// bases, and park the call on the pending queue. Returns the
-    /// request id. Blocks only when [`SrmTuning::max_outstanding`]
-    /// (see [`crate::SrmTuning`]) calls are already pending.
+    /// request id. When [`SrmTuning::max_outstanding`] (see
+    /// [`crate::SrmTuning`]) schedules are already pending, blocks
+    /// until *any* of them retires — not specifically the oldest, which
+    /// could force a long wait while a younger schedule was one step
+    /// from done.
     pub(crate) fn nb_issue(
         &self,
         ctx: &Ctx,
@@ -342,9 +354,9 @@ impl SrmComm {
         buf: &ShmBuffer,
         reduce: Option<(DType, ReduceOp)>,
     ) -> u64 {
-        while self.pending.borrow().len() >= self.tuning().max_outstanding {
-            let oldest = self.pending.borrow().front().expect("queue nonempty").id;
-            self.nb_wait_id(ctx, oldest);
+        let cap = self.tuning().max_outstanding;
+        if self.pending.borrow().len() >= cap {
+            self.nb_wait_below(ctx, cap);
         }
         let plan = self.plan_for(ctx, key);
         // Sequence-base relocation: sample the cells for *this* call,
@@ -455,6 +467,54 @@ impl SrmComm {
         false
     }
 
+    /// Wake keys of every runnable-but-stuck head step (class-blocked
+    /// heads contribute nothing — an older schedule in their class
+    /// must move first, and its keys are already included).
+    fn nb_collect_wait_keys(&self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let q = self.pending.borrow();
+        let mut older: u8 = 0;
+        for call in q.iter() {
+            if !call.done() {
+                let step = &call.plan.steps[call.pc];
+                if step_classes(step) & older == 0 {
+                    step_wait_keys(self, &call.st, step, &mut keys);
+                }
+            }
+            older |= call.rem_mask();
+        }
+        keys
+    }
+
+    /// Park until a stuck head can move, bracketed as a LAPI call so
+    /// the dispatcher delivers to this task meanwhile.
+    fn nb_park(&self, ctx: &Ctx, keys: &[u64]) {
+        // The oldest schedule is never class-blocked, so it always
+        // contributed its head's keys (or was ready, in which case
+        // progress would have run it).
+        debug_assert!(!keys.is_empty(), "parked executor with no wake keys");
+        ctx.metrics().nb_parks.fetch_add(1, Ordering::Relaxed);
+        self.rma.begin_call(ctx);
+        ctx.wait_any_until(keys, "nb: outstanding collective", || {
+            self.nb_any_head_ready()
+        });
+        self.rma.end_call(ctx);
+    }
+
+    /// Block until fewer than `cap` schedules are pending (the issue
+    /// throttle). Unlike waiting a specific request, this drives every
+    /// schedule and returns as soon as the *first* of them retires.
+    fn nb_wait_below(&self, ctx: &Ctx, cap: usize) {
+        loop {
+            self.nb_progress(ctx);
+            if self.pending.borrow().len() < cap {
+                return;
+            }
+            let keys = self.nb_collect_wait_keys();
+            self.nb_park(ctx, &keys);
+        }
+    }
+
     /// Block until request `id` completes, driving every outstanding
     /// schedule meanwhile. Parks on the union of all stuck heads' wake
     /// keys; the LAPI dispatcher may deliver to this task while parked
@@ -469,30 +529,8 @@ impl SrmComm {
                 self.pending.borrow().iter().any(|c| c.id == id),
                 "wait on unknown or already-waited request {id}"
             );
-            let mut keys = Vec::new();
-            {
-                let q = self.pending.borrow();
-                let mut older: u8 = 0;
-                for call in q.iter() {
-                    if !call.done() {
-                        let step = &call.plan.steps[call.pc];
-                        if step_classes(step) & older == 0 {
-                            step_wait_keys(self, &call.st, step, &mut keys);
-                        }
-                    }
-                    older |= call.rem_mask();
-                }
-            }
-            // The oldest schedule is never class-blocked, so it always
-            // contributed its head's keys (or was ready, in which case
-            // progress would have run it).
-            debug_assert!(!keys.is_empty(), "parked executor with no wake keys");
-            ctx.metrics().nb_parks.fetch_add(1, Ordering::Relaxed);
-            self.rma.begin_call(ctx);
-            ctx.wait_any_until(&keys, "nb: outstanding collective", || {
-                self.nb_any_head_ready()
-            });
-            self.rma.end_call(ctx);
+            let keys = self.nb_collect_wait_keys();
+            self.nb_park(ctx, &keys);
         }
     }
 

@@ -1,0 +1,902 @@
+//! The pairwise RMA exchange subsystem: alltoall, alltoallv and
+//! reduce-scatter built on per-node-pair put streams.
+//!
+//! Total-exchange collectives have no root and no tree: every node pair
+//! carries its own data stream concurrently. The machinery the paper's
+//! rooted protocols use — one landing channel per node, one counter per
+//! collective — cannot express that, so this module adds three pieces:
+//!
+//! * **An address-exchange registry** ([`PairwiseState`]): at setup
+//!   time every node master allocates one inbound *landing ring* per
+//!   peer node and the handles are exchanged like registered memory, so
+//!   any master can put into any peer's ring with no per-call address
+//!   traffic (contrast the large-broadcast protocol, which exchanges
+//!   user-buffer addresses every call).
+//! * **Per-pair counter families** ([`rma::CounterFamily`]): one data
+//!   counter and one credit counter per ordered `(src, dst)` node pair,
+//!   so each of the `n·(n-1)` concurrent streams synchronizes
+//!   independently.
+//! * **A segment-interleaved credit scheme**: a source may have at most
+//!   [`SrmTuning::pairwise_window`](crate::SrmTuning) puts outstanding
+//!   toward one destination (the ring has that many
+//!   [`pairwise_chunk`](crate::SrmTuning)-sized slots per source); it
+//!   spends a credit per put ([`Step::CreditWait`]) and the destination
+//!   returns the credit once it drains the slot. Senders round-robin
+//!   across destinations piece by piece instead of finishing one peer
+//!   before starting the next, so all streams stay in flight together.
+//!
+//! ## Why literal ring offsets are safe
+//!
+//! Piece `k` of a stream lands at ring offset `(k % window) · chunk`,
+//! a plan-time constant — no sequence base is consumed. Two facts make
+//! this sound: the credit window keeps at most `window` *consecutive*
+//! pieces of a stream outstanding (consecutive indices map to distinct
+//! slots), and every master ends its plan waiting for all credits to
+//! return ([`Step::CounterWaitGe`] `== window` per destination), so the
+//! rings are fully drained between operations and the next plan can
+//! restart indexing at zero.
+//!
+//! ## Deadlock freedom
+//!
+//! Every rank walks the same global round sequence; each blocking step
+//! of round `k` waits only on events of rounds `< k` (credit of piece
+//! `k - window`, contribution drain of the previous piece, landing-pair
+//! release two pieces back) or on same-round predecessors that are
+//! unconditionally reachable. Induction over the round order gives
+//! progress for any `window ≥ 1`.
+//!
+//! Non-master slots route their outbound data to the master through the
+//! per-slot contribution buffers — the same contributor/consumer flag
+//! protocol the reduce tree uses, which is what keeps the node-wide
+//! contribution-channel invariant (`plan_contrib_catchup`, DESIGN.md
+//! §10.5) intact.
+
+use crate::inter::{par, poff, seq};
+use crate::plan::{
+    BufRef, CopyCost, CtrRef, FlagRef, Off, PairSel, PlanBuilder, SeqBase, Step, Val,
+};
+use crate::tuning::SrmTuning;
+use crate::world::SrmComm;
+use rma::{CounterFamily, LapiCounter};
+use shmem::ShmBuffer;
+use simnet::{NodeId, SimHandle};
+
+/// The setup-time registry of the pairwise exchange subsystem: every
+/// node's inbound landing rings plus the two cluster-wide per-pair
+/// counter families. Built once by [`SrmWorld::new`](crate::SrmWorld)
+/// and shared by every communicator, exactly like registered-memory
+/// handles exchanged at initialization.
+pub struct PairwiseState {
+    window: usize,
+    chunk: usize,
+    /// `rings[dst][src]`: the ring at node `dst` receiving the stream
+    /// from node `src` (`window` slots of `chunk` bytes).
+    rings: Vec<Vec<ShmBuffer>>,
+    /// Data counters: `pair(src, dst)` lives at `dst` and is bumped by
+    /// `src`'s puts (consumed one per piece by the destination master).
+    data: CounterFamily,
+    /// Credit counters: `pair(src, dst)` lives at `src`, starts at the
+    /// window size, is spent by `src` per put and restored by `dst`'s
+    /// zero-byte put when the ring slot drains.
+    free: CounterFamily,
+}
+
+impl PairwiseState {
+    pub(crate) fn new(handle: &SimHandle, nodes: usize, tuning: &SrmTuning) -> Self {
+        PairwiseState {
+            window: tuning.pairwise_window,
+            chunk: tuning.pairwise_chunk,
+            rings: (0..nodes)
+                .map(|_| {
+                    // Slots hold at least 8 bytes: reduce-scatter rounds
+                    // its piece size up to the element grid even when
+                    // `pairwise_chunk` is configured smaller.
+                    (0..nodes)
+                        .map(|_| {
+                            ShmBuffer::new(tuning.pairwise_window * tuning.pairwise_chunk.max(8))
+                        })
+                        .collect()
+                })
+                .collect(),
+            data: CounterFamily::new(handle, nodes, 0),
+            free: CounterFamily::new(handle, nodes, tuning.pairwise_window as u64),
+        }
+    }
+
+    /// The landing ring at `node` for the stream `src → node`.
+    pub fn ring(&self, node: NodeId, src: NodeId) -> &ShmBuffer {
+        &self.rings[node][src]
+    }
+
+    /// The data counter of the stream `src → dst` (lives at `dst`).
+    pub fn data(&self, src: NodeId, dst: NodeId) -> &LapiCounter {
+        self.data.pair(src, dst)
+    }
+
+    /// The credit counter of the stream `src → dst` (lives at `src`).
+    pub fn free(&self, src: NodeId, dst: NodeId) -> &LapiCounter {
+        self.free.pair(src, dst)
+    }
+
+    /// Ring slots per stream (the credit window).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Bytes per ring slot.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+/// One wire piece of a node-pair stream, in issue order. Every role
+/// (source slot, source master, destination master, destination slots)
+/// derives the identical piece sequence from the call shape, which is
+/// what lets the four plans meet without any per-call metadata
+/// exchange.
+struct WirePiece {
+    /// Slot on the source node whose user buffer holds the piece.
+    src_slot: usize,
+    /// Offset of the piece in that slot's user buffer.
+    src_off: usize,
+    /// Piece length in bytes (at most `pairwise_chunk`).
+    len: usize,
+    /// Destination-side scatter: `(dst_slot, piece_off, recv_off,
+    /// len)` — the sub-range starting `piece_off` into the piece lands
+    /// at `recv_off` of `dst_slot`'s user buffer.
+    overlaps: Vec<(usize, usize, usize, usize)>,
+}
+
+/// Pieces of the alltoall stream `s → d`: each source slot's contiguous
+/// per-destination-node block (`p·len` bytes starting at `d·p·len` of
+/// the send half), chunked. A chunk may span several destination-slot
+/// segments; the overlap list splits it.
+fn alltoall_stream(
+    p: usize,
+    len: usize,
+    chunk: usize,
+    rbase: usize,
+    s: NodeId,
+    d: NodeId,
+) -> Vec<WirePiece> {
+    let block = p * len;
+    let per = SrmTuning::chunk_count(block, chunk);
+    let mut out = Vec::with_capacity(p * per);
+    for u in 0..p {
+        for kc in 0..per {
+            let koff = kc * chunk;
+            let clen = chunk.min(block - koff);
+            let mut overlaps = Vec::new();
+            for t in 0..p {
+                let lo = koff.max(t * len);
+                let hi = (koff + clen).min((t + 1) * len);
+                if lo < hi {
+                    overlaps.push((
+                        t,
+                        lo - koff,
+                        rbase + (s * p + u) * len + (lo - t * len),
+                        hi - lo,
+                    ));
+                }
+            }
+            out.push(WirePiece {
+                src_slot: u,
+                src_off: d * block + koff,
+                len: clen,
+                overlaps,
+            });
+        }
+    }
+    out
+}
+
+/// Pieces of the alltoallv stream `s → d`: the ragged `(src_slot,
+/// dst_slot)` cells of the count grid in a fixed nested order, each
+/// chunked. Every piece targets exactly one destination slot.
+#[allow(clippy::too_many_arguments)] // all eight are independent stream coordinates
+fn alltoallv_stream(
+    p: usize,
+    n: usize,
+    seg: usize,
+    counts: &[usize],
+    chunk: usize,
+    rbase: usize,
+    s: NodeId,
+    d: NodeId,
+) -> Vec<WirePiece> {
+    let mut out = Vec::new();
+    for u in 0..p {
+        for t in 0..p {
+            let cnt = counts[(s * p + u) * n + (d * p + t)];
+            if cnt == 0 {
+                continue;
+            }
+            for kc in 0..cnt.div_ceil(chunk) {
+                let koff = kc * chunk;
+                let clen = chunk.min(cnt - koff);
+                out.push(WirePiece {
+                    src_slot: u,
+                    src_off: (d * p + t) * seg + koff,
+                    len: clen,
+                    overlaps: vec![(t, 0, rbase + (s * p + u) * seg + koff, clen)],
+                });
+            }
+        }
+    }
+    out
+}
+
+impl SrmComm {
+    /// Emit the inter-node part of a pairwise exchange: the credit-
+    /// windowed round-robin over every `(src, dst)` stream produced by
+    /// `streams`, with non-master outbound data staged through the
+    /// contribution buffers and inbound pieces republished on the
+    /// landing pair. Caller handles the intra-node exchange.
+    fn plan_pairwise_wire<F>(&self, b: &mut PlanBuilder, streams: F)
+    where
+        F: Fn(NodeId, NodeId) -> Vec<WirePiece>,
+    {
+        let topo = self.topology();
+        let nodes = topo.nodes();
+        if nodes <= 1 {
+            return;
+        }
+        let t = self.tuning();
+        let p = topo.tasks_per_node();
+        let chunk = t.pairwise_chunk;
+        let w = t.pairwise_window;
+        let me = self.node();
+        let my = self.slot();
+        let read_streams = p.saturating_sub(1).max(1);
+
+        // Stream lengths and per-slot staging totals of the whole
+        // cluster: the sequence-base advances must be globally uniform
+        // (cross-node protocols resolve buffer parities against their
+        // own bases), so every rank advances by the cluster-wide
+        // maxima even when its own node moved less.
+        let mut inbound = vec![0u64; nodes];
+        let mut staged = vec![0u64; nodes * p];
+        for s in 0..nodes {
+            for (d, inb) in inbound.iter_mut().enumerate() {
+                if s == d {
+                    continue;
+                }
+                for piece in streams(s, d) {
+                    *inb += 1;
+                    if piece.src_slot != 0 {
+                        staged[s * p + piece.src_slot] += 1;
+                    }
+                }
+            }
+        }
+        let r_adv = staged.iter().copied().max().unwrap_or(0);
+        let g_land = inbound.iter().copied().max().unwrap_or(0);
+
+        let rel0 = b.rel(SeqBase::Reduce);
+        let lrel0 = b.rel(SeqBase::Landing);
+
+        let out: Vec<(NodeId, Vec<WirePiece>)> = (0..nodes)
+            .filter(|&d| d != me)
+            .map(|d| (d, streams(me, d)))
+            .collect();
+        let inb: Vec<(NodeId, Vec<WirePiece>)> = (0..nodes)
+            .filter(|&s| s != me)
+            .map(|s| (s, streams(s, me)))
+            .collect();
+        let rounds = out
+            .iter()
+            .map(|(_, v)| v.len())
+            .chain(inb.iter().map(|(_, v)| v.len()))
+            .max()
+            .unwrap_or(0);
+
+        // Cursor into each slot's contribution channel (master:
+        // consumption order; slot: its own publication order). The
+        // orders agree because both sides walk rounds ascending with
+        // destinations ascending inside a round.
+        let mut crel = vec![0u64; p];
+        let mut li = 0u64;
+
+        for r in 0..rounds {
+            // Outbound: one piece toward every destination still active.
+            for (d, pieces) in &out {
+                let Some(piece) = pieces.get(r) else { continue };
+                let ring_off = Off::Lit((r % w) * chunk);
+                if my == 0 {
+                    if piece.src_slot == 0 {
+                        b.push(Step::CreditWait {
+                            ctr: CtrRef::PairwiseFree { node: me, dst: *d },
+                            n: 1,
+                        });
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(*d),
+                            src: BufRef::User,
+                            src_off: Off::Lit(piece.src_off),
+                            dst: BufRef::PairwiseRing { node: *d, src: me },
+                            dst_off: ring_off,
+                            len: piece.len,
+                            ctr: Some(CtrRef::PairwiseData { node: *d, src: me }),
+                        });
+                    } else {
+                        let u = piece.src_slot;
+                        let rel = rel0 + crel[u];
+                        crel[u] += 1;
+                        b.push(Step::FlagWaitGe {
+                            flag: FlagRef::ContribReady { slot: u },
+                            val: seq(SeqBase::Reduce, rel + 1),
+                            label: "pairwise piece staged",
+                        });
+                        b.push(Step::CreditWait {
+                            ctr: CtrRef::PairwiseFree { node: me, dst: *d },
+                            n: 1,
+                        });
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(*d),
+                            src: BufRef::Contrib { slot: u },
+                            src_off: poff(SeqBase::Reduce, rel, t.reduce_chunk),
+                            dst: BufRef::PairwiseRing { node: *d, src: me },
+                            dst_off: ring_off,
+                            len: piece.len,
+                            ctr: Some(CtrRef::PairwiseData { node: *d, src: me }),
+                        });
+                        // The put snapshots the source synchronously,
+                        // so the contribution side drains immediately.
+                        b.push(Step::FlagRaise {
+                            flag: FlagRef::ContribDone { slot: u },
+                            val: seq(SeqBase::Reduce, rel + 1),
+                        });
+                    }
+                } else if piece.src_slot == my {
+                    let rel = rel0 + crel[my];
+                    crel[my] += 1;
+                    b.push(Step::DrainWait {
+                        flag: FlagRef::ContribDone { slot: my },
+                        base: SeqBase::Reduce,
+                        rel,
+                        scale: 1,
+                        label: "contrib side drained",
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::User,
+                        src_off: Off::Lit(piece.src_off),
+                        dst: BufRef::Contrib { slot: my },
+                        dst_off: poff(SeqBase::Reduce, rel, t.reduce_chunk),
+                        len: piece.len,
+                        cost: CopyCost::Write(1),
+                    });
+                    b.push(Step::FlagRaise {
+                        flag: FlagRef::ContribReady { slot: my },
+                        val: seq(SeqBase::Reduce, rel + 1),
+                    });
+                }
+            }
+            // Inbound: drain one piece from every source still active.
+            for (s, pieces) in &inb {
+                let Some(piece) = pieces.get(r) else { continue };
+                let ring_off = Off::Lit((r % w) * chunk);
+                if my == 0 {
+                    b.push(Step::CounterWait {
+                        ctr: CtrRef::PairwiseData { node: me, src: *s },
+                        n: 1,
+                    });
+                    if p > 1 {
+                        let lrel = lrel0 + li;
+                        let lside = par(SeqBase::Landing, lrel);
+                        b.push(Step::PairWaitFree {
+                            pair: PairSel::Landing,
+                            side: lside,
+                        });
+                        b.push(Step::ShmCopy {
+                            src: BufRef::PairwiseRing { node: me, src: *s },
+                            src_off: ring_off,
+                            dst: BufRef::Landing {
+                                node: me,
+                                side: lside,
+                            },
+                            dst_off: Off::Lit(0),
+                            len: piece.len,
+                            cost: CopyCost::Write(1),
+                        });
+                        b.push(Step::PairPublish {
+                            pair: PairSel::Landing,
+                            side: lside,
+                        });
+                        // The ring slot is copied out: return the
+                        // credit before distributing locally.
+                        b.push(Step::CounterPut {
+                            to: topo.master_of(*s),
+                            ctr: CtrRef::PairwiseFree { node: *s, dst: me },
+                        });
+                        for &(tslot, po, recv_off, olen) in &piece.overlaps {
+                            if tslot == my {
+                                b.push(Step::ShmCopy {
+                                    src: BufRef::Landing {
+                                        node: me,
+                                        side: lside,
+                                    },
+                                    src_off: Off::Lit(po),
+                                    dst: BufRef::User,
+                                    dst_off: Off::Lit(recv_off),
+                                    len: olen,
+                                    cost: CopyCost::Read(read_streams),
+                                });
+                            }
+                        }
+                    } else {
+                        for &(tslot, po, recv_off, olen) in &piece.overlaps {
+                            debug_assert_eq!(tslot, 0);
+                            b.push(Step::ShmCopy {
+                                src: BufRef::PairwiseRing { node: me, src: *s },
+                                src_off: Off::Lit((r % w) * chunk + po),
+                                dst: BufRef::User,
+                                dst_off: Off::Lit(recv_off),
+                                len: olen,
+                                cost: CopyCost::Read(1),
+                            });
+                        }
+                        b.push(Step::CounterPut {
+                            to: topo.master_of(*s),
+                            ctr: CtrRef::PairwiseFree { node: *s, dst: me },
+                        });
+                    }
+                } else {
+                    let lrel = lrel0 + li;
+                    let lside = par(SeqBase::Landing, lrel);
+                    b.push(Step::PairWaitPublished {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    for &(tslot, po, recv_off, olen) in &piece.overlaps {
+                        if tslot == my {
+                            b.push(Step::ShmCopy {
+                                src: BufRef::Landing {
+                                    node: me,
+                                    side: lside,
+                                },
+                                src_off: Off::Lit(po),
+                                dst: BufRef::User,
+                                dst_off: Off::Lit(recv_off),
+                                len: olen,
+                                cost: CopyCost::Read(read_streams),
+                            });
+                        }
+                    }
+                    b.push(Step::PairRelease {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                }
+                if p > 1 {
+                    li += 1;
+                }
+            }
+        }
+
+        // All credits home: the rings are drained, so the next
+        // operation may reuse literal ring offsets from slot zero.
+        if my == 0 {
+            for (d, pieces) in &out {
+                if !pieces.is_empty() {
+                    b.push(Step::CounterWaitGe {
+                        ctr: CtrRef::PairwiseFree { node: me, dst: *d },
+                        val: Val::Lit(w as u64),
+                    });
+                }
+            }
+        }
+
+        // Re-synchronize the contribution channels with the globally
+        // uniform advance. A slot that staged fewer pieces than the
+        // cluster maximum (ragged counts, or the master, which stages
+        // nothing) raises its own flags the rest of the way — but only
+        // after its consumer finished, so the flags never move
+        // backwards.
+        if r_adv > 0 {
+            let mine = if my == 0 { 0 } else { crel[my] };
+            if mine > 0 && mine < r_adv {
+                b.push(Step::FlagWaitGe {
+                    flag: FlagRef::ContribDone { slot: my },
+                    val: seq(SeqBase::Reduce, rel0 + mine),
+                    label: "pairwise contributions consumed",
+                });
+            }
+            if mine < r_adv {
+                self.plan_contrib_catchup(b, rel0 + r_adv);
+            }
+            b.advance(SeqBase::Reduce, r_adv);
+        }
+        if p > 1 && g_land > 0 {
+            b.advance(SeqBase::Landing, g_land);
+        }
+    }
+
+    /// Intra-node leg of the alltoall: every slot in turn publishes its
+    /// own-node send block through the SMP broadcast pair; the other
+    /// slots copy out their segments.
+    fn plan_local_alltoall(&self, b: &mut PlanBuilder, len: usize) {
+        let topo = self.topology();
+        let p = topo.tasks_per_node();
+        if p <= 1 {
+            return;
+        }
+        let t = self.tuning();
+        let cs = t.pairwise_chunk.min(t.smp_buf);
+        let me = self.node();
+        let my = self.slot();
+        let n = topo.nprocs();
+        let rbase = n * len;
+        let block = p * len;
+        let per = SrmTuning::chunk_count(block, cs);
+        let srel0 = b.rel(SeqBase::Smp);
+        let streams = (p - 1).max(1);
+        for u in 0..p {
+            for kc in 0..per {
+                let srel = srel0 + (u * per + kc) as u64;
+                let side = par(SeqBase::Smp, srel);
+                let koff = kc * cs;
+                let clen = cs.min(block - koff);
+                if my == u {
+                    b.push(Step::PairWaitFree {
+                        pair: PairSel::Smp,
+                        side,
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::User,
+                        src_off: Off::Lit(me * block + koff),
+                        dst: BufRef::Smp { side },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        cost: CopyCost::Write(streams),
+                    });
+                    b.push(Step::PairPublish {
+                        pair: PairSel::Smp,
+                        side,
+                    });
+                } else {
+                    b.push(Step::PairWaitPublished {
+                        pair: PairSel::Smp,
+                        side,
+                    });
+                    let lo = koff.max(my * len);
+                    let hi = (koff + clen).min((my + 1) * len);
+                    if lo < hi {
+                        b.push(Step::ShmCopy {
+                            src: BufRef::Smp { side },
+                            src_off: Off::Lit(lo - koff),
+                            dst: BufRef::User,
+                            dst_off: Off::Lit(rbase + (me * p + u) * len + (lo - my * len)),
+                            len: hi - lo,
+                            cost: CopyCost::Read(streams),
+                        });
+                    }
+                    b.push(Step::PairRelease {
+                        pair: PairSel::Smp,
+                        side,
+                    });
+                }
+            }
+        }
+        b.advance(SeqBase::Smp, (p * per) as u64);
+    }
+
+    /// Intra-node leg of the alltoallv: ragged `(publisher, reader)`
+    /// cells through the SMP pair, one piece at a time. Every
+    /// non-publishing slot handshakes every piece (the pair protocol
+    /// needs all readers to release) but only the addressee copies.
+    fn plan_local_alltoallv(&self, b: &mut PlanBuilder, seg: usize, counts: &[usize]) {
+        let topo = self.topology();
+        let p = topo.tasks_per_node();
+        if p <= 1 {
+            return;
+        }
+        let t = self.tuning();
+        let cs = t.pairwise_chunk.min(t.smp_buf);
+        let me = self.node();
+        let my = self.slot();
+        let n = topo.nprocs();
+        let rbase = n * seg;
+        let srel0 = b.rel(SeqBase::Smp);
+        let mut si = 0u64;
+        for u in 0..p {
+            for tl in 0..p {
+                if tl == u {
+                    continue;
+                }
+                let cnt = counts[(me * p + u) * n + (me * p + tl)];
+                if cnt == 0 {
+                    continue;
+                }
+                for kc in 0..cnt.div_ceil(cs) {
+                    let koff = kc * cs;
+                    let clen = cs.min(cnt - koff);
+                    let side = par(SeqBase::Smp, srel0 + si);
+                    si += 1;
+                    if my == u {
+                        b.push(Step::PairWaitFree {
+                            pair: PairSel::Smp,
+                            side,
+                        });
+                        b.push(Step::ShmCopy {
+                            src: BufRef::User,
+                            src_off: Off::Lit((me * p + tl) * seg + koff),
+                            dst: BufRef::Smp { side },
+                            dst_off: Off::Lit(0),
+                            len: clen,
+                            cost: CopyCost::Write(1),
+                        });
+                        b.push(Step::PairPublish {
+                            pair: PairSel::Smp,
+                            side,
+                        });
+                    } else {
+                        b.push(Step::PairWaitPublished {
+                            pair: PairSel::Smp,
+                            side,
+                        });
+                        if my == tl {
+                            b.push(Step::ShmCopy {
+                                src: BufRef::Smp { side },
+                                src_off: Off::Lit(0),
+                                dst: BufRef::User,
+                                dst_off: Off::Lit(rbase + (me * p + u) * seg + koff),
+                                len: clen,
+                                cost: CopyCost::Read(1),
+                            });
+                        }
+                        b.push(Step::PairRelease {
+                            pair: PairSel::Smp,
+                            side,
+                        });
+                    }
+                }
+            }
+        }
+        b.advance(SeqBase::Smp, si);
+    }
+
+    /// Plan an alltoall of `len`-byte segments: the send half of the
+    /// user buffer (`nprocs·len` bytes, segment `j` for rank `j`) is
+    /// exchanged into the receive half (the next `nprocs·len` bytes,
+    /// segment `i` from rank `i`).
+    pub(crate) fn plan_alltoall(&self, b: &mut PlanBuilder, len: usize) {
+        let topo = self.topology();
+        if len == 0 {
+            return;
+        }
+        let n = topo.nprocs();
+        let p = topo.tasks_per_node();
+        let chunk = self.tuning().pairwise_chunk;
+        let rbase = n * len;
+        let me = self.rank();
+        // Own segment: already local, one private copy.
+        b.push(Step::ShmCopy {
+            src: BufRef::User,
+            src_off: Off::Lit(me * len),
+            dst: BufRef::User,
+            dst_off: Off::Lit(rbase + me * len),
+            len,
+            cost: CopyCost::Read(1),
+        });
+        self.plan_local_alltoall(b, len);
+        self.plan_pairwise_wire(b, |s, d| alltoall_stream(p, len, chunk, rbase, s, d));
+    }
+
+    /// Plan an alltoallv on the `seg`-strided grid layout: rank `i`
+    /// sends `counts[i·n + j]` bytes from send segment `j` to rank `j`,
+    /// receiving into receive segment `i` of the second half.
+    pub(crate) fn plan_alltoallv(&self, b: &mut PlanBuilder, seg: usize, counts: &[usize]) {
+        let topo = self.topology();
+        let n = topo.nprocs();
+        if seg == 0 {
+            return;
+        }
+        let p = topo.tasks_per_node();
+        let chunk = self.tuning().pairwise_chunk;
+        let rbase = n * seg;
+        let me = self.rank();
+        let own = counts[me * n + me];
+        if own > 0 {
+            b.push(Step::ShmCopy {
+                src: BufRef::User,
+                src_off: Off::Lit(me * seg),
+                dst: BufRef::User,
+                dst_off: Off::Lit(rbase + me * seg),
+                len: own,
+                cost: CopyCost::Read(1),
+            });
+        }
+        self.plan_local_alltoallv(b, seg, counts);
+        self.plan_pairwise_wire(b, |s, d| {
+            alltoallv_stream(p, n, seg, counts, chunk, rbase, s, d)
+        });
+    }
+
+    /// Plan a reduce-scatter of `len`-byte result segments: the user
+    /// buffer holds `nprocs` contribution segments; after the call,
+    /// segment `me` holds the element-wise reduction of every rank's
+    /// segment `me`. Each chunk round reduces one chunk of every peer
+    /// node's block up the SMP tree, streams it into the peer's landing
+    /// ring, then folds the arrived peer chunks into the own-block
+    /// reduction and scatters the finished chunk through the landing
+    /// pair.
+    pub(crate) fn plan_reduce_scatter(&self, b: &mut PlanBuilder, len: usize) {
+        let topo = self.topology();
+        let n = topo.nprocs();
+        if len == 0 || n == 1 {
+            return;
+        }
+        let t = self.tuning();
+        let p = topo.tasks_per_node();
+        let nodes = topo.nodes();
+        // Unlike the byte-oriented alltoall streams, reduce chunks are
+        // combined elementwise, so every chunk boundary must fall on an
+        // element boundary: round the configured chunk down to the
+        // 8-byte grid (a multiple of every supported element size).
+        let chunk = (t.pairwise_chunk & !7).max(8);
+        let w = t.pairwise_window;
+        let block = p * len;
+        let per = SrmTuning::chunk_count(block, chunk);
+        let me = self.node();
+        let my = self.slot();
+        let multi = topo.multi_node();
+        let read_streams = p.saturating_sub(1).max(1);
+        let rel0 = b.rel(SeqBase::Reduce);
+        let lrel0 = b.rel(SeqBase::Landing);
+        let mut rel = rel0;
+
+        for kc in 0..per {
+            let koff = kc * chunk;
+            let clen = chunk.min(block - koff);
+            let ring_off = Off::Lit((kc % w) * chunk);
+            // Peer-node blocks: reduce this chunk to the master and
+            // stream it out, round-robin over destinations.
+            if multi {
+                for d in (0..nodes).filter(|&d| d != me) {
+                    let is_root = self.plan_smp_reduce_chunk(b, d * block + koff, clen, rel, 0);
+                    rel += 1;
+                    if is_root {
+                        b.push(Step::CreditWait {
+                            ctr: CtrRef::PairwiseFree { node: me, dst: d },
+                            n: 1,
+                        });
+                        // Stage the accumulator in the master's own
+                        // (otherwise idle) contribution buffer so the
+                        // put has an addressable source; the put
+                        // snapshots it synchronously.
+                        b.push(Step::ShmCopy {
+                            src: BufRef::Acc,
+                            src_off: Off::Lit(0),
+                            dst: BufRef::Contrib { slot: 0 },
+                            dst_off: Off::Lit(0),
+                            len: clen,
+                            cost: CopyCost::Free,
+                        });
+                        b.push(Step::RmaPut {
+                            to: topo.master_of(d),
+                            src: BufRef::Contrib { slot: 0 },
+                            src_off: Off::Lit(0),
+                            dst: BufRef::PairwiseRing { node: d, src: me },
+                            dst_off: ring_off,
+                            len: clen,
+                            ctr: Some(CtrRef::PairwiseData { node: d, src: me }),
+                        });
+                    }
+                }
+            }
+            // Own block: reduce the node's contributions, fold in the
+            // peers' arrived chunks, distribute the finished chunk.
+            let is_root = self.plan_smp_reduce_chunk(b, me * block + koff, clen, rel, 0);
+            rel += 1;
+            if is_root {
+                if multi {
+                    for s in (0..nodes).filter(|&s| s != me) {
+                        b.push(Step::CounterWait {
+                            ctr: CtrRef::PairwiseData { node: me, src: s },
+                            n: 1,
+                        });
+                        b.push(Step::LocalReduce {
+                            src: BufRef::PairwiseRing { node: me, src: s },
+                            src_off: ring_off,
+                            len: clen,
+                        });
+                        b.push(Step::CounterPut {
+                            to: topo.master_of(s),
+                            ctr: CtrRef::PairwiseFree { node: s, dst: me },
+                        });
+                    }
+                }
+                let lo = koff;
+                let hi = (koff + clen).min(len);
+                if p > 1 {
+                    let lside = par(SeqBase::Landing, lrel0 + kc as u64);
+                    b.push(Step::PairWaitFree {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::Landing {
+                            node: me,
+                            side: lside,
+                        },
+                        dst_off: Off::Lit(0),
+                        len: clen,
+                        cost: CopyCost::Write(1),
+                    });
+                    b.push(Step::PairPublish {
+                        pair: PairSel::Landing,
+                        side: lside,
+                    });
+                    if lo < hi {
+                        b.push(Step::ShmCopy {
+                            src: BufRef::Landing {
+                                node: me,
+                                side: lside,
+                            },
+                            src_off: Off::Lit(0),
+                            dst: BufRef::User,
+                            dst_off: Off::Lit(me * block + lo),
+                            len: hi - lo,
+                            cost: CopyCost::Read(read_streams),
+                        });
+                    }
+                } else {
+                    // Single-task node: the accumulator is the result.
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Acc,
+                        src_off: Off::Lit(0),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(me * block + koff),
+                        len: clen,
+                        cost: CopyCost::Free,
+                    });
+                }
+            } else {
+                // Non-root slot: read my result overlap off the pair.
+                let lside = par(SeqBase::Landing, lrel0 + kc as u64);
+                b.push(Step::PairWaitPublished {
+                    pair: PairSel::Landing,
+                    side: lside,
+                });
+                let lo = koff.max(my * len);
+                let hi = (koff + clen).min((my + 1) * len);
+                if lo < hi {
+                    b.push(Step::ShmCopy {
+                        src: BufRef::Landing {
+                            node: me,
+                            side: lside,
+                        },
+                        src_off: Off::Lit(lo - koff),
+                        dst: BufRef::User,
+                        dst_off: Off::Lit(me * block + lo),
+                        len: hi - lo,
+                        cost: CopyCost::Read(read_streams),
+                    });
+                }
+                b.push(Step::PairRelease {
+                    pair: PairSel::Landing,
+                    side: lside,
+                });
+            }
+        }
+
+        if multi && my == 0 {
+            for d in (0..nodes).filter(|&d| d != me) {
+                b.push(Step::CounterWaitGe {
+                    ctr: CtrRef::PairwiseFree { node: me, dst: d },
+                    val: Val::Lit(w as u64),
+                });
+            }
+        }
+        if my == 0 {
+            // The subtree root consumed everyone's contributions but
+            // staged none of its own.
+            self.plan_contrib_catchup(b, rel);
+        }
+        b.advance(SeqBase::Reduce, rel - rel0);
+        if p > 1 {
+            b.advance(SeqBase::Landing, per as u64);
+        }
+    }
+}

@@ -180,6 +180,17 @@ pub enum BufRef {
     /// The gather root's user-buffer handle (captured by
     /// [`Step::GsRootTake`] or [`Step::BoardAddrTake`]).
     RootUser,
+    /// `node`'s pairwise landing ring for puts from node `src` — a ring
+    /// of [`SrmTuning::pairwise_window`](crate::SrmTuning) slots of
+    /// `pairwise_chunk` bytes each. Ring offsets are plan literals: the
+    /// credit protocol guarantees every ring is drained when a pairwise
+    /// operation completes, so each call indexes slots from 0.
+    PairwiseRing {
+        /// Whose landing ring (the put target's node).
+        node: NodeId,
+        /// The sending node.
+        src: NodeId,
+    },
 }
 
 /// A LAPI-style counter operand, named structurally. Counters indexed
@@ -262,6 +273,25 @@ pub enum CtrRef {
         node: NodeId,
         /// Round.
         round: usize,
+    },
+    /// The pairwise data counter of the `(src → node)` stream, bumped
+    /// by each of `src`'s puts into `node`'s landing ring (one counter
+    /// per ordered node pair — see [`rma::CounterFamily`]).
+    PairwiseData {
+        /// The receiving node (counter owner).
+        node: NodeId,
+        /// The sending node.
+        src: NodeId,
+    },
+    /// The pairwise credit counter of the `(node → dst)` stream, held
+    /// at the source and restored by the destination's zero-byte put
+    /// when a ring slot drains (init
+    /// [`SrmTuning::pairwise_window`](crate::SrmTuning)).
+    PairwiseFree {
+        /// The sending node (counter owner).
+        node: NodeId,
+        /// The destination node.
+        dst: NodeId,
     },
 }
 
@@ -472,6 +502,16 @@ pub enum Step {
         /// Threshold.
         val: Val,
     },
+    /// Consume `n` flow-control credits from a pairwise credit counter
+    /// (same wait semantics as [`Step::CounterWait`], but the engine
+    /// counts a `credit_stalls` metric when no credit is available —
+    /// the observable of the pairwise window).
+    CreditWait {
+        /// Credit counter to drain.
+        ctr: CtrRef,
+        /// Credits to consume.
+        n: u64,
+    },
     /// Ship a buffer handle to rank `to` via active message `am`.
     AddrSend {
         /// Target rank (a master).
@@ -524,6 +564,7 @@ impl Step {
             Step::RmaPut { .. } => "step:rma-put",
             Step::CounterPut { .. } => "step:counter-put",
             Step::CounterWait { .. } | Step::CounterWaitGe { .. } => "step:counter-wait",
+            Step::CreditWait { .. } => "step:credit-wait",
             Step::AddrSend { .. } => "step:addr-send",
             Step::AddrTake { .. } | Step::GsRootTake => "step:addr-take",
             Step::BoardAddrPut => "step:board-addr-put",
@@ -619,8 +660,10 @@ impl PlanBuilder {
 /// Cache key: the shape of a collective call. Topology, tuning and
 /// tree kind are fixed per world, the datatype and operator are
 /// late-bound, so the shape is fully described by the operation, the
-/// payload length and the root.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// payload length, the root (for rooted operations only) and — for
+/// `alltoallv` — the count matrix. Not `Copy`: the alltoallv shape
+/// shares its counts by `Arc`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum PlanKey {
     /// `broadcast(len, root)`.
     Bcast {
@@ -662,6 +705,26 @@ pub enum PlanKey {
         /// Per-rank segment bytes.
         len: usize,
     },
+    /// `alltoall(len)` — `len` is the per-pair segment (rootless).
+    Alltoall {
+        /// Per-pair segment bytes.
+        len: usize,
+    },
+    /// `alltoallv(seg, counts)` — per-pair counts on a `seg`-strided
+    /// segment grid; `counts[i*n + j]` is the bytes rank `i` sends
+    /// rank `j`.
+    Alltoallv {
+        /// Segment grid stride (every count is at most this).
+        seg: usize,
+        /// Flattened `n × n` count matrix.
+        counts: Arc<[usize]>,
+    },
+    /// `reduce_scatter(len)` — `len` is the per-rank result segment
+    /// (any datatype/operator, rootless).
+    ReduceScatter {
+        /// Per-rank segment bytes.
+        len: usize,
+    },
     /// Stand-alone intra-node broadcast (flat two-buffer algorithm).
     SmpBcast {
         /// Payload bytes.
@@ -683,6 +746,28 @@ pub enum PlanKey {
         /// Writing rank.
         writer: Rank,
     },
+}
+
+impl PlanKey {
+    /// Canonicalize call shapes that compile to identical plans, so
+    /// equivalent calls share one LRU slot instead of splitting the
+    /// cache across them. Rootless operations (allreduce, barrier,
+    /// allgather, alltoall(v), reduce_scatter) carry no root by
+    /// construction; a rooted operation whose plan cannot depend on the
+    /// root — an empty payload, or a single-process world, both of
+    /// which compile to the empty schedule — normalizes to root 0.
+    pub fn normalized(self, nprocs: usize) -> PlanKey {
+        let trivial = nprocs == 1;
+        match self {
+            PlanKey::Bcast { len, .. } if len == 0 || trivial => PlanKey::Bcast { len, root: 0 },
+            PlanKey::Reduce { len, .. } if len == 0 || trivial => PlanKey::Reduce { len, root: 0 },
+            PlanKey::Gather { len, .. } if len == 0 || trivial => PlanKey::Gather { len, root: 0 },
+            PlanKey::Scatter { len, .. } if len == 0 || trivial => {
+                PlanKey::Scatter { len, root: 0 }
+            }
+            k => k,
+        }
+    }
 }
 
 /// Per-communicator LRU cache of compiled plans, keyed by call shape.
@@ -743,18 +828,23 @@ impl SrmComm {
     /// cached path is [`SrmComm::plan_for`]).
     pub fn build_plan(&self, key: &PlanKey) -> Plan {
         let mut b = PlanBuilder::new();
-        match *key {
-            PlanKey::Bcast { len, root } => self.plan_bcast(&mut b, len, root),
-            PlanKey::Reduce { len, root } => self.plan_reduce(&mut b, len, root),
-            PlanKey::Allreduce { len } => self.plan_allreduce(&mut b, len),
+        match key {
+            PlanKey::Bcast { len, root } => self.plan_bcast(&mut b, *len, *root),
+            PlanKey::Reduce { len, root } => self.plan_reduce(&mut b, *len, *root),
+            PlanKey::Allreduce { len } => self.plan_allreduce(&mut b, *len),
             PlanKey::Barrier => self.plan_barrier(&mut b),
-            PlanKey::Gather { len, root } => self.plan_gather(&mut b, len, root),
-            PlanKey::Scatter { len, root } => self.plan_scatter(&mut b, len, root),
-            PlanKey::Allgather { len } => self.plan_allgather(&mut b, len),
-            PlanKey::SmpBcast { len, writer } => self.plan_smp_bcast(&mut b, len, writer),
-            PlanKey::SmpBcastTree { len, writer } => self.plan_smp_bcast_tree(&mut b, len, writer),
+            PlanKey::Gather { len, root } => self.plan_gather(&mut b, *len, *root),
+            PlanKey::Scatter { len, root } => self.plan_scatter(&mut b, *len, *root),
+            PlanKey::Allgather { len } => self.plan_allgather(&mut b, *len),
+            PlanKey::Alltoall { len } => self.plan_alltoall(&mut b, *len),
+            PlanKey::Alltoallv { seg, counts } => self.plan_alltoallv(&mut b, *seg, counts),
+            PlanKey::ReduceScatter { len } => self.plan_reduce_scatter(&mut b, *len),
+            PlanKey::SmpBcast { len, writer } => self.plan_smp_bcast(&mut b, *len, *writer),
+            PlanKey::SmpBcastTree { len, writer } => {
+                self.plan_smp_bcast_tree(&mut b, *len, *writer)
+            }
             PlanKey::SmpBcastSistare { len, writer } => {
-                self.plan_smp_bcast_sistare(&mut b, len, writer)
+                self.plan_smp_bcast_sistare(&mut b, *len, *writer)
             }
         }
         b.finish()

@@ -52,10 +52,27 @@ pub struct SrmTuning {
     /// timeline rendering. Off by default: it multiplies trace volume.
     pub trace_steps: bool,
     /// Maximum nonblocking collectives outstanding per rank. Issuing
-    /// one more blocks until the oldest completes (MPI allows
-    /// implementations to throttle; bounding the queue bounds the
-    /// interleaving executor's per-poll scan).
+    /// one more blocks until *some* outstanding request completes (MPI
+    /// allows implementations to throttle; bounding the queue bounds
+    /// the interleaving executor's per-poll scan).
     pub max_outstanding: usize,
+    /// Chunk size of the pairwise exchange streams
+    /// (alltoall/alltoallv/reduce_scatter): each (src, dst) node pair
+    /// moves its data in puts of at most this many bytes. Must not
+    /// exceed `reduce_chunk` (non-master contributions stage through
+    /// the contribution buffers).
+    pub pairwise_chunk: usize,
+    /// Credit window of the pairwise exchange: how many puts a source
+    /// may have outstanding toward one destination before it must wait
+    /// for the destination to drain its landing ring (the ring has this
+    /// many `pairwise_chunk` slots per source). At least 1.
+    pub pairwise_window: usize,
+    /// Allreduce payloads at or above this size switch from the paper's
+    /// four-stage pipeline to `reduce_scatter + allgather`
+    /// (Rabenseifner); requires the payload to split evenly across
+    /// ranks, else the pipeline is kept. `usize::MAX` (the default)
+    /// disables the switch — the paper's protocol everywhere.
+    pub allreduce_rs_min: usize,
 }
 
 impl Default for SrmTuning {
@@ -74,6 +91,9 @@ impl Default for SrmTuning {
             plan_cache_cap: 32,
             trace_steps: false,
             max_outstanding: 8,
+            pairwise_chunk: 16 * 1024,
+            pairwise_window: 2,
+            allreduce_rs_min: usize::MAX,
         }
     }
 }

@@ -4,6 +4,7 @@
 //! address exchange).
 
 use crate::embed::TreeKind;
+use crate::pairwise::PairwiseState;
 use crate::plan::PlanCache;
 use crate::tuning::SrmTuning;
 use rma::{LapiCounter, Rma, RmaWorld};
@@ -181,6 +182,7 @@ pub(crate) struct WorldInner {
     pub tuning: SrmTuning,
     pub boards: Vec<Arc<NodeBoard>>,
     pub inter: Vec<Arc<InterState>>,
+    pub pairwise: PairwiseState,
     pub rma: RmaWorld,
 }
 
@@ -215,6 +217,14 @@ impl SrmWorld {
                 && tuning.pipeline_max <= tuning.small_large_switch,
             "small-broadcast pipeline range must lie below the large switch"
         );
+        assert!(
+            tuning.pairwise_chunk > 0 && tuning.pairwise_chunk <= tuning.reduce_chunk,
+            "pairwise_chunk must be nonzero and fit the contribution buffers"
+        );
+        assert!(
+            tuning.pairwise_window >= 1,
+            "pairwise credit window must allow at least one outstanding put"
+        );
         let handle = sim.handle();
         let rma = RmaWorld::new(sim, topo.nprocs());
         let boards = (0..topo.nodes())
@@ -240,12 +250,14 @@ impl SrmWorld {
                 my_inter.gs_root.store(hctx, Some(buf));
             });
         }
+        let pairwise = PairwiseState::new(&handle, topo.nodes(), &tuning);
         SrmWorld {
             inner: Arc::new(WorldInner {
                 topo,
                 tuning,
                 boards,
                 inter,
+                pairwise,
                 rma,
             }),
         }
@@ -361,6 +373,12 @@ impl SrmComm {
     /// The network-facing state of `node`'s master.
     pub fn inter(&self, node: NodeId) -> &InterState {
         &self.world.inter[node]
+    }
+
+    /// The cluster-wide pairwise exchange registry (landing rings and
+    /// per-pair counter families; see [`crate::pairwise`]).
+    pub fn pairwise(&self) -> &PairwiseState {
+        &self.world.pairwise
     }
 
     /// The RMA endpoint (exposed for tests and extensions).

@@ -14,6 +14,8 @@
 //! | gather | linear | linear |
 //! | scatter | linear | linear |
 //! | allgather | gather + broadcast | ring |
+//! | alltoall / alltoallv | pairwise rotation | pairwise rotation |
+//! | reduce-scatter | reduce + scatter | pairwise exchange-combine |
 //!
 //! The profiles also differ through the fabric itself: IBM's eager
 //! limit shrinks with task count, MPICH pays an extra per-message
@@ -141,6 +143,36 @@ impl Collectives for MpiColl {
         buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
     }
 
+    fn alltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let n = self.ep.topology().nprocs();
+        let mut data = buf.with(|d| d[..2 * n * len].to_vec());
+        ops::alltoall_pairwise(&self.ep, ctx, &mut data, len);
+        buf.with_mut(|d| d[..2 * n * len].copy_from_slice(&data));
+    }
+
+    fn alltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let n = self.ep.topology().nprocs();
+        assert_eq!(counts.len(), n * n, "alltoallv needs the full count matrix");
+        let mut data = buf.with(|d| d[..2 * n * seg].to_vec());
+        ops::alltoallv_pairwise(&self.ep, ctx, &mut data, seg, counts);
+        buf.with_mut(|d| d[..2 * n * seg].copy_from_slice(&data));
+    }
+
+    fn reduce_scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
+        ctx.advance(ctx.config().mpi_coll_call_overhead);
+        let n = self.ep.topology().nprocs();
+        let mut data = buf.with(|d| d[..n * len].to_vec());
+        match self.ep.vendor() {
+            Vendor::IbmMpi => {
+                ops::reduce_scatter_reduce_then_scatter(&self.ep, ctx, &mut data, len, dtype, op)
+            }
+            Vendor::Mpich => ops::reduce_scatter_pairwise(&self.ep, ctx, &mut data, len, dtype, op),
+        }
+        buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
+    }
+
     fn name(&self) -> &'static str {
         self.ep.vendor().name()
     }
@@ -201,6 +233,28 @@ impl NonblockingCollectives for MpiColl {
 
     fn iallgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
         self.allgather(ctx, buf, len);
+        self.eager_request()
+    }
+
+    fn ialltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
+        self.alltoall(ctx, buf, len);
+        self.eager_request()
+    }
+
+    fn ialltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) -> CollRequest {
+        self.alltoallv(ctx, buf, seg, counts);
+        self.eager_request()
+    }
+
+    fn ireduce_scatter(
+        &self,
+        ctx: &Ctx,
+        buf: &ShmBuffer,
+        len: usize,
+        dtype: DType,
+        op: ReduceOp,
+    ) -> CollRequest {
+        self.reduce_scatter(ctx, buf, len, dtype, op);
         self.eager_request()
     }
 

@@ -11,7 +11,11 @@
 //!   (MPICH profile);
 //! * gather / scatter — linear at the root (both vendors);
 //! * allgather — gather+broadcast (IBM profile) or ring (MPICH
-//!   profile).
+//!   profile);
+//! * alltoall / alltoallv — pairwise rotation sendrecv (both vendors,
+//!   the classic long-message schedule);
+//! * reduce-scatter — reduce-then-scatter (IBM profile) or pairwise
+//!   exchange-and-combine (MPICH profile).
 //!
 //! Every hop is an ordinary tagged message through [`msg`], so each hop
 //! pays matching, per-message overheads, eager/rendezvous protocol
@@ -32,6 +36,9 @@ const TAG_BARRIER_DISS: Tag = 0x0402;
 const TAG_GATHER: Tag = 0x0500;
 const TAG_SCATTER: Tag = 0x0600;
 const TAG_ALLGATHER: Tag = 0x0700;
+const TAG_ALLTOALL: Tag = 0x0800;
+const TAG_ALLTOALLV: Tag = 0x0900;
+const TAG_REDUCE_SCATTER: Tag = 0x0A00;
 
 /// Binomial-tree broadcast of `data` (significant at `root`); on return
 /// every rank's `data` holds the payload.
@@ -266,6 +273,111 @@ pub fn allgather_ring(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) 
             &mut inb,
         );
         data[recv_seg * seg..(recv_seg + 1) * seg].copy_from_slice(&inb);
+    }
+}
+
+/// Pairwise-rotation alltoall (both vendors' long-message schedule):
+/// `data` is the split buffer `[send segments | recv segments]` of
+/// `2 * P * seg` bytes. Round `r` exchanges with `dst = me + r` and
+/// `src = me - r` (mod `P`), so every round is a disjoint pairing and
+/// no rank is ever the target of two concurrent sends.
+pub fn alltoall_pairwise(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) {
+    let size = ep.topology().nprocs();
+    if seg == 0 {
+        return;
+    }
+    let me = ep.rank();
+    let rbase = size * seg;
+    data.copy_within(me * seg..(me + 1) * seg, rbase + me * seg);
+    for r in 1..size {
+        let dst = (me + r) % size;
+        let src = (me + size - r) % size;
+        let out = data[dst * seg..(dst + 1) * seg].to_vec();
+        let mut inb = vec![0u8; seg];
+        ep.sendrecv(ctx, dst, TAG_ALLTOALL, &out, src, TAG_ALLTOALL, &mut inb);
+        data[rbase + src * seg..rbase + (src + 1) * seg].copy_from_slice(&inb);
+    }
+}
+
+/// Pairwise-rotation alltoallv: like [`alltoall_pairwise`] but each
+/// `seg`-byte slot carries only `counts[i*P+j]` live bytes (`counts` is
+/// the full row-major `P * P` matrix, identical everywhere).
+pub fn alltoallv_pairwise(
+    ep: &MsgEndpoint,
+    ctx: &Ctx,
+    data: &mut [u8],
+    seg: usize,
+    counts: &[usize],
+) {
+    let size = ep.topology().nprocs();
+    if seg == 0 {
+        return;
+    }
+    let me = ep.rank();
+    let rbase = size * seg;
+    let own = counts[me * size + me];
+    data.copy_within(me * seg..me * seg + own, rbase + me * seg);
+    for r in 1..size {
+        let dst = (me + r) % size;
+        let src = (me + size - r) % size;
+        let scnt = counts[me * size + dst];
+        let rcnt = counts[src * size + me];
+        let out = data[dst * seg..dst * seg + scnt].to_vec();
+        let mut inb = vec![0u8; rcnt];
+        ep.sendrecv(ctx, dst, TAG_ALLTOALLV, &out, src, TAG_ALLTOALLV, &mut inb);
+        data[rbase + src * seg..rbase + src * seg + rcnt].copy_from_slice(&inb);
+    }
+}
+
+/// Reduce-then-scatter reduce-scatter (IBM profile): binomial reduce of
+/// the whole `P * seg` buffer to rank 0, then a linear scatter of the
+/// result blocks. `data` follows the in-place layout: block `i` of the
+/// result lands at `data[i*seg..(i+1)*seg]` on rank `i`.
+pub fn reduce_scatter_reduce_then_scatter(
+    ep: &MsgEndpoint,
+    ctx: &Ctx,
+    data: &mut [u8],
+    seg: usize,
+    dtype: DType,
+    op: ReduceOp,
+) {
+    reduce_binomial(ep, ctx, data, dtype, op, 0);
+    scatter_linear(ep, ctx, data, seg, 0);
+}
+
+/// Pairwise exchange-and-combine reduce-scatter (MPICH profile, the
+/// long-message schedule): round `r` sends the untouched contribution
+/// for `dst = me + r` and folds `src = me - r`'s contribution into the
+/// caller's own result block — `P-1` rounds, each moving exactly one
+/// block per rank.
+pub fn reduce_scatter_pairwise(
+    ep: &MsgEndpoint,
+    ctx: &Ctx,
+    data: &mut [u8],
+    seg: usize,
+    dtype: DType,
+    op: ReduceOp,
+) {
+    let size = ep.topology().nprocs();
+    if size == 1 || seg == 0 {
+        return;
+    }
+    let me = ep.rank();
+    let mut tmp = vec![0u8; seg];
+    for r in 1..size {
+        let dst = (me + r) % size;
+        let src = (me + size - r) % size;
+        let out = data[dst * seg..(dst + 1) * seg].to_vec();
+        ep.sendrecv(
+            ctx,
+            dst,
+            TAG_REDUCE_SCATTER,
+            &out,
+            src,
+            TAG_REDUCE_SCATTER,
+            &mut tmp,
+        );
+        combine_costed(ctx, dtype, op, &mut data[me * seg..(me + 1) * seg], &tmp);
     }
 }
 

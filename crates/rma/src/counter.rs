@@ -53,6 +53,47 @@ impl LapiCounter {
     }
 }
 
+/// A **per-pair counter family**: one completion counter for every
+/// `(src, dst)` endpoint pair of an `n`-way exchange, instead of one
+/// counter per collective.
+///
+/// Total-exchange protocols (alltoall and friends) have `n·(n-1)`
+/// concurrent point-to-point streams; a single shared counter cannot
+/// tell which stream completed. A family gives each ordered pair its
+/// own [`LapiCounter`], so a receiver can wait on exactly the stream it
+/// needs and a sender's flow-control credits are returned per
+/// destination. Allocate once at setup (the handles are exchanged like
+/// registered memory) and index with [`CounterFamily::pair`].
+pub struct CounterFamily {
+    n: usize,
+    ctrs: Vec<LapiCounter>,
+}
+
+impl CounterFamily {
+    /// Family of `n × n` counters, each starting at `init` (data
+    /// counters start at 0; credit counters start at the window size).
+    pub fn new(handle: &SimHandle, n: usize, init: u64) -> Self {
+        CounterFamily {
+            n,
+            ctrs: (0..n * n).map(|_| LapiCounter::new(handle, init)).collect(),
+        }
+    }
+
+    /// The counter of the ordered pair `(src, dst)`.
+    ///
+    /// # Panics
+    /// If either index is out of range.
+    pub fn pair(&self, src: usize, dst: usize) -> &LapiCounter {
+        assert!(src < self.n && dst < self.n, "pair index out of range");
+        &self.ctrs[src * self.n + dst]
+    }
+
+    /// Number of endpoints (the family holds `n × n` counters).
+    pub fn endpoints(&self) -> usize {
+        self.n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +104,21 @@ mod tests {
         let s = Sim::new(MachineConfig::uniform_test());
         let c = LapiCounter::new(&s.handle(), 2);
         assert_eq!(c.peek(), 2);
+        drop(s);
+    }
+
+    #[test]
+    fn family_pairs_are_distinct() {
+        let s = Sim::new(MachineConfig::uniform_test());
+        let f = CounterFamily::new(&s.handle(), 3, 1);
+        assert_eq!(f.endpoints(), 3);
+        // Distinct pairs are distinct counters.
+        let keys: std::collections::HashSet<u64> = (0..3)
+            .flat_map(|a| (0..3).map(move |b| (a, b)))
+            .map(|(a, b)| f.pair(a, b).wait_key())
+            .collect();
+        assert_eq!(keys.len(), 9);
+        assert_eq!(f.pair(2, 1).peek(), 1);
         drop(s);
     }
 }

@@ -15,7 +15,7 @@
 pub mod counter;
 pub mod world;
 
-pub use counter::LapiCounter;
+pub use counter::{CounterFamily, LapiCounter};
 pub use world::{AmMsg, Rma, RmaWorld};
 
 #[cfg(test)]

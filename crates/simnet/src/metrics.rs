@@ -97,6 +97,13 @@ metrics! {
     /// Times an outstanding schedule was parked at a blocking step by
     /// the interleaving executor (its head probe came back not-ready).
     nb_parks,
+    /// One-sided puts issued by the pairwise exchange subsystem
+    /// (alltoall/alltoallv/reduce_scatter ring traffic).
+    pairwise_puts,
+    /// Times a pairwise sender reached a credit wait with no credit
+    /// available (its destination's landing ring was full), counted on
+    /// the blocking execution path.
+    credit_stalls,
 }
 
 impl Metrics {

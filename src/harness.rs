@@ -56,6 +56,28 @@ pub enum Op {
     Scatter,
     /// `MPI_Allgather` equivalent (`len` is the per-rank segment).
     Allgather,
+    /// `MPI_Alltoall` equivalent (`len` is the per-pair segment; the
+    /// buffer is split into send and receive halves).
+    Alltoall,
+    /// `MPI_Alltoallv` equivalent (`len` is the per-pair slot capacity;
+    /// the live counts are the deterministic ragged matrix of
+    /// [`ragged_counts`]).
+    Alltoallv,
+    /// `MPI_Reduce_scatter` equivalent (sum of doubles; `len` is the
+    /// per-rank result block).
+    ReduceScatter,
+}
+
+/// The deterministic ragged count matrix used by [`Op::Alltoallv`]:
+/// `counts[i*n+j] = (i*7 + j*13 + 3) % (seg+1)` — full coverage of
+/// empty, partial and full slots, identical on every rank.
+pub fn ragged_counts(nprocs: usize, seg: usize) -> Vec<usize> {
+    (0..nprocs * nprocs)
+        .map(|k| {
+            let (i, j) = (k / nprocs, k % nprocs);
+            (i * 7 + j * 13 + 3) % (seg + 1)
+        })
+        .collect()
 }
 
 impl Op {
@@ -69,6 +91,9 @@ impl Op {
             Op::Gather => "gather",
             Op::Scatter => "scatter",
             Op::Allgather => "allgather",
+            Op::Alltoall => "alltoall",
+            Op::Alltoallv => "alltoallv",
+            Op::ReduceScatter => "reduce-scatter",
         }
     }
 
@@ -77,7 +102,8 @@ impl Op {
     /// segments in place).
     pub fn buf_len(self, len: usize, nprocs: usize) -> usize {
         match self {
-            Op::Gather | Op::Scatter | Op::Allgather => (nprocs * len).max(8),
+            Op::Gather | Op::Scatter | Op::Allgather | Op::ReduceScatter => (nprocs * len).max(8),
+            Op::Alltoall | Op::Alltoallv => (2 * nprocs * len).max(8),
             _ => len.max(8),
         }
     }
@@ -201,6 +227,7 @@ fn run_rank(
     };
     init(&buf);
 
+    let counts = ragged_counts(nprocs, len);
     let one_call = |ctx: &simnet::Ctx| match op {
         Op::Bcast => coll.broadcast(ctx, &buf, len, 0),
         Op::Reduce => coll.reduce(ctx, &buf, len, DType::F64, ReduceOp::Sum, 0),
@@ -209,6 +236,9 @@ fn run_rank(
         Op::Gather => coll.gather(ctx, &buf, len, 0),
         Op::Scatter => coll.scatter(ctx, &buf, len, 0),
         Op::Allgather => coll.allgather(ctx, &buf, len),
+        Op::Alltoall => coll.alltoall(ctx, &buf, len),
+        Op::Alltoallv => coll.alltoallv(ctx, &buf, len, &counts),
+        Op::ReduceScatter => coll.reduce_scatter(ctx, &buf, len, DType::F64, ReduceOp::Sum),
     };
 
     let _ = rank;

@@ -28,4 +28,4 @@ pub use shmem;
 pub use simnet;
 pub use srm;
 
-pub use harness::{measure, ratio_percent, HarnessOpts, Impl, Measurement, Op};
+pub use harness::{measure, ragged_counts, ratio_percent, HarnessOpts, Impl, Measurement, Op};

@@ -40,19 +40,31 @@ fn run_once(
         };
         let out = out.clone();
         let init = init.clone();
+        let nprocs = topo.nprocs();
         sim.spawn(format!("rank{rank}"), move |ctx| {
-            let buf = shmem::ShmBuffer::new(len.max(1));
-            buf.with_mut(|d| d[..len].copy_from_slice(&init(rank)));
+            // `init` may fill anywhere up to the op's full working set
+            // (e.g. the send half of a split alltoall buffer); the rest
+            // starts zeroed.
+            let buf = shmem::ShmBuffer::new(op.buf_len(len, nprocs));
+            let image = init(rank);
+            buf.with_mut(|d| d[..image.len()].copy_from_slice(&image));
             match op {
                 Op::Bcast => coll.broadcast(&ctx, &buf, len, root),
                 Op::Reduce => coll.reduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum, root),
                 Op::Allreduce => coll.allreduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum),
                 Op::Barrier => coll.barrier(&ctx),
+                Op::Alltoall => coll.alltoall(&ctx, &buf, len),
+                Op::Alltoallv => {
+                    coll.alltoallv(&ctx, &buf, len, &srm_cluster::ragged_counts(nprocs, len))
+                }
+                Op::ReduceScatter => {
+                    coll.reduce_scatter(&ctx, &buf, len, DType::U64, ReduceOp::Sum)
+                }
                 // Segment ops need nprocs*len buffers; their cross-impl
                 // agreement lives in tests/prop_collectives.rs.
                 Op::Gather | Op::Scatter | Op::Allgather => unreachable!(),
             }
-            out.lock().unwrap()[rank] = buf.with(|d| d[..len].to_vec());
+            out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
             if let Some(c) = srm_comm {
                 c.shutdown(&ctx);
             }
@@ -123,6 +135,132 @@ fn all_implementations_agree_on_reduce_at_root() {
         let c = contribs.clone();
         let results = run_once(imp, topo, len, move |r| c[r].clone(), Op::Reduce, 7);
         assert_eq!(results[7], expect, "{} root buffer", imp.name());
+    }
+}
+
+/// Deterministic pattern for pairwise-exchange payloads: the byte `k`
+/// of the segment rank `i` sends to rank `j`.
+fn pair_byte(i: usize, j: usize, k: usize) -> u8 {
+    ((i * 37 + j * 11 + k * 3 + 5) % 251) as u8
+}
+
+/// All three implementations produce bit-identical results for the
+/// pairwise exchange family — alltoall, ragged alltoallv and
+/// reduce-scatter — on a non-power-of-two rank count.
+#[test]
+fn all_implementations_agree_on_alltoall_family() {
+    let topo = Topology::new(3, 2); // 6 ranks, non-power-of-two
+    let n = topo.nprocs();
+    let len = 96usize;
+
+    // alltoall: recv segment i on rank r must be what i sent to r.
+    let mut reference = None;
+    for imp in Impl::ALL {
+        let results = run_once(
+            imp,
+            topo,
+            len,
+            move |rank| {
+                let mut v = vec![0u8; 2 * n * len];
+                for j in 0..n {
+                    for k in 0..len {
+                        v[j * len + k] = pair_byte(rank, j, k);
+                    }
+                }
+                v
+            },
+            Op::Alltoall,
+            0,
+        );
+        for (r, outb) in results.iter().enumerate() {
+            for i in 0..n {
+                for k in 0..len {
+                    assert_eq!(
+                        outb[n * len + i * len + k],
+                        pair_byte(i, r, k),
+                        "{} alltoall rank {r} segment from {i} byte {k}",
+                        imp.name()
+                    );
+                }
+            }
+        }
+        match &reference {
+            None => reference = Some(results),
+            Some(rf) => assert_eq!(rf, &results, "{} alltoall diverged", imp.name()),
+        }
+    }
+
+    // alltoallv: only the ragged live prefixes move; slack stays zero.
+    let counts = srm_cluster::ragged_counts(n, len);
+    let mut reference = None;
+    for imp in Impl::ALL {
+        let c = counts.clone();
+        let results = run_once(
+            imp,
+            topo,
+            len,
+            move |rank| {
+                let mut v = vec![0u8; 2 * n * len];
+                for j in 0..n {
+                    for k in 0..c[rank * n + j] {
+                        v[j * len + k] = pair_byte(rank, j, k);
+                    }
+                }
+                v
+            },
+            Op::Alltoallv,
+            0,
+        );
+        for (r, outb) in results.iter().enumerate() {
+            for i in 0..n {
+                for k in 0..len {
+                    let expect = if k < counts[i * n + r] {
+                        pair_byte(i, r, k)
+                    } else {
+                        0
+                    };
+                    assert_eq!(
+                        outb[n * len + i * len + k],
+                        expect,
+                        "{} alltoallv rank {r} segment from {i} byte {k}",
+                        imp.name()
+                    );
+                }
+            }
+        }
+        match &reference {
+            None => reference = Some(results),
+            Some(rf) => assert_eq!(rf, &results, "{} alltoallv diverged", imp.name()),
+        }
+    }
+
+    // reduce-scatter: every rank's own block must equal the elementwise
+    // sum of all contributions for that block (u64 sum: bit-exact
+    // regardless of combine order).
+    let elems = len / 8;
+    let contrib = move |rank: usize| -> Vec<u8> {
+        let vals: Vec<u64> = (0..n * elems)
+            .map(|ix| (rank * 1009 + ix * 17 + 1) as u64)
+            .collect();
+        to_bytes_u64(&vals)
+    };
+    let expect: Vec<Vec<u8>> = {
+        let contribs: Vec<Vec<u8>> = (0..n).map(contrib).collect();
+        let full = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+        (0..n)
+            .map(|j| full[j * len..(j + 1) * len].to_vec())
+            .collect()
+    };
+    for imp in Impl::ALL {
+        let results = run_once(imp, topo, len, contrib, Op::ReduceScatter, 0);
+        for (r, outb) in results.iter().enumerate() {
+            assert_eq!(
+                &outb[r * len..(r + 1) * len],
+                &expect[r][..],
+                "{} reduce-scatter rank {r} block",
+                imp.name()
+            );
+        }
     }
 }
 

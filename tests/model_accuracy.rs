@@ -32,8 +32,14 @@ fn model_within_factor_of_simulation() {
                 Op::Allreduce => model.allreduce(len),
                 Op::Barrier => model.barrier(),
                 // The analytical model covers the paper's four measured
-                // ops; the segment ops are simulation-only for now.
-                Op::Gather | Op::Scatter | Op::Allgather => unreachable!(),
+                // ops; the segment and pairwise ops are simulation-only
+                // for now.
+                Op::Gather
+                | Op::Scatter
+                | Op::Allgather
+                | Op::Alltoall
+                | Op::Alltoallv
+                | Op::ReduceScatter => unreachable!(),
             };
             let sim = measure(
                 Impl::Srm,

@@ -24,9 +24,12 @@ enum IOp {
     Gather,
     Scatter,
     Allgather,
+    Alltoall,
+    Alltoallv,
+    ReduceScatter,
 }
 
-const ALL_OPS: [IOp; 7] = [
+const ALL_OPS: [IOp; 10] = [
     IOp::Bcast,
     IOp::Reduce,
     IOp::Allreduce,
@@ -34,7 +37,19 @@ const ALL_OPS: [IOp; 7] = [
     IOp::Gather,
     IOp::Scatter,
     IOp::Allgather,
+    IOp::Alltoall,
+    IOp::Alltoallv,
+    IOp::ReduceScatter,
 ];
+
+/// Buffer capacity for `op` at per-segment parameter `seg_len`.
+fn total_for(op: IOp, n: usize, seg_len: usize) -> usize {
+    match op {
+        IOp::Gather | IOp::Scatter | IOp::Allgather | IOp::ReduceScatter => (n * seg_len).max(8),
+        IOp::Alltoall | IOp::Alltoallv => (2 * n * seg_len).max(8),
+        _ => seg_len.max(8),
+    }
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Which {
@@ -48,6 +63,7 @@ fn drive<C: NonblockingCollectives>(
     ctx: &Ctx,
     coll: &C,
     buf: &shmem::ShmBuffer,
+    n: usize,
     len: usize,
     op: IOp,
     root: usize,
@@ -60,6 +76,9 @@ fn drive<C: NonblockingCollectives>(
         IOp::Gather => coll.igather(ctx, buf, len, root),
         IOp::Scatter => coll.iscatter(ctx, buf, len, root),
         IOp::Allgather => coll.iallgather(ctx, buf, len),
+        IOp::Alltoall => coll.ialltoall(ctx, buf, len),
+        IOp::Alltoallv => coll.ialltoallv(ctx, buf, len, &srm_cluster::ragged_counts(n, len)),
+        IOp::ReduceScatter => coll.ireduce_scatter(ctx, buf, len, DType::U64, ReduceOp::Sum),
     };
     // Overlapped compute: a few slices with completion polls between.
     let mut done = false;
@@ -88,8 +107,7 @@ fn init_bytes(rank: usize, total: usize) -> Vec<u8> {
 /// Run `op` under `which` on every rank; return per-rank final buffers.
 fn run_nb(which: Which, topo: Topology, seg_len: usize, op: IOp, root: usize) -> Vec<Vec<u8>> {
     let n = topo.nprocs();
-    let needs_seg = matches!(op, IOp::Gather | IOp::Scatter | IOp::Allgather);
-    let total = if needs_seg { n * seg_len } else { seg_len }.max(8);
+    let total = total_for(op, n, seg_len);
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
     enum World {
         Srm(SrmWorld),
@@ -109,7 +127,7 @@ fn run_nb(which: Which, topo: Topology, seg_len: usize, op: IOp, root: usize) ->
                 sim.spawn(format!("rank{rank}"), move |ctx| {
                     let buf = comm.alloc_buffer(total);
                     buf.with_mut(|d| d.copy_from_slice(&init_bytes(rank, total)));
-                    drive(&ctx, &comm, &buf, seg_len, op, root);
+                    drive(&ctx, &comm, &buf, n, seg_len, op, root);
                     out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
                     comm.shutdown(&ctx);
                 });
@@ -119,7 +137,7 @@ fn run_nb(which: Which, topo: Topology, seg_len: usize, op: IOp, root: usize) ->
                 sim.spawn(format!("rank{rank}"), move |ctx| {
                     let buf = shmem::ShmBuffer::new(total);
                     buf.with_mut(|d| d.copy_from_slice(&init_bytes(rank, total)));
-                    drive(&ctx, &coll, &buf, seg_len, op, root);
+                    drive(&ctx, &coll, &buf, n, seg_len, op, root);
                     out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
                 });
             }
@@ -133,8 +151,7 @@ fn run_nb(which: Which, topo: Topology, seg_len: usize, op: IOp, root: usize) ->
 /// their expected contents, computed from the sequential reference.
 fn check(op: IOp, topo: Topology, seg_len: usize, root: usize, got: &[Vec<u8>], tag: &str) {
     let n = topo.nprocs();
-    let needs_seg = matches!(op, IOp::Gather | IOp::Scatter | IOp::Allgather);
-    let total = if needs_seg { n * seg_len } else { seg_len }.max(8);
+    let total = total_for(op, n, seg_len);
     let inits: Vec<Vec<u8>> = (0..n).map(|r| init_bytes(r, total)).collect();
     match op {
         IOp::Barrier => {}
@@ -190,6 +207,42 @@ fn check(op: IOp, topo: Topology, seg_len: usize, root: usize, got: &[Vec<u8>], 
                 }
             }
         }
+        IOp::Alltoall => {
+            let rbase = n * seg_len;
+            for (r, g) in got.iter().enumerate() {
+                for (src, init) in inits.iter().enumerate() {
+                    assert_eq!(
+                        g[rbase + src * seg_len..rbase + (src + 1) * seg_len],
+                        init[r * seg_len..(r + 1) * seg_len],
+                        "{tag}: rank {r} received segment from rank {src}"
+                    );
+                }
+            }
+        }
+        IOp::Alltoallv => {
+            let rbase = n * seg_len;
+            let counts = srm_cluster::ragged_counts(n, seg_len);
+            for (r, g) in got.iter().enumerate() {
+                for (src, init) in inits.iter().enumerate() {
+                    let c = counts[src * n + r];
+                    assert_eq!(
+                        g[rbase + src * seg_len..rbase + src * seg_len + c],
+                        init[r * seg_len..r * seg_len + c],
+                        "{tag}: rank {r} live prefix from rank {src}"
+                    );
+                }
+            }
+        }
+        IOp::ReduceScatter => {
+            let expect = reference_reduce(DType::U64, ReduceOp::Sum, &inits);
+            for (r, g) in got.iter().enumerate() {
+                assert_eq!(
+                    g[r * seg_len..(r + 1) * seg_len],
+                    expect[r * seg_len..(r + 1) * seg_len],
+                    "{tag}: rank {r} reduced block"
+                );
+            }
+        }
     }
 }
 
@@ -203,7 +256,12 @@ fn iops_match_reference_across_impls() {
         for op in ALL_OPS {
             let lens: &[usize] = match op {
                 IOp::Barrier => &[8],
-                IOp::Gather | IOp::Scatter | IOp::Allgather => &[8, 4096],
+                IOp::Gather
+                | IOp::Scatter
+                | IOp::Allgather
+                | IOp::Alltoall
+                | IOp::Alltoallv
+                | IOp::ReduceScatter => &[8, 4096],
                 _ => &[8, 40_000],
             };
             for &seg_len in lens {

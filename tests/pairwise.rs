@@ -1,0 +1,157 @@
+//! The pairwise RMA exchange subsystem observed through the simulator
+//! metrics: puts route through the landing rings, the credit window
+//! genuinely throttles (stalls appear when it is tight and disappear
+//! when it is ample), and the Rabenseifner allreduce composition built
+//! on reduce-scatter matches the pipeline path bit for bit.
+
+use collops::{reference_reduce, Collectives, DType, ReduceOp};
+use simnet::{MachineConfig, MetricsSnapshot, Sim, Topology};
+use srm::{SrmTuning, SrmWorld};
+use std::sync::{Arc, Mutex};
+
+/// Run `body` on every rank; return final buffers and the run metrics.
+fn run_with_metrics(
+    topo: Topology,
+    tuning: SrmTuning,
+    cap: usize,
+    init: impl Fn(usize) -> Vec<u8> + Send + Sync + 'static,
+    body: impl Fn(&simnet::Ctx, &srm::SrmComm, &shmem::ShmBuffer) + Send + Sync + 'static,
+) -> (Vec<Vec<u8>>, MetricsSnapshot) {
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, tuning);
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let init = Arc::new(init);
+    let body = Arc::new(body);
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        let init = init.clone();
+        let body = body.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(cap.max(8));
+            let image = init(rank);
+            buf.with_mut(|d| d[..image.len()].copy_from_slice(&image));
+            body(&ctx, &comm, &buf);
+            out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("simulation completes");
+    let results = Arc::try_unwrap(out).unwrap().into_inner().unwrap();
+    (results, report.metrics)
+}
+
+fn send_half(rank: usize, n: usize, len: usize) -> Vec<u8> {
+    (0..n * len)
+        .map(|i| (rank * 97 + i * 5 + 11) as u8)
+        .collect()
+}
+
+/// Inter-node alltoall traffic moves exclusively through the landing
+/// rings: every wire piece is counted by `pairwise_puts`.
+#[test]
+fn alltoall_routes_through_pairwise_rings() {
+    let topo = Topology::new(3, 2);
+    let n = topo.nprocs();
+    let len = 4096usize;
+    let (_, m) = run_with_metrics(
+        topo,
+        SrmTuning::default(),
+        2 * n * len,
+        move |rank| send_half(rank, n, len),
+        move |ctx, comm, buf| comm.alltoall(ctx, buf, len),
+    );
+    assert!(m.pairwise_puts > 0, "alltoall must put through the rings");
+    // 3 nodes x 2 ordered peers x (2 tasks x 4096 B / 16 KB chunk -> 1
+    // piece per source slot x 2 slots) = 12 data puts; credit-return
+    // puts are zero-byte RMA and counted separately.
+    assert_eq!(m.pairwise_puts, 12);
+}
+
+/// The credit window is real back-pressure: a window of 1 with many
+/// pieces per stream stalls the sender, an ample window does not, and
+/// the results are identical either way.
+#[test]
+fn credit_window_throttles_and_preserves_results() {
+    let topo = Topology::new(2, 2);
+    let n = topo.nprocs();
+    let len = 16 * 1024usize;
+    let tight = SrmTuning {
+        pairwise_chunk: 512, // 64 pieces per 2-task block
+        pairwise_window: 1,  // every piece waits for the previous drain
+        ..SrmTuning::default()
+    };
+    let ample = SrmTuning {
+        pairwise_chunk: 512,
+        pairwise_window: 64,
+        ..SrmTuning::default()
+    };
+    let run = move |t: SrmTuning| {
+        run_with_metrics(
+            topo,
+            t,
+            2 * n * len,
+            move |rank| send_half(rank, n, len),
+            move |ctx, comm, buf| comm.alltoall(ctx, buf, len),
+        )
+    };
+    let (res_tight, m_tight) = run(tight);
+    let (res_ample, m_ample) = run(ample);
+    assert!(
+        m_tight.credit_stalls > 0,
+        "window=1 with 64-piece streams must stall on credits"
+    );
+    assert_eq!(
+        m_ample.credit_stalls, 0,
+        "a window covering the whole stream must never stall"
+    );
+    assert_eq!(res_tight, res_ample, "throttling must not change data");
+    assert_eq!(m_tight.pairwise_puts, m_ample.pairwise_puts);
+}
+
+/// Above `allreduce_rs_min` the allreduce switches to the Rabenseifner
+/// composition (reduce-scatter + allgather over the pairwise rings) and
+/// must produce exactly the pipeline path's result.
+#[test]
+fn rabenseifner_allreduce_matches_pipeline() {
+    let topo = Topology::new(2, 3);
+    let n = topo.nprocs();
+    let elems = 6 * 1024usize; // len = 288 KB, divisible by nprocs=6
+    let len = elems * 8;
+    assert_eq!(len % n, 0);
+    let contribs: Vec<Vec<u8>> = (0..n)
+        .map(|r| {
+            collops::to_bytes_u64(
+                &(0..elems)
+                    .map(|i| (r * 6007 + i * 13 + 1) as u64)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+    let run = |tuning: SrmTuning| {
+        let c = contribs.clone();
+        run_with_metrics(
+            topo,
+            tuning,
+            len,
+            move |rank| c[rank].clone(),
+            move |ctx, comm, buf| comm.allreduce(ctx, buf, len, DType::U64, ReduceOp::Sum),
+        )
+    };
+    let (pipeline, m_pipe) = run(SrmTuning::default());
+    let (rs, m_rs) = run(SrmTuning {
+        allreduce_rs_min: 1,
+        ..SrmTuning::default()
+    });
+    assert_eq!(m_pipe.pairwise_puts, 0, "pipeline path must not use rings");
+    assert!(
+        m_rs.pairwise_puts > 0,
+        "rs+allgather path must use the rings"
+    );
+    for (rank, r) in rs.iter().enumerate() {
+        assert_eq!(r, &pipeline[rank], "paths diverge on rank {rank}");
+        assert_eq!(&r[..len], &expect[..], "wrong reduction on rank {rank}");
+    }
+}

@@ -384,6 +384,192 @@ proptest! {
     }
 }
 
+/// The pairwise-exchange family under arbitrary tuning.
+#[derive(Clone, Copy, Debug)]
+enum PairOp {
+    Alltoall,
+    Alltoallv,
+    ReduceScatter,
+}
+
+/// Run one pairwise collective on every SRM rank. `init[rank]` is the
+/// full initial buffer image; returns the final buffers.
+fn run_pair_srm(
+    topo: Topology,
+    tuning: SrmTuning,
+    op: PairOp,
+    len: usize,
+    counts: Arc<[usize]>,
+    init: Vec<Vec<u8>>,
+) -> Vec<Vec<u8>> {
+    let n = topo.nprocs();
+    let cap = init[0].len();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, tuning);
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let init = Arc::new(init);
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        let init = init.clone();
+        let counts = counts.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(cap.max(1));
+            buf.with_mut(|d| d[..cap].copy_from_slice(&init[rank]));
+            match op {
+                PairOp::Alltoall => comm.alltoall(&ctx, &buf, len),
+                PairOp::Alltoallv => comm.alltoallv(&ctx, &buf, len, &counts),
+                PairOp::ReduceScatter => {
+                    comm.reduce_scatter(&ctx, &buf, len, DType::U64, ReduceOp::Sum)
+                }
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d[..cap].to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().expect("simulation completes");
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+/// A pairwise tuning drawn from the interesting corners: tiny chunks
+/// (many pieces per segment) and a window of 1 (every put waits for a
+/// credit) up to the defaults.
+fn pair_tuning(chunk_pick: usize, window_pick: usize) -> SrmTuning {
+    let d = SrmTuning::default();
+    SrmTuning {
+        pairwise_chunk: [3, 64, d.pairwise_chunk][chunk_pick].min(d.reduce_chunk),
+        pairwise_window: [1, d.pairwise_window][window_pick],
+        ..d
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// alltoall delivers segment `me -> j` into `j`'s receive half for
+    /// every topology (including non-power-of-two rank counts), chunk
+    /// size and credit window; the send half is left untouched.
+    #[test]
+    fn alltoall_matches_reference(
+        topo in arb_topology(),
+        len in 1usize..200,
+        seed in any::<u64>(),
+        chunk_pick in 0usize..3,
+        window_pick in 0usize..2,
+    ) {
+        let n = topo.nprocs();
+        let init = seg_init(n, 2 * len, seed); // 2*n*len bytes per rank
+        let results = run_pair_srm(
+            topo,
+            pair_tuning(chunk_pick, window_pick),
+            PairOp::Alltoall,
+            len,
+            Arc::from(Vec::new()),
+            init.clone(),
+        );
+        let rbase = n * len;
+        for (r, res) in results.iter().enumerate() {
+            prop_assert_eq!(
+                &res[..rbase], &init[r][..rbase],
+                "rank {}'s send half was clobbered", r
+            );
+            for i in 0..n {
+                prop_assert_eq!(
+                    &res[rbase + i * len..rbase + (i + 1) * len],
+                    &init[i][seg(r, len)],
+                    "rank {} segment from {}", r, i
+                );
+            }
+        }
+    }
+
+    /// Ragged alltoallv: only the live `counts[i*n+j]` prefixes move;
+    /// slack bytes in the receive slots stay untouched.
+    #[test]
+    fn alltoallv_matches_reference(
+        topo in arb_topology(),
+        seg_cap in 1usize..120,
+        seed in any::<u64>(),
+        chunk_pick in 0usize..3,
+        window_pick in 0usize..2,
+    ) {
+        let n = topo.nprocs();
+        let counts: Vec<usize> = (0..n * n)
+            .map(|k| {
+                (seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(k as u64) >> 9) as usize
+                    % (seg_cap + 1)
+            })
+            .collect();
+        let init = seg_init(n, 2 * seg_cap, seed);
+        let results = run_pair_srm(
+            topo,
+            pair_tuning(chunk_pick, window_pick),
+            PairOp::Alltoallv,
+            seg_cap,
+            Arc::from(counts.clone()),
+            init.clone(),
+        );
+        let rbase = n * seg_cap;
+        for (r, res) in results.iter().enumerate() {
+            for i in 0..n {
+                let c = counts[i * n + r];
+                let slot = rbase + i * seg_cap;
+                prop_assert_eq!(
+                    &res[slot..slot + c],
+                    &init[i][r * seg_cap..r * seg_cap + c],
+                    "rank {} live prefix from {}", r, i
+                );
+                prop_assert_eq!(
+                    &res[slot + c..slot + seg_cap],
+                    &init[r][slot + c..slot + seg_cap],
+                    "rank {} slack bytes from {} were touched", r, i
+                );
+            }
+        }
+    }
+
+    /// reduce_scatter leaves each rank's own block equal to the u64
+    /// elementwise sum of every rank's contribution for that block.
+    #[test]
+    fn reduce_scatter_matches_reference(
+        topo in arb_topology(),
+        elems in 1usize..24,
+        seed in any::<u64>(),
+        chunk_pick in 0usize..3,
+        window_pick in 0usize..2,
+    ) {
+        let n = topo.nprocs();
+        let len = elems * 8;
+        let contribs: Vec<Vec<u64>> = (0..n)
+            .map(|r| {
+                (0..n * elems)
+                    .map(|i| seed.wrapping_mul(2862933555777941757).wrapping_add((r * 8191 + i) as u64) >> 13)
+                    .collect()
+            })
+            .collect();
+        let init: Vec<Vec<u8>> = contribs.iter().map(|c| collops::to_bytes_u64(c)).collect();
+        let results = run_pair_srm(
+            topo,
+            pair_tuning(chunk_pick, window_pick),
+            PairOp::ReduceScatter,
+            len,
+            Arc::from(Vec::new()),
+            init.clone(),
+        );
+        let expect = reference_reduce(DType::U64, ReduceOp::Sum, &init);
+        for (r, res) in results.iter().enumerate() {
+            prop_assert_eq!(
+                &res[seg(r, len)],
+                &expect[seg(r, len)],
+                "rank {}'s reduced block", r
+            );
+        }
+    }
+}
+
 /// Repeating a call shape must hit the plan cache: only the first call
 /// of each `(op, root, len)` shape compiles a schedule.
 #[test]
@@ -444,6 +630,38 @@ fn zero_cache_capacity_still_correct() {
     }
     let report = sim.run().expect("simulation completes");
     assert_eq!(report.metrics.plan_hits, 0, "disabled cache must not hit");
+}
+
+/// Rooted call shapes whose root cannot matter — zero-length payloads —
+/// normalize to one cache key: calling the same op with every root must
+/// compile once per rank and hit the cache for every other root.
+#[test]
+fn rootless_shapes_normalize_in_plan_cache() {
+    let topo = Topology::new(2, 2);
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(64);
+            for root in 0..n {
+                comm.broadcast(&ctx, &buf, 0, root);
+                comm.reduce(&ctx, &buf, 0, DType::U64, ReduceOp::Sum, root);
+            }
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("simulation completes");
+    let m = report.metrics;
+    // Two shapes per rank compile once; the remaining 2*(n-1) calls per
+    // rank hit the normalized key.
+    assert_eq!(
+        m.plan_misses,
+        2 * n as u64,
+        "normalization failed to fold roots"
+    );
+    assert_eq!(m.plan_hits, 2 * (n - 1) as u64 * n as u64);
 }
 
 // Tree-structure properties over the full parameter space (cheap, so

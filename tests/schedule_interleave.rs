@@ -51,7 +51,8 @@ fn try_seq(nodes: usize, tpn: usize, calls: &[(&str, usize, usize)]) -> Result<(
             .collect();
         sim.spawn(format!("rank{rank}"), move |ctx| {
             let maxlen = calls.iter().map(|c| c.1).max().unwrap();
-            let buf = comm.alloc_buffer((n * maxlen).max(8));
+            // 2x: the split-buffer alltoall family needs send + recv halves.
+            let buf = comm.alloc_buffer((2 * n * maxlen).max(8));
             for (op, len, root) in &calls {
                 match op.as_str() {
                     "gather" => comm.gather(&ctx, &buf, *len, *root),
@@ -74,6 +75,17 @@ fn try_seq(nodes: usize, tpn: usize, calls: &[(&str, usize, usize)]) -> Result<(
                         collops::ReduceOp::Sum,
                     ),
                     "barrier" => comm.barrier(&ctx),
+                    "alltoall" => comm.alltoall(&ctx, &buf, *len),
+                    "alltoallv" => {
+                        comm.alltoallv(&ctx, &buf, *len, &srm_cluster::ragged_counts(n, *len))
+                    }
+                    "reduce_scatter" => comm.reduce_scatter(
+                        &ctx,
+                        &buf,
+                        *len,
+                        collops::DType::F64,
+                        collops::ReduceOp::Sum,
+                    ),
                     _ => unreachable!(),
                 }
             }
@@ -112,6 +124,24 @@ fn scan_sequences() {
                 ("bcast", len, 1),
                 ("scatter", len, 1),
                 ("allreduce", len, 0),
+            ],
+            // Pairwise ops share the contribution channels and landing
+            // pair with the tree ops, and the credit counters with each
+            // other — every adjacency must drain cleanly.
+            vec![("alltoall", len, 0), ("alltoall", len, 0)],
+            vec![("alltoall", len, 0), ("reduce", len, 0)],
+            vec![("reduce", len, 1), ("alltoall", len, 0)],
+            vec![("reduce_scatter", len, 0), ("allgather", len, 0)],
+            vec![("allreduce", len, 0), ("reduce_scatter", len, 0)],
+            vec![
+                ("alltoallv", len, 0),
+                ("alltoall", len, 0),
+                ("barrier", 0, 0),
+            ],
+            vec![
+                ("reduce_scatter", len, 0),
+                ("bcast", len, 1),
+                ("alltoall", len, 0),
             ],
         ];
         for calls in seqs {
@@ -213,7 +243,7 @@ fn try_seq_nb(
             // payload storage with each other.
             let bufs: Vec<_> = calls
                 .iter()
-                .map(|c| comm.alloc_buffer((n * c.len).max(8)))
+                .map(|c| comm.alloc_buffer((2 * n * c.len).max(8)))
                 .collect();
             let mut reqs = Vec::new();
             for (c, buf) in calls.iter().zip(&bufs) {
@@ -227,6 +257,11 @@ fn try_seq_nb(
                         "scatter" => comm.iscatter(&ctx, buf, c.len, c.root),
                         "allgather" => comm.iallgather(&ctx, buf, c.len),
                         "barrier" => comm.ibarrier(&ctx),
+                        "alltoall" => comm.ialltoall(&ctx, buf, c.len),
+                        "alltoallv" => {
+                            comm.ialltoallv(&ctx, buf, c.len, &srm_cluster::ragged_counts(n, c.len))
+                        }
+                        "reduce_scatter" => comm.ireduce_scatter(&ctx, buf, c.len, dt, op),
                         _ => unreachable!(),
                     });
                 } else {
@@ -238,6 +273,11 @@ fn try_seq_nb(
                         "scatter" => comm.scatter(&ctx, buf, c.len, c.root),
                         "allgather" => comm.allgather(&ctx, buf, c.len),
                         "barrier" => comm.barrier(&ctx),
+                        "alltoall" => comm.alltoall(&ctx, buf, c.len),
+                        "alltoallv" => {
+                            comm.alltoallv(&ctx, buf, c.len, &srm_cluster::ragged_counts(n, c.len))
+                        }
+                        "reduce_scatter" => comm.reduce_scatter(&ctx, buf, c.len, dt, op),
                         _ => unreachable!(),
                     }
                 }
@@ -300,6 +340,21 @@ fn scan_nonblocking_sequences() {
                 nb("reduce", len, 1 % n),
                 nb("barrier", 0, 0),
                 bl("allreduce", len, 0),
+            ],
+            // Pairwise class (CL_PAIRWISE) against itself and against
+            // the tree classes it shares contribution channels with.
+            vec![nb("alltoall", len, 0), nb("alltoall", len, 0)],
+            vec![nb("alltoall", len, 0), nb("reduce", len, 0)],
+            vec![nb("reduce_scatter", len, 0), nb("alltoall", len, 0)],
+            vec![
+                nb("alltoallv", len, 0),
+                bl("barrier", 0, 0),
+                nb("bcast", len, 0),
+            ],
+            vec![
+                nb("reduce_scatter", len, 0),
+                nb("allgather", len, 0),
+                bl("alltoall", len, 0),
             ],
         ];
         for calls in seqs {
