@@ -1,10 +1,16 @@
 //! The public [`Collectives`] and [`NonblockingCollectives`] faces of
-//! [`SrmComm`]: validate the call, then plan-and-execute it through the
-//! engine (the only execution path; see [`crate::plan`]) — immediately
-//! for the blocking operations, via the interleaving executor
-//! ([`crate::nb`]) for the `i`-prefixed ones.
+//! [`SrmComm`]: validate the call against the communicator's shape,
+//! then plan-and-execute it through the engine (the only execution
+//! path; see [`crate::plan`]) — immediately for the blocking
+//! operations, via the interleaving executor ([`crate::nb`]) for the
+//! `i`-prefixed ones.
+//!
+//! Roots are **communicator ranks** and payload segment layouts are
+//! indexed by communicator rank: on a subgroup of size `n`, a gather
+//! needs `n·len` bytes and `root` must be `< n`, regardless of how
+//! many ranks the world has.
 
-use crate::plan::PlanKey;
+use crate::plan::PlanShape;
 use crate::world::SrmComm;
 use collops::{CollRequest, Collectives, DType, NonblockingCollectives, ReduceOp};
 use shmem::ShmBuffer;
@@ -13,9 +19,9 @@ use std::sync::Arc;
 
 impl Collectives for SrmComm {
     fn broadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
-        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(root < self.size(), "root out of communicator range");
         assert!(len <= buf.capacity(), "payload longer than buffer");
-        self.run_planned(ctx, PlanKey::Bcast { len, root }, buf, None);
+        self.run_planned(ctx, self.key(PlanShape::Bcast { len, root }), buf, None);
     }
 
     fn reduce(
@@ -27,78 +33,92 @@ impl Collectives for SrmComm {
         op: ReduceOp,
         root: Rank,
     ) {
-        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(root < self.size(), "root out of communicator range");
         assert!(len <= buf.capacity(), "payload longer than buffer");
-        self.run_planned(ctx, PlanKey::Reduce { len, root }, buf, Some((dtype, op)));
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::Reduce { len, root }),
+            buf,
+            Some((dtype, op)),
+        );
     }
 
     fn allreduce(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
         assert!(len <= buf.capacity(), "payload longer than buffer");
-        self.run_planned(ctx, PlanKey::Allreduce { len }, buf, Some((dtype, op)));
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::Allreduce { len }),
+            buf,
+            Some((dtype, op)),
+        );
     }
 
     fn barrier(&self, ctx: &Ctx) {
         // The barrier needs no payload; reuse a zero-length handle.
         let empty = ShmBuffer::new(0);
-        self.run_planned(ctx, PlanKey::Barrier, &empty, None);
+        self.run_planned(ctx, self.key(PlanShape::Barrier), &empty, None);
     }
 
     fn gather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
-        let n = self.topology().nprocs();
-        assert!(root < n, "root out of range");
-        assert!(
-            n * len <= buf.capacity(),
-            "gather needs nprocs*len capacity"
-        );
-        self.run_planned(ctx, PlanKey::Gather { len, root }, buf, None);
+        let n = self.size();
+        assert!(root < n, "root out of communicator range");
+        assert!(n * len <= buf.capacity(), "gather needs size*len capacity");
+        self.run_planned(ctx, self.key(PlanShape::Gather { len, root }), buf, None);
     }
 
     fn scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
-        let n = self.topology().nprocs();
-        assert!(root < n, "root out of range");
-        assert!(
-            n * len <= buf.capacity(),
-            "scatter needs nprocs*len capacity"
-        );
-        self.run_planned(ctx, PlanKey::Scatter { len, root }, buf, None);
+        let n = self.size();
+        assert!(root < n, "root out of communicator range");
+        assert!(n * len <= buf.capacity(), "scatter needs size*len capacity");
+        self.run_planned(ctx, self.key(PlanShape::Scatter { len, root }), buf, None);
     }
 
     fn allgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
-        let n = self.topology().nprocs();
+        let n = self.size();
         assert!(
             n * len <= buf.capacity(),
-            "allgather needs nprocs*len capacity"
+            "allgather needs size*len capacity"
         );
-        self.run_planned(ctx, PlanKey::Allgather { len }, buf, None);
+        self.run_planned(ctx, self.key(PlanShape::Allgather { len }), buf, None);
     }
 
     fn alltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
-        let n = self.topology().nprocs();
+        let n = self.size();
         assert!(
             2 * n * len <= buf.capacity(),
-            "alltoall needs 2*nprocs*len capacity (send half + recv half)"
+            "alltoall needs 2*size*len capacity (send half + recv half)"
         );
-        self.run_planned(ctx, PlanKey::Alltoall { len }, buf, None);
+        self.run_planned(ctx, self.key(PlanShape::Alltoall { len }), buf, None);
     }
 
     fn alltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) {
-        let n = self.topology().nprocs();
+        let n = self.size();
         check_counts(n, seg, counts);
         assert!(
             2 * n * seg <= buf.capacity(),
-            "alltoallv needs 2*nprocs*seg capacity (send half + recv half)"
+            "alltoallv needs 2*size*seg capacity (send half + recv half)"
         );
         let counts: Arc<[usize]> = Arc::from(counts);
-        self.run_planned(ctx, PlanKey::Alltoallv { seg, counts }, buf, None);
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::Alltoallv { seg, counts }),
+            buf,
+            None,
+        );
     }
 
     fn reduce_scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
-        let n = self.topology().nprocs();
+        let n = self.size();
         assert!(
             n * len <= buf.capacity(),
-            "reduce_scatter needs nprocs*len capacity"
+            "reduce_scatter needs size*len capacity"
         );
-        self.run_planned(ctx, PlanKey::ReduceScatter { len }, buf, Some((dtype, op)));
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::ReduceScatter { len }),
+            buf,
+            Some((dtype, op)),
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -106,12 +126,12 @@ impl Collectives for SrmComm {
     }
 }
 
-/// Validate an alltoallv count matrix: full `n*n`, every cell within
-/// its `seg`-byte slot.
+/// Validate an alltoallv count matrix: full `n*n` over the
+/// communicator, every cell within its `seg`-byte slot.
 fn check_counts(n: usize, seg: usize, counts: &[usize]) {
     assert!(
         counts.len() == n * n,
-        "alltoallv counts must be the full nprocs*nprocs matrix"
+        "alltoallv counts must be the full size*size matrix"
     );
     assert!(
         counts.iter().all(|&c| c <= seg),
@@ -121,9 +141,9 @@ fn check_counts(n: usize, seg: usize, counts: &[usize]) {
 
 impl NonblockingCollectives for SrmComm {
     fn ibroadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
-        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(root < self.size(), "root out of communicator range");
         assert!(len <= buf.capacity(), "payload longer than buffer");
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Bcast { len, root }, buf, None))
+        CollRequest::new(self.nb_issue(ctx, self.key(PlanShape::Bcast { len, root }), buf, None))
     }
 
     fn ireduce(
@@ -135,9 +155,14 @@ impl NonblockingCollectives for SrmComm {
         op: ReduceOp,
         root: Rank,
     ) -> CollRequest {
-        assert!(root < self.topology().nprocs(), "root out of range");
+        assert!(root < self.size(), "root out of communicator range");
         assert!(len <= buf.capacity(), "payload longer than buffer");
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Reduce { len, root }, buf, Some((dtype, op))))
+        CollRequest::new(self.nb_issue(
+            ctx,
+            self.key(PlanShape::Reduce { len, root }),
+            buf,
+            Some((dtype, op)),
+        ))
     }
 
     fn iallreduce(
@@ -149,63 +174,67 @@ impl NonblockingCollectives for SrmComm {
         op: ReduceOp,
     ) -> CollRequest {
         assert!(len <= buf.capacity(), "payload longer than buffer");
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Allreduce { len }, buf, Some((dtype, op))))
+        CollRequest::new(self.nb_issue(
+            ctx,
+            self.key(PlanShape::Allreduce { len }),
+            buf,
+            Some((dtype, op)),
+        ))
     }
 
     fn ibarrier(&self, ctx: &Ctx) -> CollRequest {
         // The schedule holds its own handle to the zero-length payload,
         // so the local is safe to drop at return.
         let empty = ShmBuffer::new(0);
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Barrier, &empty, None))
+        CollRequest::new(self.nb_issue(ctx, self.key(PlanShape::Barrier), &empty, None))
     }
 
     fn igather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
-        let n = self.topology().nprocs();
-        assert!(root < n, "root out of range");
-        assert!(
-            n * len <= buf.capacity(),
-            "gather needs nprocs*len capacity"
-        );
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Gather { len, root }, buf, None))
+        let n = self.size();
+        assert!(root < n, "root out of communicator range");
+        assert!(n * len <= buf.capacity(), "gather needs size*len capacity");
+        CollRequest::new(self.nb_issue(ctx, self.key(PlanShape::Gather { len, root }), buf, None))
     }
 
     fn iscatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) -> CollRequest {
-        let n = self.topology().nprocs();
-        assert!(root < n, "root out of range");
-        assert!(
-            n * len <= buf.capacity(),
-            "scatter needs nprocs*len capacity"
-        );
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Scatter { len, root }, buf, None))
+        let n = self.size();
+        assert!(root < n, "root out of communicator range");
+        assert!(n * len <= buf.capacity(), "scatter needs size*len capacity");
+        CollRequest::new(self.nb_issue(ctx, self.key(PlanShape::Scatter { len, root }), buf, None))
     }
 
     fn iallgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
-        let n = self.topology().nprocs();
+        let n = self.size();
         assert!(
             n * len <= buf.capacity(),
-            "allgather needs nprocs*len capacity"
+            "allgather needs size*len capacity"
         );
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Allgather { len }, buf, None))
+        CollRequest::new(self.nb_issue(ctx, self.key(PlanShape::Allgather { len }), buf, None))
     }
 
     fn ialltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) -> CollRequest {
-        let n = self.topology().nprocs();
+        let n = self.size();
         assert!(
             2 * n * len <= buf.capacity(),
-            "alltoall needs 2*nprocs*len capacity (send half + recv half)"
+            "alltoall needs 2*size*len capacity (send half + recv half)"
         );
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Alltoall { len }, buf, None))
+        CollRequest::new(self.nb_issue(ctx, self.key(PlanShape::Alltoall { len }), buf, None))
     }
 
     fn ialltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) -> CollRequest {
-        let n = self.topology().nprocs();
+        let n = self.size();
         check_counts(n, seg, counts);
         assert!(
             2 * n * seg <= buf.capacity(),
-            "alltoallv needs 2*nprocs*seg capacity (send half + recv half)"
+            "alltoallv needs 2*size*seg capacity (send half + recv half)"
         );
         let counts: Arc<[usize]> = Arc::from(counts);
-        CollRequest::new(self.nb_issue(ctx, PlanKey::Alltoallv { seg, counts }, buf, None))
+        CollRequest::new(self.nb_issue(
+            ctx,
+            self.key(PlanShape::Alltoallv { seg, counts }),
+            buf,
+            None,
+        ))
     }
 
     fn ireduce_scatter(
@@ -216,12 +245,17 @@ impl NonblockingCollectives for SrmComm {
         dtype: DType,
         op: ReduceOp,
     ) -> CollRequest {
-        let n = self.topology().nprocs();
+        let n = self.size();
         assert!(
             n * len <= buf.capacity(),
-            "reduce_scatter needs nprocs*len capacity"
+            "reduce_scatter needs size*len capacity"
         );
-        CollRequest::new(self.nb_issue(ctx, PlanKey::ReduceScatter { len }, buf, Some((dtype, op))))
+        CollRequest::new(self.nb_issue(
+            ctx,
+            self.key(PlanShape::ReduceScatter { len }),
+            buf,
+            Some((dtype, op)),
+        ))
     }
 
     fn test(&self, ctx: &Ctx, req: &CollRequest) -> bool {

@@ -87,7 +87,7 @@ pub(crate) fn ctr_of<'a>(
     let lpar = |rel| ((bases[SeqBase::Landing.index()] + rel) % 2) as usize;
     let rpar = |rel| ((bases[SeqBase::Reduce.index()] + rel) % 2) as usize;
     match c {
-        CtrRef::LandingData { node, rel } => &comm.world.boards[node].landing_data[lpar(rel)],
+        CtrRef::LandingData { node, rel } => &comm.comm.boards[node].landing_data[lpar(rel)],
         CtrRef::BcastFree { node, child, rel } => &comm.inter(node).bcast_free[child][lpar(rel)],
         CtrRef::ReduceData { node, src, rel } => &comm.inter(node).reduce_data[src][rpar(rel)],
         CtrRef::ReduceFree { node, dst, rel } => &comm.inter(node).reduce_free[dst][rpar(rel)],
@@ -98,8 +98,8 @@ pub(crate) fn ctr_of<'a>(
         CtrRef::FoldFree { node } => &comm.inter(node).fold_free,
         CtrRef::UnfoldData { node } => &comm.inter(node).unfold_data,
         CtrRef::BarRound { node, round } => &comm.inter(node).bar_round[round],
-        CtrRef::PairwiseData { node, src } => comm.world.pairwise.data(src, node),
-        CtrRef::PairwiseFree { node, dst } => comm.world.pairwise.free(node, dst),
+        CtrRef::PairwiseData { node, src } => comm.comm.pairwise.data(src, node),
+        CtrRef::PairwiseFree { node, dst } => comm.comm.pairwise.free(node, dst),
     }
 }
 
@@ -118,7 +118,7 @@ pub(crate) fn buf_of<'a>(
         BufRef::User => user,
         BufRef::Acc => panic!("accumulator is not an addressable buffer"),
         BufRef::Smp { side } => comm.board().smp.buf(side_of(bases, side)),
-        BufRef::Landing { node, side } => comm.world.boards[node].landing.buf(side_of(bases, side)),
+        BufRef::Landing { node, side } => comm.comm.boards[node].landing.buf(side_of(bases, side)),
         BufRef::Contrib { slot } => &comm.board().contrib[slot],
         BufRef::Xfer => &comm.board().xfer,
         BufRef::ReduceLanding { node, src, rel } => {
@@ -126,7 +126,7 @@ pub(crate) fn buf_of<'a>(
         }
         BufRef::RdLanding { node, round } => &comm.inter(node).rd_landing[round],
         BufRef::FoldLanding { node } => &comm.inter(node).fold_landing,
-        BufRef::PairwiseRing { node, src } => comm.world.pairwise.ring(node, src),
+        BufRef::PairwiseRing { node, src } => comm.comm.pairwise.ring(node, src),
         BufRef::ChildUser { idx } => &child_bufs[idx],
         BufRef::RootUser => root_buf
             .as_ref()
@@ -175,14 +175,27 @@ impl SrmComm {
     /// are normalized first ([`PlanKey::normalized`]) so call shapes
     /// that compile identically share one cache slot.
     pub fn plan_for(&self, ctx: &Ctx, key: PlanKey) -> Arc<Plan> {
-        let key = key.normalized(self.topology().nprocs());
-        if let Some(plan) = self.plan_cache.borrow_mut().get(&key) {
+        let key = key.normalized(self.csize());
+        let comm_id = key.comm;
+        if let Some(plan) = self
+            .seat
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&key)
+        {
             ctx.metrics().plan_hits.fetch_add(1, Ordering::Relaxed);
+            ctx.plan_by_comm().hit(comm_id);
             return plan;
         }
         ctx.metrics().plan_misses.fetch_add(1, Ordering::Relaxed);
+        ctx.plan_by_comm().miss(comm_id);
         let plan = Arc::new(self.build_plan(&key));
-        self.plan_cache.borrow_mut().insert(key, plan.clone());
+        self.seat
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan.clone());
         plan
     }
 
@@ -200,7 +213,13 @@ impl SrmComm {
         buf: &ShmBuffer,
         reduce: Option<(DType, ReduceOp)>,
     ) {
-        if !self.pending.borrow().is_empty() {
+        if !self
+            .shared
+            .pending
+            .lock()
+            .expect("queue poisoned")
+            .is_empty()
+        {
             let id = self.nb_issue(ctx, key, buf, reduce);
             self.nb_wait_id(ctx, id);
             return;
@@ -233,12 +252,12 @@ impl SrmComm {
     /// resolves its relative values against).
     pub(crate) fn sample_bases(&self) -> [u64; SEQ_BASES] {
         [
-            self.smp_seq.get(),
-            self.landing_seq.get(),
-            self.tree_seq.get(),
-            self.reduce_cum.get(),
-            self.xfer_cum.get(),
-            self.barrier_seq.get(),
+            self.seat.smp_seq.load(Ordering::Relaxed),
+            self.seat.landing_seq.load(Ordering::Relaxed),
+            self.seat.tree_seq.load(Ordering::Relaxed),
+            self.seat.reduce_cum.load(Ordering::Relaxed),
+            self.seat.xfer_cum.load(Ordering::Relaxed),
+            self.seat.barrier_seq.load(Ordering::Relaxed),
         ]
     }
 
@@ -326,7 +345,18 @@ impl SrmComm {
                     combine_from_buffer_costed(ctx, dtype, op, acc, src, so);
                 }
                 Step::FlagRaise { flag, val } => {
-                    flag_of(self, flag).set(ctx, val_of(&bases, val));
+                    // Cumulative sequence flags can be raised out of
+                    // order by a lagging consumer racing a catch-up
+                    // raise, so they use a max-store and never regress.
+                    // The flat-barrier flags are 0/1 toggles (the
+                    // release genuinely stores 0) and keep plain-store
+                    // semantics.
+                    let v = val_of(&bases, val);
+                    if matches!(flag, FlagRef::Barrier { .. }) {
+                        flag_of(self, flag).set(ctx, v);
+                    } else {
+                        flag_of(self, flag).raise(ctx, v);
+                    }
                 }
                 Step::FlagAdd { flag, n } => {
                     flag_of(self, flag).fetch_add(ctx, n);
@@ -357,8 +387,8 @@ impl SrmComm {
                     pair_of(self, pair).wait_free(ctx, side_of(&bases, side));
                 }
                 Step::PairPublish { pair, side } => {
-                    let p = self.topology().tasks_per_node();
-                    let my = self.slot();
+                    let p = self.cslots_here();
+                    let my = self.cslot();
                     let pr = pair_of(self, pair);
                     let s = side_of(&bases, side);
                     for slot in 0..p {
@@ -369,10 +399,10 @@ impl SrmComm {
                 }
                 Step::PairWaitPublished { pair, side } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    pair_of(self, pair).wait_published(ctx, side_of(&bases, side), self.slot());
+                    pair_of(self, pair).wait_published(ctx, side_of(&bases, side), self.cslot());
                 }
                 Step::PairRelease { pair, side } => {
-                    pair_of(self, pair).release(ctx, side_of(&bases, side), self.slot());
+                    pair_of(self, pair).release(ctx, side_of(&bases, side), self.cslot());
                 }
                 Step::RmaPut {
                     to,
@@ -427,7 +457,7 @@ impl SrmComm {
                 }
                 Step::AddrTake { child } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    let taken = self.inter(self.node()).addr_slot[child].wait_take(
+                    let taken = self.inter(self.cnode()).addr_slot[child].wait_take(
                         ctx,
                         "child user-buffer address",
                         |s| s.take(),
@@ -436,7 +466,7 @@ impl SrmComm {
                 }
                 Step::GsRootTake => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    *root_buf = Some(self.inter(self.node()).gs_root.wait_take(
+                    *root_buf = Some(self.inter(self.cnode()).gs_root.wait_take(
                         ctx,
                         "gather root address",
                         |s| s.take(),
@@ -459,14 +489,14 @@ impl SrmComm {
                     // them a second time when its schedule executes.
                     if !skip_advance {
                         let cell = match base {
-                            SeqBase::Smp => &self.smp_seq,
-                            SeqBase::Landing => &self.landing_seq,
-                            SeqBase::Tree => &self.tree_seq,
-                            SeqBase::Reduce => &self.reduce_cum,
-                            SeqBase::Xfer => &self.xfer_cum,
-                            SeqBase::Barrier => &self.barrier_seq,
+                            SeqBase::Smp => &self.seat.smp_seq,
+                            SeqBase::Landing => &self.seat.landing_seq,
+                            SeqBase::Tree => &self.seat.tree_seq,
+                            SeqBase::Reduce => &self.seat.reduce_cum,
+                            SeqBase::Xfer => &self.seat.xfer_cum,
+                            SeqBase::Barrier => &self.seat.barrier_seq,
                         };
-                        cell.set(cell.get() + by);
+                        cell.fetch_add(by, Ordering::Relaxed);
                     }
                 }
             }

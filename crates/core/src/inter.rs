@@ -4,11 +4,19 @@
 //! [engine](crate::engine) replays it. No collective executes directly
 //! from here.
 //!
-//! Only one task per node — the **master** — touches the network. Data
-//! put by a parent node lands in shared memory (the node's landing
-//! buffers or, for large broadcasts, directly in the master's user
-//! buffer), where it "is directly available to all the tasks running on
-//! that node without the need for copying the data".
+//! Every planner works in **group coordinates**: `node` operands are
+//! group-node indices (`0..cnodes()`), roots are communicator ranks,
+//! and slot arithmetic uses the group's per-node member counts. On the
+//! world communicator these degrade exactly to the world topology, so
+//! world plans are unchanged; on a subgroup the same code compiles
+//! schedules over the subgroup's own boards, inter-state and flags,
+//! which is what lets disjoint communicators run concurrently.
+//!
+//! Only one task per node — the **master** (group slot 0) — touches the
+//! network. Data put by a parent node lands in shared memory (the
+//! node's landing buffers or, for large broadcasts, directly in the
+//! master's user buffer), where it "is directly available to all the
+//! tasks running on that node without the need for copying the data".
 //!
 //! Flow control is explicit, exactly as the paper describes replacing
 //! MPI's eager/rendezvous machinery: two landing buffers per node, a
@@ -25,15 +33,25 @@
 //! root's user buffer at their final offsets (one address exchange,
 //! zero staging at the root), and allgather is literally a gather plan
 //! concatenated with a broadcast plan.
+//!
+//! Because cross-node counters are parity-indexed against the
+//! [`SeqBase::Landing`] and [`SeqBase::Reduce`] cumulatives, every
+//! plan advances those two bases by the **same amount on every member
+//! of the communicator** (the maximum over nodes when per-node work
+//! differs, as in scatter on a group with uneven membership).
+//! Under-advancing a rank that skipped the work would desynchronize
+//! the parities; over-advancing is safe because the landing-pair flags
+//! are stateless and the contribution channels re-synchronize through
+//! `SrmComm::plan_contrib_catchup`.
 
-use crate::embed::Embedding;
+use crate::embed::{self, TreeKind};
 use crate::plan::{
     BufRef, CopyCost, CtrRef, FlagRef, HandleSrc, Off, PairSel, PlanBuilder, SeqBase, Side, Step,
     Val,
 };
 use crate::tuning::SrmTuning;
-use crate::world::{SrmComm, AM_ADDR_XCHG, AM_GS_ADDR};
-use simnet::{NodeId, Rank};
+use crate::world::SrmComm;
+use simnet::Rank;
 
 pub(crate) fn seq(base: SeqBase, rel: u64) -> Val {
     Val::Seq { base, rel }
@@ -47,6 +65,56 @@ pub(crate) fn poff(base: SeqBase, rel: u64, stride: usize) -> Off {
     Off::Parity { base, rel, stride }
 }
 
+/// The inter-node tree over the communicator's **group-node indices**
+/// (`0..cnodes()`), rotated so the root's node is relative vertex 0 —
+/// the group analogue of [`Embedding`](crate::embed::Embedding)'s
+/// vnode arithmetic. On the world communicator group-node indices are
+/// world node ids, so this is exactly the old embedding.
+struct GroupTree {
+    kind: TreeKind,
+    n: usize,
+    root_g: usize,
+}
+
+impl GroupTree {
+    fn new(comm: &SrmComm, root_g: usize) -> Self {
+        GroupTree {
+            kind: comm.tree(),
+            n: comm.cnodes(),
+            root_g,
+        }
+    }
+
+    fn v(&self, g: usize) -> usize {
+        (g + self.n - self.root_g) % self.n
+    }
+
+    fn unv(&self, v: usize) -> usize {
+        (v + self.root_g) % self.n
+    }
+
+    /// Parent group node (None for the root's node).
+    fn parent(&self, g: usize) -> Option<usize> {
+        embed::parent(self.kind, self.v(g), self.n).map(|p| self.unv(p))
+    }
+
+    /// Child group nodes in broadcast send order.
+    fn children(&self, g: usize) -> Vec<usize> {
+        embed::children(self.kind, self.v(g), self.n)
+            .into_iter()
+            .map(|v| self.unv(v))
+            .collect()
+    }
+
+    /// Child group nodes in reduce receive order.
+    fn children_ascending(&self, g: usize) -> Vec<usize> {
+        embed::children_ascending(self.kind, self.v(g), self.n)
+            .into_iter()
+            .map(|v| self.unv(v))
+            .collect()
+    }
+}
+
 impl SrmComm {
     /// Re-synchronize my contribution channel with [`SeqBase::Reduce`].
     ///
@@ -58,9 +126,23 @@ impl SrmComm {
     /// unused this operation — the consumer of a reduce tree, a gather
     /// root, every rank of a scatter — raises both itself so a later
     /// operation's [`Step::DrainWait`] sees a fully drained channel.
-    /// Safe because an unused channel has no other writer this call.
+    ///
+    /// `ContribDone` is a statement about the *previous* operation's
+    /// consumer, so the owner must not raise it past reads that have
+    /// not happened yet: a gather's relaying master can lag a full
+    /// operation behind (it blocks on the root's address AM before it
+    /// reads), and an unchecked raise would let the owner's next
+    /// contribution overwrite the unread parity slot. The catch-up
+    /// therefore first waits until the channel is drained through this
+    /// operation's entry cumulative. Raising READY needs no such wait —
+    /// only the owner itself ever raises it, in program order.
     pub(crate) fn plan_contrib_catchup(&self, b: &mut PlanBuilder, rel_end: u64) {
-        let my = self.slot();
+        let my = self.cslot();
+        b.push(Step::FlagWaitGe {
+            flag: FlagRef::ContribDone { slot: my },
+            val: seq(SeqBase::Reduce, b.rel(SeqBase::Reduce)),
+            label: "contrib drained before catch-up",
+        });
         b.push(Step::FlagRaise {
             flag: FlagRef::ContribReady { slot: my },
             val: seq(SeqBase::Reduce, rel_end),
@@ -71,31 +153,36 @@ impl SrmComm {
         });
     }
 
+    /// World rank of communicator rank `c`.
+    fn cworld(&self, c: usize) -> Rank {
+        self.group().ranks()[c]
+    }
+
     // ----------------------------------------------------------------
     // Broadcast
     // ----------------------------------------------------------------
 
     /// Plan a broadcast: route to pure shared memory, the buffered
     /// small-message protocol, or the zero-copy large-message protocol.
-    pub(crate) fn plan_bcast(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
-        let topo = self.topology();
-        if len == 0 || topo.nprocs() == 1 {
+    /// `root` is a communicator rank.
+    pub(crate) fn plan_bcast(&self, b: &mut PlanBuilder, len: usize, root: usize) {
+        if len == 0 || self.csize() == 1 {
             return;
         }
-        if !topo.multi_node() {
-            self.plan_smp_bcast(b, len, root);
+        if !self.cmulti() {
+            self.plan_smp_bcast(b, len, self.cworld(root));
             return;
         }
         let t = self.tuning();
-        let emb = Embedding::new(topo, root, self.tree());
-        let toggles = self.is_master() && len <= t.interrupt_disable_max;
+        let tree = GroupTree::new(self, self.cnode_of(root));
+        let toggles = self.c_is_master() && len <= t.interrupt_disable_max;
         if toggles {
             b.push(Step::SetInterrupts(false));
         }
         if len <= t.small_large_switch {
-            self.plan_bcast_small(b, len, &emb);
+            self.plan_bcast_small(b, len, root, &tree);
         } else {
-            self.plan_bcast_large(b, len, &emb);
+            self.plan_bcast_large(b, len, root, &tree);
         }
         if toggles {
             b.push(Step::SetInterrupts(true));
@@ -104,16 +191,15 @@ impl SrmComm {
 
     /// Forward one landing-buffer chunk to every child node, honouring
     /// the per-edge credits (Figure 4, left). `rel` is the chunk index
-    /// against [`SeqBase::Landing`].
+    /// against [`SeqBase::Landing`]; `children` are group nodes.
     fn plan_forward_landing_chunk(
         &self,
         b: &mut PlanBuilder,
-        children: &[NodeId],
+        children: &[usize],
         rel: u64,
         clen: usize,
     ) {
-        let topo = self.topology();
-        let my_node = self.node();
+        let my_node = self.cnode();
         let side = par(SeqBase::Landing, rel);
         for &c in children {
             b.push(Step::CounterWait {
@@ -125,7 +211,7 @@ impl SrmComm {
                 n: 1,
             });
             b.push(Step::RmaPut {
-                to: topo.master_of(c),
+                to: self.cmaster_of(c),
                 src: BufRef::Landing {
                     node: my_node,
                     side,
@@ -142,17 +228,15 @@ impl SrmComm {
     /// Small-message broadcast (≤ 64 KB): puts land in the node's two
     /// shared landing buffers; 8–32 KB messages are pipelined in 4 KB
     /// chunks through them (§2.4).
-    fn plan_bcast_small(&self, b: &mut PlanBuilder, len: usize, emb: &Embedding) {
-        let topo = self.topology();
+    fn plan_bcast_small(&self, b: &mut PlanBuilder, len: usize, root: usize, tree: &GroupTree) {
         let t = self.tuning();
         let chunk = t.small_bcast_chunk(len);
         let chunks = SrmTuning::chunk_count(len, chunk);
-        let p = topo.tasks_per_node();
-        let my_node = self.node();
-        let on_root_node = my_node == emb.root_node();
-        let root = emb.root();
-        let children = if self.is_master() {
-            emb.node_children(my_node)
+        let p = self.cslots_here();
+        let my_node = self.cnode();
+        let on_root_node = my_node == tree.root_g;
+        let children = if self.c_is_master() {
+            tree.children(my_node)
         } else {
             Vec::new()
         };
@@ -164,7 +248,7 @@ impl SrmComm {
             let clen = chunk.min(len - off);
             let rel = rel0 + k as u64;
             let side = par(SeqBase::Landing, rel);
-            if on_root_node && self.me == root {
+            if on_root_node && self.crank() == root {
                 // Stage the chunk into the landing buffer: it serves
                 // both the local distribution and the network puts.
                 b.push(Step::Trace("bcast:stage"));
@@ -190,10 +274,10 @@ impl SrmComm {
                     pair: PairSel::Landing,
                     side,
                 });
-                if self.is_master() {
+                if self.c_is_master() {
                     self.plan_forward_landing_chunk(b, &children, rel, clen);
                 }
-            } else if on_root_node && self.is_master() {
+            } else if on_root_node && self.c_is_master() {
                 // Root is another task on this node: read its published
                 // chunk, forward it down the tree, then consume it.
                 b.push(Step::PairWaitPublished {
@@ -216,7 +300,7 @@ impl SrmComm {
                     pair: PairSel::Landing,
                     side,
                 });
-            } else if self.is_master() {
+            } else if self.c_is_master() {
                 // Interior/leaf node master: wait for the parent's put,
                 // send the data down the tree first (Figure 4, step 2),
                 // then run the local distribution and return the credit.
@@ -246,11 +330,9 @@ impl SrmComm {
                     side,
                 });
                 b.push(Step::Trace("bcast:ack"));
-                let parent = emb
-                    .node_parent(my_node)
-                    .expect("non-root node has a parent");
+                let parent = tree.parent(my_node).expect("non-root node has a parent");
                 b.push(Step::CounterPut {
-                    to: topo.master_of(parent),
+                    to: self.cmaster_of(parent),
                     ctr: CtrRef::BcastFree {
                         node: parent,
                         child: my_node,
@@ -289,34 +371,30 @@ impl SrmComm {
     /// exchange, then pipelined puts straight into the user buffers —
     /// no intermediate buffers whatsoever — overlapped with the
     /// intra-node two-buffer broadcast.
-    fn plan_bcast_large(&self, b: &mut PlanBuilder, len: usize, emb: &Embedding) {
-        let topo = self.topology();
+    fn plan_bcast_large(&self, b: &mut PlanBuilder, len: usize, root: usize, tree: &GroupTree) {
         let t = self.tuning();
         let lc = t.large_chunk;
         let chunks = SrmTuning::chunk_count(len, lc);
-        let p = topo.tasks_per_node();
-        let my_node = self.node();
-        let root_node = emb.root_node();
-        let root = emb.root();
-        let master = self.is_master();
+        let p = self.cslots_here();
+        let my_node = self.cnode();
+        let root_node = tree.root_g;
+        let master = self.c_is_master();
 
         // Stage 1: address exchange (leaf→parent user-buffer handles).
         if master && my_node != root_node {
-            let parent = emb
-                .node_parent(my_node)
-                .expect("non-root node has a parent");
+            let parent = tree.parent(my_node).expect("non-root node has a parent");
             b.push(Step::AddrSend {
-                to: topo.master_of(parent),
-                am: AM_ADDR_XCHG,
+                to: self.cmaster_of(parent),
+                am: self.comm.am_addr_xchg,
                 src: HandleSrc::User,
             });
         }
         let children = if master {
-            emb.node_children(my_node)
+            tree.children(my_node)
         } else {
             Vec::new()
         };
-        let child_idx: Vec<(NodeId, usize)> =
+        let child_idx: Vec<(usize, usize)> =
             children.iter().map(|&c| (c, b.take_addr(c))).collect();
 
         let emit_puts_for_chunk = |b: &mut PlanBuilder, k: usize| {
@@ -324,7 +402,7 @@ impl SrmComm {
             let cl = lc.min(len - coff);
             for &(c, idx) in &child_idx {
                 b.push(Step::RmaPut {
-                    to: topo.master_of(c),
+                    to: self.cmaster_of(c),
                     src: BufRef::User,
                     src_off: Off::Lit(coff),
                     dst: BufRef::ChildUser { idx },
@@ -336,7 +414,7 @@ impl SrmComm {
         };
 
         if my_node == root_node {
-            if self.me == root {
+            if self.crank() == root {
                 if master {
                     // Stage 2: pipelined zero-copy puts down the tree.
                     for k in 0..chunks {
@@ -344,7 +422,7 @@ impl SrmComm {
                     }
                 }
                 // Stage 3: intra-node broadcast on the root node.
-                self.plan_smp_bcast(b, len, root);
+                self.plan_smp_bcast(b, len, self.cworld(root));
             } else if master {
                 // Master is an ordinary reader locally, but forwards
                 // each completed large chunk down the tree as soon as
@@ -363,7 +441,7 @@ impl SrmComm {
                 }
                 b.advance(SeqBase::Smp, cells as u64);
             } else {
-                self.plan_smp_bcast(b, len, root);
+                self.plan_smp_bcast(b, len, self.cworld(root));
             }
         } else if master {
             // Stage 4 driver on a non-root node: as each chunk lands in
@@ -395,7 +473,7 @@ impl SrmComm {
                 b.advance(SeqBase::Smp, cells as u64);
             }
         } else {
-            self.plan_smp_bcast(b, len, topo.master_of(my_node));
+            self.plan_smp_bcast(b, len, self.cmaster_of(my_node));
         }
     }
 
@@ -405,24 +483,24 @@ impl SrmComm {
 
     /// Plan the pipelined reduce (§2.4): a binomial tree within each
     /// node and between the masters, chunked so that memory copies,
-    /// operator execution and network transfers overlap.
-    pub(crate) fn plan_reduce(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
-        let topo = self.topology();
-        if len == 0 || topo.nprocs() == 1 {
+    /// operator execution and network transfers overlap. `root` is a
+    /// communicator rank.
+    pub(crate) fn plan_reduce(&self, b: &mut PlanBuilder, len: usize, root: usize) {
+        if len == 0 || self.csize() == 1 {
             return;
         }
         let t = self.tuning();
-        let emb = Embedding::new(topo, root, self.tree());
-        let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
+        let (root_node, root_gslot) = self.ccoord_of(root);
+        let tree = GroupTree::new(self, root_node);
+        let toggles = self.cmulti() && self.c_is_master() && len <= t.interrupt_disable_max;
         if toggles {
             b.push(Step::SetInterrupts(false));
         }
 
         let chunk = t.reduce_chunk;
         let chunks = SrmTuning::chunk_count(len, chunk);
-        let my_node = self.node();
-        let root_node = emb.root_node();
-        let xfer_case = my_node == root_node && root != topo.master_of(root_node);
+        let my_node = self.cnode();
+        let xfer_case = my_node == root_node && root_gslot != 0;
         let rel0 = b.rel(SeqBase::Reduce);
         let xrel0 = b.rel(SeqBase::Xfer);
 
@@ -432,9 +510,9 @@ impl SrmComm {
             let rel = rel0 + k as u64;
             let has_acc = self.plan_smp_reduce_chunk(b, off, clen, rel, 0);
 
-            if self.is_master() {
+            if self.c_is_master() {
                 debug_assert!(has_acc, "master is the intra-node subtree root");
-                for c in emb.node_children_ascending(my_node) {
+                for c in tree.children_ascending(my_node) {
                     b.push(Step::CounterWait {
                         ctr: CtrRef::ReduceData {
                             node: my_node,
@@ -453,7 +531,7 @@ impl SrmComm {
                         len: clen,
                     });
                     b.push(Step::CounterPut {
-                        to: topo.master_of(c),
+                        to: self.cmaster_of(c),
                         ctr: CtrRef::ReduceFree {
                             node: c,
                             dst: my_node,
@@ -462,7 +540,7 @@ impl SrmComm {
                     });
                 }
                 if my_node != root_node {
-                    let parent = emb.node_parent(my_node).expect("non-root node");
+                    let parent = tree.parent(my_node).expect("non-root node");
                     b.push(Step::CounterWait {
                         ctr: CtrRef::ReduceFree {
                             node: my_node,
@@ -482,7 +560,7 @@ impl SrmComm {
                         cost: CopyCost::Free,
                     });
                     b.push(Step::RmaPut {
-                        to: topo.master_of(parent),
+                        to: self.cmaster_of(parent),
                         src: BufRef::Contrib { slot: 0 },
                         src_off: poff(SeqBase::Reduce, rel, chunk),
                         dst: BufRef::ReduceLanding {
@@ -498,7 +576,7 @@ impl SrmComm {
                             rel,
                         }),
                     });
-                } else if self.me == root {
+                } else if self.crank() == root {
                     // The final operator pass writes directly at the
                     // destination (no intermediate buffer, §4).
                     b.push(Step::ShmCopy {
@@ -533,7 +611,7 @@ impl SrmComm {
                         val: seq(SeqBase::Xfer, xrel + 1),
                     });
                 }
-            } else if xfer_case && self.me == root {
+            } else if xfer_case && self.crank() == root {
                 let xrel = xrel0 + k as u64;
                 b.push(Step::FlagWaitGe {
                     flag: FlagRef::XferReady,
@@ -554,7 +632,7 @@ impl SrmComm {
                 });
             }
         }
-        if self.is_master() {
+        if self.c_is_master() {
             // The tree root's own contribution channel went unused
             // (slot 0's buffer stages puts; its flags carry no data).
             self.plan_contrib_catchup(b, rel0 + chunks as u64);
@@ -580,13 +658,12 @@ impl SrmComm {
     /// which moves each byte over the wire only `2(P-1)/P` times
     /// instead of streaming the full vector through every node.
     pub(crate) fn plan_allreduce(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
-        if len == 0 || topo.nprocs() == 1 {
+        if len == 0 || self.csize() == 1 {
             return;
         }
         let t = self.tuning();
-        let nprocs = topo.nprocs();
-        if topo.multi_node()
+        let nprocs = self.csize();
+        if self.cmulti()
             && len >= t.allreduce_rs_min
             && len.is_multiple_of(nprocs)
             && len / nprocs > 0
@@ -598,7 +675,7 @@ impl SrmComm {
             self.plan_allgather(b, len / nprocs);
             return;
         }
-        let toggles = topo.multi_node() && self.is_master() && len <= t.interrupt_disable_max;
+        let toggles = self.cmulti() && self.c_is_master() && len <= t.interrupt_disable_max;
         if toggles {
             b.push(Step::SetInterrupts(false));
         }
@@ -616,17 +693,16 @@ impl SrmComm {
     /// recursive-doubling pairwise exchange between the masters,
     /// intra-node broadcast.
     fn plan_allreduce_small(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
         let chunk = self.tuning().reduce_chunk;
         let rel = b.rel(SeqBase::Reduce);
         let has_acc = self.plan_smp_reduce_chunk(b, 0, len, rel, 0);
         let soff = poff(SeqBase::Reduce, rel, chunk);
 
-        if self.is_master() {
+        if self.c_is_master() {
             debug_assert!(has_acc, "master is the subtree root");
-            let n = topo.nodes();
+            let n = self.cnodes();
             if n > 1 {
-                let my = self.node();
+                let my = self.cnode();
                 // Staging a chunk for a put is the output stream of the
                 // last operator pass — no charged copy.
                 let stage = |b: &mut PlanBuilder| {
@@ -651,7 +727,7 @@ impl SrmComm {
                         });
                         stage(b);
                         b.push(Step::RmaPut {
-                            to: topo.master_of(my - 1),
+                            to: self.cmaster_of(my - 1),
                             src: BufRef::Contrib { slot: 0 },
                             src_off: soff,
                             dst: BufRef::FoldLanding { node: my - 1 },
@@ -671,7 +747,7 @@ impl SrmComm {
                             len,
                         });
                         b.push(Step::CounterPut {
-                            to: topo.master_of(my + 1),
+                            to: self.cmaster_of(my + 1),
                             ctr: CtrRef::FoldFree { node: my + 1 },
                         });
                         (my / 2) as isize
@@ -693,7 +769,7 @@ impl SrmComm {
                         });
                         stage(b);
                         b.push(Step::RmaPut {
-                            to: topo.master_of(partner),
+                            to: self.cmaster_of(partner),
                             src: BufRef::Contrib { slot: 0 },
                             src_off: soff,
                             dst: BufRef::RdLanding {
@@ -717,7 +793,7 @@ impl SrmComm {
                             len,
                         });
                         b.push(Step::CounterPut {
-                            to: topo.master_of(partner),
+                            to: self.cmaster_of(partner),
                             ctr: CtrRef::RdFree {
                                 node: partner,
                                 round,
@@ -733,7 +809,7 @@ impl SrmComm {
                     if my.is_multiple_of(2) {
                         stage(b);
                         b.push(Step::RmaPut {
-                            to: topo.master_of(my + 1),
+                            to: self.cmaster_of(my + 1),
                             src: BufRef::Contrib { slot: 0 },
                             src_off: soff,
                             dst: BufRef::FoldLanding { node: my + 1 },
@@ -766,31 +842,31 @@ impl SrmComm {
                 cost: CopyCost::Free,
             });
         }
-        if self.is_master() {
+        if self.c_is_master() {
             // The tree root's own contribution channel went unused.
             self.plan_contrib_catchup(b, rel + 1);
         }
         b.advance(SeqBase::Reduce, 1);
-        self.plan_smp_bcast(b, len, topo.master_of(self.node()));
+        self.plan_smp_bcast(b, len, self.cmaster_of(self.cnode()));
     }
 
     /// Above 16 KB: the four-stage pipeline of Figure 5 — per chunk:
-    /// intra-node reduce, inter-node reduce toward node 0, inter-node
-    /// broadcast away from node 0, intra-node broadcast. One-sided puts
-    /// let the stages of consecutive chunks overlap.
+    /// intra-node reduce, inter-node reduce toward group node 0,
+    /// inter-node broadcast away from group node 0, intra-node
+    /// broadcast. One-sided puts let the stages of consecutive chunks
+    /// overlap.
     fn plan_allreduce_large(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
         let t = self.tuning();
-        let emb = Embedding::new(topo, 0, self.tree());
+        let tree = GroupTree::new(self, 0);
         let chunk = t.reduce_chunk;
         let chunks = SrmTuning::chunk_count(len, chunk);
-        let p = topo.tasks_per_node();
-        let my_node = self.node();
+        let p = self.cslots_here();
+        let my_node = self.cnode();
         let rel0 = b.rel(SeqBase::Reduce);
         let lrel0 = b.rel(SeqBase::Landing);
         let read_streams = p.saturating_sub(1).max(1);
-        let bcast_children = if self.is_master() {
-            emb.node_children(my_node)
+        let bcast_children = if self.c_is_master() {
+            tree.children(my_node)
         } else {
             Vec::new()
         };
@@ -803,10 +879,10 @@ impl SrmComm {
             let lside = par(SeqBase::Landing, lrel);
             let has_acc = self.plan_smp_reduce_chunk(b, off, clen, rel, 0);
 
-            if self.is_master() {
+            if self.c_is_master() {
                 debug_assert!(has_acc, "master is the subtree root");
                 // Inter-node reduce leg.
-                for c in emb.node_children_ascending(my_node) {
+                for c in tree.children_ascending(my_node) {
                     b.push(Step::CounterWait {
                         ctr: CtrRef::ReduceData {
                             node: my_node,
@@ -825,7 +901,7 @@ impl SrmComm {
                         len: clen,
                     });
                     b.push(Step::CounterPut {
-                        to: topo.master_of(c),
+                        to: self.cmaster_of(c),
                         ctr: CtrRef::ReduceFree {
                             node: c,
                             dst: my_node,
@@ -834,7 +910,7 @@ impl SrmComm {
                     });
                 }
                 if my_node != 0 {
-                    let parent = emb.node_parent(my_node).expect("non-zero node");
+                    let parent = tree.parent(my_node).expect("non-zero node");
                     b.push(Step::CounterWait {
                         ctr: CtrRef::ReduceFree {
                             node: my_node,
@@ -852,7 +928,7 @@ impl SrmComm {
                         cost: CopyCost::Free,
                     });
                     b.push(Step::RmaPut {
-                        to: topo.master_of(parent),
+                        to: self.cmaster_of(parent),
                         src: BufRef::Contrib { slot: 0 },
                         src_off: poff(SeqBase::Reduce, rel, chunk),
                         dst: BufRef::ReduceLanding {
@@ -898,7 +974,7 @@ impl SrmComm {
                         side: lside,
                     });
                     b.push(Step::CounterPut {
-                        to: topo.master_of(parent),
+                        to: self.cmaster_of(parent),
                         ctr: CtrRef::BcastFree {
                             node: parent,
                             child: my_node,
@@ -906,8 +982,8 @@ impl SrmComm {
                         },
                     });
                 } else {
-                    // Node 0: the chunk is fully combined; start the
-                    // broadcast leg from here.
+                    // Group node 0: the chunk is fully combined; start
+                    // the broadcast leg from here.
                     b.push(Step::PairWaitFree {
                         pair: PairSel::Landing,
                         side: lside,
@@ -961,7 +1037,7 @@ impl SrmComm {
                 });
             }
         }
-        if self.is_master() {
+        if self.c_is_master() {
             // The tree root's own contribution channel went unused.
             self.plan_contrib_catchup(b, rel0 + chunks as u64);
         }
@@ -973,29 +1049,28 @@ impl SrmComm {
     // Barrier
     // ----------------------------------------------------------------
 
-    /// Plan a global barrier (§2.4 and [17]): flat flag check-in on
-    /// each node, pairwise-exchange (dissemination) rounds with
+    /// Plan a communicator barrier (§2.4 and [17]): flat flag check-in
+    /// on each node, pairwise-exchange (dissemination) rounds with
     /// zero-byte puts between the masters on cumulative counters, then
     /// the flag reset releases the node.
     pub(crate) fn plan_barrier(&self, b: &mut PlanBuilder) {
-        let topo = self.topology();
-        if topo.nprocs() == 1 {
+        if self.csize() == 1 {
             return;
         }
-        let toggles = topo.multi_node() && self.is_master();
+        let toggles = self.cmulti() && self.c_is_master();
         if toggles {
             b.push(Step::SetInterrupts(false));
         }
         self.plan_smp_barrier_enter(b);
-        let n = topo.nodes();
-        if self.is_master() && n > 1 {
-            let my = self.node();
+        let n = self.cnodes();
+        if self.c_is_master() && n > 1 {
+            let my = self.cnode();
             let mut dist = 1usize;
             let mut round = 0usize;
             while dist < n {
                 let to = (my + dist) % n;
                 b.push(Step::CounterPut {
-                    to: topo.master_of(to),
+                    to: self.cmaster_of(to),
                     ctr: CtrRef::BarRound { node: to, round },
                 });
                 b.push(Step::CounterWaitGe {
@@ -1017,8 +1092,9 @@ impl SrmComm {
     // Gather / Scatter / Allgather
     // ----------------------------------------------------------------
 
-    /// Plan a gather: every rank's segment `buf[me*len..(me+1)*len]`
-    /// reaches the root's buffer at the same global offsets.
+    /// Plan a gather: every member's segment `buf[c*len..(c+1)*len]`
+    /// (indexed by **communicator rank** `c`) reaches the root's buffer
+    /// at the same offsets. `root` is a communicator rank.
     ///
     /// Protocol: non-master tasks relay their segment in reduce-chunk
     /// pieces through their per-slot contribution buffers (the reduce
@@ -1029,30 +1105,36 @@ impl SrmComm {
     /// contributions through shared memory and finally waits for the
     /// full remote piece count. Interrupts stay enabled: the root-node
     /// master may finish its own steps before remote puts arrive.
-    pub(crate) fn plan_gather(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
-        let topo = self.topology();
-        if len == 0 || topo.nprocs() == 1 {
+    pub(crate) fn plan_gather(&self, b: &mut PlanBuilder, len: usize, root: usize) {
+        if len == 0 || self.csize() == 1 {
             return;
         }
         let t = self.tuning();
         let chunk = t.reduce_chunk;
         let chunks = SrmTuning::chunk_count(len, chunk);
-        let p = topo.tasks_per_node();
-        let nodes = topo.nodes();
-        let my_node = self.node();
-        let my = self.slot();
-        let root_node = topo.node_of(root);
-        let root_slot = topo.slot_of(root);
-        let multi = topo.multi_node();
+        let p = self.cslots_here();
+        let nodes = self.cnodes();
+        let my_node = self.cnode();
+        let my = self.cslot();
+        let (root_node, root_gslot) = self.ccoord_of(root);
+        let multi = self.cmulti();
         // When the root is not its node's master, the *master* is the
         // target of the remote puts, so the master must be the rank
         // that waits for them (it may not leave the call — and later
         // disable interrupts or shut down — while puts are in flight);
         // it then signals the root over the xfer channel.
-        let master_waits = multi && root_slot != 0;
+        let master_waits = multi && root_gslot != 0;
         let rel0 = b.rel(SeqBase::Reduce);
         let xrel0 = b.rel(SeqBase::Xfer);
         let write_streams = p.saturating_sub(1).max(1);
+        // Remote pieces the root side absorbs: every member of every
+        // non-root node relays `chunks` pieces.
+        let remote_pieces = || -> u64 {
+            (0..nodes)
+                .filter(|&g| g != root_node)
+                .map(|g| self.cslots_on(g) * chunks)
+                .sum::<usize>() as u64
+        };
 
         // Relay my segment chunk-by-chunk through my contribution
         // buffer (producer half of the reduce-leaf pattern).
@@ -1070,7 +1152,7 @@ impl SrmComm {
                 });
                 b.push(Step::ShmCopy {
                     src: BufRef::User,
-                    src_off: Off::Lit(comm.me * len + koff),
+                    src_off: Off::Lit(comm.crank() * len + koff),
                     dst: BufRef::Contrib { slot: my },
                     dst_off: poff(SeqBase::Reduce, rel, chunk),
                     len: clen,
@@ -1083,7 +1165,7 @@ impl SrmComm {
             }
         };
 
-        if self.me == root {
+        if self.crank() == root {
             // Hand my buffer handle to my master so it can forward it
             // to the remote masters.
             if multi && my != 0 {
@@ -1093,8 +1175,8 @@ impl SrmComm {
                 for m in 0..nodes {
                     if m != root_node {
                         b.push(Step::AddrSend {
-                            to: topo.master_of(m),
-                            am: AM_GS_ADDR,
+                            to: self.cmaster_of(m),
+                            am: self.comm.am_gs_addr,
                             src: HandleSrc::User,
                         });
                     }
@@ -1102,10 +1184,10 @@ impl SrmComm {
             }
             // Consume every other local slot's segment.
             for s in 0..p {
-                if s == root_slot {
+                if s == my {
                     continue;
                 }
-                let seg = (my_node * p + s) * len;
+                let seg = self.crank_at(my_node, s) * len;
                 for k in 0..chunks {
                     let rel = rel0 + k as u64;
                     let koff = k * chunk;
@@ -1142,10 +1224,9 @@ impl SrmComm {
                         val: seq(SeqBase::Xfer, xrel0 + 1),
                     });
                 } else {
-                    let remote = ((nodes - 1) * p * chunks) as u64;
                     b.push(Step::CounterWait {
                         ctr: CtrRef::LargeData { node: root_node },
-                        n: remote,
+                        n: remote_pieces(),
                     });
                 }
                 b.push(Step::Trace("gather:done"));
@@ -1160,8 +1241,8 @@ impl SrmComm {
                 for m in 0..nodes {
                     if m != root_node {
                         b.push(Step::AddrSend {
-                            to: topo.master_of(m),
-                            am: AM_GS_ADDR,
+                            to: self.cmaster_of(m),
+                            am: self.comm.am_gs_addr,
                             src: HandleSrc::RootUser,
                         });
                     }
@@ -1171,10 +1252,9 @@ impl SrmComm {
             if master_waits && my == 0 {
                 // I am the target of the remote puts: absorb them all,
                 // then wake the root through the xfer flags.
-                let remote = ((nodes - 1) * p * chunks) as u64;
                 b.push(Step::CounterWait {
                     ctr: CtrRef::LargeData { node: root_node },
-                    n: remote,
+                    n: remote_pieces(),
                 });
                 b.push(Step::FlagRaise {
                     flag: FlagRef::XferReady,
@@ -1189,17 +1269,17 @@ impl SrmComm {
                 let koff = k * chunk;
                 let clen = chunk.min(len - koff);
                 b.push(Step::RmaPut {
-                    to: topo.master_of(root_node),
+                    to: self.cmaster_of(root_node),
                     src: BufRef::User,
-                    src_off: Off::Lit(self.me * len + koff),
+                    src_off: Off::Lit(self.crank() * len + koff),
                     dst: BufRef::RootUser,
-                    dst_off: Off::Lit(self.me * len + koff),
+                    dst_off: Off::Lit(self.crank() * len + koff),
                     len: clen,
                     ctr: Some(CtrRef::LargeData { node: root_node }),
                 });
             }
             for s in 1..p {
-                let seg = (my_node * p + s) * len;
+                let seg = self.crank_at(my_node, s) * len;
                 for k in 0..chunks {
                     let rel = rel0 + k as u64;
                     let koff = k * chunk;
@@ -1211,7 +1291,7 @@ impl SrmComm {
                     });
                     b.push(Step::Trace("gather:relay"));
                     b.push(Step::RmaPut {
-                        to: topo.master_of(root_node),
+                        to: self.cmaster_of(root_node),
                         src: BufRef::Contrib { slot: s },
                         src_off: poff(SeqBase::Reduce, rel, chunk),
                         dst: BufRef::RootUser,
@@ -1236,66 +1316,121 @@ impl SrmComm {
         }
     }
 
-    /// Plan a scatter: the root's `buf[..nprocs*len]` is cut into
-    /// per-rank segments; rank `i` receives `buf[i*len..(i+1)*len]`.
+    /// Piece decomposition of group node `g`'s scatter block as
+    /// `(root_off, block_off, plen)` triples: source offset in the
+    /// root's user buffer, offset within the node's logical block
+    /// (slot `s`'s segment occupies `[s*len, (s+1)*len)`), and piece
+    /// length.
     ///
-    /// Protocol: the root streams each destination node's `p*len`-byte
-    /// block in chunks through the reduce landing channels (reusing
-    /// their credit protocol unchanged); the receiving master relays
-    /// each chunk into the node's landing pair, where every slot copies
-    /// out just the overlap with its own segment. A root that is not
-    /// its node's master hands chunks to the master through the `xfer`
-    /// buffer, exactly like the reduce handoff in the other direction.
-    pub(crate) fn plan_scatter(&self, b: &mut PlanBuilder, len: usize, root: Rank) {
-        let topo = self.topology();
-        if len == 0 || topo.nprocs() == 1 {
+    /// When the node's members hold **consecutive** communicator ranks
+    /// the whole block is one contiguous region of the root's buffer
+    /// and streams in plain chunks (the world fast path); otherwise
+    /// each slot's segment is its own chunk run, because a single RMA
+    /// put needs a contiguous source.
+    pub(crate) fn scatter_pieces(
+        &self,
+        g: usize,
+        len: usize,
+        chunk: usize,
+    ) -> Vec<(usize, usize, usize)> {
+        let slots = self.cslots_on(g);
+        let mut out = Vec::new();
+        if self.ccontig(g) {
+            let base = self.crank_at(g, 0) * len;
+            let block = slots * len;
+            for k in 0..SrmTuning::chunk_count(block, chunk) {
+                let off = k * chunk;
+                out.push((base + off, off, chunk.min(block - off)));
+            }
+        } else {
+            let segc = SrmTuning::chunk_count(len, chunk);
+            for s in 0..slots {
+                let seg = self.crank_at(g, s) * len;
+                for k in 0..segc {
+                    let off = k * chunk;
+                    out.push((seg + off, s * len + off, chunk.min(len - off)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Plan a scatter: the root's `buf[..csize*len]` is cut into
+    /// per-rank segments; communicator rank `c` receives
+    /// `buf[c*len..(c+1)*len]`. `root` is a communicator rank.
+    ///
+    /// Protocol: the root streams each destination node's block in
+    /// pieces (see [`SrmComm::scatter_pieces`]) through the reduce
+    /// landing channels (reusing their credit protocol unchanged); the
+    /// receiving master relays each piece into the node's landing pair,
+    /// where every slot copies out just the overlap with its own
+    /// segment. A root that is not its node's master hands pieces to
+    /// the master through the `xfer` buffer, exactly like the reduce
+    /// handoff in the other direction.
+    pub(crate) fn plan_scatter(&self, b: &mut PlanBuilder, len: usize, root: usize) {
+        if len == 0 || self.csize() == 1 {
             return;
         }
         let t = self.tuning();
         let chunk = t.reduce_chunk.min(t.small_large_switch);
-        let p = topo.tasks_per_node();
-        let nodes = topo.nodes();
-        let block = p * len;
-        let chunks = SrmTuning::chunk_count(block, chunk);
-        let my_node = self.node();
-        let my = self.slot();
-        let root_node = topo.node_of(root);
-        let root_slot = topo.slot_of(root);
-        let multi = topo.multi_node();
-        let xfer_relay = multi && root_slot != 0;
+        let p = self.cslots_here();
+        let nodes = self.cnodes();
+        let my_node = self.cnode();
+        let my = self.cslot();
+        let (root_node, root_gslot) = self.ccoord_of(root);
+        let multi = self.cmulti();
+        let xfer_relay = multi && root_gslot != 0;
         let rel0 = b.rel(SeqBase::Reduce);
         let lrel0 = b.rel(SeqBase::Landing);
         let xrel0 = b.rel(SeqBase::Xfer);
         let read_streams = p.saturating_sub(1).max(1);
+        // Uniform advance: per-node piece counts differ on uneven
+        // groups, but the Reduce/Landing cumulatives must advance
+        // identically on every member (see the module doc), so all
+        // ranks advance by the maximum.
+        let max_pieces = (0..nodes)
+            .map(|g| self.scatter_pieces(g, len, chunk).len())
+            .max()
+            .expect("group has at least one node");
+        // Xfer pieces the root hands to its master, in stream order.
+        let xfer_total: u64 = (0..nodes)
+            .filter(|&g| g != root_node)
+            .map(|g| self.scatter_pieces(g, len, chunk).len() as u64)
+            .sum();
 
-        // Overlap of block-chunk `k` with slot `s`'s segment, in block
-        // coordinates: `None` when the chunk carries none of it.
-        let overlap = |k: usize, s: usize| -> Option<(usize, usize)> {
-            let koff = k * chunk;
-            let kend = (koff + chunk).min(block);
-            let lo = koff.max(s * len);
-            let hi = kend.min((s + 1) * len);
-            (lo < hi).then(|| (lo, hi - lo))
+        // Overlap of a piece `(block_off, plen)` with slot `s`'s
+        // segment, as `(landing_off, user_off, olen)`.
+        let overlap = |boff: usize, plen: usize, s: usize| -> Option<(usize, usize, usize)> {
+            let lo = boff.max(s * len);
+            let hi = (boff + plen).min((s + 1) * len);
+            (lo < hi).then(|| {
+                (
+                    lo - boff,
+                    self.crank_at(my_node, s) * len + (lo - s * len),
+                    hi - lo,
+                )
+            })
         };
         // Reader side of the landing-pair distribution of my node's
-        // block (every non-publishing slot must release every chunk).
+        // block (every non-publishing slot must release every piece).
         let read_block = |b: &mut PlanBuilder| {
-            for k in 0..chunks {
-                let lrel = lrel0 + k as u64;
+            for (j, &(_, boff, plen)) in self.scatter_pieces(my_node, len, chunk).iter().enumerate()
+            {
+                let lrel = lrel0 + j as u64;
                 let lside = par(SeqBase::Landing, lrel);
                 b.push(Step::PairWaitPublished {
                     pair: PairSel::Landing,
                     side: lside,
                 });
-                if let Some((lo, olen)) = overlap(k, my) {
+                if let Some((loff, uoff, olen)) = overlap(boff, plen, my) {
                     b.push(Step::ShmCopy {
                         src: BufRef::Landing {
                             node: my_node,
                             side: lside,
                         },
-                        src_off: Off::Lit(lo - k * chunk),
+                        src_off: Off::Lit(loff),
                         dst: BufRef::User,
-                        dst_off: Off::Lit(my_node * block + lo),
+                        dst_off: Off::Lit(uoff),
                         len: olen,
                         cost: CopyCost::Read(read_streams),
                     });
@@ -1307,7 +1442,7 @@ impl SrmComm {
             }
         };
 
-        if self.me == root {
+        if self.crank() == root {
             // Ship every other node's block through the reduce landing
             // channels (directly, or via my master over `xfer`).
             if multi {
@@ -1316,11 +1451,11 @@ impl SrmComm {
                     if c == root_node {
                         continue;
                     }
-                    for k in 0..chunks {
-                        let rel = rel0 + k as u64;
-                        let goff = c * block + k * chunk;
-                        let clen = chunk.min(block - k * chunk);
-                        if root_slot == 0 {
+                    for (j, &(roff, _, plen)) in
+                        self.scatter_pieces(c, len, chunk).iter().enumerate()
+                    {
+                        let rel = rel0 + j as u64;
+                        if root_gslot == 0 {
                             b.push(Step::CounterWait {
                                 ctr: CtrRef::ReduceFree {
                                     node: root_node,
@@ -1330,16 +1465,16 @@ impl SrmComm {
                                 n: 1,
                             });
                             b.push(Step::RmaPut {
-                                to: topo.master_of(c),
+                                to: self.cmaster_of(c),
                                 src: BufRef::User,
-                                src_off: Off::Lit(goff),
+                                src_off: Off::Lit(roff),
                                 dst: BufRef::ReduceLanding {
                                     node: c,
                                     src: root_node,
                                     rel,
                                 },
                                 dst_off: Off::Lit(0),
-                                len: clen,
+                                len: plen,
                                 ctr: Some(CtrRef::ReduceData {
                                     node: c,
                                     src: root_node,
@@ -1357,10 +1492,10 @@ impl SrmComm {
                             });
                             b.push(Step::ShmCopy {
                                 src: BufRef::User,
-                                src_off: Off::Lit(goff),
+                                src_off: Off::Lit(roff),
                                 dst: BufRef::Xfer,
                                 dst_off: poff(SeqBase::Xfer, xrel, chunk),
-                                len: clen,
+                                len: plen,
                                 cost: CopyCost::Free,
                             });
                             b.push(Step::FlagRaise {
@@ -1374,23 +1509,24 @@ impl SrmComm {
             }
             // Distribute my own node's block through the landing pair.
             if p > 1 {
-                for k in 0..chunks {
-                    let lrel = lrel0 + k as u64;
+                for (j, &(roff, _, plen)) in
+                    self.scatter_pieces(my_node, len, chunk).iter().enumerate()
+                {
+                    let lrel = lrel0 + j as u64;
                     let lside = par(SeqBase::Landing, lrel);
-                    let clen = chunk.min(block - k * chunk);
                     b.push(Step::PairWaitFree {
                         pair: PairSel::Landing,
                         side: lside,
                     });
                     b.push(Step::ShmCopy {
                         src: BufRef::User,
-                        src_off: Off::Lit(root_node * block + k * chunk),
+                        src_off: Off::Lit(roff),
                         dst: BufRef::Landing {
                             node: my_node,
                             side: lside,
                         },
                         dst_off: Off::Lit(0),
-                        len: clen,
+                        len: plen,
                         cost: CopyCost::Write(1),
                     });
                     b.push(Step::PairPublish {
@@ -1401,15 +1537,15 @@ impl SrmComm {
             }
         } else if my_node == root_node {
             if my == 0 && xfer_relay {
-                // Master relays the root's xfer chunks onto the wire.
+                // Master relays the root's xfer pieces onto the wire.
                 let mut xi = 0u64;
                 for c in 0..nodes {
                     if c == root_node {
                         continue;
                     }
-                    for k in 0..chunks {
-                        let rel = rel0 + k as u64;
-                        let clen = chunk.min(block - k * chunk);
+                    for (j, &(_, _, plen)) in self.scatter_pieces(c, len, chunk).iter().enumerate()
+                    {
+                        let rel = rel0 + j as u64;
                         let xrel = xrel0 + xi;
                         b.push(Step::FlagWaitGe {
                             flag: FlagRef::XferReady,
@@ -1425,7 +1561,7 @@ impl SrmComm {
                             n: 1,
                         });
                         b.push(Step::RmaPut {
-                            to: topo.master_of(c),
+                            to: self.cmaster_of(c),
                             src: BufRef::Xfer,
                             src_off: poff(SeqBase::Xfer, xrel, chunk),
                             dst: BufRef::ReduceLanding {
@@ -1434,7 +1570,7 @@ impl SrmComm {
                                 rel,
                             },
                             dst_off: Off::Lit(0),
-                            len: clen,
+                            len: plen,
                             ctr: Some(CtrRef::ReduceData {
                                 node: c,
                                 src: root_node,
@@ -1453,13 +1589,13 @@ impl SrmComm {
             }
             read_block(b);
         } else if my == 0 {
-            // Destination-node master: land each chunk, republish it on
+            // Destination-node master: land each piece, republish it on
             // the landing pair, return the credit, take my overlap.
-            for k in 0..chunks {
-                let rel = rel0 + k as u64;
-                let lrel = lrel0 + k as u64;
+            for (j, &(_, boff, plen)) in self.scatter_pieces(my_node, len, chunk).iter().enumerate()
+            {
+                let rel = rel0 + j as u64;
+                let lrel = lrel0 + j as u64;
                 let lside = par(SeqBase::Landing, lrel);
-                let clen = chunk.min(block - k * chunk);
                 b.push(Step::CounterWait {
                     ctr: CtrRef::ReduceData {
                         node: my_node,
@@ -1486,7 +1622,7 @@ impl SrmComm {
                             side: lside,
                         },
                         dst_off: Off::Lit(0),
-                        len: clen,
+                        len: plen,
                         cost: CopyCost::Write(1),
                     });
                     b.push(Step::PairPublish {
@@ -1494,22 +1630,22 @@ impl SrmComm {
                         side: lside,
                     });
                     b.push(Step::CounterPut {
-                        to: topo.master_of(root_node),
+                        to: self.cmaster_of(root_node),
                         ctr: CtrRef::ReduceFree {
                             node: root_node,
                             dst: my_node,
                             rel,
                         },
                     });
-                    if let Some((lo, olen)) = overlap(k, my) {
+                    if let Some((loff, uoff, olen)) = overlap(boff, plen, my) {
                         b.push(Step::ShmCopy {
                             src: BufRef::Landing {
                                 node: my_node,
                                 side: lside,
                             },
-                            src_off: Off::Lit(lo - k * chunk),
+                            src_off: Off::Lit(loff),
                             dst: BufRef::User,
-                            dst_off: Off::Lit(my_node * block + lo),
+                            dst_off: Off::Lit(uoff),
                             len: olen,
                             cost: CopyCost::Read(read_streams),
                         });
@@ -1523,12 +1659,12 @@ impl SrmComm {
                         },
                         src_off: Off::Lit(0),
                         dst: BufRef::User,
-                        dst_off: Off::Lit(my_node * block + k * chunk),
-                        len: clen,
+                        dst_off: Off::Lit(self.crank() * len + boff),
+                        len: plen,
                         cost: CopyCost::Read(1),
                     });
                     b.push(Step::CounterPut {
-                        to: topo.master_of(root_node),
+                        to: self.cmaster_of(root_node),
                         ctr: CtrRef::ReduceFree {
                             node: root_node,
                             dst: my_node,
@@ -1544,26 +1680,24 @@ impl SrmComm {
         // Scatter advances the reduce cumulative (it borrows the
         // reduce landing channels) but no contribution channel carries
         // data — every rank re-synchronizes its own.
-        self.plan_contrib_catchup(b, rel0 + chunks as u64);
-        b.advance(SeqBase::Reduce, chunks as u64);
-        if p > 1 {
-            b.advance(SeqBase::Landing, chunks as u64);
-        }
+        self.plan_contrib_catchup(b, rel0 + max_pieces as u64);
+        b.advance(SeqBase::Reduce, max_pieces as u64);
+        b.advance(SeqBase::Landing, max_pieces as u64);
         if xfer_relay && my_node == root_node {
-            b.advance(SeqBase::Xfer, ((nodes - 1) * chunks) as u64);
+            b.advance(SeqBase::Xfer, xfer_total);
         }
     }
 
-    /// Plan an allgather: a gather to rank 0 concatenated with a
-    /// broadcast of the assembled `nprocs*len` bytes — the planner
-    /// composition the schedule IR makes trivial (the broadcast's
-    /// relative sequence values land after the gather's advances).
+    /// Plan an allgather: a gather to communicator rank 0 concatenated
+    /// with a broadcast of the assembled `csize*len` bytes — the
+    /// planner composition the schedule IR makes trivial (the
+    /// broadcast's relative sequence values land after the gather's
+    /// advances).
     pub(crate) fn plan_allgather(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
-        if len == 0 || topo.nprocs() == 1 {
+        if len == 0 || self.csize() == 1 {
             return;
         }
         self.plan_gather(b, len, 0);
-        self.plan_bcast(b, topo.nprocs() * len, 0);
+        self.plan_bcast(b, self.csize() * len, 0);
     }
 }

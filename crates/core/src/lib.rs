@@ -41,8 +41,9 @@
 //!   collectives park their schedules on a per-rank queue and progress
 //!   inside `test`/`wait` calls, overlapping with each other and with
 //!   compute;
-//! * [`world`] — the per-node shared boards and per-master network
-//!   state, assembled once at setup;
+//! * [`world`] — communicators ([`CommGroup`], [`SrmWorld::comm_create`]
+//!   / [`SrmWorld::comm_split`]) and the per-group-node shared boards
+//!   and per-master network state each one owns, assembled at setup;
 //! * [`tuning`] — every switch point and buffer size, defaulting to the
 //!   paper's published values (plus the plan-cache capacity and the
 //!   per-step trace switch).
@@ -87,6 +88,6 @@ pub mod world;
 pub use embed::{Embedding, GroupEmbedding, TreeKind};
 pub use model::SrmModel;
 pub use pairwise::PairwiseState;
-pub use plan::{Plan, PlanBuilder, PlanCache, PlanKey, Step};
+pub use plan::{Plan, PlanBuilder, PlanCache, PlanKey, PlanShape, Step};
 pub use tuning::SrmTuning;
-pub use world::{InterState, NodeBoard, SrmComm, SrmWorld};
+pub use world::{CommGroup, InterState, NodeBoard, SrmComm, SrmWorld};

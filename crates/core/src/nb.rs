@@ -50,8 +50,20 @@
 //! across classes (an `ibroadcast` over the landing pair, an `ireduce`
 //! over the contribution buffers, an `ibarrier` over the barrier
 //! flags) schedules interleave freely — which is where the overlap
-//! comes from. The oldest call is never class-blocked, so the executor
-//! can always name a wake key and the wait cannot sleep forever.
+//! comes from. Since the communicator refactor the ordering rule is
+//! additionally scoped **per communicator**: calls on *disjoint*
+//! communicators share no substrate at all (each communicator owns its
+//! boards, landing state and pairwise registry), so an older schedule
+//! on communicator A never class-blocks a younger schedule on
+//! communicator B — they interleave freely — while two calls on the
+//! *same* communicator keep their issue order exactly as before. The
+//! queue itself is **per rank** (shared by all of the rank's
+//! communicator handles): a blocking call on any communicator drives
+//! every outstanding schedule, so a rank spinning inside one
+//! communicator cannot starve a parked schedule its peers on another
+//! communicator are waiting for. The oldest call is never
+//! class-blocked, so the executor can always name a wake key and the
+//! wait cannot sleep forever.
 //!
 //! Sequence-base relocation happens at **issue** time: the plan's
 //! [`Plan::advances`] totals are applied to the live cells immediately,
@@ -218,7 +230,7 @@ fn step_ready(comm: &SrmComm, st: &CallState, step: &Step) -> bool {
         Step::PairWaitPublished { pair, side } => {
             pair_of(comm, pair)
                 .ready(crate::engine::side_of(bases, side))
-                .flag(comm.slot())
+                .flag(comm.cslot())
                 .peek()
                 == 1
         }
@@ -226,8 +238,8 @@ fn step_ready(comm: &SrmComm, st: &CallState, step: &Step) -> bool {
             ctr_of(comm, bases, ctr).peek() >= n
         }
         Step::CounterWaitGe { ctr, val } => ctr_of(comm, bases, ctr).peek() >= val_of(bases, val),
-        Step::AddrTake { child } => comm.inter(comm.node()).addr_slot[child].with(|s| s.is_some()),
-        Step::GsRootTake => comm.inter(comm.node()).gs_root.with(|s| s.is_some()),
+        Step::AddrTake { child } => comm.inter(comm.cnode()).addr_slot[child].with(|s| s.is_some()),
+        Step::GsRootTake => comm.inter(comm.cnode()).gs_root.with(|s| s.is_some()),
         Step::BoardAddrTake => comm.board().gs_addr.with(|s| s.is_some()),
         _ => true,
     }
@@ -253,25 +265,30 @@ fn step_wait_keys(comm: &SrmComm, st: &CallState, step: &Step, out: &mut Vec<u64
         Step::PairWaitPublished { pair, side } => out.push(
             pair_of(comm, pair)
                 .ready(crate::engine::side_of(bases, side))
-                .flag(comm.slot())
+                .flag(comm.cslot())
                 .wait_key(),
         ),
         Step::CounterWait { ctr, .. }
         | Step::CounterWaitGe { ctr, .. }
         | Step::CreditWait { ctr, .. } => out.push(ctr_of(comm, bases, ctr).wait_key()),
-        Step::AddrTake { child } => out.push(comm.inter(comm.node()).addr_slot[child].wait_key()),
-        Step::GsRootTake => out.push(comm.inter(comm.node()).gs_root.wait_key()),
+        Step::AddrTake { child } => out.push(comm.inter(comm.cnode()).addr_slot[child].wait_key()),
+        Step::GsRootTake => out.push(comm.inter(comm.cnode()).gs_root.wait_key()),
         Step::BoardAddrTake => out.push(comm.board().gs_addr.wait_key()),
         _ => {}
     }
 }
 
 /// One outstanding nonblocking collective: its compiled plan, the
-/// parked execution state, and per-class counts of remaining steps
-/// (the ordering-rule bookkeeping).
+/// parked execution state, the communicator handle it was issued on,
+/// and per-class counts of remaining steps (the ordering-rule
+/// bookkeeping).
 pub(crate) struct PendingCall {
     /// Request id handed to the caller.
     pub(crate) id: u64,
+    /// Handle on the issuing communicator (a cheap clone): steps of
+    /// this call resolve against *its* boards, landing state and seat,
+    /// not against whichever handle happens to drive progress.
+    comm: SrmComm,
     plan: Arc<Plan>,
     /// The call's user payload (a cheap handle clone; storage is
     /// shared with the caller's buffer).
@@ -289,6 +306,7 @@ pub(crate) struct PendingCall {
 impl PendingCall {
     fn new(
         id: u64,
+        comm: SrmComm,
         plan: Arc<Plan>,
         buf: ShmBuffer,
         reduce: Option<(DType, ReduceOp)>,
@@ -305,6 +323,7 @@ impl PendingCall {
         }
         PendingCall {
             id,
+            comm,
             plan,
             buf,
             reduce,
@@ -312,6 +331,12 @@ impl PendingCall {
             pc: 0,
             class_rem,
         }
+    }
+
+    /// Id of the communicator this call was issued on (the ordering
+    /// classes are scoped by it).
+    fn comm_id(&self) -> u64 {
+        self.comm.comm_id()
     }
 
     fn done(&self) -> bool {
@@ -355,7 +380,7 @@ impl SrmComm {
         reduce: Option<(DType, ReduceOp)>,
     ) -> u64 {
         let cap = self.tuning().max_outstanding;
-        if self.pending.borrow().len() >= cap {
+        if self.shared.pending.lock().expect("queue poisoned").len() >= cap {
             self.nb_wait_below(ctx, cap);
         }
         let plan = self.plan_for(ctx, key);
@@ -363,49 +388,60 @@ impl SrmComm {
         // then advance them by the plan's totals immediately, so every
         // later call samples bases as if this one had already run to
         // completion (the catch-up invariant blocking execution keeps).
+        // The cells are per (rank, communicator) — a schedule on one
+        // communicator never shifts another communicator's bases.
         let bases = self.sample_bases();
         let cells = [
-            &self.smp_seq,
-            &self.landing_seq,
-            &self.tree_seq,
-            &self.reduce_cum,
-            &self.xfer_cum,
-            &self.barrier_seq,
+            &self.seat.smp_seq,
+            &self.seat.landing_seq,
+            &self.seat.tree_seq,
+            &self.seat.reduce_cum,
+            &self.seat.xfer_cum,
+            &self.seat.barrier_seq,
         ];
         for (cell, by) in cells.iter().zip(plan.advances.iter()) {
-            cell.set(cell.get() + by);
+            cell.fetch_add(*by, Ordering::Relaxed);
         }
-        let id = self.next_req.get();
-        self.next_req.set(id + 1);
+        let id = self.shared.next_req.fetch_add(1, Ordering::Relaxed);
         ctx.metrics().nb_issued.fetch_add(1, Ordering::Relaxed);
-        self.pending.borrow_mut().push_back(PendingCall::new(
-            id,
-            plan,
-            buf.clone(),
-            reduce,
-            CallState::new(bases, true),
-        ));
+        self.shared
+            .pending
+            .lock()
+            .expect("queue poisoned")
+            .push_back(PendingCall::new(
+                id,
+                self.clone(),
+                plan,
+                buf.clone(),
+                reduce,
+                CallState::new(bases, true),
+            ));
         self.nb_progress(ctx);
         id
     }
 
     /// Sweep the pending queue oldest-first, executing every head step
     /// that is ready and not class-blocked, until a full sweep makes no
-    /// progress. Retired calls move to the completed set.
+    /// progress. Retired calls move to the completed set. Class
+    /// blocking is scoped per communicator: only older calls on the
+    /// *same* communicator contribute to a call's blocking mask.
     pub(crate) fn nb_progress(&self, ctx: &Ctx) {
         loop {
             let mut progressed = false;
             let mut i = 0;
             loop {
-                if i >= self.pending.borrow().len() {
+                if i >= self.shared.pending.lock().expect("queue poisoned").len() {
                     break;
                 }
                 // Run call i as far as it can go right now.
                 loop {
-                    let mut q = self.pending.borrow_mut();
+                    let mut q = self.shared.pending.lock().expect("queue poisoned");
+                    let my_comm = q[i].comm_id();
                     let mut older: u8 = 0;
                     for c in q.iter().take(i) {
-                        older |= c.rem_mask();
+                        if c.comm_id() == my_comm {
+                            older |= c.rem_mask();
+                        }
                     }
                     let call = &mut q[i];
                     if call.done() {
@@ -414,21 +450,22 @@ impl SrmComm {
                     let step = call.plan.steps[call.pc];
                     let mask = step_classes(&step);
                     if mask & older != 0 {
-                        break; // class-blocked behind an older schedule
+                        break; // class-blocked behind an older same-comm schedule
                     }
-                    if step_blocks(&step) && !step_ready(self, &call.st, &step) {
+                    if step_blocks(&step) && !step_ready(&call.comm, &call.st, &step) {
                         break; // genuinely waiting: park here
                     }
+                    let comm = call.comm.clone();
                     let buf = call.buf.clone();
                     let reduce = call.reduce;
                     call.pc += 1;
                     call.retire_step_classes(mask);
-                    self.exec_step(ctx, &mut call.st, &buf, reduce, &step);
+                    comm.exec_step(ctx, &mut call.st, &buf, reduce, &step);
                     ctx.metrics().engine_steps.fetch_add(1, Ordering::Relaxed);
                     progressed = true;
                 }
                 let retired = {
-                    let mut q = self.pending.borrow_mut();
+                    let mut q = self.shared.pending.lock().expect("queue poisoned");
                     if q[i].done() {
                         Some(q.remove(i).expect("index in bounds").id)
                     } else {
@@ -437,7 +474,11 @@ impl SrmComm {
                 };
                 match retired {
                     Some(id) => {
-                        self.completed.borrow_mut().insert(id);
+                        self.shared
+                            .completed
+                            .lock()
+                            .expect("set poisoned")
+                            .insert(id);
                         progressed = true;
                         // Do not bump i: the next call shifted down.
                     }
@@ -450,38 +491,59 @@ impl SrmComm {
         }
     }
 
+    /// OR of the remaining-class masks of same-communicator calls
+    /// preceding each queue position, folded left to right by the
+    /// caller: tracked as `(comm id, mask)` rows because a rank rarely
+    /// holds more than a handful of communicators.
+    fn fold_older(older: &mut Vec<(u64, u8)>, comm: u64, mask: u8) {
+        match older.iter_mut().find(|(c, _)| *c == comm) {
+            Some((_, m)) => *m |= mask,
+            None => older.push((comm, mask)),
+        }
+    }
+
+    fn older_mask(older: &[(u64, u8)], comm: u64) -> u8 {
+        older
+            .iter()
+            .find(|(c, _)| *c == comm)
+            .map_or(0, |&(_, m)| m)
+    }
+
     /// Could any non-class-blocked head step execute right now? The
     /// re-check predicate of the parked wait.
     fn nb_any_head_ready(&self) -> bool {
-        let q = self.pending.borrow();
-        let mut older: u8 = 0;
+        let q = self.shared.pending.lock().expect("queue poisoned");
+        let mut older: Vec<(u64, u8)> = Vec::new();
         for call in q.iter() {
             if !call.done() {
                 let step = &call.plan.steps[call.pc];
-                if step_classes(step) & older == 0 && step_ready(self, &call.st, step) {
+                if step_classes(step) & Self::older_mask(&older, call.comm_id()) == 0
+                    && step_ready(&call.comm, &call.st, step)
+                {
                     return true;
                 }
             }
-            older |= call.rem_mask();
+            Self::fold_older(&mut older, call.comm_id(), call.rem_mask());
         }
         false
     }
 
     /// Wake keys of every runnable-but-stuck head step (class-blocked
-    /// heads contribute nothing — an older schedule in their class
-    /// must move first, and its keys are already included).
+    /// heads contribute nothing — an older same-communicator schedule
+    /// in their class must move first, and its keys are already
+    /// included).
     fn nb_collect_wait_keys(&self) -> Vec<u64> {
         let mut keys = Vec::new();
-        let q = self.pending.borrow();
-        let mut older: u8 = 0;
+        let q = self.shared.pending.lock().expect("queue poisoned");
+        let mut older: Vec<(u64, u8)> = Vec::new();
         for call in q.iter() {
             if !call.done() {
                 let step = &call.plan.steps[call.pc];
-                if step_classes(step) & older == 0 {
-                    step_wait_keys(self, &call.st, step, &mut keys);
+                if step_classes(step) & Self::older_mask(&older, call.comm_id()) == 0 {
+                    step_wait_keys(&call.comm, &call.st, step, &mut keys);
                 }
             }
-            older |= call.rem_mask();
+            Self::fold_older(&mut older, call.comm_id(), call.rem_mask());
         }
         keys
     }
@@ -507,7 +569,7 @@ impl SrmComm {
     fn nb_wait_below(&self, ctx: &Ctx, cap: usize) {
         loop {
             self.nb_progress(ctx);
-            if self.pending.borrow().len() < cap {
+            if self.shared.pending.lock().expect("queue poisoned").len() < cap {
                 return;
             }
             let keys = self.nb_collect_wait_keys();
@@ -522,11 +584,22 @@ impl SrmComm {
     pub(crate) fn nb_wait_id(&self, ctx: &Ctx, id: u64) {
         loop {
             self.nb_progress(ctx);
-            if self.completed.borrow_mut().remove(&id) {
+            if self
+                .shared
+                .completed
+                .lock()
+                .expect("set poisoned")
+                .remove(&id)
+            {
                 return;
             }
             assert!(
-                self.pending.borrow().iter().any(|c| c.id == id),
+                self.shared
+                    .pending
+                    .lock()
+                    .expect("queue poisoned")
+                    .iter()
+                    .any(|c| c.id == id),
                 "wait on unknown or already-waited request {id}"
             );
             let keys = self.nb_collect_wait_keys();
@@ -540,13 +613,30 @@ impl SrmComm {
     /// consume the completion — `wait` still must be called.
     pub(crate) fn nb_test(&self, ctx: &Ctx, id: u64) -> bool {
         self.nb_progress(ctx);
-        if !self.completed.borrow().contains(&id) {
+        if !self
+            .shared
+            .completed
+            .lock()
+            .expect("set poisoned")
+            .contains(&id)
+        {
             self.rma.poll(ctx, ctx.config().lapi_counter_check);
             self.nb_progress(ctx);
         }
-        let done = self.completed.borrow().contains(&id);
+        let done = self
+            .shared
+            .completed
+            .lock()
+            .expect("set poisoned")
+            .contains(&id);
         assert!(
-            done || self.pending.borrow().iter().any(|c| c.id == id),
+            done || self
+                .shared
+                .pending
+                .lock()
+                .expect("queue poisoned")
+                .iter()
+                .any(|c| c.id == id),
             "test on unknown or already-waited request {id}"
         );
         done

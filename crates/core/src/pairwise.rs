@@ -6,16 +6,18 @@
 //! rooted protocols use — one landing channel per node, one counter per
 //! collective — cannot express that, so this module adds three pieces:
 //!
-//! * **An address-exchange registry** ([`PairwiseState`]): at setup
-//!   time every node master allocates one inbound *landing ring* per
-//!   peer node and the handles are exchanged like registered memory, so
-//!   any master can put into any peer's ring with no per-call address
-//!   traffic (contrast the large-broadcast protocol, which exchanges
-//!   user-buffer addresses every call).
+//! * **An address-exchange registry** ([`PairwiseState`]): at
+//!   communicator-creation time every group-node master allocates one
+//!   inbound *landing ring* per peer group node and the handles are
+//!   exchanged like registered memory, so any master can put into any
+//!   peer's ring with no per-call address traffic (contrast the
+//!   large-broadcast protocol, which exchanges user-buffer addresses
+//!   every call).
 //! * **Per-pair counter families** ([`rma::CounterFamily`]): one data
-//!   counter and one credit counter per ordered `(src, dst)` node pair,
-//!   so each of the `n·(n-1)` concurrent streams synchronizes
-//!   independently.
+//!   counter and one credit counter per ordered `(src, dst)` group-node
+//!   pair, so each of the `n·(n-1)` concurrent streams synchronizes
+//!   independently. Disjoint communicators own disjoint families, so
+//!   their exchanges never share a counter.
 //! * **A segment-interleaved credit scheme**: a source may have at most
 //!   [`SrmTuning::pairwise_window`](crate::SrmTuning) puts outstanding
 //!   toward one destination (the ring has that many
@@ -24,6 +26,18 @@
 //!   returns the credit once it drains the slot. Senders round-robin
 //!   across destinations piece by piece instead of finishing one peer
 //!   before starting the next, so all streams stay in flight together.
+//!
+//! ## Group coordinates
+//!
+//! Everything here is phrased over the communicator's shape: node
+//! indices are *group-node* indices (`0..cnodes()`), slot indices are
+//! group slots, and user-buffer segments are indexed by communicator
+//! rank. When a group node's members hold consecutive communicator
+//! ranks its segments form one contiguous block of the send buffer and
+//! the stream chunks the whole block (the world fast path); otherwise
+//! the stream degrades to per-`(src_slot, dst_slot)` cell runs, because
+//! a single put needs a contiguous source. Both endpoints of a stream
+//! derive the identical piece sequence from the group shape alone.
 //!
 //! ## Why literal ring offsets are safe
 //!
@@ -49,7 +63,10 @@
 //! per-slot contribution buffers — the same contributor/consumer flag
 //! protocol the reduce tree uses, which is what keeps the node-wide
 //! contribution-channel invariant (`plan_contrib_catchup`, DESIGN.md
-//! §10.5) intact.
+//! §10.5) intact. Because the Reduce and Landing sequence bases index
+//! cross-node buffer parities, their advances are computed as maxima
+//! over the *whole group* and applied on every member, even members
+//! whose own node moved less (DESIGN.md §12.3).
 
 use crate::inter::{par, poff, seq};
 use crate::plan::{
@@ -62,15 +79,16 @@ use shmem::ShmBuffer;
 use simnet::{NodeId, SimHandle};
 
 /// The setup-time registry of the pairwise exchange subsystem: every
-/// node's inbound landing rings plus the two cluster-wide per-pair
-/// counter families. Built once by [`SrmWorld::new`](crate::SrmWorld)
-/// and shared by every communicator, exactly like registered-memory
-/// handles exchanged at initialization.
+/// group node's inbound landing rings plus the two per-communicator
+/// per-pair counter families. Built once per communicator (by
+/// [`SrmWorld::new`](crate::SrmWorld) for the world, by `comm_create`
+/// for subgroups) over the group's node count, exactly like
+/// registered-memory handles exchanged at initialization.
 pub struct PairwiseState {
     window: usize,
     chunk: usize,
-    /// `rings[dst][src]`: the ring at node `dst` receiving the stream
-    /// from node `src` (`window` slots of `chunk` bytes).
+    /// `rings[dst][src]`: the ring at group node `dst` receiving the
+    /// stream from group node `src` (`window` slots of `chunk` bytes).
     rings: Vec<Vec<ShmBuffer>>,
     /// Data counters: `pair(src, dst)` lives at `dst` and is bumped by
     /// `src`'s puts (consumed one per piece by the destination master).
@@ -103,7 +121,8 @@ impl PairwiseState {
         }
     }
 
-    /// The landing ring at `node` for the stream `src → node`.
+    /// The landing ring at group node `node` for the stream
+    /// `src → node`.
     pub fn ring(&self, node: NodeId, src: NodeId) -> &ShmBuffer {
         &self.rings[node][src]
     }
@@ -131,11 +150,11 @@ impl PairwiseState {
 
 /// One wire piece of a node-pair stream, in issue order. Every role
 /// (source slot, source master, destination master, destination slots)
-/// derives the identical piece sequence from the call shape, which is
+/// derives the identical piece sequence from the group shape, which is
 /// what lets the four plans meet without any per-call metadata
 /// exchange.
 struct WirePiece {
-    /// Slot on the source node whose user buffer holds the piece.
+    /// Group slot on the source node whose user buffer holds the piece.
     src_slot: usize,
     /// Offset of the piece in that slot's user buffer.
     src_off: usize,
@@ -147,116 +166,146 @@ struct WirePiece {
     overlaps: Vec<(usize, usize, usize, usize)>,
 }
 
-/// Pieces of the alltoall stream `s → d`: each source slot's contiguous
-/// per-destination-node block (`p·len` bytes starting at `d·p·len` of
-/// the send half), chunked. A chunk may span several destination-slot
-/// segments; the overlap list splits it.
-fn alltoall_stream(
-    p: usize,
-    len: usize,
-    chunk: usize,
-    rbase: usize,
-    s: NodeId,
-    d: NodeId,
-) -> Vec<WirePiece> {
-    let block = p * len;
-    let per = SrmTuning::chunk_count(block, chunk);
-    let mut out = Vec::with_capacity(p * per);
-    for u in 0..p {
-        for kc in 0..per {
-            let koff = kc * chunk;
-            let clen = chunk.min(block - koff);
-            let mut overlaps = Vec::new();
-            for t in 0..p {
-                let lo = koff.max(t * len);
-                let hi = (koff + clen).min((t + 1) * len);
-                if lo < hi {
-                    overlaps.push((
-                        t,
-                        lo - koff,
-                        rbase + (s * p + u) * len + (lo - t * len),
-                        hi - lo,
-                    ));
+impl SrmComm {
+    /// Pieces of the alltoall stream `s → d` (group nodes): each source
+    /// slot's send segments for the destination node's members,
+    /// chunked. When `d`'s members hold consecutive communicator ranks
+    /// the segments are one contiguous `slots·len` block and a chunk
+    /// may span several destination-slot segments (the overlap list
+    /// splits it); otherwise every `(src_slot, dst_slot)` cell is its
+    /// own chunk run.
+    fn alltoall_stream(
+        &self,
+        len: usize,
+        chunk: usize,
+        rbase: usize,
+        s: NodeId,
+        d: NodeId,
+    ) -> Vec<WirePiece> {
+        let sp = self.cslots_on(s);
+        let dp = self.cslots_on(d);
+        let mut out = Vec::new();
+        if self.ccontig(d) {
+            let base = self.crank_at(d, 0) * len;
+            let block = dp * len;
+            let per = SrmTuning::chunk_count(block, chunk);
+            for u in 0..sp {
+                let cu = self.crank_at(s, u);
+                for kc in 0..per {
+                    let koff = kc * chunk;
+                    let clen = chunk.min(block - koff);
+                    let mut overlaps = Vec::new();
+                    for t in 0..dp {
+                        let lo = koff.max(t * len);
+                        let hi = (koff + clen).min((t + 1) * len);
+                        if lo < hi {
+                            overlaps.push((
+                                t,
+                                lo - koff,
+                                rbase + cu * len + (lo - t * len),
+                                hi - lo,
+                            ));
+                        }
+                    }
+                    out.push(WirePiece {
+                        src_slot: u,
+                        src_off: base + koff,
+                        len: clen,
+                        overlaps,
+                    });
                 }
             }
-            out.push(WirePiece {
-                src_slot: u,
-                src_off: d * block + koff,
-                len: clen,
-                overlaps,
-            });
-        }
-    }
-    out
-}
-
-/// Pieces of the alltoallv stream `s → d`: the ragged `(src_slot,
-/// dst_slot)` cells of the count grid in a fixed nested order, each
-/// chunked. Every piece targets exactly one destination slot.
-#[allow(clippy::too_many_arguments)] // all eight are independent stream coordinates
-fn alltoallv_stream(
-    p: usize,
-    n: usize,
-    seg: usize,
-    counts: &[usize],
-    chunk: usize,
-    rbase: usize,
-    s: NodeId,
-    d: NodeId,
-) -> Vec<WirePiece> {
-    let mut out = Vec::new();
-    for u in 0..p {
-        for t in 0..p {
-            let cnt = counts[(s * p + u) * n + (d * p + t)];
-            if cnt == 0 {
-                continue;
-            }
-            for kc in 0..cnt.div_ceil(chunk) {
-                let koff = kc * chunk;
-                let clen = chunk.min(cnt - koff);
-                out.push(WirePiece {
-                    src_slot: u,
-                    src_off: (d * p + t) * seg + koff,
-                    len: clen,
-                    overlaps: vec![(t, 0, rbase + (s * p + u) * seg + koff, clen)],
-                });
+        } else {
+            let per = SrmTuning::chunk_count(len, chunk);
+            for u in 0..sp {
+                let cu = self.crank_at(s, u);
+                for t in 0..dp {
+                    let ct = self.crank_at(d, t);
+                    for kc in 0..per {
+                        let koff = kc * chunk;
+                        let clen = chunk.min(len - koff);
+                        out.push(WirePiece {
+                            src_slot: u,
+                            src_off: ct * len + koff,
+                            len: clen,
+                            overlaps: vec![(t, 0, rbase + cu * len + koff, clen)],
+                        });
+                    }
+                }
             }
         }
+        out
     }
-    out
-}
 
-impl SrmComm {
+    /// Pieces of the alltoallv stream `s → d` (group nodes): the ragged
+    /// `(src_slot, dst_slot)` cells of the communicator-rank count grid
+    /// in a fixed nested order, each chunked. Every piece targets
+    /// exactly one destination slot.
+    fn alltoallv_stream(
+        &self,
+        seg: usize,
+        counts: &[usize],
+        chunk: usize,
+        rbase: usize,
+        s: NodeId,
+        d: NodeId,
+    ) -> Vec<WirePiece> {
+        let n = self.csize();
+        let mut out = Vec::new();
+        for u in 0..self.cslots_on(s) {
+            let cu = self.crank_at(s, u);
+            for t in 0..self.cslots_on(d) {
+                let ct = self.crank_at(d, t);
+                let cnt = counts[cu * n + ct];
+                if cnt == 0 {
+                    continue;
+                }
+                for kc in 0..cnt.div_ceil(chunk) {
+                    let koff = kc * chunk;
+                    let clen = chunk.min(cnt - koff);
+                    out.push(WirePiece {
+                        src_slot: u,
+                        src_off: ct * seg + koff,
+                        len: clen,
+                        overlaps: vec![(t, 0, rbase + cu * seg + koff, clen)],
+                    });
+                }
+            }
+        }
+        out
+    }
+
     /// Emit the inter-node part of a pairwise exchange: the credit-
-    /// windowed round-robin over every `(src, dst)` stream produced by
-    /// `streams`, with non-master outbound data staged through the
-    /// contribution buffers and inbound pieces republished on the
-    /// landing pair. Caller handles the intra-node exchange.
+    /// windowed round-robin over every `(src, dst)` group-node stream
+    /// produced by `streams`, with non-master outbound data staged
+    /// through the contribution buffers and inbound pieces republished
+    /// on the landing pair. Caller handles the intra-node exchange.
     fn plan_pairwise_wire<F>(&self, b: &mut PlanBuilder, streams: F)
     where
         F: Fn(NodeId, NodeId) -> Vec<WirePiece>,
     {
-        let topo = self.topology();
-        let nodes = topo.nodes();
+        let nodes = self.cnodes();
         if nodes <= 1 {
             return;
         }
         let t = self.tuning();
-        let p = topo.tasks_per_node();
         let chunk = t.pairwise_chunk;
         let w = t.pairwise_window;
-        let me = self.node();
-        let my = self.slot();
+        let me = self.cnode();
+        let my = self.cslot();
+        let p = self.cslots_here();
+        let local_multi = p > 1;
         let read_streams = p.saturating_sub(1).max(1);
 
         // Stream lengths and per-slot staging totals of the whole
-        // cluster: the sequence-base advances must be globally uniform
-        // (cross-node protocols resolve buffer parities against their
-        // own bases), so every rank advances by the cluster-wide
-        // maxima even when its own node moved less.
+        // group: the sequence-base advances must be uniform across
+        // every communicator member (cross-node protocols resolve
+        // buffer parities against their own bases), so every rank
+        // advances by the group-wide maxima even when its own node
+        // moved less.
         let mut inbound = vec![0u64; nodes];
-        let mut staged = vec![0u64; nodes * p];
-        for s in 0..nodes {
+        let mut staged: Vec<Vec<u64>> = (0..nodes).map(|g| vec![0u64; self.cslots_on(g)]).collect();
+        for (s, stage) in staged.iter_mut().enumerate() {
             for (d, inb) in inbound.iter_mut().enumerate() {
                 if s == d {
                     continue;
@@ -264,12 +313,12 @@ impl SrmComm {
                 for piece in streams(s, d) {
                     *inb += 1;
                     if piece.src_slot != 0 {
-                        staged[s * p + piece.src_slot] += 1;
+                        stage[piece.src_slot] += 1;
                     }
                 }
             }
         }
-        let r_adv = staged.iter().copied().max().unwrap_or(0);
+        let r_adv = staged.iter().flatten().copied().max().unwrap_or(0);
         let g_land = inbound.iter().copied().max().unwrap_or(0);
 
         let rel0 = b.rel(SeqBase::Reduce);
@@ -309,7 +358,7 @@ impl SrmComm {
                             n: 1,
                         });
                         b.push(Step::RmaPut {
-                            to: topo.master_of(*d),
+                            to: self.cmaster_of(*d),
                             src: BufRef::User,
                             src_off: Off::Lit(piece.src_off),
                             dst: BufRef::PairwiseRing { node: *d, src: me },
@@ -331,7 +380,7 @@ impl SrmComm {
                             n: 1,
                         });
                         b.push(Step::RmaPut {
-                            to: topo.master_of(*d),
+                            to: self.cmaster_of(*d),
                             src: BufRef::Contrib { slot: u },
                             src_off: poff(SeqBase::Reduce, rel, t.reduce_chunk),
                             dst: BufRef::PairwiseRing { node: *d, src: me },
@@ -379,7 +428,7 @@ impl SrmComm {
                         ctr: CtrRef::PairwiseData { node: me, src: *s },
                         n: 1,
                     });
-                    if p > 1 {
+                    if local_multi {
                         let lrel = lrel0 + li;
                         let lside = par(SeqBase::Landing, lrel);
                         b.push(Step::PairWaitFree {
@@ -404,7 +453,7 @@ impl SrmComm {
                         // The ring slot is copied out: return the
                         // credit before distributing locally.
                         b.push(Step::CounterPut {
-                            to: topo.master_of(*s),
+                            to: self.cmaster_of(*s),
                             ctr: CtrRef::PairwiseFree { node: *s, dst: me },
                         });
                         for &(tslot, po, recv_off, olen) in &piece.overlaps {
@@ -435,7 +484,7 @@ impl SrmComm {
                             });
                         }
                         b.push(Step::CounterPut {
-                            to: topo.master_of(*s),
+                            to: self.cmaster_of(*s),
                             ctr: CtrRef::PairwiseFree { node: *s, dst: me },
                         });
                     }
@@ -466,7 +515,7 @@ impl SrmComm {
                         side: lside,
                     });
                 }
-                if p > 1 {
+                if local_multi {
                     li += 1;
                 }
             }
@@ -485,12 +534,12 @@ impl SrmComm {
             }
         }
 
-        // Re-synchronize the contribution channels with the globally
+        // Re-synchronize the contribution channels with the group-wide
         // uniform advance. A slot that staged fewer pieces than the
-        // cluster maximum (ragged counts, or the master, which stages
-        // nothing) raises its own flags the rest of the way — but only
-        // after its consumer finished, so the flags never move
-        // backwards.
+        // group maximum (ragged counts, uneven nodes, or the master,
+        // which stages nothing) raises its own flags the rest of the
+        // way — but only after its consumer finished, so the flags
+        // never move backwards.
         if r_adv > 0 {
             let mine = if my == 0 { 0 } else { crel[my] };
             if mine > 0 && mine < r_adv {
@@ -505,78 +554,142 @@ impl SrmComm {
             }
             b.advance(SeqBase::Reduce, r_adv);
         }
-        if p > 1 && g_land > 0 {
+        // Uniform even for members whose node has a single slot: their
+        // landing pair goes unused, but the parity base must track the
+        // rest of the group (the pair flags are stateless per side, so
+        // skipping ahead is harmless).
+        if g_land > 0 {
             b.advance(SeqBase::Landing, g_land);
         }
     }
 
-    /// Intra-node leg of the alltoall: every slot in turn publishes its
-    /// own-node send block through the SMP broadcast pair; the other
-    /// slots copy out their segments.
+    /// Intra-node leg of the alltoall: every group slot in turn
+    /// publishes its send segments for this node's members through the
+    /// SMP broadcast pair; the other slots copy out their segments.
+    /// Contiguous-rank nodes publish the whole block per chunk; others
+    /// publish per `(publisher, reader)` cell.
     fn plan_local_alltoall(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
-        let p = topo.tasks_per_node();
+        let p = self.cslots_here();
         if p <= 1 {
             return;
         }
         let t = self.tuning();
         let cs = t.pairwise_chunk.min(t.smp_buf);
-        let me = self.node();
-        let my = self.slot();
-        let n = topo.nprocs();
-        let rbase = n * len;
-        let block = p * len;
-        let per = SrmTuning::chunk_count(block, cs);
+        let me = self.cnode();
+        let my = self.cslot();
+        let rbase = self.csize() * len;
         let srel0 = b.rel(SeqBase::Smp);
         let streams = (p - 1).max(1);
-        for u in 0..p {
-            for kc in 0..per {
-                let srel = srel0 + (u * per + kc) as u64;
-                let side = par(SeqBase::Smp, srel);
-                let koff = kc * cs;
-                let clen = cs.min(block - koff);
-                if my == u {
-                    b.push(Step::PairWaitFree {
-                        pair: PairSel::Smp,
-                        side,
-                    });
-                    b.push(Step::ShmCopy {
-                        src: BufRef::User,
-                        src_off: Off::Lit(me * block + koff),
-                        dst: BufRef::Smp { side },
-                        dst_off: Off::Lit(0),
-                        len: clen,
-                        cost: CopyCost::Write(streams),
-                    });
-                    b.push(Step::PairPublish {
-                        pair: PairSel::Smp,
-                        side,
-                    });
-                } else {
-                    b.push(Step::PairWaitPublished {
-                        pair: PairSel::Smp,
-                        side,
-                    });
-                    let lo = koff.max(my * len);
-                    let hi = (koff + clen).min((my + 1) * len);
-                    if lo < hi {
+        if self.ccontig(me) {
+            let base = self.crank_at(me, 0) * len;
+            let block = p * len;
+            let per = SrmTuning::chunk_count(block, cs);
+            for u in 0..p {
+                let cu = self.crank_at(me, u);
+                for kc in 0..per {
+                    let srel = srel0 + (u * per + kc) as u64;
+                    let side = par(SeqBase::Smp, srel);
+                    let koff = kc * cs;
+                    let clen = cs.min(block - koff);
+                    if my == u {
+                        b.push(Step::PairWaitFree {
+                            pair: PairSel::Smp,
+                            side,
+                        });
                         b.push(Step::ShmCopy {
-                            src: BufRef::Smp { side },
-                            src_off: Off::Lit(lo - koff),
-                            dst: BufRef::User,
-                            dst_off: Off::Lit(rbase + (me * p + u) * len + (lo - my * len)),
-                            len: hi - lo,
-                            cost: CopyCost::Read(streams),
+                            src: BufRef::User,
+                            src_off: Off::Lit(base + koff),
+                            dst: BufRef::Smp { side },
+                            dst_off: Off::Lit(0),
+                            len: clen,
+                            cost: CopyCost::Write(streams),
+                        });
+                        b.push(Step::PairPublish {
+                            pair: PairSel::Smp,
+                            side,
+                        });
+                    } else {
+                        b.push(Step::PairWaitPublished {
+                            pair: PairSel::Smp,
+                            side,
+                        });
+                        let lo = koff.max(my * len);
+                        let hi = (koff + clen).min((my + 1) * len);
+                        if lo < hi {
+                            b.push(Step::ShmCopy {
+                                src: BufRef::Smp { side },
+                                src_off: Off::Lit(lo - koff),
+                                dst: BufRef::User,
+                                dst_off: Off::Lit(rbase + cu * len + (lo - my * len)),
+                                len: hi - lo,
+                                cost: CopyCost::Read(streams),
+                            });
+                        }
+                        b.push(Step::PairRelease {
+                            pair: PairSel::Smp,
+                            side,
                         });
                     }
-                    b.push(Step::PairRelease {
-                        pair: PairSel::Smp,
-                        side,
-                    });
                 }
             }
+            b.advance(SeqBase::Smp, (p * per) as u64);
+        } else {
+            let per = SrmTuning::chunk_count(len, cs);
+            let mut si = 0u64;
+            for u in 0..p {
+                let cu = self.crank_at(me, u);
+                for tl in 0..p {
+                    if tl == u {
+                        continue;
+                    }
+                    let ctl = self.crank_at(me, tl);
+                    for kc in 0..per {
+                        let koff = kc * cs;
+                        let clen = cs.min(len - koff);
+                        let side = par(SeqBase::Smp, srel0 + si);
+                        si += 1;
+                        if my == u {
+                            b.push(Step::PairWaitFree {
+                                pair: PairSel::Smp,
+                                side,
+                            });
+                            b.push(Step::ShmCopy {
+                                src: BufRef::User,
+                                src_off: Off::Lit(ctl * len + koff),
+                                dst: BufRef::Smp { side },
+                                dst_off: Off::Lit(0),
+                                len: clen,
+                                cost: CopyCost::Write(1),
+                            });
+                            b.push(Step::PairPublish {
+                                pair: PairSel::Smp,
+                                side,
+                            });
+                        } else {
+                            b.push(Step::PairWaitPublished {
+                                pair: PairSel::Smp,
+                                side,
+                            });
+                            if my == tl {
+                                b.push(Step::ShmCopy {
+                                    src: BufRef::Smp { side },
+                                    src_off: Off::Lit(0),
+                                    dst: BufRef::User,
+                                    dst_off: Off::Lit(rbase + cu * len + koff),
+                                    len: clen,
+                                    cost: CopyCost::Read(1),
+                                });
+                            }
+                            b.push(Step::PairRelease {
+                                pair: PairSel::Smp,
+                                side,
+                            });
+                        }
+                    }
+                }
+            }
+            b.advance(SeqBase::Smp, si);
         }
-        b.advance(SeqBase::Smp, (p * per) as u64);
     }
 
     /// Intra-node leg of the alltoallv: ragged `(publisher, reader)`
@@ -584,25 +697,26 @@ impl SrmComm {
     /// non-publishing slot handshakes every piece (the pair protocol
     /// needs all readers to release) but only the addressee copies.
     fn plan_local_alltoallv(&self, b: &mut PlanBuilder, seg: usize, counts: &[usize]) {
-        let topo = self.topology();
-        let p = topo.tasks_per_node();
+        let p = self.cslots_here();
         if p <= 1 {
             return;
         }
         let t = self.tuning();
         let cs = t.pairwise_chunk.min(t.smp_buf);
-        let me = self.node();
-        let my = self.slot();
-        let n = topo.nprocs();
+        let me = self.cnode();
+        let my = self.cslot();
+        let n = self.csize();
         let rbase = n * seg;
         let srel0 = b.rel(SeqBase::Smp);
         let mut si = 0u64;
         for u in 0..p {
+            let cu = self.crank_at(me, u);
             for tl in 0..p {
                 if tl == u {
                     continue;
                 }
-                let cnt = counts[(me * p + u) * n + (me * p + tl)];
+                let ctl = self.crank_at(me, tl);
+                let cnt = counts[cu * n + ctl];
                 if cnt == 0 {
                     continue;
                 }
@@ -618,7 +732,7 @@ impl SrmComm {
                         });
                         b.push(Step::ShmCopy {
                             src: BufRef::User,
-                            src_off: Off::Lit((me * p + tl) * seg + koff),
+                            src_off: Off::Lit(ctl * seg + koff),
                             dst: BufRef::Smp { side },
                             dst_off: Off::Lit(0),
                             len: clen,
@@ -638,7 +752,7 @@ impl SrmComm {
                                 src: BufRef::Smp { side },
                                 src_off: Off::Lit(0),
                                 dst: BufRef::User,
-                                dst_off: Off::Lit(rbase + (me * p + u) * seg + koff),
+                                dst_off: Off::Lit(rbase + cu * seg + koff),
                                 len: clen,
                                 cost: CopyCost::Read(1),
                             });
@@ -655,19 +769,17 @@ impl SrmComm {
     }
 
     /// Plan an alltoall of `len`-byte segments: the send half of the
-    /// user buffer (`nprocs·len` bytes, segment `j` for rank `j`) is
-    /// exchanged into the receive half (the next `nprocs·len` bytes,
-    /// segment `i` from rank `i`).
+    /// user buffer (`csize·len` bytes, segment `j` for communicator
+    /// rank `j`) is exchanged into the receive half (the next
+    /// `csize·len` bytes, segment `i` from communicator rank `i`).
     pub(crate) fn plan_alltoall(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
         if len == 0 {
             return;
         }
-        let n = topo.nprocs();
-        let p = topo.tasks_per_node();
+        let n = self.csize();
         let chunk = self.tuning().pairwise_chunk;
         let rbase = n * len;
-        let me = self.rank();
+        let me = self.crank();
         // Own segment: already local, one private copy.
         b.push(Step::ShmCopy {
             src: BufRef::User,
@@ -678,22 +790,21 @@ impl SrmComm {
             cost: CopyCost::Read(1),
         });
         self.plan_local_alltoall(b, len);
-        self.plan_pairwise_wire(b, |s, d| alltoall_stream(p, len, chunk, rbase, s, d));
+        self.plan_pairwise_wire(b, |s, d| self.alltoall_stream(len, chunk, rbase, s, d));
     }
 
-    /// Plan an alltoallv on the `seg`-strided grid layout: rank `i`
-    /// sends `counts[i·n + j]` bytes from send segment `j` to rank `j`,
-    /// receiving into receive segment `i` of the second half.
+    /// Plan an alltoallv on the `seg`-strided grid layout: communicator
+    /// rank `i` sends `counts[i·n + j]` bytes from send segment `j` to
+    /// communicator rank `j`, receiving into receive segment `i` of the
+    /// second half.
     pub(crate) fn plan_alltoallv(&self, b: &mut PlanBuilder, seg: usize, counts: &[usize]) {
-        let topo = self.topology();
-        let n = topo.nprocs();
+        let n = self.csize();
         if seg == 0 {
             return;
         }
-        let p = topo.tasks_per_node();
         let chunk = self.tuning().pairwise_chunk;
         let rbase = n * seg;
-        let me = self.rank();
+        let me = self.crank();
         let own = counts[me * n + me];
         if own > 0 {
             b.push(Step::ShmCopy {
@@ -707,52 +818,58 @@ impl SrmComm {
         }
         self.plan_local_alltoallv(b, seg, counts);
         self.plan_pairwise_wire(b, |s, d| {
-            alltoallv_stream(p, n, seg, counts, chunk, rbase, s, d)
+            self.alltoallv_stream(seg, counts, chunk, rbase, s, d)
         });
     }
 
     /// Plan a reduce-scatter of `len`-byte result segments: the user
-    /// buffer holds `nprocs` contribution segments; after the call,
-    /// segment `me` holds the element-wise reduction of every rank's
-    /// segment `me`. Each chunk round reduces one chunk of every peer
+    /// buffer holds `csize` contribution segments; after the call,
+    /// segment `me` holds the element-wise reduction of every member's
+    /// segment `me`. Each piece round reduces one piece of every peer
     /// node's block up the SMP tree, streams it into the peer's landing
-    /// ring, then folds the arrived peer chunks into the own-block
-    /// reduction and scatters the finished chunk through the landing
-    /// pair.
+    /// ring, then folds the arrived peer pieces into the own-block
+    /// reduction and scatters the finished piece through the landing
+    /// pair. Node blocks decompose exactly like the scatter protocol's
+    /// ([`SrmComm::scatter_pieces`]), so non-contiguous and uneven
+    /// groups work and both ends of every stream agree on the piece
+    /// sequence.
     pub(crate) fn plan_reduce_scatter(&self, b: &mut PlanBuilder, len: usize) {
-        let topo = self.topology();
-        let n = topo.nprocs();
+        let n = self.csize();
         if len == 0 || n == 1 {
             return;
         }
         let t = self.tuning();
-        let p = topo.tasks_per_node();
-        let nodes = topo.nodes();
-        // Unlike the byte-oriented alltoall streams, reduce chunks are
-        // combined elementwise, so every chunk boundary must fall on an
+        let nodes = self.cnodes();
+        // Unlike the byte-oriented alltoall streams, reduce pieces are
+        // combined elementwise, so every piece boundary must fall on an
         // element boundary: round the configured chunk down to the
         // 8-byte grid (a multiple of every supported element size).
         let chunk = (t.pairwise_chunk & !7).max(8);
         let w = t.pairwise_window;
-        let block = p * len;
-        let per = SrmTuning::chunk_count(block, chunk);
-        let me = self.node();
-        let my = self.slot();
-        let multi = topo.multi_node();
+        let me = self.cnode();
+        let my = self.cslot();
+        let p = self.cslots_here();
+        let multi = self.cmulti();
         let read_streams = p.saturating_sub(1).max(1);
         let rel0 = b.rel(SeqBase::Reduce);
         let lrel0 = b.rel(SeqBase::Landing);
         let mut rel = rel0;
 
-        for kc in 0..per {
-            let koff = kc * chunk;
-            let clen = chunk.min(block - koff);
-            let ring_off = Off::Lit((kc % w) * chunk);
-            // Peer-node blocks: reduce this chunk to the master and
+        let pieces: Vec<Vec<(usize, usize, usize)>> = (0..nodes)
+            .map(|d| self.scatter_pieces(d, len, chunk))
+            .collect();
+        let rounds = pieces.iter().map(|v| v.len()).max().unwrap_or(0);
+
+        for k in 0..rounds {
+            let ring_off = Off::Lit((k % w) * chunk);
+            // Peer-node blocks: reduce this piece to the master and
             // stream it out, round-robin over destinations.
             if multi {
                 for d in (0..nodes).filter(|&d| d != me) {
-                    let is_root = self.plan_smp_reduce_chunk(b, d * block + koff, clen, rel, 0);
+                    let Some(&(boff, _, plen)) = pieces[d].get(k) else {
+                        continue;
+                    };
+                    let is_root = self.plan_smp_reduce_chunk(b, boff, plen, rel, 0);
                     rel += 1;
                     if is_root {
                         b.push(Step::CreditWait {
@@ -768,24 +885,27 @@ impl SrmComm {
                             src_off: Off::Lit(0),
                             dst: BufRef::Contrib { slot: 0 },
                             dst_off: Off::Lit(0),
-                            len: clen,
+                            len: plen,
                             cost: CopyCost::Free,
                         });
                         b.push(Step::RmaPut {
-                            to: topo.master_of(d),
+                            to: self.cmaster_of(d),
                             src: BufRef::Contrib { slot: 0 },
                             src_off: Off::Lit(0),
                             dst: BufRef::PairwiseRing { node: d, src: me },
                             dst_off: ring_off,
-                            len: clen,
+                            len: plen,
                             ctr: Some(CtrRef::PairwiseData { node: d, src: me }),
                         });
                     }
                 }
             }
             // Own block: reduce the node's contributions, fold in the
-            // peers' arrived chunks, distribute the finished chunk.
-            let is_root = self.plan_smp_reduce_chunk(b, me * block + koff, clen, rel, 0);
+            // peers' arrived pieces, distribute the finished piece.
+            let Some(&(boff, blk, plen)) = pieces[me].get(k) else {
+                continue;
+            };
+            let is_root = self.plan_smp_reduce_chunk(b, boff, plen, rel, 0);
             rel += 1;
             if is_root {
                 if multi {
@@ -797,18 +917,20 @@ impl SrmComm {
                         b.push(Step::LocalReduce {
                             src: BufRef::PairwiseRing { node: me, src: s },
                             src_off: ring_off,
-                            len: clen,
+                            len: plen,
                         });
                         b.push(Step::CounterPut {
-                            to: topo.master_of(s),
+                            to: self.cmaster_of(s),
                             ctr: CtrRef::PairwiseFree { node: s, dst: me },
                         });
                     }
                 }
-                let lo = koff;
-                let hi = (koff + clen).min(len);
+                // The subtree root is group slot 0, whose result
+                // segment occupies `[0, len)` of the logical block.
+                let lo = blk;
+                let hi = (blk + plen).min(len);
                 if p > 1 {
-                    let lside = par(SeqBase::Landing, lrel0 + kc as u64);
+                    let lside = par(SeqBase::Landing, lrel0 + k as u64);
                     b.push(Step::PairWaitFree {
                         pair: PairSel::Landing,
                         side: lside,
@@ -821,7 +943,7 @@ impl SrmComm {
                             side: lside,
                         },
                         dst_off: Off::Lit(0),
-                        len: clen,
+                        len: plen,
                         cost: CopyCost::Write(1),
                     });
                     b.push(Step::PairPublish {
@@ -834,42 +956,42 @@ impl SrmComm {
                                 node: me,
                                 side: lside,
                             },
-                            src_off: Off::Lit(0),
+                            src_off: Off::Lit(lo - blk),
                             dst: BufRef::User,
-                            dst_off: Off::Lit(me * block + lo),
+                            dst_off: Off::Lit(self.crank() * len + lo),
                             len: hi - lo,
                             cost: CopyCost::Read(read_streams),
                         });
                     }
                 } else {
-                    // Single-task node: the accumulator is the result.
+                    // Single-member node: the accumulator is the result.
                     b.push(Step::ShmCopy {
                         src: BufRef::Acc,
                         src_off: Off::Lit(0),
                         dst: BufRef::User,
-                        dst_off: Off::Lit(me * block + koff),
-                        len: clen,
+                        dst_off: Off::Lit(self.crank() * len + blk),
+                        len: plen,
                         cost: CopyCost::Free,
                     });
                 }
             } else {
                 // Non-root slot: read my result overlap off the pair.
-                let lside = par(SeqBase::Landing, lrel0 + kc as u64);
+                let lside = par(SeqBase::Landing, lrel0 + k as u64);
                 b.push(Step::PairWaitPublished {
                     pair: PairSel::Landing,
                     side: lside,
                 });
-                let lo = koff.max(my * len);
-                let hi = (koff + clen).min((my + 1) * len);
+                let lo = blk.max(my * len);
+                let hi = (blk + plen).min((my + 1) * len);
                 if lo < hi {
                     b.push(Step::ShmCopy {
                         src: BufRef::Landing {
                             node: me,
                             side: lside,
                         },
-                        src_off: Off::Lit(lo - koff),
+                        src_off: Off::Lit(lo - blk),
                         dst: BufRef::User,
-                        dst_off: Off::Lit(me * block + lo),
+                        dst_off: Off::Lit(self.crank() * len + (lo - my * len)),
                         len: hi - lo,
                         cost: CopyCost::Read(read_streams),
                     });
@@ -883,10 +1005,12 @@ impl SrmComm {
 
         if multi && my == 0 {
             for d in (0..nodes).filter(|&d| d != me) {
-                b.push(Step::CounterWaitGe {
-                    ctr: CtrRef::PairwiseFree { node: me, dst: d },
-                    val: Val::Lit(w as u64),
-                });
+                if !pieces[d].is_empty() {
+                    b.push(Step::CounterWaitGe {
+                        ctr: CtrRef::PairwiseFree { node: me, dst: d },
+                        val: Val::Lit(w as u64),
+                    });
+                }
             }
         }
         if my == 0 {
@@ -894,9 +1018,14 @@ impl SrmComm {
             // staged none of its own.
             self.plan_contrib_catchup(b, rel);
         }
+        // `rel - rel0` is `Σ_d pieces[d].len()` on every member (each
+        // walks all destinations plus its own block), so the Reduce
+        // advance is uniform by construction; Landing advances by the
+        // round count — the largest per-node piece count — on every
+        // member for the same parity-uniformity reason as the wire.
         b.advance(SeqBase::Reduce, rel - rel0);
-        if p > 1 {
-            b.advance(SeqBase::Landing, per as u64);
+        if rounds > 0 {
+            b.advance(SeqBase::Landing, rounds as u64);
         }
     }
 }

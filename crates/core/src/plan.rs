@@ -10,7 +10,14 @@
 //! start of a call. Re-running the same plan later therefore resolves
 //! to fresh buffer parities and flag values automatically, and a call
 //! of a given shape `(op, root, len)` plans exactly once per
-//! communicator (see [`PlanCache`]).
+//! (rank, communicator) seat (see [`PlanCache`]).
+//!
+//! Since the communicator refactor every structural operand that names
+//! a node (`node`, `src`, `dst`, `child` fields below) is a **group
+//! node index** — an index into the communicator's node list — and
+//! every root is a **comm rank**. On the world communicator these
+//! coincide with world node ids and world ranks, and the compiled
+//! plans are identical to the pre-communicator ones.
 //!
 //! The reduction operator and datatype are *late-bound*: a plan for
 //! `reduce(len, root)` serves every `(dtype, op)` pair, because the
@@ -657,14 +664,14 @@ impl PlanBuilder {
     }
 }
 
-/// Cache key: the shape of a collective call. Topology, tuning and
-/// tree kind are fixed per world, the datatype and operator are
-/// late-bound, so the shape is fully described by the operation, the
-/// payload length, the root (for rooted operations only) and — for
-/// `alltoallv` — the count matrix. Not `Copy`: the alltoallv shape
-/// shares its counts by `Arc`.
+/// The shape of a collective call. Topology, tuning and tree kind are
+/// fixed per world, the group is fixed per communicator, the datatype
+/// and operator are late-bound, so the shape is fully described by the
+/// operation, the payload length, the root (a **comm rank**, for
+/// rooted operations only) and — for `alltoallv` — the count matrix.
+/// Not `Copy`: the alltoallv shape shares its counts by `Arc`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub enum PlanKey {
+pub enum PlanShape {
     /// `broadcast(len, root)`.
     Bcast {
         /// Payload bytes.
@@ -748,29 +755,57 @@ pub enum PlanKey {
     },
 }
 
+/// Cache key: a [`PlanShape`] scoped to the communicator it was issued
+/// on. The comm dimension keeps keys from distinct communicators
+/// distinct even though caches are already per (rank, communicator) —
+/// and it is what the per-communicator plan metrics are attributed by.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Communicator id (0 = world).
+    pub comm: u64,
+    /// The call shape.
+    pub shape: PlanShape,
+}
+
 impl PlanKey {
     /// Canonicalize call shapes that compile to identical plans, so
     /// equivalent calls share one LRU slot instead of splitting the
-    /// cache across them. Rootless operations (allreduce, barrier,
-    /// allgather, alltoall(v), reduce_scatter) carry no root by
-    /// construction; a rooted operation whose plan cannot depend on the
-    /// root — an empty payload, or a single-process world, both of
-    /// which compile to the empty schedule — normalizes to root 0.
-    pub fn normalized(self, nprocs: usize) -> PlanKey {
-        let trivial = nprocs == 1;
-        match self {
-            PlanKey::Bcast { len, .. } if len == 0 || trivial => PlanKey::Bcast { len, root: 0 },
-            PlanKey::Reduce { len, .. } if len == 0 || trivial => PlanKey::Reduce { len, root: 0 },
-            PlanKey::Gather { len, .. } if len == 0 || trivial => PlanKey::Gather { len, root: 0 },
-            PlanKey::Scatter { len, .. } if len == 0 || trivial => {
-                PlanKey::Scatter { len, root: 0 }
+    /// cache across them (`csize` is the communicator's size):
+    ///
+    /// * On a **single-member** communicator every collective except
+    ///   alltoall/alltoallv compiles to the empty schedule (alltoall
+    ///   still copies the caller's own segment into the result half of
+    ///   its buffer, so it is *not* trivial), and every such shape
+    ///   collapses to the canonical `Barrier`.
+    /// * A rooted operation with an **empty payload** compiles to the
+    ///   empty schedule regardless of root, and normalizes to root 0.
+    /// * A rootless allgather/allreduce/alltoall with an empty payload
+    ///   likewise compiles to the empty schedule; all three collapse to
+    ///   the canonical `Allreduce { len: 0 }` slot.
+    pub fn normalized(self, csize: usize) -> PlanKey {
+        use PlanShape as S;
+        let trivial = csize == 1;
+        let shape = match self.shape {
+            S::Alltoall { .. } | S::Alltoallv { .. } if trivial => self.shape,
+            _ if trivial => S::Barrier,
+            S::Bcast { len, .. } if len == 0 => S::Bcast { len, root: 0 },
+            S::Reduce { len, .. } if len == 0 => S::Reduce { len, root: 0 },
+            S::Gather { len, .. } if len == 0 => S::Gather { len, root: 0 },
+            S::Scatter { len, .. } if len == 0 => S::Scatter { len, root: 0 },
+            S::Allgather { len } | S::Allreduce { len } | S::Alltoall { len } if len == 0 => {
+                S::Allreduce { len: 0 }
             }
-            k => k,
+            s => s,
+        };
+        PlanKey {
+            comm: self.comm,
+            shape,
         }
     }
 }
 
-/// Per-communicator LRU cache of compiled plans, keyed by call shape.
+/// Per-(rank, communicator) LRU cache of compiled plans, keyed by call
+/// shape.
 /// Capacity comes from [`SrmTuning::plan_cache_cap`](crate::SrmTuning::plan_cache_cap)
 /// (`crate::SrmTuning`); the benchmark sweeps repeat each shape
 /// hundreds of times, so a small cache removes all re-planning from
@@ -824,26 +859,34 @@ impl PlanCache {
 }
 
 impl SrmComm {
+    /// Wrap a call shape in this communicator's cache key.
+    pub fn key(&self, shape: PlanShape) -> PlanKey {
+        PlanKey {
+            comm: self.comm_id(),
+            shape,
+        }
+    }
+
     /// Compile the plan for `key` on this rank (no caching — the
     /// cached path is [`SrmComm::plan_for`]).
     pub fn build_plan(&self, key: &PlanKey) -> Plan {
         let mut b = PlanBuilder::new();
-        match key {
-            PlanKey::Bcast { len, root } => self.plan_bcast(&mut b, *len, *root),
-            PlanKey::Reduce { len, root } => self.plan_reduce(&mut b, *len, *root),
-            PlanKey::Allreduce { len } => self.plan_allreduce(&mut b, *len),
-            PlanKey::Barrier => self.plan_barrier(&mut b),
-            PlanKey::Gather { len, root } => self.plan_gather(&mut b, *len, *root),
-            PlanKey::Scatter { len, root } => self.plan_scatter(&mut b, *len, *root),
-            PlanKey::Allgather { len } => self.plan_allgather(&mut b, *len),
-            PlanKey::Alltoall { len } => self.plan_alltoall(&mut b, *len),
-            PlanKey::Alltoallv { seg, counts } => self.plan_alltoallv(&mut b, *seg, counts),
-            PlanKey::ReduceScatter { len } => self.plan_reduce_scatter(&mut b, *len),
-            PlanKey::SmpBcast { len, writer } => self.plan_smp_bcast(&mut b, *len, *writer),
-            PlanKey::SmpBcastTree { len, writer } => {
+        match &key.shape {
+            PlanShape::Bcast { len, root } => self.plan_bcast(&mut b, *len, *root),
+            PlanShape::Reduce { len, root } => self.plan_reduce(&mut b, *len, *root),
+            PlanShape::Allreduce { len } => self.plan_allreduce(&mut b, *len),
+            PlanShape::Barrier => self.plan_barrier(&mut b),
+            PlanShape::Gather { len, root } => self.plan_gather(&mut b, *len, *root),
+            PlanShape::Scatter { len, root } => self.plan_scatter(&mut b, *len, *root),
+            PlanShape::Allgather { len } => self.plan_allgather(&mut b, *len),
+            PlanShape::Alltoall { len } => self.plan_alltoall(&mut b, *len),
+            PlanShape::Alltoallv { seg, counts } => self.plan_alltoallv(&mut b, *seg, counts),
+            PlanShape::ReduceScatter { len } => self.plan_reduce_scatter(&mut b, *len),
+            PlanShape::SmpBcast { len, writer } => self.plan_smp_bcast(&mut b, *len, *writer),
+            PlanShape::SmpBcastTree { len, writer } => {
                 self.plan_smp_bcast_tree(&mut b, *len, *writer)
             }
-            PlanKey::SmpBcastSistare { len, writer } => {
+            PlanShape::SmpBcastSistare { len, writer } => {
                 self.plan_smp_bcast_sistare(&mut b, *len, *writer)
             }
         }
@@ -855,25 +898,86 @@ impl SrmComm {
 mod tests {
     use super::*;
 
+    fn key(shape: PlanShape) -> PlanKey {
+        PlanKey { comm: 0, shape }
+    }
+
     #[test]
     fn lru_evicts_oldest() {
         let mut c = PlanCache::new(2);
         let p = Arc::new(Plan::default());
-        c.insert(PlanKey::Barrier, p.clone());
-        c.insert(PlanKey::Allreduce { len: 8 }, p.clone());
-        assert!(c.get(&PlanKey::Barrier).is_some()); // refresh
-        c.insert(PlanKey::Allgather { len: 8 }, p);
-        assert!(c.get(&PlanKey::Barrier).is_some());
-        assert!(c.get(&PlanKey::Allreduce { len: 8 }).is_none());
+        c.insert(key(PlanShape::Barrier), p.clone());
+        c.insert(key(PlanShape::Allreduce { len: 8 }), p.clone());
+        assert!(c.get(&key(PlanShape::Barrier)).is_some()); // refresh
+        c.insert(key(PlanShape::Allgather { len: 8 }), p);
+        assert!(c.get(&key(PlanShape::Barrier)).is_some());
+        assert!(c.get(&key(PlanShape::Allreduce { len: 8 })).is_none());
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = PlanCache::new(0);
-        c.insert(PlanKey::Barrier, Arc::new(Plan::default()));
-        assert!(c.get(&PlanKey::Barrier).is_none());
+        c.insert(key(PlanShape::Barrier), Arc::new(Plan::default()));
+        assert!(c.get(&key(PlanShape::Barrier)).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn comm_dimension_keeps_keys_distinct() {
+        let mut c = PlanCache::new(4);
+        let p = Arc::new(Plan::default());
+        c.insert(key(PlanShape::Barrier), p);
+        let other = PlanKey {
+            comm: 7,
+            shape: PlanShape::Barrier,
+        };
+        assert!(c.get(&other).is_none());
+        assert!(c.get(&key(PlanShape::Barrier)).is_some());
+    }
+
+    #[test]
+    fn normalized_collapses_empty_rooted_roots() {
+        for root in [1usize, 3] {
+            let k = key(PlanShape::Bcast { len: 0, root }).normalized(4);
+            assert_eq!(k, key(PlanShape::Bcast { len: 0, root: 0 }));
+            let k = key(PlanShape::Scatter { len: 0, root }).normalized(4);
+            assert_eq!(k, key(PlanShape::Scatter { len: 0, root: 0 }));
+        }
+        // Non-empty payloads keep their root.
+        let k = key(PlanShape::Bcast { len: 8, root: 2 }).normalized(4);
+        assert_eq!(k, key(PlanShape::Bcast { len: 8, root: 2 }));
+    }
+
+    #[test]
+    fn normalized_collapses_empty_rootless_shapes() {
+        // Satellite: the three rootless empty shapes share ONE slot.
+        let canon = key(PlanShape::Allreduce { len: 0 });
+        assert_eq!(key(PlanShape::Allgather { len: 0 }).normalized(4), canon);
+        assert_eq!(key(PlanShape::Allreduce { len: 0 }).normalized(4), canon);
+        assert_eq!(key(PlanShape::Alltoall { len: 0 }).normalized(4), canon);
+        // Non-empty rootless shapes are untouched.
+        let k = key(PlanShape::Alltoall { len: 8 }).normalized(4);
+        assert_eq!(k, key(PlanShape::Alltoall { len: 8 }));
+    }
+
+    #[test]
+    fn normalized_collapses_single_member_groups() {
+        let canon = key(PlanShape::Barrier);
+        assert_eq!(
+            key(PlanShape::Bcast { len: 64, root: 0 }).normalized(1),
+            canon
+        );
+        assert_eq!(key(PlanShape::Allreduce { len: 64 }).normalized(1), canon);
+        assert_eq!(key(PlanShape::Allgather { len: 64 }).normalized(1), canon);
+        assert_eq!(
+            key(PlanShape::ReduceScatter { len: 64 }).normalized(1),
+            canon
+        );
+        assert_eq!(key(PlanShape::Barrier).normalized(1), canon);
+        // alltoall still copies the own segment: not collapsed.
+        let k = key(PlanShape::Alltoall { len: 64 }).normalized(1);
+        assert_eq!(k, key(PlanShape::Alltoall { len: 64 }));
     }
 
     #[test]

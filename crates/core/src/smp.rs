@@ -24,7 +24,7 @@
 //! network steps to build their pipelines.
 
 use crate::plan::{
-    BufRef, CopyCost, FlagRef, Off, PairSel, PlanBuilder, PlanKey, SeqBase, Side, Step, Val,
+    BufRef, CopyCost, FlagRef, Off, PairSel, PlanBuilder, PlanShape, SeqBase, Side, Step, Val,
 };
 use crate::world::SrmComm;
 use shmem::ShmBuffer;
@@ -73,7 +73,7 @@ impl SrmComm {
         clen: usize,
         rel: u64,
     ) {
-        let p = self.topology().tasks_per_node();
+        let p = self.cslots_here();
         let side = Side::Parity {
             base: SeqBase::Smp,
             rel,
@@ -117,9 +117,8 @@ impl SrmComm {
     /// Plan the flat double-buffer broadcast within the node: the
     /// writer's `user[..len]` reaches every node task's `user[..len]`.
     pub(crate) fn plan_smp_bcast(&self, b: &mut PlanBuilder, len: usize, writer: Rank) {
-        let topo = self.topology();
-        debug_assert!(topo.same_node(self.me, writer));
-        if topo.tasks_per_node() == 1 || len == 0 {
+        debug_assert!(self.topology().same_node(self.me, writer));
+        if self.cslots_here() == 1 || len == 0 {
             return;
         }
         let cells = self.smp_cells(len);
@@ -141,17 +140,22 @@ impl SrmComm {
     /// `buf[..len]` reaches every node task's `buf[..len]`.
     pub fn smp_bcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
         debug_assert!(self.topology().same_node(self.me, writer));
-        self.run_planned(ctx, PlanKey::SmpBcast { len, writer }, buf, None);
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::SmpBcast { len, writer }),
+            buf,
+            None,
+        );
     }
 
     /// First half of the flat barrier: non-masters check in; the master
     /// observes every check-in.
     pub(crate) fn plan_smp_barrier_enter(&self, b: &mut PlanBuilder) {
-        let p = self.topology().tasks_per_node();
+        let p = self.cslots_here();
         if p == 1 {
             return;
         }
-        if self.is_master() {
+        if self.c_is_master() {
             for s in 1..p {
                 b.push(Step::FlagWaitEq {
                     flag: FlagRef::Barrier { slot: s },
@@ -161,7 +165,7 @@ impl SrmComm {
             }
         } else {
             b.push(Step::FlagRaise {
-                flag: FlagRef::Barrier { slot: self.slot() },
+                flag: FlagRef::Barrier { slot: self.cslot() },
                 val: Val::Lit(1),
             });
         }
@@ -170,11 +174,11 @@ impl SrmComm {
     /// Second half: the master resets every flag, releasing the
     /// non-masters, which spin on their own flag.
     pub(crate) fn plan_smp_barrier_release(&self, b: &mut PlanBuilder) {
-        let p = self.topology().tasks_per_node();
+        let p = self.cslots_here();
         if p == 1 {
             return;
         }
-        if self.is_master() {
+        if self.c_is_master() {
             for s in 1..p {
                 b.push(Step::FlagRaise {
                     flag: FlagRef::Barrier { slot: s },
@@ -183,7 +187,7 @@ impl SrmComm {
             }
         } else {
             b.push(Step::FlagWaitEq {
-                flag: FlagRef::Barrier { slot: self.slot() },
+                flag: FlagRef::Barrier { slot: self.cslot() },
                 val: Val::Lit(0),
                 label: "smp barrier release",
             });
@@ -199,8 +203,7 @@ impl SrmComm {
     /// store-and-forwards down a binomial tree of per-slot shared
     /// buffers, so every level adds a full copy to the critical path.
     pub(crate) fn plan_smp_bcast_tree(&self, b: &mut PlanBuilder, len: usize, writer: Rank) {
-        let topo = self.topology();
-        let p = topo.tasks_per_node();
+        let p = self.cslots_here();
         if p == 1 || len == 0 {
             return;
         }
@@ -208,8 +211,8 @@ impl SrmComm {
         let chunk_cap = self.tuning().reduce_chunk;
         let chunks = crate::tuning::SrmTuning::chunk_count(len, chunk_cap);
         let rel0 = b.rel(SeqBase::Tree);
-        let wslot = topo.slot_of(writer);
-        let my = self.slot();
+        let wslot = self.cgslot_of(writer);
+        let my = self.cslot();
         let vs = (my + p - wslot) % p;
         let parent = crate::embed::parent(kind, vs, p).map(|v| (v + wslot) % p);
         let kids: Vec<usize> = crate::embed::children(kind, vs, p)
@@ -284,7 +287,12 @@ impl SrmComm {
     /// `plan_smp_bcast_tree`).
     pub fn smp_bcast_tree(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
         debug_assert!(self.topology().same_node(self.me, writer));
-        self.run_planned(ctx, PlanKey::SmpBcastTree { len, writer }, buf, None);
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::SmpBcastTree { len, writer }),
+            buf,
+            None,
+        );
     }
 
     /// Plan the **barrier-synchronized** intra-node broadcast in the
@@ -294,8 +302,7 @@ impl SrmComm {
     /// stiffer against late arrivals and adding two barriers per
     /// buffer-full of data. Kept for the ablation study.
     pub(crate) fn plan_smp_bcast_sistare(&self, b: &mut PlanBuilder, len: usize, writer: Rank) {
-        let topo = self.topology();
-        let p = topo.tasks_per_node();
+        let p = self.cslots_here();
         if p == 1 || len == 0 {
             return;
         }
@@ -339,7 +346,12 @@ impl SrmComm {
     /// `plan_smp_bcast_sistare`).
     pub fn smp_bcast_sistare(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, writer: Rank) {
         debug_assert!(self.topology().same_node(self.me, writer));
-        self.run_planned(ctx, PlanKey::SmpBcastSistare { len, writer }, buf, None);
+        self.run_planned(
+            ctx,
+            self.key(PlanShape::SmpBcastSistare { len, writer }),
+            buf,
+            None,
+        );
     }
 
     /// Plan one chunk of the intra-node reduce tree (Figure 2) for
@@ -356,8 +368,7 @@ impl SrmComm {
         rel: u64,
         dst_slot: usize,
     ) -> bool {
-        let topo = self.topology();
-        let p = topo.tasks_per_node();
+        let p = self.cslots_here();
         let kind = self.tree();
         let chunk_cap = self.tuning().reduce_chunk;
         debug_assert!(clen <= chunk_cap);
@@ -367,7 +378,7 @@ impl SrmComm {
             stride: chunk_cap,
         };
 
-        let my = self.slot();
+        let my = self.cslot();
         let vs = (my + p - dst_slot) % p;
         let kids = crate::embed::children_ascending(kind, vs, p);
         let unv = |v: usize| (v + dst_slot) % p;

@@ -42,7 +42,7 @@ pub struct SrmTuning {
     /// Collectives with payloads at or below this size disable LAPI
     /// interrupts for their duration (§2.3); the barrier always does.
     pub interrupt_disable_max: usize,
-    /// Capacity of the per-communicator compiled-schedule cache
+    /// Capacity of each per-(rank, communicator) compiled-schedule cache
     /// ([`crate::plan::PlanCache`]): how many distinct call shapes
     /// `(op, root, len)` keep their plans. 0 disables caching (every
     /// call re-plans).

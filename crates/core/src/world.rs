@@ -1,30 +1,27 @@
 //! Cluster-wide SRM state: per-node shared-memory boards and per-node
 //! network landing structures, assembled once at setup (the moral
 //! equivalent of SRM's initialization-time shared-segment creation and
-//! address exchange).
+//! address exchange) — plus first-class **communicators**: every
+//! subgroup created by [`SrmWorld::comm_create`] or
+//! [`SrmWorld::comm_split`] gets its own group-relative boards, landing
+//! structures and pairwise registry, so collectives on disjoint groups
+//! never share a flag, counter or buffer.
 
-use crate::embed::TreeKind;
+use crate::embed::{GroupEmbedding, TreeKind};
 use crate::pairwise::PairwiseState;
 use crate::plan::PlanCache;
 use crate::tuning::SrmTuning;
 use rma::{LapiCounter, Rma, RmaWorld};
 use shmem::{BufPair, FlagBank, ShmBuffer, SpinFlag};
 use simnet::{NodeId, Rank, Sim, SimHandle, SimVar, Topology};
-use std::cell::{Cell, RefCell};
 use std::collections::{HashSet, VecDeque};
-use std::sync::Arc;
-
-/// Active-message handler id used for the large-broadcast address
-/// exchange (a child master sends its user-buffer handle to its
-/// parent).
-pub(crate) const AM_ADDR_XCHG: u32 = 1;
-
-/// Active-message handler id used by gather/allgather to distribute the
-/// root's user-buffer handle to every master (the masters then put
-/// segments straight into the root's buffer at their final offsets).
-pub(crate) const AM_GS_ADDR: u32 = 2;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Shared-memory structures of one SMP node, used by every task on it.
+/// Allocated **per communicator**: a subgroup's board is sized by the
+/// number of group members on the node, and disjoint groups sharing a
+/// physical node still get disjoint flags and buffers.
 pub struct NodeBoard {
     /// Intra-node broadcast double buffer (Figure 3). Readers = slots.
     pub smp: BufPair,
@@ -95,6 +92,8 @@ impl NodeBoard {
 
 /// Network-facing state of one node's master, addressable by the other
 /// masters (handles distributed at setup, like registered memory).
+/// Like [`NodeBoard`], allocated per communicator and indexed by
+/// **group node** numbers.
 pub struct InterState {
     /// Flow-control credits for my small-broadcast puts toward each
     /// child node (init 1 per side; the child's zero-byte put restores
@@ -131,7 +130,8 @@ pub struct InterState {
     /// Cumulative barrier round counters (dissemination).
     pub bar_round: Vec<LapiCounter>,
     /// The gather root's user-buffer handle, delivered by
-    /// `AM_GS_ADDR` (taken once per gather by the master).
+    /// the gather/scatter address AM (taken once per gather by the
+    /// master).
     pub gs_root: SimVar<Option<ShmBuffer>>,
 }
 
@@ -177,19 +177,322 @@ impl InterState {
     }
 }
 
-pub(crate) struct WorldInner {
-    pub topo: Topology,
-    pub tuning: SrmTuning,
+/// A communicator's membership and its mapping onto the machine: the
+/// stable comm id, the member world ranks in caller order (= comm rank
+/// order), the distinct SMP nodes the group touches, and per-node
+/// member lists. The group's [`GroupEmbedding`] (rooted at comm rank 0)
+/// is carried along for inspection.
+#[derive(Clone, Debug)]
+pub struct CommGroup {
+    id: u64,
+    /// Comm rank → world rank (caller order).
+    ranks: Vec<Rank>,
+    /// Group node index → world node id, ascending.
+    nodes: Vec<NodeId>,
+    /// Members per group node (ascending world rank), parallel to
+    /// `nodes`. Group slot = index here; group master = slot 0.
+    members: Vec<Vec<Rank>>,
+    /// World rank → comm rank (None for non-members).
+    crank_of: Vec<Option<usize>>,
+    /// Comm rank → (group node, group slot).
+    coord_of: Vec<(usize, usize)>,
+    /// Per group node: do its members occupy **consecutive comm ranks
+    /// in slot order**? (Always true for the world communicator; lets
+    /// planners stream whole node blocks with single puts.)
+    contig: Vec<bool>,
+    /// The SMP-aware embedding rooted at comm rank 0.
+    embedding: GroupEmbedding,
+}
+
+impl CommGroup {
+    fn new(topo: Topology, kind: TreeKind, id: u64, ranks: Vec<Rank>) -> Self {
+        assert!(!ranks.is_empty(), "empty communicator group");
+        assert!(
+            ranks.iter().all(|&r| r < topo.nprocs()),
+            "group member out of range"
+        );
+        let mut crank_of: Vec<Option<usize>> = vec![None; topo.nprocs()];
+        for (c, &r) in ranks.iter().enumerate() {
+            assert!(crank_of[r].is_none(), "rank {r} listed twice in group");
+            crank_of[r] = Some(c);
+        }
+        let mut nodes: Vec<NodeId> = ranks.iter().map(|&r| topo.node_of(r)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let members: Vec<Vec<Rank>> = nodes
+            .iter()
+            .map(|&n| {
+                let mut m: Vec<Rank> = ranks
+                    .iter()
+                    .copied()
+                    .filter(|&r| topo.node_of(r) == n)
+                    .collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        let mut coord_of = vec![(0usize, 0usize); ranks.len()];
+        for (g, m) in members.iter().enumerate() {
+            for (s, &r) in m.iter().enumerate() {
+                coord_of[crank_of[r].expect("member")] = (g, s);
+            }
+        }
+        let contig = members
+            .iter()
+            .map(|m| {
+                let base = crank_of[m[0]].expect("member");
+                m.iter()
+                    .enumerate()
+                    .all(|(s, &r)| crank_of[r] == Some(base + s))
+            })
+            .collect();
+        let embedding = GroupEmbedding::new(topo, &ranks, ranks[0], kind);
+        CommGroup {
+            id,
+            ranks,
+            nodes,
+            members,
+            crank_of,
+            coord_of,
+            contig,
+            embedding,
+        }
+    }
+
+    /// Stable communicator id (0 = world).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Group size (number of member ranks).
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Is the group empty? (Never true for a constructed group.)
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Member world ranks in comm rank order.
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Number of distinct SMP nodes the group touches.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// World node id of group node `g`.
+    pub fn world_node(&self, g: usize) -> NodeId {
+        self.nodes[g]
+    }
+
+    /// Member world ranks on group node `g`, in group slot order.
+    pub fn members_on(&self, g: usize) -> &[Rank] {
+        &self.members[g]
+    }
+
+    /// Number of members on group node `g`.
+    pub fn slots_on(&self, g: usize) -> usize {
+        self.members[g].len()
+    }
+
+    /// Comm rank of world rank `r`, if a member.
+    pub fn comm_rank_of(&self, r: Rank) -> Option<usize> {
+        self.crank_of.get(r).copied().flatten()
+    }
+
+    /// (group node, group slot) of comm rank `c`.
+    pub fn coord_of(&self, c: usize) -> (usize, usize) {
+        self.coord_of[c]
+    }
+
+    /// Comm rank of group slot `s` on group node `g`.
+    pub fn crank_at(&self, g: usize, s: usize) -> usize {
+        self.crank_of[self.members[g][s]].expect("member")
+    }
+
+    /// World rank of group node `g`'s master (group slot 0): the one
+    /// member of the node that talks to the network for this group.
+    pub fn master_of(&self, g: usize) -> Rank {
+        self.members[g][0]
+    }
+
+    /// Do group node `g`'s members hold consecutive comm ranks in slot
+    /// order?
+    pub fn contig(&self, g: usize) -> bool {
+        self.contig[g]
+    }
+
+    /// The group's SMP-aware tree embedding, rooted at comm rank 0.
+    pub fn embedding(&self) -> &GroupEmbedding {
+        &self.embedding
+    }
+}
+
+/// Everything one communicator owns: its group, its per-node boards and
+/// landing structures (indexed by **group node**), its pairwise
+/// exchange registry, and its pair of AM handler ids.
+pub(crate) struct CommState {
+    pub group: CommGroup,
     pub boards: Vec<Arc<NodeBoard>>,
     pub inter: Vec<Arc<InterState>>,
     pub pairwise: PairwiseState,
+    pub am_addr_xchg: u32,
+    pub am_gs_addr: u32,
+    /// Per-member protocol sequence cells and plan cache (comm rank →
+    /// seat), shared by every handle clone of that member.
+    pub seats: Vec<Arc<CommSeat>>,
+}
+
+impl CommState {
+    /// Allocate the full substrate for `group`: one board per group
+    /// node sized by that node's member count, inter-node state sized
+    /// by the group's node count, a group-local pairwise registry, and
+    /// the comm-scoped AM handlers on every group master.
+    fn new(
+        handle: &SimHandle,
+        rma: &RmaWorld,
+        topo: Topology,
+        tuning: &SrmTuning,
+        group: CommGroup,
+    ) -> Arc<CommState> {
+        let gnodes = group.node_count();
+        let boards = (0..gnodes)
+            .map(|g| Arc::new(NodeBoard::new(handle, group.slots_on(g), tuning)))
+            .collect();
+        let inter: Vec<Arc<InterState>> = (0..gnodes)
+            .map(|_| Arc::new(InterState::new(handle, gnodes, tuning)))
+            .collect();
+        let am_addr_xchg = (1 + 2 * group.id()) as u32;
+        let am_gs_addr = (2 + 2 * group.id()) as u32;
+        // Address-exchange handlers on every group master: store the
+        // sending master's handle in the slot for its **group** node.
+        let gnode_of_rank: Arc<Vec<Option<usize>>> = Arc::new(
+            (0..topo.nprocs())
+                .map(|r| group.comm_rank_of(r).map(|c| group.coord_of(c).0))
+                .collect(),
+        );
+        for (g, node_inter) in inter.iter().enumerate() {
+            let ep = rma.endpoint(group.master_of(g));
+            let my_inter = node_inter.clone();
+            let gmap = gnode_of_rank.clone();
+            ep.register_handler(am_addr_xchg, move |hctx, msg| {
+                let src_gnode = gmap[msg.from].expect("sender is a group member");
+                let buf = msg.buf.expect("address exchange carries a handle");
+                my_inter.addr_slot[src_gnode].store(hctx, Some(buf));
+            });
+            let my_inter = node_inter.clone();
+            ep.register_handler(am_gs_addr, move |hctx, msg| {
+                let buf = msg.buf.expect("gather root address carries a handle");
+                my_inter.gs_root.store(hctx, Some(buf));
+            });
+        }
+        let pairwise = PairwiseState::new(handle, gnodes, tuning);
+        let seats = (0..group.len())
+            .map(|_| Arc::new(CommSeat::new(tuning.plan_cache_cap)))
+            .collect();
+        handle
+            .metrics()
+            .comm_creates
+            .fetch_add(1, Ordering::Relaxed);
+        Arc::new(CommState {
+            group,
+            boards,
+            inter,
+            pairwise,
+            am_addr_xchg,
+            am_gs_addr,
+            seats,
+        })
+    }
+}
+
+/// One member's per-communicator protocol state: the six cumulative
+/// sequence cells the plan engine resolves relative values against, and
+/// the compiled-schedule cache. Shared (via `Arc`) between every
+/// [`SrmComm`] handle of that (rank, communicator) pair — including the
+/// clones the nonblocking executor parks inside pending schedules — so
+/// all of them observe the same protocol position.
+pub(crate) struct CommSeat {
+    /// Cumulative intra-node broadcast chunks this node has pushed
+    /// through its [`NodeBoard::smp`] pair.
+    pub smp_seq: AtomicU64,
+    /// Cumulative chunks through the node's landing pair — consecutive
+    /// operations alternate buffers ("to improve concurrency", §2.2).
+    pub landing_seq: AtomicU64,
+    /// Cumulative chunks through the tree-variant broadcast buffers.
+    pub tree_seq: AtomicU64,
+    /// Cumulative reduce chunks this node has pushed through `contrib`.
+    pub reduce_cum: AtomicU64,
+    /// Cumulative chunks through the master→root `xfer` buffer.
+    pub xfer_cum: AtomicU64,
+    /// Barriers completed (drives the cumulative round counters).
+    pub barrier_seq: AtomicU64,
+    /// Compiled-schedule cache, keyed by call shape (see
+    /// [`crate::plan::PlanCache`]).
+    pub plan_cache: Mutex<PlanCache>,
+}
+
+impl CommSeat {
+    fn new(cache_cap: usize) -> Self {
+        CommSeat {
+            smp_seq: AtomicU64::new(0),
+            landing_seq: AtomicU64::new(0),
+            tree_seq: AtomicU64::new(0),
+            reduce_cum: AtomicU64::new(0),
+            xfer_cum: AtomicU64::new(0),
+            barrier_seq: AtomicU64::new(0),
+            plan_cache: Mutex::new(PlanCache::new(cache_cap)),
+        }
+    }
+}
+
+/// One rank's nonblocking-executor state, shared by **all** of the
+/// rank's communicator handles: a single pending queue per rank means a
+/// blocking call on one communicator still drives outstanding schedules
+/// issued on another (otherwise a rank spinning inside comm A could
+/// starve a parked comm-B schedule its peers are waiting on), and lets
+/// `shutdown` assert that every subcommunicator is drained.
+pub(crate) struct RankShared {
+    /// Outstanding nonblocking collectives, oldest first (see
+    /// [`crate::nb`]).
+    pub pending: Mutex<VecDeque<crate::nb::PendingCall>>,
+    /// Request ids whose schedules have retired but whose
+    /// [`CollRequest`](collops::CollRequest) has not been waited yet.
+    pub completed: Mutex<HashSet<u64>>,
+    /// Next request id to hand out.
+    pub next_req: AtomicU64,
+}
+
+impl RankShared {
+    fn new() -> Self {
+        RankShared {
+            pending: Mutex::new(VecDeque::new()),
+            completed: Mutex::new(HashSet::new()),
+            next_req: AtomicU64::new(0),
+        }
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub topo: Topology,
+    pub tuning: SrmTuning,
     pub rma: RmaWorld,
+    pub handle: SimHandle,
+    pub world_comm: Arc<CommState>,
+    pub per_rank: Vec<Arc<RankShared>>,
 }
 
 /// The cluster-wide SRM collectives fabric. Build once at setup (it
-/// spawns the RMA dispatchers), then hand a [`SrmComm`] to each rank.
+/// spawns the RMA dispatchers), then hand a [`SrmComm`] to each rank —
+/// and optionally carve subgroup communicators with
+/// [`SrmWorld::comm_create`] / [`SrmWorld::comm_split`].
 pub struct SrmWorld {
     inner: Arc<WorldInner>,
+    next_comm: AtomicU64,
 }
 
 impl SrmWorld {
@@ -227,61 +530,90 @@ impl SrmWorld {
         );
         let handle = sim.handle();
         let rma = RmaWorld::new(sim, topo.nprocs());
-        let boards = (0..topo.nodes())
-            .map(|_| Arc::new(NodeBoard::new(&handle, topo.tasks_per_node(), &tuning)))
+        let world_group = CommGroup::new(topo, tuning.tree, 0, (0..topo.nprocs()).collect());
+        let world_comm = CommState::new(&handle, &rma, topo, &tuning, world_group);
+        let per_rank = (0..topo.nprocs())
+            .map(|_| Arc::new(RankShared::new()))
             .collect();
-        let inter: Vec<Arc<InterState>> = (0..topo.nodes())
-            .map(|_| Arc::new(InterState::new(&handle, topo.nodes(), &tuning)))
-            .collect();
-        // Address-exchange handler on every master: store the child's
-        // user-buffer handle in the slot for the child's node.
-        for (node, node_inter) in inter.iter().enumerate() {
-            let master = topo.master_of(node);
-            let ep = rma.endpoint(master);
-            let my_inter = node_inter.clone();
-            ep.register_handler(AM_ADDR_XCHG, move |hctx, msg| {
-                let src_node = topo.node_of(msg.from);
-                let buf = msg.buf.expect("address exchange carries a handle");
-                my_inter.addr_slot[src_node].store(hctx, Some(buf));
-            });
-            let my_inter = node_inter.clone();
-            ep.register_handler(AM_GS_ADDR, move |hctx, msg| {
-                let buf = msg.buf.expect("gather root address carries a handle");
-                my_inter.gs_root.store(hctx, Some(buf));
-            });
-        }
-        let pairwise = PairwiseState::new(&handle, topo.nodes(), &tuning);
         SrmWorld {
             inner: Arc::new(WorldInner {
                 topo,
                 tuning,
-                boards,
-                inter,
-                pairwise,
                 rma,
+                handle,
+                world_comm,
+                per_rank,
             }),
+            next_comm: AtomicU64::new(1),
         }
     }
 
-    /// Per-rank communicator.
-    pub fn comm(&self, rank: Rank) -> SrmComm {
-        let topo = self.inner.topo;
-        assert!(rank < topo.nprocs());
+    fn handle_for(&self, comm: &Arc<CommState>, crank: usize) -> SrmComm {
+        let me = comm.group.ranks()[crank];
+        let (gnode, gslot) = comm.group.coord_of(crank);
         SrmComm {
             world: self.inner.clone(),
-            me: rank,
-            rma: self.inner.rma.endpoint(rank),
-            smp_seq: Cell::new(0),
-            landing_seq: Cell::new(0),
-            tree_seq: Cell::new(0),
-            reduce_cum: Cell::new(0),
-            xfer_cum: Cell::new(0),
-            barrier_seq: Cell::new(0),
-            plan_cache: RefCell::new(PlanCache::new(self.inner.tuning.plan_cache_cap)),
-            pending: RefCell::new(VecDeque::new()),
-            completed: RefCell::new(HashSet::new()),
-            next_req: Cell::new(0),
+            comm: comm.clone(),
+            me,
+            crank,
+            gnode,
+            gslot,
+            rma: self.inner.rma.endpoint(me),
+            seat: comm.seats[crank].clone(),
+            shared: self.inner.per_rank[me].clone(),
         }
+    }
+
+    /// Per-rank handle on the **world** communicator.
+    pub fn comm(&self, rank: Rank) -> SrmComm {
+        assert!(rank < self.inner.topo.nprocs());
+        self.handle_for(&self.inner.world_comm.clone(), rank)
+    }
+
+    /// Create a subgroup communicator over `ranks` (caller order =
+    /// comm rank order; no duplicates). Returns one [`SrmComm`] handle
+    /// per member, in the same order. The group gets its own boards,
+    /// landing structures, pairwise registry and AM handler pair, so
+    /// collectives on disjoint groups share no protocol state.
+    ///
+    /// Call during setup (before `Sim::run`), like [`SrmWorld::new`].
+    pub fn comm_create(&self, ranks: &[Rank]) -> Vec<SrmComm> {
+        let id = self.next_comm.fetch_add(1, Ordering::Relaxed);
+        let group = CommGroup::new(self.inner.topo, self.inner.tuning.tree, id, ranks.to_vec());
+        let comm = CommState::new(
+            &self.inner.handle,
+            &self.inner.rma,
+            self.inner.topo,
+            &self.inner.tuning,
+            group,
+        );
+        (0..comm.group.len())
+            .map(|c| self.handle_for(&comm, c))
+            .collect()
+    }
+
+    /// MPI-style `comm_split`: rank `r` joins the group of all ranks
+    /// with the same `colors[r]`, ordered by `(keys[r], r)`; a negative
+    /// color opts the rank out (its slot returns `None`). Both slices
+    /// are indexed by world rank and must cover every rank. Returns one
+    /// handle per world rank.
+    pub fn comm_split(&self, colors: &[i64], keys: &[i64]) -> Vec<Option<SrmComm>> {
+        let n = self.inner.topo.nprocs();
+        assert_eq!(colors.len(), n, "one color per world rank");
+        assert_eq!(keys.len(), n, "one key per world rank");
+        let mut out: Vec<Option<SrmComm>> = (0..n).map(|_| None).collect();
+        let mut palette: Vec<i64> = colors.iter().copied().filter(|&c| c >= 0).collect();
+        palette.sort_unstable();
+        palette.dedup();
+        for color in palette {
+            let mut members: Vec<Rank> = (0..n).filter(|&r| colors[r] == color).collect();
+            members.sort_by_key(|&r| (keys[r], r));
+            for handle in self.comm_create(&members) {
+                let r = handle.rank();
+                out[r] = Some(handle);
+            }
+        }
+        out
     }
 
     /// The topology this world was built for.
@@ -295,44 +627,69 @@ impl SrmWorld {
     }
 }
 
-/// One rank's SRM communicator. Not `Sync`: it belongs to exactly one
-/// logical process (its sequence cells track node-wide protocol state
-/// that every rank of the node advances identically).
+/// One rank's handle on one communicator (the world communicator from
+/// [`SrmWorld::comm`], or a subgroup from [`SrmWorld::comm_create`]).
+/// Cheap to clone; clones share the same per-(rank, comm) protocol
+/// seat and the rank-wide nonblocking queue. Belongs to exactly one
+/// logical process.
 pub struct SrmComm {
     pub(crate) world: Arc<WorldInner>,
+    pub(crate) comm: Arc<CommState>,
+    /// World rank.
     pub(crate) me: Rank,
+    /// Comm rank (caller-order index in the group).
+    pub(crate) crank: usize,
+    /// Group node index of `me`.
+    pub(crate) gnode: usize,
+    /// Group slot of `me` within its group node (0 = group master).
+    pub(crate) gslot: usize,
     pub(crate) rma: Rma,
-    /// Cumulative intra-node broadcast chunks this node has pushed
-    /// through its [`NodeBoard::smp`] pair.
-    pub(crate) smp_seq: Cell<u64>,
-    /// Cumulative chunks through the node's landing pair — consecutive
-    /// operations alternate buffers ("to improve concurrency", §2.2).
-    pub(crate) landing_seq: Cell<u64>,
-    /// Cumulative chunks through the tree-variant broadcast buffers.
-    pub(crate) tree_seq: Cell<u64>,
-    /// Cumulative reduce chunks this node has pushed through `contrib`.
-    pub(crate) reduce_cum: Cell<u64>,
-    /// Cumulative chunks through the master→root `xfer` buffer.
-    pub(crate) xfer_cum: Cell<u64>,
-    /// Barriers completed (drives the cumulative round counters).
-    pub(crate) barrier_seq: Cell<u64>,
-    /// Compiled-schedule cache, keyed by call shape (see
-    /// [`crate::plan::PlanCache`]).
-    pub(crate) plan_cache: RefCell<PlanCache>,
-    /// Outstanding nonblocking collectives, oldest first (see
-    /// [`crate::nb`]).
-    pub(crate) pending: RefCell<VecDeque<crate::nb::PendingCall>>,
-    /// Request ids whose schedules have retired but whose
-    /// [`CollRequest`](collops::CollRequest) has not been waited yet.
-    pub(crate) completed: RefCell<HashSet<u64>>,
-    /// Next request id to hand out.
-    pub(crate) next_req: Cell<u64>,
+    pub(crate) seat: Arc<CommSeat>,
+    pub(crate) shared: Arc<RankShared>,
+}
+
+impl Clone for SrmComm {
+    fn clone(&self) -> Self {
+        SrmComm {
+            world: self.world.clone(),
+            comm: self.comm.clone(),
+            me: self.me,
+            crank: self.crank,
+            gnode: self.gnode,
+            gslot: self.gslot,
+            rma: self.rma.clone(),
+            seat: self.seat.clone(),
+            shared: self.shared.clone(),
+        }
+    }
 }
 
 impl SrmComm {
-    /// This communicator's rank.
+    /// This handle's **world** rank.
     pub fn rank(&self) -> Rank {
         self.me
+    }
+
+    /// This handle's rank **within the communicator** (caller-order
+    /// index; equals [`SrmComm::rank`] on the world communicator).
+    /// Collective roots and payload segment layouts use comm ranks.
+    pub fn comm_rank(&self) -> usize {
+        self.crank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.comm.group.len()
+    }
+
+    /// The communicator's stable id (0 = world).
+    pub fn comm_id(&self) -> u64 {
+        self.comm.group.id()
+    }
+
+    /// The communicator's group (membership, node mapping, embedding).
+    pub fn group(&self) -> &CommGroup {
+        &self.comm.group
     }
 
     /// The topology.
@@ -350,35 +707,120 @@ impl SrmComm {
         self.world.tuning.tree
     }
 
-    /// My node id.
+    /// My world node id.
     pub fn node(&self) -> NodeId {
         self.world.topo.node_of(self.me)
     }
 
-    /// My slot within the node.
+    /// My world slot within the node.
     pub fn slot(&self) -> usize {
         self.world.topo.slot_of(self.me)
     }
 
-    /// Am I my node's master (the only task that touches the network)?
+    /// Am I my node's **world** master? (Group masters — the tasks that
+    /// touch the network for this communicator — are group slot 0,
+    /// which coincides with this on the world communicator.)
     pub fn is_master(&self) -> bool {
         self.world.topo.is_master(self.me)
     }
 
-    /// My node's shared-memory board.
+    // --- group-coordinate accessors (the planners' vocabulary) ---
+
+    /// Communicator size (planner shorthand for [`SrmComm::size`]).
+    pub(crate) fn csize(&self) -> usize {
+        self.comm.group.len()
+    }
+
+    /// My comm rank.
+    pub(crate) fn crank(&self) -> usize {
+        self.crank
+    }
+
+    /// Number of group nodes.
+    pub(crate) fn cnodes(&self) -> usize {
+        self.comm.group.node_count()
+    }
+
+    /// My group node index.
+    pub(crate) fn cnode(&self) -> usize {
+        self.gnode
+    }
+
+    /// My group slot within my group node (0 = group master).
+    pub(crate) fn cslot(&self) -> usize {
+        self.gslot
+    }
+
+    /// Members on my group node.
+    pub(crate) fn cslots_here(&self) -> usize {
+        self.comm.group.slots_on(self.gnode)
+    }
+
+    /// Members on group node `g`.
+    pub(crate) fn cslots_on(&self, g: usize) -> usize {
+        self.comm.group.slots_on(g)
+    }
+
+    /// World rank of group node `g`'s master (group slot 0).
+    pub(crate) fn cmaster_of(&self, g: usize) -> Rank {
+        self.comm.group.master_of(g)
+    }
+
+    /// Comm rank of group slot `s` on group node `g`.
+    pub(crate) fn crank_at(&self, g: usize, s: usize) -> usize {
+        self.comm.group.crank_at(g, s)
+    }
+
+    /// (group node, group slot) of comm rank `c`.
+    pub(crate) fn ccoord_of(&self, c: usize) -> (usize, usize) {
+        self.comm.group.coord_of(c)
+    }
+
+    /// Group node of comm rank `c`.
+    pub(crate) fn cnode_of(&self, c: usize) -> usize {
+        self.comm.group.coord_of(c).0
+    }
+
+    /// Does the group span more than one node?
+    pub(crate) fn cmulti(&self) -> bool {
+        self.comm.group.node_count() > 1
+    }
+
+    /// Am I my group node's master?
+    pub(crate) fn c_is_master(&self) -> bool {
+        self.gslot == 0
+    }
+
+    /// Group slot of member world rank `r` (which must be on my node).
+    pub(crate) fn cgslot_of(&self, r: Rank) -> usize {
+        let c = self
+            .comm
+            .group
+            .comm_rank_of(r)
+            .expect("rank is a group member");
+        self.comm.group.coord_of(c).1
+    }
+
+    /// Do group node `g`'s members hold consecutive comm ranks in slot
+    /// order? (Planners stream whole node blocks when true.)
+    pub(crate) fn ccontig(&self, g: usize) -> bool {
+        self.comm.group.contig(g)
+    }
+
+    /// My group node's shared-memory board.
     pub fn board(&self) -> &NodeBoard {
-        &self.world.boards[self.node()]
+        &self.comm.boards[self.gnode]
     }
 
-    /// The network-facing state of `node`'s master.
-    pub fn inter(&self, node: NodeId) -> &InterState {
-        &self.world.inter[node]
+    /// The network-facing state of group node `g`'s master.
+    pub fn inter(&self, g: usize) -> &InterState {
+        &self.comm.inter[g]
     }
 
-    /// The cluster-wide pairwise exchange registry (landing rings and
-    /// per-pair counter families; see [`crate::pairwise`]).
+    /// This communicator's pairwise exchange registry (landing rings
+    /// and per-pair counter families; see [`crate::pairwise`]).
     pub fn pairwise(&self) -> &PairwiseState {
-        &self.world.pairwise
+        &self.comm.pairwise
     }
 
     /// The RMA endpoint (exposed for tests and extensions).
@@ -392,15 +834,21 @@ impl SrmComm {
         ShmBuffer::new(len)
     }
 
-    /// Tear down this rank's RMA dispatcher. Call exactly once, after
-    /// the last collective operation. Every nonblocking collective must
-    /// have been waited first.
+    /// Tear down this rank's RMA dispatcher. Call exactly once per
+    /// world rank, after the rank's last collective operation on *any*
+    /// communicator. Every nonblocking collective on every communicator
+    /// must have been waited first (the pending queue is rank-wide, so
+    /// this asserts that every subcommunicator is drained).
     pub fn shutdown(&self, ctx: &simnet::Ctx) {
         assert!(
-            self.pending.borrow().is_empty(),
+            self.shared
+                .pending
+                .lock()
+                .expect("queue poisoned")
+                .is_empty(),
             "rank {} shut down with {} outstanding nonblocking collective(s)",
             self.me,
-            self.pending.borrow().len()
+            self.shared.pending.lock().expect("queue poisoned").len()
         );
         self.rma.shutdown(ctx);
     }

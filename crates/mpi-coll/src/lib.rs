@@ -20,11 +20,19 @@
 //! The profiles also differ through the fabric itself: IBM's eager
 //! limit shrinks with task count, MPICH pays an extra per-message
 //! layering cost (see [`msg::Vendor`]).
+//!
+//! Sub-communicators: [`MpiColl::subgroup`] builds a handle whose roots
+//! and segment layouts are **communicator ranks** over an arbitrary
+//! subset of the world, with tags offset by a caller-supplied context
+//! id (the MPI context-id mechanism) — the honest baseline for the SRM
+//! side's `comm_create` / `comm_split`.
 
 #![deny(missing_docs)]
 
 pub mod ops;
 pub mod tree;
+
+pub use ops::CommView;
 
 use collops::{CollRequest, Collectives, DType, NonblockingCollectives, ReduceOp};
 use msg::{MsgEndpoint, Vendor};
@@ -34,10 +42,15 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// One rank's handle on the baseline collectives.
+/// One rank's handle on the baseline collectives — over the world
+/// ([`MpiColl::new`]) or a sub-communicator ([`MpiColl::subgroup`]).
 #[derive(Clone)]
 pub struct MpiColl {
     ep: MsgEndpoint,
+    /// Communicator rank → world rank; `None` means the world.
+    group: Option<Arc<[Rank]>>,
+    /// Context id stamped into the high tag bits (0 for the world).
+    ctx_id: u16,
     /// Ids of issued-but-unwaited nonblocking requests (eager model:
     /// the operation itself already ran at issue).
     issued: Arc<Mutex<HashSet<u64>>>,
@@ -50,6 +63,30 @@ impl MpiColl {
     pub fn new(ep: MsgEndpoint) -> Self {
         MpiColl {
             ep,
+            group: None,
+            ctx_id: 0,
+            issued: Arc::new(Mutex::new(HashSet::new())),
+            next_req: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A sub-communicator handle: communicator rank `i` is world rank
+    /// `ranks[i]`, roots are communicator ranks, and gather/scatter
+    /// -family segment layouts are indexed by communicator rank over
+    /// `ranks.len()` segments. The endpoint's own rank must be a
+    /// member. `ctx_id` (nonzero; the same value on every member,
+    /// distinct per concurrently-active communicator sharing tasks with
+    /// another) keeps this communicator's messages from matching any
+    /// other's — MPI agrees on one inside `MPI_Comm_create`; the
+    /// baseline has no setup-time agreement protocol, so the caller
+    /// supplies it.
+    pub fn subgroup(ep: MsgEndpoint, ranks: &[Rank], ctx_id: u16) -> Self {
+        // Validate eagerly (the view re-checks on every call).
+        ops::CommView::subgroup(&ep, ranks, ctx_id);
+        MpiColl {
+            ep,
+            group: Some(Arc::from(ranks)),
+            ctx_id,
             issued: Arc::new(Mutex::new(HashSet::new())),
             next_req: Arc::new(AtomicU64::new(0)),
         }
@@ -58,6 +95,26 @@ impl MpiColl {
     /// The underlying endpoint.
     pub fn endpoint(&self) -> &MsgEndpoint {
         &self.ep
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.group
+            .as_ref()
+            .map_or_else(|| self.ep.topology().nprocs(), |g| g.len())
+    }
+
+    /// This task's communicator rank.
+    pub fn comm_rank(&self) -> usize {
+        self.view().rank()
+    }
+
+    /// The communicator's window onto the fabric.
+    fn view(&self) -> CommView<'_> {
+        match &self.group {
+            None => CommView::world(&self.ep),
+            Some(g) => CommView::subgroup(&self.ep, g, self.ctx_id),
+        }
     }
 
     /// Eager-issue bookkeeping: record a request id for an operation
@@ -73,7 +130,7 @@ impl Collectives for MpiColl {
     fn broadcast(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
         let mut data = buf.with(|d| d[..len].to_vec());
-        ops::bcast_binomial(&self.ep, ctx, &mut data, root);
+        ops::bcast_binomial(&self.view(), ctx, &mut data, root);
         buf.with_mut(|d| d[..len].copy_from_slice(&data));
     }
 
@@ -88,7 +145,7 @@ impl Collectives for MpiColl {
     ) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
         let mut data = buf.with(|d| d[..len].to_vec());
-        ops::reduce_binomial(&self.ep, ctx, &mut data, dtype, op, root);
+        ops::reduce_binomial(&self.view(), ctx, &mut data, dtype, op, root);
         buf.with_mut(|d| d[..len].copy_from_slice(&data));
     }
 
@@ -97,9 +154,9 @@ impl Collectives for MpiColl {
         let mut data = buf.with(|d| d[..len].to_vec());
         match self.ep.vendor() {
             Vendor::IbmMpi => {
-                ops::allreduce_recursive_doubling(&self.ep, ctx, &mut data, dtype, op)
+                ops::allreduce_recursive_doubling(&self.view(), ctx, &mut data, dtype, op)
             }
-            Vendor::Mpich => ops::allreduce_reduce_bcast(&self.ep, ctx, &mut data, dtype, op),
+            Vendor::Mpich => ops::allreduce_reduce_bcast(&self.view(), ctx, &mut data, dtype, op),
         }
         buf.with_mut(|d| d[..len].copy_from_slice(&data));
     }
@@ -111,64 +168,71 @@ impl Collectives for MpiColl {
         // structure; IBM's was tree-shaped as well). The dissemination
         // variant is kept in `ops` for the ablation studies.
         match self.ep.vendor() {
-            Vendor::IbmMpi => ops::barrier_tree(&self.ep, ctx),
-            Vendor::Mpich => ops::barrier_tree(&self.ep, ctx),
+            Vendor::IbmMpi => ops::barrier_tree(&self.view(), ctx),
+            Vendor::Mpich => ops::barrier_tree(&self.view(), ctx),
         }
     }
 
     fn gather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
-        let n = self.ep.topology().nprocs();
+        let n = self.size();
         let mut data = buf.with(|d| d[..n * len].to_vec());
-        ops::gather_linear(&self.ep, ctx, &mut data, len, root);
+        ops::gather_linear(&self.view(), ctx, &mut data, len, root);
         buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
     }
 
     fn scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, root: Rank) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
-        let n = self.ep.topology().nprocs();
+        let n = self.size();
         let mut data = buf.with(|d| d[..n * len].to_vec());
-        ops::scatter_linear(&self.ep, ctx, &mut data, len, root);
+        ops::scatter_linear(&self.view(), ctx, &mut data, len, root);
         buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
     }
 
     fn allgather(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
-        let n = self.ep.topology().nprocs();
+        let n = self.size();
         let mut data = buf.with(|d| d[..n * len].to_vec());
         match self.ep.vendor() {
-            Vendor::IbmMpi => ops::allgather_gather_bcast(&self.ep, ctx, &mut data, len),
-            Vendor::Mpich => ops::allgather_ring(&self.ep, ctx, &mut data, len),
+            Vendor::IbmMpi => ops::allgather_gather_bcast(&self.view(), ctx, &mut data, len),
+            Vendor::Mpich => ops::allgather_ring(&self.view(), ctx, &mut data, len),
         }
         buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
     }
 
     fn alltoall(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
-        let n = self.ep.topology().nprocs();
+        let n = self.size();
         let mut data = buf.with(|d| d[..2 * n * len].to_vec());
-        ops::alltoall_pairwise(&self.ep, ctx, &mut data, len);
+        ops::alltoall_pairwise(&self.view(), ctx, &mut data, len);
         buf.with_mut(|d| d[..2 * n * len].copy_from_slice(&data));
     }
 
     fn alltoallv(&self, ctx: &Ctx, buf: &ShmBuffer, seg: usize, counts: &[usize]) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
-        let n = self.ep.topology().nprocs();
+        let n = self.size();
         assert_eq!(counts.len(), n * n, "alltoallv needs the full count matrix");
         let mut data = buf.with(|d| d[..2 * n * seg].to_vec());
-        ops::alltoallv_pairwise(&self.ep, ctx, &mut data, seg, counts);
+        ops::alltoallv_pairwise(&self.view(), ctx, &mut data, seg, counts);
         buf.with_mut(|d| d[..2 * n * seg].copy_from_slice(&data));
     }
 
     fn reduce_scatter(&self, ctx: &Ctx, buf: &ShmBuffer, len: usize, dtype: DType, op: ReduceOp) {
         ctx.advance(ctx.config().mpi_coll_call_overhead);
-        let n = self.ep.topology().nprocs();
+        let n = self.size();
         let mut data = buf.with(|d| d[..n * len].to_vec());
         match self.ep.vendor() {
-            Vendor::IbmMpi => {
-                ops::reduce_scatter_reduce_then_scatter(&self.ep, ctx, &mut data, len, dtype, op)
+            Vendor::IbmMpi => ops::reduce_scatter_reduce_then_scatter(
+                &self.view(),
+                ctx,
+                &mut data,
+                len,
+                dtype,
+                op,
+            ),
+            Vendor::Mpich => {
+                ops::reduce_scatter_pairwise(&self.view(), ctx, &mut data, len, dtype, op)
             }
-            Vendor::Mpich => ops::reduce_scatter_pairwise(&self.ep, ctx, &mut data, len, dtype, op),
         }
         buf.with_mut(|d| d[..n * len].copy_from_slice(&data));
     }
@@ -521,6 +585,98 @@ mod tests {
         );
         assert_eq!(report.metrics.rndv_sends, 3);
         assert_eq!(report.metrics.eager_sends, 0);
+    }
+
+    #[test]
+    fn subgroup_allreduce_non_contiguous_matches_reference() {
+        // Group {1, 3, 4, 6} of a 2x4 world, both vendors; world ranks
+        // outside the group never touch the fabric.
+        for vendor in [Vendor::IbmMpi, Vendor::Mpich] {
+            let topo = Topology::new(2, 4);
+            let group = vec![1usize, 3, 4, 6];
+            let contribs: Vec<Vec<u8>> = group.iter().map(|&r| to_bytes_u64(&[r as u64])).collect();
+            let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+            let mut sim = Sim::new(MachineConfig::uniform_test());
+            let world = MsgWorld::new(&mut sim, topo, vendor);
+            let out: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(vec![Vec::new(); group.len()]));
+            for (crank, &rank) in group.iter().enumerate() {
+                let coll = MpiColl::subgroup(world.endpoint(rank), &group, 1);
+                assert_eq!(coll.size(), 4);
+                assert_eq!(coll.comm_rank(), crank);
+                let out = out.clone();
+                sim.spawn(format!("rank{rank}"), move |ctx| {
+                    let buf = ShmBuffer::new(8);
+                    buf.with_mut(|d| d.copy_from_slice(&to_bytes_u64(&[rank as u64])));
+                    coll.allreduce(&ctx, &buf, 8, DType::U64, ReduceOp::Sum);
+                    out.lock().unwrap()[crank] = buf.with(|d| d.to_vec());
+                });
+            }
+            sim.run().unwrap();
+            for (crank, r) in out.lock().unwrap().iter().enumerate() {
+                assert_eq!(r, &expect, "vendor {vendor:?}, comm rank {crank}");
+            }
+        }
+    }
+
+    #[test]
+    fn subgroup_gather_root_not_group_head() {
+        // Root is communicator rank 2 (world rank 5); segments are laid
+        // out by communicator rank.
+        let topo = Topology::new(3, 2);
+        let group = vec![0usize, 2, 5];
+        let root = 2usize;
+        let mut sim = Sim::new(MachineConfig::uniform_test());
+        let world = MsgWorld::new(&mut sim, topo, Vendor::IbmMpi);
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        for (crank, &rank) in group.iter().enumerate() {
+            let coll = MpiColl::subgroup(world.endpoint(rank), &group, 7);
+            let out = out.clone();
+            sim.spawn(format!("rank{rank}"), move |ctx| {
+                let buf = ShmBuffer::new(3 * 8);
+                buf.with_mut(|d| d[crank * 8..(crank + 1) * 8].copy_from_slice(&[crank as u8; 8]));
+                coll.gather(&ctx, &buf, 8, root);
+                if crank == root {
+                    *out.lock().unwrap() = buf.with(|d| d.to_vec());
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = out.lock().unwrap().clone();
+        let expect: Vec<u8> = (0..3u8).flat_map(|c| [c; 8]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn disjoint_subgroups_run_concurrently() {
+        // Even and odd world ranks each form their own communicator
+        // with distinct context ids and allreduce simultaneously.
+        let topo = Topology::new(2, 4);
+        let groups = [vec![0usize, 2, 4, 6], vec![1usize, 3, 5, 7]];
+        let mut sim = Sim::new(MachineConfig::uniform_test());
+        let world = MsgWorld::new(&mut sim, topo, Vendor::Mpich);
+        let out: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(vec![Vec::new(); topo.nprocs()]));
+        for (gi, group) in groups.iter().enumerate() {
+            for &rank in group {
+                let coll = MpiColl::subgroup(world.endpoint(rank), group, 1 + gi as u16);
+                let out = out.clone();
+                sim.spawn(format!("rank{rank}"), move |ctx| {
+                    let buf = ShmBuffer::new(8);
+                    buf.with_mut(|d| d.copy_from_slice(&to_bytes_u64(&[1 << rank])));
+                    coll.allreduce(&ctx, &buf, 8, DType::U64, ReduceOp::Sum);
+                    out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
+                });
+            }
+        }
+        sim.run().unwrap();
+        // Even ranks sum the even one-hot bits, odd ranks the odd ones.
+        for rank in 0..topo.nprocs() {
+            let expect: u64 = groups[rank % 2].iter().map(|&r| 1u64 << r).sum();
+            assert_eq!(
+                from_bytes_u64(&out.lock().unwrap()[rank]),
+                vec![expect],
+                "rank {rank}"
+            );
+        }
     }
 
     #[test]

@@ -21,10 +21,21 @@
 //! pays matching, per-message overheads, eager/rendezvous protocol
 //! costs and the intra-node two-copy shared-memory path — the paper's
 //! structural case against building collectives this way.
+//!
+//! ## Communicator views
+//!
+//! Each algorithm runs over a [`CommView`]: rank arithmetic (trees,
+//! rings, rotations) happens in **communicator rank** space, and the
+//! view translates every endpoint of every message to a world rank and
+//! stamps the communicator's context id into the high tag bits — the
+//! MPI context-id mechanism, so two communicators sharing tasks can
+//! never match each other's messages. The world view is the identity
+//! translation with context id 0, which reproduces the original world
+//! collectives bit for bit.
 
 use crate::tree;
 use collops::{combine_costed, DType, ReduceOp};
-use msg::{MsgEndpoint, Tag};
+use msg::{MsgEndpoint, SendReq, Tag};
 use simnet::{Ctx, Rank};
 
 const TAG_BCAST: Tag = 0x0100;
@@ -40,62 +51,181 @@ const TAG_ALLTOALL: Tag = 0x0800;
 const TAG_ALLTOALLV: Tag = 0x0900;
 const TAG_REDUCE_SCATTER: Tag = 0x0A00;
 
+/// Base tags occupy the low 16 bits of the 32-bit [`Tag`]; the
+/// communicator context id lives above this shift.
+const CTX_SHIFT: u32 = 16;
+
+/// A communicator's window onto the point-to-point fabric.
+///
+/// Holds the comm-rank → world-rank translation (`None` for the world
+/// communicator, where the map is the identity) and the tag offset
+/// carrying the context id. All the collective algorithms in this
+/// module address peers by communicator rank through this view.
+pub struct CommView<'a> {
+    ep: &'a MsgEndpoint,
+    /// Communicator rank → world rank; `None` means the world.
+    group: Option<&'a [Rank]>,
+    /// The caller's communicator rank.
+    crank: usize,
+    /// `ctx_id << 16`, OR-ed into every tag.
+    tag_base: Tag,
+}
+
+impl<'a> CommView<'a> {
+    /// The world communicator: identity rank map, context id 0.
+    pub fn world(ep: &'a MsgEndpoint) -> Self {
+        CommView {
+            ep,
+            group: None,
+            crank: ep.rank(),
+            tag_base: 0,
+        }
+    }
+
+    /// A sub-communicator over `group` (communicator rank `i` is world
+    /// rank `group[i]`). The caller must be a member. `ctx_id` is the
+    /// communicator's context id — in MPI the library agrees on one at
+    /// `MPI_Comm_create`; here the caller supplies a nonzero id, the
+    /// same on every member, distinct per concurrently-active
+    /// communicator that shares tasks with another.
+    pub fn subgroup(ep: &'a MsgEndpoint, group: &'a [Rank], ctx_id: u16) -> Self {
+        assert!(ctx_id != 0, "context id 0 is reserved for the world");
+        let nprocs = ep.topology().nprocs();
+        assert!(!group.is_empty(), "empty communicator group");
+        assert!(
+            group.iter().all(|&r| r < nprocs),
+            "group member out of world range"
+        );
+        let mut sorted: Vec<Rank> = group.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() == group.len(), "duplicate rank in group");
+        let crank = group
+            .iter()
+            .position(|&r| r == ep.rank())
+            .expect("caller is not a member of the group");
+        CommView {
+            ep,
+            group: Some(group),
+            crank,
+            tag_base: (ctx_id as Tag) << CTX_SHIFT,
+        }
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group
+            .map_or_else(|| self.ep.topology().nprocs(), <[Rank]>::len)
+    }
+
+    /// The caller's communicator rank.
+    pub fn rank(&self) -> usize {
+        self.crank
+    }
+
+    /// World rank of communicator rank `crank`.
+    fn world_rank(&self, crank: usize) -> Rank {
+        self.group.map_or(crank, |g| g[crank])
+    }
+
+    fn send(&self, ctx: &Ctx, dst: usize, tag: Tag, data: &[u8]) {
+        self.ep
+            .send(ctx, self.world_rank(dst), self.tag_base | tag, data);
+    }
+
+    fn isend(&self, ctx: &Ctx, dst: usize, tag: Tag, data: &[u8]) -> SendReq {
+        self.ep
+            .isend(ctx, self.world_rank(dst), self.tag_base | tag, data)
+    }
+
+    fn wait_send(&self, ctx: &Ctx, req: SendReq) {
+        self.ep.wait_send(ctx, req);
+    }
+
+    fn recv(&self, ctx: &Ctx, src: usize, tag: Tag, buf: &mut [u8]) -> usize {
+        self.ep
+            .recv(ctx, self.world_rank(src), self.tag_base | tag, buf)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sendrecv(
+        &self,
+        ctx: &Ctx,
+        dst: usize,
+        stag: Tag,
+        out: &[u8],
+        src: usize,
+        rtag: Tag,
+        inb: &mut [u8],
+    ) {
+        self.ep.sendrecv(
+            ctx,
+            self.world_rank(dst),
+            self.tag_base | stag,
+            out,
+            self.world_rank(src),
+            self.tag_base | rtag,
+            inb,
+        );
+    }
+}
+
 /// Binomial-tree broadcast of `data` (significant at `root`); on return
 /// every rank's `data` holds the payload.
-pub fn bcast_binomial(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], root: Rank) {
-    let size = ep.topology().nprocs();
+pub fn bcast_binomial(cv: &CommView, ctx: &Ctx, data: &mut [u8], root: Rank) {
+    let size = cv.size();
     if size == 1 || data.is_empty() {
         return;
     }
-    let me = tree::vrank(ep.rank(), root, size);
+    let me = tree::vrank(cv.rank(), root, size);
     if let Some((parent, _)) = tree::binomial_parent(me, size) {
-        ep.recv(ctx, tree::unvrank(parent, root, size), TAG_BCAST, data);
+        cv.recv(ctx, tree::unvrank(parent, root, size), TAG_BCAST, data);
     }
     for child in tree::binomial_children(me, size) {
-        ep.send(ctx, tree::unvrank(child, root, size), TAG_BCAST, data);
+        cv.send(ctx, tree::unvrank(child, root, size), TAG_BCAST, data);
     }
 }
 
 /// Binomial-tree reduce; on return `data` on `root` holds the combined
 /// result (other ranks' buffers hold partial results, as in MPI).
 pub fn reduce_binomial(
-    ep: &MsgEndpoint,
+    cv: &CommView,
     ctx: &Ctx,
     data: &mut [u8],
     dtype: DType,
     op: ReduceOp,
     root: Rank,
 ) {
-    let size = ep.topology().nprocs();
+    let size = cv.size();
     if size == 1 || data.is_empty() {
         return;
     }
-    let me = tree::vrank(ep.rank(), root, size);
+    let me = tree::vrank(cv.rank(), root, size);
     let mut tmp = vec![0u8; data.len()];
     // Receive children nearest-first (they finish their subtrees first).
     for child in tree::binomial_children_ascending(me, size) {
-        ep.recv(ctx, tree::unvrank(child, root, size), TAG_REDUCE, &mut tmp);
+        cv.recv(ctx, tree::unvrank(child, root, size), TAG_REDUCE, &mut tmp);
         combine_costed(ctx, dtype, op, data, &tmp);
     }
     if let Some((parent, _)) = tree::binomial_parent(me, size) {
-        ep.send(ctx, tree::unvrank(parent, root, size), TAG_REDUCE, data);
+        cv.send(ctx, tree::unvrank(parent, root, size), TAG_REDUCE, data);
     }
 }
 
 /// Recursive-doubling allreduce (IBM profile). Handles non-power-of-two
 /// sizes with the standard fold-in/fold-out steps.
 pub fn allreduce_recursive_doubling(
-    ep: &MsgEndpoint,
+    cv: &CommView,
     ctx: &Ctx,
     data: &mut [u8],
     dtype: DType,
     op: ReduceOp,
 ) {
-    let size = ep.topology().nprocs();
+    let size = cv.size();
     if size == 1 || data.is_empty() {
         return;
     }
-    let rank = ep.rank();
+    let rank = cv.rank();
     let pof2 = prev_pow2(size);
     let rem = size - pof2;
     let mut tmp = vec![0u8; data.len()];
@@ -103,10 +233,10 @@ pub fn allreduce_recursive_doubling(
     // Fold the `rem` extra ranks into their even neighbours.
     let newrank: isize = if rank < 2 * rem {
         if rank % 2 == 1 {
-            ep.send(ctx, rank - 1, TAG_ALLREDUCE, data);
+            cv.send(ctx, rank - 1, TAG_ALLREDUCE, data);
             -1
         } else {
-            ep.recv(ctx, rank + 1, TAG_ALLREDUCE, &mut tmp);
+            cv.recv(ctx, rank + 1, TAG_ALLREDUCE, &mut tmp);
             combine_costed(ctx, dtype, op, data, &tmp);
             (rank / 2) as isize
         }
@@ -124,7 +254,7 @@ pub fn allreduce_recursive_doubling(
             } else {
                 partner_new + rem
             };
-            ep.sendrecv(
+            cv.sendrecv(
                 ctx,
                 partner,
                 TAG_ALLREDUCE,
@@ -141,62 +271,62 @@ pub fn allreduce_recursive_doubling(
     // Unfold: give the result back to the odd ranks that sat out.
     if rank < 2 * rem {
         if rank.is_multiple_of(2) {
-            ep.send(ctx, rank + 1, TAG_ALLREDUCE, data);
+            cv.send(ctx, rank + 1, TAG_ALLREDUCE, data);
         } else {
-            ep.recv(ctx, rank - 1, TAG_ALLREDUCE, data);
+            cv.recv(ctx, rank - 1, TAG_ALLREDUCE, data);
         }
     }
 }
 
 /// Reduce-then-broadcast allreduce (MPICH profile).
 pub fn allreduce_reduce_bcast(
-    ep: &MsgEndpoint,
+    cv: &CommView,
     ctx: &Ctx,
     data: &mut [u8],
     dtype: DType,
     op: ReduceOp,
 ) {
-    reduce_binomial(ep, ctx, data, dtype, op, 0);
-    bcast_binomial(ep, ctx, data, 0);
+    reduce_binomial(cv, ctx, data, dtype, op, 0);
+    bcast_binomial(cv, ctx, data, 0);
 }
 
 /// Dissemination barrier (IBM profile): ⌈log₂ P⌉ rounds of zero-byte
 /// exchanges; works for any P.
-pub fn barrier_dissemination(ep: &MsgEndpoint, ctx: &Ctx) {
-    let size = ep.topology().nprocs();
+pub fn barrier_dissemination(cv: &CommView, ctx: &Ctx) {
+    let size = cv.size();
     if size == 1 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     let mut dist = 1usize;
     while dist < size {
         let to = (me + dist) % size;
         let from = (me + size - dist) % size;
         let mut sink = [0u8; 0];
-        let req = ep.isend(ctx, to, TAG_BARRIER_DISS, &[]);
-        ep.recv(ctx, from, TAG_BARRIER_DISS, &mut sink);
-        ep.wait_send(ctx, req);
+        let req = cv.isend(ctx, to, TAG_BARRIER_DISS, &[]);
+        cv.recv(ctx, from, TAG_BARRIER_DISS, &mut sink);
+        cv.wait_send(ctx, req);
         dist <<= 1;
     }
 }
 
 /// Binomial gather + binomial release barrier (MPICH profile).
-pub fn barrier_tree(ep: &MsgEndpoint, ctx: &Ctx) {
-    let size = ep.topology().nprocs();
+pub fn barrier_tree(cv: &CommView, ctx: &Ctx) {
+    let size = cv.size();
     if size == 1 {
         return;
     }
-    let me = ep.rank(); // root 0
+    let me = cv.rank(); // root 0
     let mut sink = [0u8; 0];
     for child in tree::binomial_children_ascending(me, size) {
-        ep.recv(ctx, child, TAG_BARRIER_UP, &mut sink);
+        cv.recv(ctx, child, TAG_BARRIER_UP, &mut sink);
     }
     if let Some((parent, _)) = tree::binomial_parent(me, size) {
-        ep.send(ctx, parent, TAG_BARRIER_UP, &[]);
-        ep.recv(ctx, parent, TAG_BARRIER_DOWN, &mut sink);
+        cv.send(ctx, parent, TAG_BARRIER_UP, &[]);
+        cv.recv(ctx, parent, TAG_BARRIER_DOWN, &mut sink);
     }
     for child in tree::binomial_children(me, size) {
-        ep.send(ctx, child, TAG_BARRIER_DOWN, &[]);
+        cv.send(ctx, child, TAG_BARRIER_DOWN, &[]);
     }
 }
 
@@ -204,58 +334,58 @@ pub fn barrier_tree(ep: &MsgEndpoint, ctx: &Ctx) {
 /// every rank sends its segment `data[me*seg..(me+1)*seg]` straight to
 /// `root`; the root receives `P-1` tagged messages into their final
 /// offsets.
-pub fn gather_linear(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize, root: Rank) {
-    let size = ep.topology().nprocs();
+pub fn gather_linear(cv: &CommView, ctx: &Ctx, data: &mut [u8], seg: usize, root: Rank) {
+    let size = cv.size();
     if size == 1 || seg == 0 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     if me == root {
         for r in 0..size {
             if r != root {
-                ep.recv(ctx, r, TAG_GATHER, &mut data[r * seg..(r + 1) * seg]);
+                cv.recv(ctx, r, TAG_GATHER, &mut data[r * seg..(r + 1) * seg]);
             }
         }
     } else {
-        ep.send(ctx, root, TAG_GATHER, &data[me * seg..(me + 1) * seg]);
+        cv.send(ctx, root, TAG_GATHER, &data[me * seg..(me + 1) * seg]);
     }
 }
 
 /// Linear scatter: the root sends each rank its segment
 /// `data[r*seg..(r+1)*seg]` as one tagged message.
-pub fn scatter_linear(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize, root: Rank) {
-    let size = ep.topology().nprocs();
+pub fn scatter_linear(cv: &CommView, ctx: &Ctx, data: &mut [u8], seg: usize, root: Rank) {
+    let size = cv.size();
     if size == 1 || seg == 0 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     if me == root {
         for r in 0..size {
             if r != root {
-                ep.send(ctx, r, TAG_SCATTER, &data[r * seg..(r + 1) * seg]);
+                cv.send(ctx, r, TAG_SCATTER, &data[r * seg..(r + 1) * seg]);
             }
         }
     } else {
-        ep.recv(ctx, root, TAG_SCATTER, &mut data[me * seg..(me + 1) * seg]);
+        cv.recv(ctx, root, TAG_SCATTER, &mut data[me * seg..(me + 1) * seg]);
     }
 }
 
 /// Gather-then-broadcast allgather (IBM profile): linear gather of the
 /// segments to rank 0, binomial broadcast of the assembled buffer.
-pub fn allgather_gather_bcast(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) {
-    gather_linear(ep, ctx, data, seg, 0);
-    bcast_binomial(ep, ctx, data, 0);
+pub fn allgather_gather_bcast(cv: &CommView, ctx: &Ctx, data: &mut [u8], seg: usize) {
+    gather_linear(cv, ctx, data, seg, 0);
+    bcast_binomial(cv, ctx, data, 0);
 }
 
 /// Ring allgather (MPICH profile): `P-1` rounds; in round `s` each rank
 /// forwards to its right neighbour the segment it received in round
 /// `s-1` (its own in round 0), so every segment travels the whole ring.
-pub fn allgather_ring(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) {
-    let size = ep.topology().nprocs();
+pub fn allgather_ring(cv: &CommView, ctx: &Ctx, data: &mut [u8], seg: usize) {
+    let size = cv.size();
     if size == 1 || seg == 0 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     let right = (me + 1) % size;
     let left = (me + size - 1) % size;
     for step in 0..size - 1 {
@@ -263,7 +393,7 @@ pub fn allgather_ring(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) 
         let recv_seg = (me + size - step - 1) % size;
         let out = data[send_seg * seg..(send_seg + 1) * seg].to_vec();
         let mut inb = vec![0u8; seg];
-        ep.sendrecv(
+        cv.sendrecv(
             ctx,
             right,
             TAG_ALLGATHER,
@@ -281,12 +411,12 @@ pub fn allgather_ring(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) 
 /// `2 * P * seg` bytes. Round `r` exchanges with `dst = me + r` and
 /// `src = me - r` (mod `P`), so every round is a disjoint pairing and
 /// no rank is ever the target of two concurrent sends.
-pub fn alltoall_pairwise(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usize) {
-    let size = ep.topology().nprocs();
+pub fn alltoall_pairwise(cv: &CommView, ctx: &Ctx, data: &mut [u8], seg: usize) {
+    let size = cv.size();
     if seg == 0 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     let rbase = size * seg;
     data.copy_within(me * seg..(me + 1) * seg, rbase + me * seg);
     for r in 1..size {
@@ -294,7 +424,7 @@ pub fn alltoall_pairwise(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usiz
         let src = (me + size - r) % size;
         let out = data[dst * seg..(dst + 1) * seg].to_vec();
         let mut inb = vec![0u8; seg];
-        ep.sendrecv(ctx, dst, TAG_ALLTOALL, &out, src, TAG_ALLTOALL, &mut inb);
+        cv.sendrecv(ctx, dst, TAG_ALLTOALL, &out, src, TAG_ALLTOALL, &mut inb);
         data[rbase + src * seg..rbase + (src + 1) * seg].copy_from_slice(&inb);
     }
 }
@@ -302,18 +432,12 @@ pub fn alltoall_pairwise(ep: &MsgEndpoint, ctx: &Ctx, data: &mut [u8], seg: usiz
 /// Pairwise-rotation alltoallv: like [`alltoall_pairwise`] but each
 /// `seg`-byte slot carries only `counts[i*P+j]` live bytes (`counts` is
 /// the full row-major `P * P` matrix, identical everywhere).
-pub fn alltoallv_pairwise(
-    ep: &MsgEndpoint,
-    ctx: &Ctx,
-    data: &mut [u8],
-    seg: usize,
-    counts: &[usize],
-) {
-    let size = ep.topology().nprocs();
+pub fn alltoallv_pairwise(cv: &CommView, ctx: &Ctx, data: &mut [u8], seg: usize, counts: &[usize]) {
+    let size = cv.size();
     if seg == 0 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     let rbase = size * seg;
     let own = counts[me * size + me];
     data.copy_within(me * seg..me * seg + own, rbase + me * seg);
@@ -324,7 +448,7 @@ pub fn alltoallv_pairwise(
         let rcnt = counts[src * size + me];
         let out = data[dst * seg..dst * seg + scnt].to_vec();
         let mut inb = vec![0u8; rcnt];
-        ep.sendrecv(ctx, dst, TAG_ALLTOALLV, &out, src, TAG_ALLTOALLV, &mut inb);
+        cv.sendrecv(ctx, dst, TAG_ALLTOALLV, &out, src, TAG_ALLTOALLV, &mut inb);
         data[rbase + src * seg..rbase + src * seg + rcnt].copy_from_slice(&inb);
     }
 }
@@ -334,15 +458,15 @@ pub fn alltoallv_pairwise(
 /// result blocks. `data` follows the in-place layout: block `i` of the
 /// result lands at `data[i*seg..(i+1)*seg]` on rank `i`.
 pub fn reduce_scatter_reduce_then_scatter(
-    ep: &MsgEndpoint,
+    cv: &CommView,
     ctx: &Ctx,
     data: &mut [u8],
     seg: usize,
     dtype: DType,
     op: ReduceOp,
 ) {
-    reduce_binomial(ep, ctx, data, dtype, op, 0);
-    scatter_linear(ep, ctx, data, seg, 0);
+    reduce_binomial(cv, ctx, data, dtype, op, 0);
+    scatter_linear(cv, ctx, data, seg, 0);
 }
 
 /// Pairwise exchange-and-combine reduce-scatter (MPICH profile, the
@@ -351,24 +475,24 @@ pub fn reduce_scatter_reduce_then_scatter(
 /// caller's own result block — `P-1` rounds, each moving exactly one
 /// block per rank.
 pub fn reduce_scatter_pairwise(
-    ep: &MsgEndpoint,
+    cv: &CommView,
     ctx: &Ctx,
     data: &mut [u8],
     seg: usize,
     dtype: DType,
     op: ReduceOp,
 ) {
-    let size = ep.topology().nprocs();
+    let size = cv.size();
     if size == 1 || seg == 0 {
         return;
     }
-    let me = ep.rank();
+    let me = cv.rank();
     let mut tmp = vec![0u8; seg];
     for r in 1..size {
         let dst = (me + r) % size;
         let src = (me + size - r) % size;
         let out = data[dst * seg..(dst + 1) * seg].to_vec();
-        ep.sendrecv(
+        cv.sendrecv(
             ctx,
             dst,
             TAG_REDUCE_SCATTER,
@@ -398,5 +522,26 @@ mod tests {
         assert_eq!(prev_pow2(3), 2);
         assert_eq!(prev_pow2(240), 128);
         assert_eq!(prev_pow2(256), 256);
+    }
+
+    #[test]
+    fn ctx_id_clears_the_base_tags() {
+        // Every base tag must fit under the context shift.
+        for tag in [
+            TAG_BCAST,
+            TAG_REDUCE,
+            TAG_ALLREDUCE,
+            TAG_BARRIER_UP,
+            TAG_BARRIER_DOWN,
+            TAG_BARRIER_DISS,
+            TAG_GATHER,
+            TAG_SCATTER,
+            TAG_ALLGATHER,
+            TAG_ALLTOALL,
+            TAG_ALLTOALLV,
+            TAG_REDUCE_SCATTER,
+        ] {
+            assert_eq!(tag >> CTX_SHIFT, 0, "tag {tag:#x} collides with ctx ids");
+        }
     }
 }

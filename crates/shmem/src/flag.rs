@@ -38,6 +38,17 @@ impl SpinFlag {
         self.var.store(ctx, value);
     }
 
+    /// Monotonically raise the flag to at least `value`: a max-store,
+    /// never a regression. Cumulative sequence flags have concurrent
+    /// raisers (a lagging consumer and a catch-up path can race); the
+    /// max-merge makes the outcome order-independent. Costs one flag
+    /// store.
+    pub fn raise(&self, ctx: &Ctx, value: u64) {
+        ctx.advance(ctx.config().flag_set_op);
+        ctx.metrics().flag_ops.fetch_add(1, Ordering::Relaxed);
+        self.var.update(ctx, move |v| *v = (*v).max(value));
+    }
+
     /// Read the current value. Costs one flag operation (cache-line
     /// fetch; the line is generally dirty in another CPU's cache).
     pub fn read(&self, ctx: &Ctx) -> u64 {

@@ -93,6 +93,7 @@ pub(crate) struct Sched {
 pub(crate) struct Shared {
     pub(crate) sched: Mutex<Sched>,
     pub(crate) metrics: Metrics,
+    pub(crate) plan_by_comm: crate::metrics::PlanByComm,
     pub(crate) config: MachineConfig,
     pub(crate) next_var_key: AtomicU64,
     pub(crate) trace: parking_lot::RwLock<Option<crate::trace::Trace>>,
@@ -217,6 +218,11 @@ impl Ctx {
     /// Snapshot of the counters (for measuring a single operation).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Per-communicator plan-cache breakdown.
+    pub fn plan_by_comm(&self) -> &crate::metrics::PlanByComm {
+        &self.shared.plan_by_comm
     }
 
     /// Model `d` of busy CPU/memory time on this LP, then let any LP
@@ -401,6 +407,16 @@ impl SimHandle {
     pub fn config(&self) -> &MachineConfig {
         &self.shared.config
     }
+
+    /// Global event counters (reachable during setup, before `run`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Per-communicator plan-cache breakdown.
+    pub fn plan_by_comm(&self) -> &crate::metrics::PlanByComm {
+        &self.shared.plan_by_comm
+    }
 }
 
 type LpMain = Box<dyn FnOnce(Ctx) + Send + 'static>;
@@ -438,6 +454,8 @@ pub struct Report {
     pub lp_times: Vec<SimTime>,
     /// Final event counters.
     pub metrics: MetricsSnapshot,
+    /// Per-communicator `(comm id, plan_hits, plan_misses)` rows.
+    pub plan_by_comm: Vec<(u64, u64, u64)>,
 }
 
 impl Sim {
@@ -453,6 +471,7 @@ impl Sim {
                     started: false,
                 }),
                 metrics: Metrics::default(),
+                plan_by_comm: crate::metrics::PlanByComm::default(),
                 config,
                 next_var_key: AtomicU64::new(0),
                 trace: parking_lot::RwLock::new(None),
@@ -561,6 +580,7 @@ impl Sim {
             end_time,
             lp_times,
             metrics: shared.metrics.snapshot(),
+            plan_by_comm: shared.plan_by_comm.snapshot(),
         })
     }
 }

@@ -53,7 +53,7 @@ pub mod trace;
 pub use config::MachineConfig;
 pub use error::{BlockedLp, SimError};
 pub use kernel::{Ctx, LpId, Report, Sim, SimHandle};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, PlanByComm};
 pub use simvar::SimVar;
 pub use time::{PerByte, SimTime};
 pub use topology::{NodeId, Rank, Topology};

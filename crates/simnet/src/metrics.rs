@@ -5,7 +5,9 @@
 //! tests assert on `shm_copies`, `net_messages`, `matches`, etc. rather
 //! than only on modelled times.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 macro_rules! metrics {
     ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
@@ -104,6 +106,55 @@ metrics! {
     /// available (its destination's landing ring was full), counted on
     /// the blocking execution path.
     credit_stalls,
+    /// Communicators created (the world communicator counts once; each
+    /// `comm_create`/`comm_split` group counts once more).
+    comm_creates,
+}
+
+/// Per-communicator breakdown of `plan_hits`/`plan_misses`, keyed by the
+/// communicator id that issued the collective. Kept outside
+/// [`MetricsSnapshot`] (which stays `Copy`); snapshot it separately with
+/// [`PlanByComm::snapshot`].
+#[derive(Default, Debug)]
+pub struct PlanByComm {
+    inner: Mutex<BTreeMap<u64, (u64, u64)>>,
+}
+
+impl PlanByComm {
+    /// Record a plan-cache hit for communicator `comm`.
+    pub fn hit(&self, comm: u64) {
+        self.inner
+            .lock()
+            .expect("plan map poisoned")
+            .entry(comm)
+            .or_default()
+            .0 += 1;
+    }
+
+    /// Record a plan-cache miss (a compile) for communicator `comm`.
+    pub fn miss(&self, comm: u64) {
+        self.inner
+            .lock()
+            .expect("plan map poisoned")
+            .entry(comm)
+            .or_default()
+            .1 += 1;
+    }
+
+    /// `(comm id, hits, misses)` rows in ascending comm-id order.
+    pub fn snapshot(&self) -> Vec<(u64, u64, u64)> {
+        self.inner
+            .lock()
+            .expect("plan map poisoned")
+            .iter()
+            .map(|(&c, &(h, m))| (c, h, m))
+            .collect()
+    }
+
+    /// Clear the breakdown (between benchmark repetitions).
+    pub fn reset(&self) {
+        self.inner.lock().expect("plan map poisoned").clear();
+    }
 }
 
 impl Metrics {
@@ -129,6 +180,18 @@ mod tests {
         assert_eq!(s.flag_ops, 0);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn plan_by_comm_tracks_and_resets() {
+        let p = PlanByComm::default();
+        p.miss(0);
+        p.hit(0);
+        p.hit(0);
+        p.miss(3);
+        assert_eq!(p.snapshot(), vec![(0, 2, 1), (3, 0, 1)]);
+        p.reset();
+        assert!(p.snapshot().is_empty());
     }
 
     #[test]

@@ -12,9 +12,16 @@
 //! ranks on the same role show the same step sequence at different
 //! times — the step list is the Schedule, the times are the execution.
 //!
+//! After the world broadcast, the non-contiguous subgroup `[1, 3, 6]`
+//! runs an allreduce through its own communicator, so the swimlane
+//! headers also show the per-communicator plan-cache traffic the run
+//! generated (`comm 0` is the world; subgroups get fresh ids).
+//!
 //! Output format:
 //!
 //! ```text
+//! comm 0: 7 plan hits, 1 plan misses
+//! comm 1: 2 plan hits, 1 plan misses
 //! rank0 | [ 0] shm-copy @ 12.3 | [ 1] pair-publish @ 13.0 | ...
 //! rank1 | [ 0] pair-wait-published @ 0.0 | ...
 //! ```
@@ -25,9 +32,9 @@
 //! cargo run --release --example timeline
 //! ```
 
-use collops::Collectives;
+use collops::{Collectives, DType, ReduceOp};
 use simnet::{MachineConfig, Sim, Topology, Trace};
-use srm::{SrmTuning, SrmWorld};
+use srm::{SrmComm, SrmTuning, SrmWorld};
 
 fn main() {
     let topo = Topology::new(2, 4);
@@ -40,7 +47,13 @@ fn main() {
     };
     let world = SrmWorld::new(&mut sim, topo, tuning);
 
-    for rank in 0..topo.nprocs() {
+    let group = [1usize, 3, 6];
+    let mut sub_of: Vec<Option<SrmComm>> = (0..topo.nprocs()).map(|_| None).collect();
+    for (sub, &r) in world.comm_create(&group).into_iter().zip(&group) {
+        sub_of[r] = Some(sub);
+    }
+
+    for (rank, sub) in sub_of.into_iter().enumerate() {
         let comm = world.comm(rank);
         sim.spawn(format!("rank{rank}"), move |ctx| {
             let buf = comm.alloc_buffer(2048);
@@ -48,15 +61,28 @@ fn main() {
                 buf.with_mut(|d| d.fill(9));
             }
             comm.broadcast(&ctx, &buf, 2048, 0);
+            if let Some(sub) = sub {
+                let sbuf = sub.alloc_buffer(2048);
+                sub.allreduce(&ctx, &sbuf, 2048, DType::U64, ReduceOp::Sum);
+            }
             comm.shutdown(&ctx);
         });
     }
-    sim.run().expect("run completes");
+    let report = sim.run().expect("run completes");
 
     // LP ids: dispatchers first (spawned by the RMA world), then ranks.
     let mut names: Vec<String> = (0..topo.nprocs()).map(|i| format!("disp{i}")).collect();
     names.extend((0..topo.nprocs()).map(|i| format!("rank{i}")));
-    println!("One 2 KB SRM broadcast on {topo}:\n");
+    println!(
+        "One 2 KB SRM broadcast on {topo}, then an allreduce on subgroup {group:?} \
+         ({} comm creates):\n",
+        report.metrics.comm_creates
+    );
+    for &(comm_id, hits, misses) in &report.plan_by_comm {
+        let kind = if comm_id == 0 { " (world)" } else { "" };
+        println!("comm {comm_id}{kind}: {hits} plan hits, {misses} plan misses");
+    }
+    println!();
     print!("{}", trace.render(&names));
     println!("\n{} events traced", trace.len());
 

@@ -3,12 +3,19 @@
 //! height-optimality observation of §2.1 (including the 15-of-16
 //! "leave a CPU for the daemons" case).
 //!
+//! Pass a comma-separated rank list (and optionally a root) to also
+//! print the **group embedding** of that subset on a 2x4 machine and
+//! run a real broadcast over it through a subcommunicator:
+//!
 //! ```sh
-//! cargo run --release --example tree_embedding
+//! cargo run --release --example tree_embedding            # default group 1,3,4,6
+//! cargo run --release --example tree_embedding -- 0,2,5 5 # group + root
 //! ```
 
-use simnet::Topology;
-use srm::{embed, Embedding, TreeKind};
+use collops::Collectives;
+use simnet::{MachineConfig, Sim, Topology};
+use srm::{embed, Embedding, GroupEmbedding, SrmComm, SrmTuning, SrmWorld, TreeKind};
+use std::sync::{Arc, Mutex};
 
 fn describe(topo: Topology, kind: TreeKind) {
     let e = Embedding::new(topo, 0, kind);
@@ -60,4 +67,83 @@ fn main() {
             embed::height(TreeKind::Binomial, 16)
         );
     }
+
+    // §3.1's arbitrary-group generalization: embed a user-supplied
+    // subset of ranks and broadcast over it through a subcommunicator.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let group: Vec<usize> = args
+        .first()
+        .map(|s| {
+            s.split(',')
+                .map(|r| r.parse().expect("rank list: comma-separated integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 3, 4, 6]);
+    let root: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("root: an integer rank"))
+        .unwrap_or(group[0]);
+    describe_group(Topology::new(2, 4), &group, root);
+}
+
+/// Print `group`'s embedding on `topo` and run a broadcast over it.
+fn describe_group(topo: Topology, group: &[usize], root: usize) {
+    let e = GroupEmbedding::new(topo, group, root, TreeKind::Binomial);
+    println!("\nGroup {group:?} (root {root}) embedded in {topo}");
+    println!(
+        "  {} members on {} node(s), embedded height {}",
+        e.len(),
+        e.node_count(),
+        e.embedded_height()
+    );
+    println!(
+        "  group masters: {:?}",
+        (0..e.node_count())
+            .map(|i| e.group_master(i))
+            .collect::<Vec<_>>()
+    );
+    println!("  inter-node edges (network): {:?}", e.inter_edges());
+    println!("  intra-node edges (shared memory): {:?}", e.smp_edges());
+    println!(
+        "  SMP-aware inter-node messages: {} (communicator-order tree: {})",
+        e.inter_edges().len(),
+        e.naive_inter_edges()
+    );
+
+    // Run the broadcast for real: the root fills a buffer; every
+    // member must read the same bytes back through its subcommunicator.
+    let len = 1024usize;
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    let mut sub_of: Vec<Option<SrmComm>> = (0..topo.nprocs()).map(|_| None).collect();
+    for (sub, &r) in world.comm_create(group).into_iter().zip(group) {
+        sub_of[r] = Some(sub);
+    }
+    let ok = Arc::new(Mutex::new(0usize));
+    for (rank, sub) in sub_of.into_iter().enumerate() {
+        let comm = world.comm(rank);
+        let ok = ok.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            if let Some(sub) = sub {
+                let buf = sub.alloc_buffer(len);
+                if sub.rank() == root {
+                    buf.with_mut(|d| d.fill(0x5a));
+                }
+                let croot = sub.group().ranks().iter().position(|&r| r == root).unwrap();
+                sub.broadcast(&ctx, &buf, len, croot);
+                if buf.with(|d| d.iter().all(|&b| b == 0x5a)) {
+                    *ok.lock().unwrap() += 1;
+                }
+            }
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("group broadcast completes");
+    println!(
+        "  broadcast of {len} B from rank {root}: {}/{} members verified, \
+         {} network messages",
+        ok.lock().unwrap(),
+        group.len(),
+        report.metrics.net_messages
+    );
 }

@@ -664,6 +664,40 @@ fn rootless_shapes_normalize_in_plan_cache() {
     assert_eq!(m.plan_hits, 2 * (n - 1) as u64 * n as u64);
 }
 
+/// The rootless families fold further: `Allgather`, `Allreduce` and
+/// `Alltoall` at `len == 0` are all the same no-op synchronization, so
+/// `PlanKey::normalized` collapses the three onto **one** cache slot.
+#[test]
+fn zero_len_rootless_families_share_one_plan_slot() {
+    let topo = Topology::new(2, 2);
+    let n = topo.nprocs() as u64;
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..topo.nprocs() {
+        let comm = world.comm(rank);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(64);
+            for _ in 0..2 {
+                comm.allreduce(&ctx, &buf, 0, DType::U64, ReduceOp::Sum);
+                comm.allgather(&ctx, &buf, 0);
+                comm.alltoall(&ctx, &buf, 0);
+            }
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("simulation completes");
+    let m = report.metrics;
+    // Exactly one compile per rank; the other five calls per rank hit
+    // the shared slot.
+    assert_eq!(
+        m.plan_misses, n,
+        "three zero-len families must share one key"
+    );
+    assert_eq!(m.plan_hits, 5 * n);
+    // All of it accounted to the world communicator (id 0).
+    assert_eq!(report.plan_by_comm, vec![(0, 5 * n, n)]);
+}
+
 // Tree-structure properties over the full parameter space (cheap, so
 // more cases).
 proptest! {
