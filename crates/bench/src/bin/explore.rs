@@ -1,8 +1,9 @@
 //! Ad-hoc experiment runner: measure any collective on any cluster
-//! shape from the command line.
+//! shape from the command line — plus the seeded schedule-exploration
+//! stress mode (activated by `--seeds`).
 //!
 //! ```text
-//! explore [OPTIONS]
+//! explore [OPTIONS]                          measurement mode
 //!   --op bcast|reduce|allreduce|barrier     (default bcast)
 //!   --nodes N                               (default 4)
 //!   --tpn P                                 (default 16)
@@ -11,27 +12,53 @@
 //!   --machine colony|via                    (default colony)
 //!   --iters K                               (default 5)
 //!   --tree binomial|binary|fibonacci        (default binomial)
+//!
+//! explore --seeds N [OPTIONS]               stress mode
+//!   --seeds N              run N seeded perturbation scenarios
+//!   --start-seed S         first seed (decimal or 0x-hex, default 0)
+//!   --nodes N / --tpn P    pin the topology (default: drawn per seed)
+//!   --max-ops K            program length upper bound (default 6)
+//!   --no-subgroups         world-communicator steps only
+//!   --inject raise-race    fault injection: revert SpinFlag::raise to
+//!                          a non-monotone store; the sweep must CATCH
+//!                          it (exit 0 on detection, 1 on a miss)
 //! ```
 
 use simnet::{MachineConfig, Topology};
 use srm::{SrmTuning, TreeKind};
-use srm_cluster::{measure, HarnessOpts, Impl, Op};
+use srm_cluster::{explore_sweep, measure, ExploreOpts, HarnessOpts, Impl, Op};
 
 struct Args {
     op: Op,
     nodes: usize,
     tpn: usize,
+    nodes_set: bool,
+    tpn_set: bool,
     bytes: Vec<usize>,
     imps: Vec<Impl>,
     machine: MachineConfig,
     iters: usize,
     tree: TreeKind,
+    seeds: Option<u64>,
+    start_seed: u64,
+    max_ops: usize,
+    subgroups: bool,
+    inject: Option<String>,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!("usage: explore [--op OP] [--nodes N] [--tpn P] [--bytes B,..] [--impl I] [--machine M] [--iters K] [--tree T]");
+    eprintln!("       explore --seeds N [--start-seed S] [--nodes N] [--tpn P] [--max-ops K] [--no-subgroups] [--inject raise-race]");
     std::process::exit(2)
+}
+
+fn parse_seed(val: &str) -> Option<u64> {
+    if let Some(hex) = val.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        val.parse().ok()
+    }
 }
 
 fn parse() -> Args {
@@ -39,16 +66,28 @@ fn parse() -> Args {
         op: Op::Bcast,
         nodes: 4,
         tpn: 16,
+        nodes_set: false,
+        tpn_set: false,
         bytes: vec![4096],
         imps: Impl::ALL.to_vec(),
         machine: MachineConfig::ibm_sp_colony(),
         iters: 5,
         tree: TreeKind::Binomial,
+        seeds: None,
+        start_seed: 0,
+        max_ops: 6,
+        subgroups: true,
+        inject: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
+        if flag == "--no-subgroups" {
+            a.subgroups = false;
+            i += 1;
+            continue;
+        }
         let val = argv
             .get(i + 1)
             .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
@@ -62,8 +101,25 @@ fn parse() -> Args {
                     other => usage(&format!("unknown op '{other}'")),
                 }
             }
-            "--nodes" => a.nodes = val.parse().unwrap_or_else(|_| usage("bad --nodes")),
-            "--tpn" => a.tpn = val.parse().unwrap_or_else(|_| usage("bad --tpn")),
+            "--nodes" => {
+                a.nodes = val.parse().unwrap_or_else(|_| usage("bad --nodes"));
+                a.nodes_set = true;
+            }
+            "--tpn" => {
+                a.tpn = val.parse().unwrap_or_else(|_| usage("bad --tpn"));
+                a.tpn_set = true;
+            }
+            "--seeds" => a.seeds = Some(val.parse().unwrap_or_else(|_| usage("bad --seeds"))),
+            "--start-seed" => {
+                a.start_seed = parse_seed(val).unwrap_or_else(|| usage("bad --start-seed"))
+            }
+            "--max-ops" => a.max_ops = val.parse().unwrap_or_else(|_| usage("bad --max-ops")),
+            "--inject" => {
+                if val != "raise-race" {
+                    usage(&format!("unknown injection '{val}'"));
+                }
+                a.inject = Some(val.clone());
+            }
             "--bytes" => {
                 a.bytes = val
                     .split(',')
@@ -102,8 +158,91 @@ fn parse() -> Args {
     a
 }
 
+/// Stress mode: sweep seeded perturbation scenarios and report.
+fn stress(a: &Args, count: u64) -> ! {
+    let opts = ExploreOpts {
+        nodes: a.nodes_set.then_some(a.nodes),
+        tpn: a.tpn_set.then_some(a.tpn),
+        max_ops: a.max_ops,
+        subgroups: a.subgroups,
+    };
+    let injecting = a.inject.is_some();
+    if injecting {
+        println!(
+            "fault injection: SpinFlag::raise reverted to a non-monotone store, \
+             contrib consumed-in-order guards omitted"
+        );
+        shmem::set_nonmonotone_raise(true);
+        srm::set_skip_order_guards(true);
+    }
+    println!(
+        "exploring {count} seed(s) from 0x{:016x} (topology {}, max {} ops, subgroups {})",
+        a.start_seed,
+        if a.nodes_set || a.tpn_set {
+            format!(
+                "{}x{}",
+                if a.nodes_set { a.nodes } else { 0 },
+                if a.tpn_set { a.tpn } else { 0 }
+            )
+        } else {
+            "per-seed".to_string()
+        },
+        a.max_ops,
+        if a.subgroups { "on" } else { "off" },
+    );
+    let mut explored = 0;
+    let mut summary = srm_cluster::ExploreSummary::default();
+    for chunk_start in (0..count).step_by(32) {
+        let chunk = 32.min(count - chunk_start);
+        let s = explore_sweep(a.start_seed + chunk_start, chunk, &opts);
+        explored += s.explored;
+        summary.explored += s.explored;
+        summary.perturb_events += s.perturb_events;
+        summary.max_skew_ps = summary.max_skew_ps.max(s.max_skew_ps);
+        summary.calls_checked += s.calls_checked;
+        summary.failures.extend(s.failures);
+        if injecting && !summary.failures.is_empty() {
+            break; // detection achieved; no need to finish the budget
+        }
+        if explored < count {
+            println!(
+                "  {explored}/{count} seeds, {} calls checked, {} perturb events, {} failure(s)",
+                summary.calls_checked,
+                summary.perturb_events,
+                summary.failures.len()
+            );
+        }
+    }
+    println!(
+        "explored {explored} seed(s): {} collective calls verified, {} perturbation events \
+         injected (max skew {:.1}us), {} failure(s)",
+        summary.calls_checked,
+        summary.perturb_events,
+        summary.max_skew_ps as f64 / 1e6,
+        summary.failures.len()
+    );
+    if injecting {
+        if let Some(f) = summary.failures.first() {
+            println!("fault DETECTED after {explored} seed(s):\n{f}");
+            std::process::exit(0);
+        }
+        println!("fault NOT detected within {count} seed(s) — detector miss");
+        std::process::exit(1);
+    }
+    if !summary.failures.is_empty() {
+        for f in &summary.failures {
+            println!("{f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let a = parse();
+    if let Some(count) = a.seeds {
+        stress(&a, count);
+    }
     let topo = Topology::new(a.nodes, a.tpn);
     println!(
         "{} on {topo}, {} iteration(s) per point, {:?} tree\n",

@@ -46,9 +46,16 @@ pub(crate) fn val_of(bases: &[u64; SEQ_BASES], v: Val) -> u64 {
 }
 
 pub(crate) fn side_of(bases: &[u64; SEQ_BASES], s: Side) -> usize {
+    (seq_of(bases, s) % 2) as usize
+}
+
+/// The full use-sequence number a `Side` resolves to — the buffer pair
+/// protocol counts *uses*, not parities, so writer handoffs between
+/// uses of the same side stay ordered (see [`shmem::BufPair`]).
+pub(crate) fn seq_of(bases: &[u64; SEQ_BASES], s: Side) -> u64 {
     match s {
-        Side::Lit(x) => x,
-        Side::Parity { base, rel } => ((bases[base.index()] + rel) % 2) as usize,
+        Side::Lit(x) => x as u64,
+        Side::Parity { base, rel } => bases[base.index()] + rel,
     }
 }
 
@@ -224,6 +231,7 @@ impl SrmComm {
             self.nb_wait_id(ctx, id);
             return;
         }
+        ctx.perturb_straggler(self.rank());
         let plan = self.plan_for(ctx, key);
         self.execute_plan(ctx, &plan, buf, reduce);
     }
@@ -384,25 +392,25 @@ impl SrmComm {
                 }
                 Step::PairWaitFree { pair, side } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    pair_of(self, pair).wait_free(ctx, side_of(&bases, side));
+                    pair_of(self, pair).wait_free(ctx, seq_of(&bases, side));
                 }
                 Step::PairPublish { pair, side } => {
-                    let p = self.cslots_here();
-                    let my = self.cslot();
-                    let pr = pair_of(self, pair);
-                    let s = side_of(&bases, side);
-                    for slot in 0..p {
-                        if slot != my {
-                            pr.ready(s).flag(slot).set(ctx, 1);
-                        }
-                    }
+                    pair_of(self, pair).publish_from(ctx, seq_of(&bases, side), self.cslot());
                 }
                 Step::PairWaitPublished { pair, side } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
-                    pair_of(self, pair).wait_published(ctx, side_of(&bases, side), self.cslot());
+                    pair_of(self, pair).wait_published(ctx, seq_of(&bases, side), self.cslot());
                 }
                 Step::PairRelease { pair, side } => {
-                    pair_of(self, pair).release(ctx, side_of(&bases, side), self.cslot());
+                    pair_of(self, pair).release(ctx, seq_of(&bases, side), self.cslot());
+                }
+                Step::PairWaitDrained { pair, side } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    pair_of(self, pair).wait_drained(ctx, seq_of(&bases, side));
+                }
+                Step::PairCatchUp { pair, base, rel } => {
+                    let q_end = bases[base.index()] + rel;
+                    pair_of(self, pair).catch_up(ctx, q_end, self.cslot());
                 }
                 Step::RmaPut {
                     to,

@@ -325,7 +325,7 @@ impl SrmComm {
                     len: clen,
                     cost: CopyCost::Read(read_streams),
                 });
-                b.push(Step::PairWaitFree {
+                b.push(Step::PairWaitDrained {
                     pair: PairSel::Landing,
                     side,
                 });
@@ -969,7 +969,7 @@ impl SrmComm {
                         len: clen,
                         cost: CopyCost::Read(read_streams),
                     });
-                    b.push(Step::PairWaitFree {
+                    b.push(Step::PairWaitDrained {
                         pair: PairSel::Landing,
                         side: lside,
                     });
@@ -1205,6 +1205,17 @@ impl SrmComm {
                         len: clen,
                         cost: CopyCost::Read(1),
                     });
+                    if k == 0 && !crate::plan::skip_order_guards() {
+                        // Keep DONE skip-free across collectives: the
+                        // previous op's consumer of this channel may be
+                        // a different rank that hasn't drained yet (see
+                        // `plan_smp_reduce_chunk`).
+                        b.push(Step::FlagWaitGe {
+                            flag: FlagRef::ContribDone { slot: s },
+                            val: seq(SeqBase::Reduce, rel0),
+                            label: "contrib consumed in order",
+                        });
+                    }
                     b.push(Step::FlagRaise {
                         flag: FlagRef::ContribDone { slot: s },
                         val: seq(SeqBase::Reduce, rel + 1),
@@ -1299,6 +1310,15 @@ impl SrmComm {
                         len: clen,
                         ctr: Some(CtrRef::LargeData { node: root_node }),
                     });
+                    if k == 0 && !crate::plan::skip_order_guards() {
+                        // DONE must stay skip-free across collectives
+                        // (see `plan_smp_reduce_chunk`).
+                        b.push(Step::FlagWaitGe {
+                            flag: FlagRef::ContribDone { slot: s },
+                            val: seq(SeqBase::Reduce, rel0),
+                            label: "contrib consumed in order",
+                        });
+                    }
                     b.push(Step::FlagRaise {
                         flag: FlagRef::ContribDone { slot: s },
                         val: seq(SeqBase::Reduce, rel + 1),
@@ -1681,6 +1701,21 @@ impl SrmComm {
         // reduce landing channels) but no contribution channel carries
         // data — every rank re-synchronizes its own.
         self.plan_contrib_catchup(b, rel0 + max_pieces as u64);
+        // My node's landing pair carried only its own block's pieces
+        // (none on a single-slot node); account the skipped uses of the
+        // group-wide advance as released.
+        let mine = if p > 1 {
+            self.scatter_pieces(my_node, len, chunk).len()
+        } else {
+            0
+        };
+        if mine < max_pieces {
+            b.push(Step::PairCatchUp {
+                pair: PairSel::Landing,
+                base: SeqBase::Landing,
+                rel: lrel0 + max_pieces as u64,
+            });
+        }
         b.advance(SeqBase::Reduce, max_pieces as u64);
         b.advance(SeqBase::Landing, max_pieces as u64);
         if xfer_relay && my_node == root_node {

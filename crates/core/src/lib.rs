@@ -88,6 +88,6 @@ pub mod world;
 pub use embed::{Embedding, GroupEmbedding, TreeKind};
 pub use model::SrmModel;
 pub use pairwise::PairwiseState;
-pub use plan::{Plan, PlanBuilder, PlanCache, PlanKey, PlanShape, Step};
+pub use plan::{set_skip_order_guards, Plan, PlanBuilder, PlanCache, PlanKey, PlanShape, Step};
 pub use tuning::SrmTuning;
 pub use world::{CommGroup, InterState, NodeBoard, SrmComm, SrmWorld};

@@ -169,7 +169,9 @@ pub(crate) fn step_classes(step: &Step) -> u8 {
         Step::PairWaitFree { pair, .. }
         | Step::PairPublish { pair, .. }
         | Step::PairWaitPublished { pair, .. }
-        | Step::PairRelease { pair, .. } => pair_class(pair),
+        | Step::PairRelease { pair, .. }
+        | Step::PairWaitDrained { pair, .. }
+        | Step::PairCatchUp { pair, .. } => pair_class(pair),
         Step::RmaPut { src, dst, ctr, .. } => {
             buf_class(src) | buf_class(dst) | ctr.map_or(0, ctr_class)
         }
@@ -195,6 +197,7 @@ fn step_blocks(step: &Step) -> bool {
             | Step::DrainWait { .. }
             | Step::PairWaitFree { .. }
             | Step::PairWaitPublished { .. }
+            | Step::PairWaitDrained { .. }
             | Step::CounterWait { .. }
             | Step::CounterWaitGe { .. }
             | Step::CreditWait { .. }
@@ -224,15 +227,22 @@ fn step_ready(comm: &SrmComm, st: &CallState, step: &Step) -> bool {
             cum < 2 || flag_of(comm, flag).peek() >= (cum - 1) * scale
         }
         Step::PairWaitFree { pair, side } => {
-            let bank = pair_of(comm, pair).ready(crate::engine::side_of(bases, side));
-            (0..bank.len()).all(|i| bank.flag(i).peek() == 0)
+            let q = crate::engine::seq_of(bases, side);
+            let bank = pair_of(comm, pair).released((q % 2) as usize);
+            (0..bank.len()).all(|i| bank.flag(i).peek() >= q / 2)
         }
         Step::PairWaitPublished { pair, side } => {
+            let q = crate::engine::seq_of(bases, side);
             pair_of(comm, pair)
-                .ready(crate::engine::side_of(bases, side))
+                .ready((q % 2) as usize)
                 .flag(comm.cslot())
                 .peek()
-                == 1
+                > q / 2
+        }
+        Step::PairWaitDrained { pair, side } => {
+            let q = crate::engine::seq_of(bases, side);
+            let bank = pair_of(comm, pair).released((q % 2) as usize);
+            (0..bank.len()).all(|i| bank.flag(i).peek() > q / 2)
         }
         Step::CounterWait { ctr, n } | Step::CreditWait { ctr, n } => {
             ctr_of(comm, bases, ctr).peek() >= n
@@ -256,8 +266,8 @@ fn step_wait_keys(comm: &SrmComm, st: &CallState, step: &Step, out: &mut Vec<u64
         Step::DrainWait {
             flag, base, rel, ..
         } if bases[base.index()] + rel >= 2 => out.push(flag_of(comm, flag).wait_key()),
-        Step::PairWaitFree { pair, side } => {
-            let bank = pair_of(comm, pair).ready(crate::engine::side_of(bases, side));
+        Step::PairWaitFree { pair, side } | Step::PairWaitDrained { pair, side } => {
+            let bank = pair_of(comm, pair).released(crate::engine::side_of(bases, side));
             for i in 0..bank.len() {
                 out.push(bank.flag(i).wait_key());
             }
@@ -379,6 +389,7 @@ impl SrmComm {
         buf: &ShmBuffer,
         reduce: Option<(DType, ReduceOp)>,
     ) -> u64 {
+        ctx.perturb_straggler(self.rank());
         let cap = self.tuning().max_outstanding;
         if self.shared.pending.lock().expect("queue poisoned").len() >= cap {
             self.nb_wait_below(ctx, cap);
@@ -556,11 +567,13 @@ impl SrmComm {
         // progress would have run it).
         debug_assert!(!keys.is_empty(), "parked executor with no wake keys");
         ctx.metrics().nb_parks.fetch_add(1, Ordering::Relaxed);
+        ctx.perturb_stall_point("perturb:stall-park");
         self.rma.begin_call(ctx);
         ctx.wait_any_until(keys, "nb: outstanding collective", || {
             self.nb_any_head_ready()
         });
         self.rma.end_call(ctx);
+        ctx.perturb_stall_point("perturb:stall-unpark");
     }
 
     /// Block until fewer than `cap` schedules are pending (the issue

@@ -390,6 +390,16 @@ impl SrmComm {
                         });
                         // The put snapshots the source synchronously,
                         // so the contribution side drains immediately.
+                        if rel == rel0 && !crate::plan::skip_order_guards() {
+                            // DONE must stay skip-free across
+                            // collectives (see
+                            // `plan_smp_reduce_chunk`).
+                            b.push(Step::FlagWaitGe {
+                                flag: FlagRef::ContribDone { slot: u },
+                                val: seq(SeqBase::Reduce, rel0),
+                                label: "contrib consumed in order",
+                            });
+                        }
                         b.push(Step::FlagRaise {
                             flag: FlagRef::ContribDone { slot: u },
                             val: seq(SeqBase::Reduce, rel + 1),
@@ -554,11 +564,19 @@ impl SrmComm {
             }
             b.advance(SeqBase::Reduce, r_adv);
         }
-        // Uniform even for members whose node has a single slot: their
-        // landing pair goes unused, but the parity base must track the
-        // rest of the group (the pair flags are stateless per side, so
-        // skipping ahead is harmless).
+        // Uniform even for members whose node has a single slot or
+        // fewer inbound pieces than the group maximum: the parity base
+        // must track the rest of the group. The pair's RELEASED
+        // counters index uses absolutely, so each slot accounts the
+        // uses its node skipped as released.
         if g_land > 0 {
+            if li < g_land {
+                b.push(Step::PairCatchUp {
+                    pair: PairSel::Landing,
+                    base: SeqBase::Landing,
+                    rel: lrel0 + g_land,
+                });
+            }
             b.advance(SeqBase::Landing, g_land);
         }
     }
@@ -1025,6 +1043,17 @@ impl SrmComm {
         // member for the same parity-uniformity reason as the wire.
         b.advance(SeqBase::Reduce, rel - rel0);
         if rounds > 0 {
+            // My node distributed only its own `pieces[me]` rounds
+            // through the landing pair (none on a single-slot node);
+            // account the skipped uses as released.
+            let mine = if p > 1 { pieces[me].len() } else { 0 };
+            if mine < rounds {
+                b.push(Step::PairCatchUp {
+                    pair: PairSel::Landing,
+                    base: SeqBase::Landing,
+                    rel: lrel0 + rounds as u64,
+                });
+            }
             b.advance(SeqBase::Landing, rounds as u64);
         }
     }

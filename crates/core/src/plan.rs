@@ -26,7 +26,31 @@
 
 use crate::world::SrmComm;
 use simnet::{NodeId, Rank};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Fault-injection switch: when enabled, planners omit the
+/// "contrib consumed in order" guards that keep the contribution DONE
+/// flags skip-free when the consumer set changes between collectives
+/// (a gather root handing over to an SMP-tree interior rank, say).
+/// Combined with [`shmem::set_nonmonotone_raise`] this re-opens the
+/// cross-collective overwrite race the schedule-exploration harness
+/// originally found, so the harness can prove it still detects that
+/// bug class. Test-harness machinery: process-global, read at *plan
+/// build* time (set it before any collective runs), never for
+/// protocol use.
+static SKIP_ORDER_GUARDS: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the order-guard omission fault injection; returns
+/// the previous setting. See `SKIP_ORDER_GUARDS`'s caveats.
+pub fn set_skip_order_guards(enabled: bool) -> bool {
+    SKIP_ORDER_GUARDS.swap(enabled, Ordering::SeqCst)
+}
+
+/// Whether planners should omit the skip-free DONE-flag guards.
+pub(crate) fn skip_order_guards() -> bool {
+    SKIP_ORDER_GUARDS.load(Ordering::SeqCst)
+}
 
 /// The per-rank cumulative sequence cells a plan's relative values are
 /// resolved against. The engine samples all of them once when a call
@@ -471,6 +495,30 @@ pub enum Step {
         /// Which side.
         side: Side,
     },
+    /// Writer wait until the use it *published* is fully released (the
+    /// drain-acknowledge before returning a flow-control credit to a
+    /// remote producer). Distinct from [`Step::PairWaitFree`], which
+    /// waits for the *previous* use of the side.
+    PairWaitDrained {
+        /// Which pair.
+        pair: PairSel,
+        /// Which side.
+        side: Side,
+    },
+    /// Raise my own RELEASED counters on both pair sides to cover every
+    /// use below `bases[base] + rel`. Emitted where a plan advances a
+    /// pair-bearing sequence base by a *group-wide* amount while this
+    /// node participated in fewer uses (ragged streams, single-member
+    /// nodes): the skipped uses must still be accounted as released or
+    /// a later writer's free-wait would starve.
+    PairCatchUp {
+        /// Which pair.
+        pair: PairSel,
+        /// Cumulative base the pair sequences against.
+        base: SeqBase,
+        /// Plan-relative end of the advance (`rel0 + advance`).
+        rel: u64,
+    },
     /// One-sided put to rank `to`, optionally bumping a counter there.
     RmaPut {
         /// Target rank (a master).
@@ -568,6 +616,8 @@ impl Step {
             Step::PairPublish { .. } => "step:pair-publish",
             Step::PairWaitPublished { .. } => "step:pair-wait-published",
             Step::PairRelease { .. } => "step:pair-release",
+            Step::PairWaitDrained { .. } => "step:pair-wait-drained",
+            Step::PairCatchUp { .. } => "step:pair-catch-up",
             Step::RmaPut { .. } => "step:rma-put",
             Step::CounterPut { .. } => "step:counter-put",
             Step::CounterWait { .. } | Step::CounterWaitGe { .. } => "step:counter-wait",

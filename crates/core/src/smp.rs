@@ -415,6 +415,7 @@ impl SrmComm {
 
         // Interior (or root): fold each child's shared buffer into the
         // running chunk — operator execution only, no data movement.
+        let first = rel == b.rel(SeqBase::Reduce);
         for kv in kids {
             let cslot = unv(kv);
             b.push(Step::FlagWaitGe {
@@ -430,6 +431,24 @@ impl SrmComm {
                 src_off: side_off,
                 len: clen,
             });
+            if first && !crate::plan::skip_order_guards() {
+                // The DONE flag must advance without skipping sequence
+                // numbers: the previous collective on this channel may
+                // have a *different* consumer rank (e.g. a gather root)
+                // that has not drained the child's last chunk yet, and
+                // a max-raise past it would let the child overwrite
+                // that chunk's side early. Within one plan the single
+                // consumer is ordered, so only the first fold per plan
+                // needs the guard.
+                b.push(Step::FlagWaitGe {
+                    flag: FlagRef::ContribDone { slot: cslot },
+                    val: Val::Seq {
+                        base: SeqBase::Reduce,
+                        rel,
+                    },
+                    label: "contrib consumed in order",
+                });
+            }
             b.push(Step::FlagRaise {
                 flag: FlagRef::ContribDone { slot: cslot },
                 val: Val::Seq {

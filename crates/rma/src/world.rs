@@ -14,7 +14,11 @@
 //! A put of `b` bytes issued at origin time `t` is delivered at
 //! `max(t, link_free) + b·G + L`, where `G` is the per-byte cost and
 //! `L` the one-way latency; `link_free` serializes messages on the
-//! origin's network port. The origin CPU is busy only for the origin
+//! origin's network port. When a perturbation config is installed
+//! ([`simnet::Sim::set_perturb`]), the delivery time additionally
+//! passes through [`simnet::Ctx::perturb_delivery`]: bounded jitter
+//! and cross-pair reordering, never regressing the per-pair order the
+//! origin port serialized. The origin CPU is busy only for the origin
 //! overhead — the transfer itself is one-sided, which is precisely the
 //! overlap opportunity SRM exploits.
 //!
@@ -386,7 +390,7 @@ impl Rma {
         let start = ctx.now().max(me_net.link_free.get());
         let ser_done = start + cfg.net_per_byte.cost_of(wire_bytes);
         me_net.link_free.store(ctx, ser_done);
-        let deliver_at = ser_done + cfg.net_latency;
+        let deliver_at = ctx.perturb_delivery(self.me, target, ser_done + cfg.net_latency);
         let m = ctx.metrics();
         m.net_messages.fetch_add(1, Ordering::Relaxed);
         m.net_bytes.fetch_add(wire_bytes as u64, Ordering::Relaxed);
@@ -488,7 +492,7 @@ fn deliver(ctx: &Ctx, world: &Arc<WorldInner>, me: Rank, a: Arrival) {
             let start = ctx.now().max(t.link_free.get());
             let ser_done = start + cfg.net_per_byte.cost_of(len);
             t.link_free.store(ctx, ser_done);
-            let deliver_at = ser_done + cfg.net_latency;
+            let deliver_at = ctx.perturb_delivery(me, requester, ser_done + cfg.net_latency);
             let m = ctx.metrics();
             m.net_messages.fetch_add(1, Ordering::Relaxed);
             m.net_bytes.fetch_add(len as u64, Ordering::Relaxed);

@@ -1,31 +1,61 @@
 //! The paper's double-buffer structure (its Figure 3): two shared
 //! buffers A and B, each protected by a bank of per-reader READY flags.
 //!
-//! One writer alternates between the buffers: it fills buffer `i`, sets
-//! every reader's READY flag for `i`, and moves on to fill buffer
-//! `1 - i` while the readers drain `i` — a two-stage pipeline. Each
-//! reader clears its own flag when done, and the writer must see all
-//! flags for a buffer cleared before refilling it.
+//! One writer alternates between the buffers: it fills buffer `i`,
+//! publishes it to every reader, and moves on to fill buffer `1 - i`
+//! while the readers drain `i` — a two-stage pipeline. Each reader
+//! releases the buffer when done, and the writer must see a buffer
+//! fully released before refilling it.
 //!
 //! The same structure serves two roles in SRM:
 //! * intra-node broadcast (root = writer, other tasks = readers);
 //! * the landing zone for inter-node small-message puts (network parent
 //!   = writer via RMA, node tasks = readers).
+//!
+//! # Use sequences, not 0/1 flags
+//!
+//! The paper's protocol sets a READY flag to 1 on publish and clears it
+//! on release, which is sound **only with a single writer**: the writer
+//! alone sets flags, so when it observes all-clear it knows its own
+//! previous publish completed and every reader drained it.
+//!
+//! SRM reuses one pair for streams whose writer *changes between uses*
+//! (alltoall cells rotate the publisher; broadcast roots rotate across
+//! calls). There a cleared flag is ambiguous — it means both "released"
+//! and "not yet published" — and a new writer can pass its free-wait
+//! while the previous writer's publish (a per-reader sequence of flag
+//! stores) is still in flight, overwrite the buffer, and feed the
+//! late-notified readers the wrong data. The schedule-exploration
+//! stress harness caught exactly this under compute-stall perturbation.
+//!
+//! The flags are therefore **cumulative use counters**. Uses of the
+//! pair are numbered by a global sequence `q` (side `q % 2`, per-side
+//! use index `c = q / 2`):
+//! * publishing use `q` raises each reader's READY flag for that side
+//!   to `c + 1`;
+//! * releasing it raises the reader's own RELEASED flag to `c + 1`;
+//! * a writer drawn from the slot bank *self-releases* after its last
+//!   publish store ([`BufPair::publish_from`]), so the released bank
+//!   also records publish completion;
+//! * the free-wait for use `q` waits for every RELEASED flag of that
+//!   side to reach `q / 2` — distinguishing "everyone is done with use
+//!   `q - 2`" from "use `q - 2` was never announced".
 
 use crate::buffer::ShmBuffer;
 use crate::flag::FlagBank;
 use simnet::{Ctx, SimHandle};
 
-/// Two shared buffers with per-reader READY flag banks.
+/// Two shared buffers with per-reader READY / RELEASED counter banks.
 #[derive(Clone)]
 pub struct BufPair {
     bufs: [ShmBuffer; 2],
     ready: [FlagBank; 2],
+    released: [FlagBank; 2],
 }
 
 impl BufPair {
     /// Two buffers of `capacity` bytes each, with `readers` flags per
-    /// buffer, all initially clear (buffers free).
+    /// buffer, all counters starting at zero (buffers free).
     pub fn new(handle: &SimHandle, capacity: usize, readers: usize) -> Self {
         BufPair {
             bufs: [ShmBuffer::new(capacity), ShmBuffer::new(capacity)],
@@ -33,17 +63,26 @@ impl BufPair {
                 FlagBank::new(handle, readers, 0),
                 FlagBank::new(handle, readers, 0),
             ],
+            released: [
+                FlagBank::new(handle, readers, 0),
+                FlagBank::new(handle, readers, 0),
+            ],
         }
     }
 
-    /// Buffer `side` (0 or 1). Alternation helper: `side = seq % 2`.
+    /// Buffer `side` (0 or 1). Alternation helper: `side = q % 2`.
     pub fn buf(&self, side: usize) -> &ShmBuffer {
         &self.bufs[side & 1]
     }
 
-    /// READY flag bank for buffer `side`.
+    /// READY counter bank for buffer `side`.
     pub fn ready(&self, side: usize) -> &FlagBank {
         &self.ready[side & 1]
+    }
+
+    /// RELEASED counter bank for buffer `side`.
+    pub fn released(&self, side: usize) -> &FlagBank {
+        &self.released[side & 1]
     }
 
     /// Number of readers each buffer serves.
@@ -56,30 +95,72 @@ impl BufPair {
         self.bufs[0].capacity()
     }
 
-    /// Writer side: block until every reader has released buffer `side`
-    /// (all READY flags clear again).
-    pub fn wait_free(&self, ctx: &Ctx, side: usize) {
-        self.ready(side)
-            .wait_all_eq(ctx, "buffer released by readers", 0);
+    /// Writer side: block until every slot has released use `q - 2` of
+    /// this side (trivially true for the first use of each side).
+    pub fn wait_free(&self, ctx: &Ctx, q: u64) {
+        self.released[(q % 2) as usize].wait_all_ge(ctx, "buffer released by readers", q / 2);
     }
 
-    /// Writer side: publish buffer `side` to all readers (set every
-    /// READY flag).
-    pub fn publish(&self, ctx: &Ctx, side: usize) {
-        self.ready(side).set_all(ctx, 1);
+    /// Writer side: publish use `q` to every reader. For a writer that
+    /// is *not* itself a slot in the bank (e.g. a dedicated producer);
+    /// writers drawn from the bank use [`BufPair::publish_from`].
+    pub fn publish(&self, ctx: &Ctx, q: u64) {
+        let bank = &self.ready[(q % 2) as usize];
+        for r in 0..bank.len() {
+            bank.flag(r).raise(ctx, q / 2 + 1);
+        }
     }
 
-    /// Reader side: block until buffer `side` is published to reader
-    /// `me`.
-    pub fn wait_published(&self, ctx: &Ctx, side: usize, me: usize) {
-        self.ready(side)
+    /// Writer side: publish use `q` to every slot except `writer`
+    /// (the writer's own slot), then self-release. The self-release is
+    /// ordered after the last READY store, so the RELEASED bank also
+    /// witnesses that this publish completed — the next writer of the
+    /// side cannot pass [`BufPair::wait_free`] mid-publish.
+    pub fn publish_from(&self, ctx: &Ctx, q: u64, writer: usize) {
+        let s = (q % 2) as usize;
+        let bank = &self.ready[s];
+        for r in 0..bank.len() {
+            if r != writer {
+                bank.flag(r).raise(ctx, q / 2 + 1);
+            }
+        }
+        self.released[s].flag(writer).raise(ctx, q / 2 + 1);
+    }
+
+    /// Reader side: block until use `q` is published to reader `me`.
+    pub fn wait_published(&self, ctx: &Ctx, q: u64, me: usize) {
+        self.ready[(q % 2) as usize]
             .flag(me)
-            .wait_eq(ctx, "buffer published", 1);
+            .wait_ge(ctx, "buffer published", q / 2 + 1);
     }
 
-    /// Reader side: release buffer `side` (clear own READY flag).
-    pub fn release(&self, ctx: &Ctx, side: usize, me: usize) {
-        self.ready(side).flag(me).set(ctx, 0);
+    /// Reader side: release use `q` (raise own RELEASED counter).
+    pub fn release(&self, ctx: &Ctx, q: u64, me: usize) {
+        self.released[(q % 2) as usize]
+            .flag(me)
+            .raise(ctx, q / 2 + 1);
+    }
+
+    /// Writer side: block until use `q` itself is fully released (every
+    /// slot's RELEASED counter covers it) — the drain-acknowledge a
+    /// node master issues before returning a flow-control credit to the
+    /// remote producer that overwrites this side next.
+    pub fn wait_drained(&self, ctx: &Ctx, q: u64) {
+        self.released[(q % 2) as usize].wait_all_ge(ctx, "buffer use drained", q / 2 + 1);
+    }
+
+    /// Account every use below `q_end` as released by slot `me` on both
+    /// sides. Used when a globally-advancing use sequence skips this
+    /// node (it had fewer stream pieces than the group maximum): the
+    /// skipped uses never touched the buffers, but the RELEASED
+    /// counters must still cover them or a later writer's
+    /// [`BufPair::wait_free`] would starve. Monotone — uses the slot
+    /// actually released are unaffected.
+    pub fn catch_up(&self, ctx: &Ctx, q_end: u64, me: usize) {
+        // Side 0 holds uses {0, 2, ...} below `q_end`: ⌈q_end/2⌉ of
+        // them; side 1 holds the remaining ⌊q_end/2⌋.
+        self.released[0].flag(me).raise(ctx, q_end.div_ceil(2));
+        self.released[1].flag(me).raise(ctx, q_end / 2);
     }
 }
 
@@ -101,10 +182,10 @@ mod tests {
         let send = chunks.clone();
         s.spawn("writer", move |ctx| {
             for (seq, chunk) in send.iter().enumerate() {
-                let side = seq % 2;
-                p.wait_free(&ctx, side);
-                p.buf(side).write(&ctx, 0, chunk, 1);
-                p.publish(&ctx, side);
+                let q = seq as u64;
+                p.wait_free(&ctx, q);
+                p.buf(seq % 2).write(&ctx, 0, chunk, 1);
+                p.publish(&ctx, q);
             }
         });
 
@@ -113,12 +194,12 @@ mod tests {
             let expect = chunks.clone();
             s.spawn(format!("reader{reader}"), move |ctx| {
                 for (seq, chunk) in expect.iter().enumerate() {
-                    let side = seq % 2;
-                    p.wait_published(&ctx, side, reader);
+                    let q = seq as u64;
+                    p.wait_published(&ctx, q, reader);
                     let mut got = vec![0u8; 256];
-                    p.buf(side).read(&ctx, 0, &mut got, 2);
+                    p.buf(seq % 2).read(&ctx, 0, &mut got, 2);
                     assert_eq!(&got, chunk, "chunk {seq} corrupted");
-                    p.release(&ctx, side, reader);
+                    p.release(&ctx, q, reader);
                 }
             });
         }
@@ -132,11 +213,12 @@ mod tests {
 
         let p = pair.clone();
         s.spawn("writer", move |ctx| {
-            // Publish side 0 twice; second publish must wait for release.
+            // Publish side 0 twice; the second use must wait for the
+            // first to be released.
             p.wait_free(&ctx, 0);
             p.buf(0).write(&ctx, 0, &[1u8; 64], 1);
             p.publish(&ctx, 0);
-            p.wait_free(&ctx, 0);
+            p.wait_free(&ctx, 2);
             // Reader released at >= 10us; we cannot be earlier.
             assert!(ctx.now() >= SimTime::from_us(10));
         });
@@ -146,6 +228,42 @@ mod tests {
             ctx.advance(SimTime::from_us(10)); // slow consumer
             p.release(&ctx, 0, 0);
         });
+        s.run().unwrap();
+    }
+
+    /// The writer-handoff invariant: when writers are drawn from the
+    /// slot bank and rotate between uses, the next writer's free-wait
+    /// must also wait for the *previous writer's publish to finish*
+    /// (witnessed by its self-release), not only for reader releases.
+    #[test]
+    fn writer_handoff_waits_for_previous_publish() {
+        let mut s = Sim::new(MachineConfig::uniform_test());
+        let pair = BufPair::new(&s.handle(), 64, 3);
+
+        // Slot 0 writes use 0 of side 0, self-releasing only at 20us.
+        let p = pair.clone();
+        s.spawn("w1", move |ctx| {
+            p.wait_free(&ctx, 0);
+            p.buf(0).write(&ctx, 0, &[7u8; 64], 1);
+            ctx.advance(SimTime::from_us(20)); // stalled mid-publish
+            p.publish_from(&ctx, 0, 0);
+        });
+        // Slots 1 and 2 read use 0, then slot 1 writes use 2 (side 0
+        // again): its free-wait must not pass before w1's publish.
+        for me in 1..3usize {
+            let p = pair.clone();
+            s.spawn(format!("r{me}"), move |ctx| {
+                p.wait_published(&ctx, 0, me);
+                assert_eq!(p.buf(0).with(|d| d[0]), 7);
+                p.release(&ctx, 0, me);
+                if me == 1 {
+                    p.wait_free(&ctx, 2);
+                    assert!(ctx.now() >= SimTime::from_us(20));
+                    p.buf(0).write(&ctx, 0, &[9u8; 64], 1);
+                    p.publish_from(&ctx, 2, me);
+                }
+            });
+        }
         s.run().unwrap();
     }
 

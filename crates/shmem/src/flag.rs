@@ -14,7 +14,22 @@
 //! disturbed by traffic on another.
 
 use simnet::{Ctx, SimHandle, SimVar};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fault-injection switch: when enabled, [`SpinFlag::raise`] degrades
+/// to a plain store — the pre-fix behaviour of the contribution
+/// catch-up race (a lagging raiser can then *regress* a cumulative
+/// flag). Exists so the schedule-exploration stress harness can prove
+/// it detects that bug class; never enable outside a dedicated test
+/// process (the switch is process-global).
+static NONMONOTONE_RAISE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the non-monotone-raise fault injection; returns
+/// the previous setting. This is test-harness machinery, process-global
+/// and not for protocol use — see the caveats above.
+pub fn set_nonmonotone_raise(enabled: bool) -> bool {
+    NONMONOTONE_RAISE.swap(enabled, Ordering::SeqCst)
+}
 
 /// One synchronization word in simulated shared memory.
 #[derive(Clone)]
@@ -46,7 +61,13 @@ impl SpinFlag {
     pub fn raise(&self, ctx: &Ctx, value: u64) {
         ctx.advance(ctx.config().flag_set_op);
         ctx.metrics().flag_ops.fetch_add(1, Ordering::Relaxed);
-        self.var.update(ctx, move |v| *v = (*v).max(value));
+        if NONMONOTONE_RAISE.load(Ordering::Relaxed) {
+            // Injected fault: the unfixed plain store (see
+            // `set_nonmonotone_raise`).
+            self.var.store(ctx, value);
+        } else {
+            self.var.update(ctx, move |v| *v = (*v).max(value));
+        }
     }
 
     /// Read the current value. Costs one flag operation (cache-line
@@ -155,6 +176,14 @@ impl FlagBank {
     pub fn set_all(&self, ctx: &Ctx, value: u64) {
         for f in &self.flags {
             f.set(ctx, value);
+        }
+    }
+
+    /// Wait until *all* flags in the bank are at least `value`
+    /// (cumulative-counter banks; see [`SpinFlag::wait_ge`]).
+    pub fn wait_all_ge(&self, ctx: &Ctx, label: &'static str, value: u64) {
+        for f in &self.flags {
+            f.wait_ge(ctx, label, value);
         }
     }
 }

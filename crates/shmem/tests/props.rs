@@ -31,10 +31,10 @@ proptest! {
         let send = chunks.clone();
         sim.spawn("writer", move |ctx| {
             for (k, chunk) in send.iter().enumerate() {
-                let side = k % 2;
-                p.wait_free(&ctx, side);
-                p.buf(side).write(&ctx, 0, chunk, 1);
-                p.publish(&ctx, side);
+                let q = k as u64;
+                p.wait_free(&ctx, q);
+                p.buf(k % 2).write(&ctx, 0, chunk, 1);
+                p.publish(&ctx, q);
             }
         });
         let results: Arc<Mutex<Vec<Vec<u8>>>> =
@@ -48,12 +48,12 @@ proptest! {
                 ctx.advance(SimTime::from_ns(skew));
                 let mut got = Vec::new();
                 for k in 0..n {
-                    let side = k % 2;
-                    p.wait_published(&ctx, side, r);
+                    let q = k as u64;
+                    p.wait_published(&ctx, q, r);
                     let mut buf = vec![0u8; 128];
-                    p.buf(side).read(&ctx, 0, &mut buf, 1);
+                    p.buf(k % 2).read(&ctx, 0, &mut buf, 1);
                     got.push(buf[0]);
-                    p.release(&ctx, side, r);
+                    p.release(&ctx, q, r);
                 }
                 results.lock().unwrap()[r] = got;
             });

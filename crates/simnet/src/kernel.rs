@@ -97,6 +97,7 @@ pub(crate) struct Shared {
     pub(crate) config: MachineConfig,
     pub(crate) next_var_key: AtomicU64,
     pub(crate) trace: parking_lot::RwLock<Option<crate::trace::Trace>>,
+    pub(crate) perturb: parking_lot::RwLock<Option<Arc<crate::perturb::PerturbState>>>,
 }
 
 /// Payload used to unwind LP threads quietly when the run is aborted
@@ -227,7 +228,22 @@ impl Ctx {
 
     /// Model `d` of busy CPU/memory time on this LP, then let any LP
     /// whose clock is now smaller run first.
+    ///
+    /// When a perturbation config is installed
+    /// ([`Sim::set_perturb`]), each advance is an LP scheduling point:
+    /// with probability `stall_permille`/1000 an extra bounded stall is
+    /// folded into the same clock move.
     pub fn advance(&self, d: SimTime) {
+        if d.is_zero() {
+            return;
+        }
+        let d = d + self.perturb_stall_draw("perturb:stall");
+        self.advance_by(d);
+    }
+
+    /// The raw clock move behind [`Ctx::advance`], with no perturbation
+    /// hook (also used to apply an already-drawn injected delay).
+    fn advance_by(&self, d: SimTime) {
         if d.is_zero() {
             return;
         }
@@ -325,6 +341,7 @@ impl Ctx {
         label: &'static str,
         mut ready: impl FnMut() -> bool,
     ) {
+        self.perturb_stall_point("perturb:stall-wait");
         if ready() {
             return;
         }
@@ -387,6 +404,85 @@ impl Ctx {
     pub fn trace(&self, label: &'static str) {
         if let Some(t) = self.shared.trace.read().as_ref() {
             t.record(self.id, self.now(), label);
+        }
+    }
+
+    fn perturb_state(&self) -> Option<Arc<crate::perturb::PerturbState>> {
+        self.shared.perturb.read().clone()
+    }
+
+    /// The installed perturbation config, if any.
+    pub fn perturb_config(&self) -> Option<crate::perturb::Perturb> {
+        self.perturb_state().map(|p| *p.cfg())
+    }
+
+    /// Account one injected perturbation event of `added` delay: bump
+    /// the `perturb_*` counters and trace it under `label` at the
+    /// pre-delay time.
+    fn record_perturb(&self, label: &'static str, added: SimTime) {
+        let m = self.metrics();
+        m.perturb_events.fetch_add(1, Ordering::Relaxed);
+        m.perturb_delay_ps
+            .fetch_add(added.as_ps(), Ordering::Relaxed);
+        m.perturb_max_skew_ps
+            .fetch_max(added.as_ps(), Ordering::Relaxed);
+        self.trace(label);
+    }
+
+    /// Draw a scheduling-point stall without applying it (the caller
+    /// folds it into its own clock move). ZERO when no perturbation is
+    /// installed or the draw misses.
+    fn perturb_stall_draw(&self, label: &'static str) -> SimTime {
+        let Some(p) = self.perturb_state() else {
+            return SimTime::ZERO;
+        };
+        match p.stall() {
+            Some(d) => {
+                self.record_perturb(label, d);
+                d
+            }
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Declare an LP scheduling point for the perturbation layer: with
+    /// the configured probability, inject a bounded compute stall here.
+    /// Higher layers call this at their own scheduling points (e.g. the
+    /// nonblocking executor's park/unpark); a no-op without an
+    /// installed config.
+    pub fn perturb_stall_point(&self, label: &'static str) {
+        let d = self.perturb_stall_draw(label);
+        if !d.is_zero() {
+            self.advance_by(d);
+        }
+    }
+
+    /// Perturb one network delivery from `src` to `dst` scheduled at
+    /// `deliver_at`: delivery jitter plus an occasional bounded
+    /// hold-back, clamped so deliveries of the same ordered pair keep
+    /// their order. Returns the (possibly unchanged) delivery time; the
+    /// transport layer calls this where it computes arrival times.
+    pub fn perturb_delivery(&self, src: usize, dst: usize, deliver_at: SimTime) -> SimTime {
+        let Some(p) = self.perturb_state() else {
+            return deliver_at;
+        };
+        let new_at = p.delivery(src, dst, deliver_at);
+        if new_at > deliver_at {
+            self.record_perturb("perturb:delivery", new_at - deliver_at);
+        }
+        new_at
+    }
+
+    /// Straggler mode: delay `rank`'s entry into a collective when it
+    /// is the configured straggler. Collective layers call this at
+    /// every collective entry point; a no-op otherwise.
+    pub fn perturb_straggler(&self, rank: usize) {
+        let Some(p) = self.perturb_state() else {
+            return;
+        };
+        if let Some(d) = p.straggler(rank) {
+            self.record_perturb("perturb:straggler", d);
+            self.advance_by(d);
         }
     }
 }
@@ -475,6 +571,7 @@ impl Sim {
                 config,
                 next_var_key: AtomicU64::new(0),
                 trace: parking_lot::RwLock::new(None),
+                perturb: parking_lot::RwLock::new(None),
             }),
             mains: Vec::new(),
         }
@@ -484,6 +581,16 @@ impl Sim {
     /// will append to it. Call before [`Sim::run`].
     pub fn attach_trace(&mut self, trace: crate::trace::Trace) {
         *self.shared.trace.write() = Some(trace);
+    }
+
+    /// Install a seeded perturbation config
+    /// ([`Perturb`](crate::perturb::Perturb)): delivery jitter, bounded
+    /// reordering, compute stalls and straggler delays, all replayable
+    /// from `(seed, config)` alone. Call before [`Sim::run`]. Without
+    /// this call the run is exactly the unperturbed deterministic
+    /// schedule.
+    pub fn set_perturb(&mut self, cfg: crate::perturb::Perturb) {
+        *self.shared.perturb.write() = Some(Arc::new(crate::perturb::PerturbState::new(cfg)));
     }
 
     /// Handle for creating shared [`SimVar`](crate::SimVar)s.

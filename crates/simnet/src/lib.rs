@@ -45,6 +45,7 @@ pub mod config;
 pub mod error;
 pub mod kernel;
 pub mod metrics;
+pub mod perturb;
 pub mod simvar;
 pub mod time;
 pub mod topology;
@@ -54,6 +55,7 @@ pub use config::MachineConfig;
 pub use error::{BlockedLp, SimError};
 pub use kernel::{Ctx, LpId, Report, Sim, SimHandle};
 pub use metrics::{Metrics, MetricsSnapshot, PlanByComm};
+pub use perturb::{Perturb, SplitMix64, Xoshiro256};
 pub use simvar::SimVar;
 pub use time::{PerByte, SimTime};
 pub use topology::{NodeId, Rank, Topology};

@@ -109,6 +109,17 @@ metrics! {
     /// Communicators created (the world communicator counts once; each
     /// `comm_create`/`comm_split` group counts once more).
     comm_creates,
+    /// Perturbation events injected by the seeded perturbation layer
+    /// (delivery jitter, bounded reorders, compute stalls, straggler
+    /// delays). Zero unless a [`Perturb`](crate::perturb::Perturb)
+    /// config is installed.
+    perturb_events,
+    /// Total virtual time (picoseconds) injected by perturbation events.
+    perturb_delay_ps,
+    /// Largest single injected delay (picoseconds) — the max skew of
+    /// the run. Monotone (a running max), so `since` never underflows,
+    /// but unlike the other counters its diff is not itself a max.
+    perturb_max_skew_ps,
 }
 
 /// Per-communicator breakdown of `plan_hits`/`plan_misses`, keyed by the

@@ -47,6 +47,18 @@ impl Trace {
         self.events.lock().clone()
     }
 
+    /// Events whose label starts with `prefix` — e.g. `"perturb:"` for
+    /// the injected perturbation events (jitter, stalls, straggler
+    /// delays), so timelines can show exactly where skew entered a run.
+    pub fn with_prefix(&self, prefix: &str) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.label.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
     /// Events recorded by one LP.
     pub fn for_lp(&self, lp: usize) -> Vec<TraceEvent> {
         self.events

@@ -28,17 +28,30 @@
 //!
 //! (`step:` prefixes are stripped; times are virtual microseconds.)
 //!
+//! A second run then replays the same program under a seeded
+//! [`Perturb`] config (delivery jitter, compute stalls, a straggler
+//! rank): the injected events show up as `perturb:*` entries in the
+//! swimlane, and the per-rank step timelines visibly skew against the
+//! unperturbed run while the step *sequences* stay identical — the
+//! schedule is the contract, the times are the perturbation.
+//!
 //! ```sh
 //! cargo run --release --example timeline
 //! ```
 
 use collops::{Collectives, DType, ReduceOp};
-use simnet::{MachineConfig, Sim, Topology, Trace};
+use simnet::{MachineConfig, Perturb, Sim, SimTime, Topology, Trace};
 use srm::{SrmComm, SrmTuning, SrmWorld};
 
-fn main() {
-    let topo = Topology::new(2, 4);
+const GROUP: [usize; 3] = [1, 3, 6];
+
+/// Run the example program — a world broadcast, then an allreduce on
+/// the subgroup — with step tracing on, optionally perturbed.
+fn run_once(topo: Topology, perturb: Option<Perturb>) -> (Trace, simnet::Report) {
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    if let Some(p) = perturb {
+        sim.set_perturb(p);
+    }
     let trace = Trace::new();
     sim.attach_trace(trace.clone());
     let tuning = SrmTuning {
@@ -47,9 +60,8 @@ fn main() {
     };
     let world = SrmWorld::new(&mut sim, topo, tuning);
 
-    let group = [1usize, 3, 6];
     let mut sub_of: Vec<Option<SrmComm>> = (0..topo.nprocs()).map(|_| None).collect();
-    for (sub, &r) in world.comm_create(&group).into_iter().zip(&group) {
+    for (sub, &r) in world.comm_create(&GROUP).into_iter().zip(&GROUP) {
         sub_of[r] = Some(sub);
     }
 
@@ -69,6 +81,13 @@ fn main() {
         });
     }
     let report = sim.run().expect("run completes");
+    (trace, report)
+}
+
+fn main() {
+    let topo = Topology::new(2, 4);
+    let group = GROUP;
+    let (trace, report) = run_once(topo, None);
 
     // LP ids: dispatchers first (spawned by the RMA world), then ranks.
     let mut names: Vec<String> = (0..topo.nprocs()).map(|i| format!("disp{i}")).collect();
@@ -88,9 +107,8 @@ fn main() {
 
     // Executed-schedule swimlanes: the `step:*` events each rank's
     // engine traced, in order. Rank r runs on LP nprocs + r.
-    println!("\nExecuted schedules (step index -> [label @us]):\n");
-    for rank in 0..topo.nprocs() {
-        let steps: Vec<String> = trace
+    let sched = |trace: &Trace, rank: usize| -> Vec<(String, f64)> {
+        trace
             .for_lp(topo.nprocs() + rank)
             .into_iter()
             .filter_map(|e| {
@@ -98,9 +116,59 @@ fn main() {
                     .strip_prefix("step:")
                     .map(|l| (l.to_string(), e.at.as_us()))
             })
+            .collect()
+    };
+    println!("\nExecuted schedules (step index -> [label @us]):\n");
+    for rank in 0..topo.nprocs() {
+        let steps: Vec<String> = sched(&trace, rank)
+            .into_iter()
             .enumerate()
             .map(|(i, (label, at))| format!("[{i:>2}] {label} @{at:.1}"))
             .collect();
         println!("rank{rank} | {}", steps.join(" | "));
     }
+
+    // The same program under a seeded perturbation: jitter + stalls +
+    // a straggler on rank 2. The step sequences must not change — only
+    // their times do; the `perturb:*` trace entries show exactly where
+    // the skew entered.
+    let cfg = Perturb::standard(0xC0FFEE).with_straggler(2, SimTime::from_us(40));
+    let (ptrace, preport) = run_once(topo, Some(cfg));
+    println!("\nPerturbed replay ({cfg}):");
+    println!(
+        "{} perturbation events, {:.1}us total injected, max skew {:.1}us\n",
+        preport.metrics.perturb_events,
+        preport.metrics.perturb_delay_ps as f64 / 1e6,
+        preport.metrics.perturb_max_skew_ps as f64 / 1e6,
+    );
+    for e in ptrace.with_prefix("perturb:") {
+        let who = names
+            .get(e.lp)
+            .cloned()
+            .unwrap_or_else(|| format!("lp{}", e.lp));
+        println!("  {:>10} {who:<6} {}", format!("{}", e.at), e.label);
+    }
+    println!("\nSkewed schedules (same steps, perturbed times):\n");
+    for rank in 0..topo.nprocs() {
+        let base = sched(&trace, rank);
+        let pert = sched(&ptrace, rank);
+        assert_eq!(
+            base.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            pert.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            "rank{rank}: perturbation changed the schedule, not just the times"
+        );
+        let steps: Vec<String> = pert
+            .iter()
+            .zip(&base)
+            .enumerate()
+            .map(|(i, ((label, at), (_, base_at)))| {
+                format!("[{i:>2}] {label} @{at:.1} ({:+.1})", at - base_at)
+            })
+            .collect();
+        println!("rank{rank} | {}", steps.join(" | "));
+    }
+    println!(
+        "\nmakespan: {} unperturbed -> {} perturbed",
+        report.end_time, preport.end_time
+    );
 }

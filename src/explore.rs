@@ -1,0 +1,759 @@
+//! Schedule-exploration stress harness: sweep seeded perturbations
+//! over randomized collective programs and check every run against the
+//! sequential reference plus structural invariants.
+//!
+//! The simulator is deterministic, so any single test explores exactly
+//! one interleaving. This module derives, from one `u64` seed, a whole
+//! **scenario**: a cluster shape (2–8 nodes), a perturbation config
+//! ([`Perturb`]: delivery jitter, bounded reordering, compute stalls,
+//! an optional straggler rank), up to two (possibly overlapping)
+//! subgroup communicators, and a program of blocking/nonblocking
+//! collective steps with rotated roots. [`explore_one`] runs the
+//! scenario and checks:
+//!
+//! * **bit-exactness** — after every operation each rank verifies its
+//!   buffer against the sequential reference (same oracle as
+//!   `tests/nonblocking.rs`);
+//! * **quiescence** — after a final verification allreduce and world
+//!   barrier, every contribution channel is drained
+//!   (`contrib_ready == contrib_done`, `xfer_ready == xfer_done` on
+//!   every board) and shutdown asserts the nonblocking queue is empty;
+//! * **plan-cache coherence** — per-communicator `hits + misses`
+//!   equals collective calls issued, and `nb_issued` matches the
+//!   program's nonblocking step count;
+//! * **accounting sanity** — injected-delay totals dominate the max
+//!   skew.
+//!
+//! On failure the harness reports the exact seed and a one-line
+//! reproducer command ([`repro_line`]); the seed alone regenerates the
+//! scenario, so every failure replays bit-exactly. The `explore`
+//! binary in the bench crate drives [`explore_sweep`] from the command
+//! line (`--seeds N`); `tests/stress_explore.rs` runs a small tier-1
+//! smoke sweep.
+
+use crate::harness::{ragged_counts, Op};
+use collops::{reference_reduce, Collectives, DType, NonblockingCollectives, ReduceOp};
+use shmem::ShmBuffer;
+use simnet::{MachineConfig, Perturb, Sim, SimError, SimTime, SplitMix64, Topology};
+use srm::{SrmComm, SrmTuning, SrmWorld};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Options that pin parts of the otherwise seed-derived scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOpts {
+    /// Fix the node count (else drawn from 2..=8 per seed).
+    pub nodes: Option<usize>,
+    /// Fix the tasks-per-node count (else drawn per seed, ≤ 16 ranks).
+    pub tpn: Option<usize>,
+    /// Upper bound on program length (drawn from 3..=max_ops).
+    pub max_ops: usize,
+    /// Allow subgroup-communicator steps.
+    pub subgroups: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            nodes: None,
+            tpn: None,
+            max_ops: 6,
+            subgroups: true,
+        }
+    }
+}
+
+/// One step of a derived program. `comm` 0 is the world; higher values
+/// index the scenario's subgroups.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgStep {
+    /// The collective to run.
+    pub op: Op,
+    /// Communicator index (0 = world).
+    pub comm: usize,
+    /// Per-rank / per-pair segment length in bytes (multiple of 8).
+    pub seg: usize,
+    /// Communicator-relative root (ignored by rootless ops).
+    pub root: usize,
+    /// Issue nonblocking and overlap with the following steps.
+    pub nonblocking: bool,
+}
+
+/// A fully derived scenario: everything [`explore_one`] needs, a pure
+/// function of `(seed, opts)`.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Number of SMP nodes.
+    pub nodes: usize,
+    /// Tasks per node.
+    pub tpn: usize,
+    /// The perturbation installed for the run.
+    pub perturb: Perturb,
+    /// Subgroup member lists (world ranks, ascending).
+    pub groups: Vec<Vec<usize>>,
+    /// The program, executed in order by every member rank.
+    pub steps: Vec<ProgStep>,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topo={}x{} groups=[", self.nodes, self.tpn)?;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{g:?}")?;
+        }
+        write!(f, "] steps=[")?;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(
+                f,
+                "{}{}@c{}/{}r{}",
+                if s.nonblocking { "i" } else { "" },
+                s.op.name(),
+                s.comm,
+                s.seg,
+                s.root
+            )?;
+        }
+        write!(f, "] perturb{{{}}}", self.perturb)
+    }
+}
+
+/// Outcome of one clean scenario run.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// The seed that produced the scenario.
+    pub seed: u64,
+    /// The derived scenario.
+    pub scenario: Scenario,
+    /// Virtual makespan of the run.
+    pub end_time: SimTime,
+    /// Final event counters.
+    pub metrics: simnet::MetricsSnapshot,
+}
+
+/// One detected failure: the error plus everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct ExploreFailure {
+    /// The seed that produced the scenario.
+    pub seed: u64,
+    /// The derived scenario (human-readable context).
+    pub scenario: String,
+    /// What went wrong (panic message, deadlock diagnosis, or a
+    /// violated invariant).
+    pub error: String,
+    /// One-line command that reproduces the run exactly.
+    pub repro: String,
+}
+
+impl fmt::Display for ExploreFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed 0x{:016x}: {}", self.seed, self.error)?;
+        writeln!(f, "  scenario: {}", self.scenario)?;
+        write!(f, "  repro: {}", self.repro)
+    }
+}
+
+/// Aggregate of an [`explore_sweep`].
+#[derive(Clone, Debug, Default)]
+pub struct ExploreSummary {
+    /// Seeds run.
+    pub explored: u64,
+    /// Failures, in seed order (empty on a clean sweep).
+    pub failures: Vec<ExploreFailure>,
+    /// Total perturbation events injected across the sweep.
+    pub perturb_events: u64,
+    /// Largest single injected delay seen (ps).
+    pub max_skew_ps: u64,
+    /// Total collective calls verified (steps × participating ranks).
+    pub calls_checked: u64,
+}
+
+const ALL_OPS: [Op; 10] = [
+    Op::Bcast,
+    Op::Reduce,
+    Op::Allreduce,
+    Op::Barrier,
+    Op::Gather,
+    Op::Scatter,
+    Op::Allgather,
+    Op::Alltoall,
+    Op::Alltoallv,
+    Op::ReduceScatter,
+];
+
+/// Segment sizes the grammar draws from (all multiples of 8; the rare
+/// large one crosses the small-broadcast pipeline threshold).
+const SEGS: [usize; 5] = [8, 64, 256, 1024, 4096];
+const RARE_SEG: usize = 8960;
+
+/// Derive the scenario for `seed` under `opts` — pure and total, so a
+/// failure report's seed regenerates it exactly.
+pub fn derive_scenario(seed: u64, opts: &ExploreOpts) -> Scenario {
+    let mut sm = SplitMix64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let nodes = opts.nodes.unwrap_or_else(|| 2 + sm.below(7) as usize);
+    let tpn = opts.tpn.unwrap_or_else(|| {
+        let cap = 16 / nodes;
+        *[1usize, 2, 4]
+            .iter()
+            .filter(|&&t| t <= cap.max(1))
+            .nth(sm.below(3) as usize % [1usize, 2, 4].iter().filter(|&&t| t <= cap.max(1)).count())
+            .expect("at least tpn=1 fits")
+    });
+    let n = nodes * tpn;
+
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    if opts.subgroups && n >= 4 {
+        let ngroups = sm.below(3) as usize; // 0..=2 subgroups
+        for _ in 0..ngroups {
+            let mut g: Vec<usize> = (0..n).filter(|_| sm.below(2) == 1).collect();
+            if g.len() < 2 {
+                g = vec![0, n - 1];
+            }
+            groups.push(g);
+        }
+    }
+
+    let nsteps = 3 + sm.below(opts.max_ops.saturating_sub(2).max(1) as u64) as usize;
+    let mut steps = Vec::with_capacity(nsteps);
+    for _ in 0..nsteps {
+        // Weight toward the world communicator.
+        let comm = if groups.is_empty() || sm.below(2) == 0 {
+            0
+        } else {
+            1 + sm.below(groups.len() as u64) as usize
+        };
+        let csize = if comm == 0 { n } else { groups[comm - 1].len() };
+        let seg = if sm.below(12) == 0 {
+            RARE_SEG
+        } else {
+            SEGS[sm.below(SEGS.len() as u64) as usize]
+        };
+        steps.push(ProgStep {
+            op: ALL_OPS[sm.below(ALL_OPS.len() as u64) as usize],
+            comm,
+            seg,
+            root: sm.below(csize as u64) as usize,
+            nonblocking: sm.below(10) < 4,
+        });
+    }
+
+    let perturb = Perturb {
+        seed: sm.next_u64(),
+        delivery_jitter: SimTime::from_us(sm.below(6)),
+        reorder_permille: sm.below(300) as u32,
+        reorder_window: SimTime::from_us(sm.below(25)),
+        stall_permille: sm.below(50) as u32,
+        stall_max: SimTime::from_us(1 + sm.below(6)),
+        straggler: (sm.below(10) < 4).then(|| sm.below(n as u64) as usize),
+        straggler_delay: SimTime::from_us(sm.below(60)),
+    };
+
+    Scenario {
+        nodes,
+        tpn,
+        perturb,
+        groups,
+        steps,
+    }
+}
+
+/// One-line command that replays seed `seed` under `opts` through the
+/// bench-crate explorer binary.
+pub fn repro_line(seed: u64, opts: &ExploreOpts) -> String {
+    let mut s = format!(
+        "cargo run --release -p srm-bench --bin explore -- --seeds 1 --start-seed 0x{seed:016x}"
+    );
+    if let Some(n) = opts.nodes {
+        s.push_str(&format!(" --nodes {n}"));
+    }
+    if let Some(t) = opts.tpn {
+        s.push_str(&format!(" --tpn {t}"));
+    }
+    if !opts.subgroups {
+        s.push_str(" --no-subgroups");
+    }
+    s
+}
+
+/// Deterministic per-step payload: distinct bytes per (communicator
+/// rank, byte index, step), so misrouted or stale segments are visible.
+fn fill(comm_rank: usize, step: usize, total: usize) -> Vec<u8> {
+    (0..total)
+        .map(|i| (comm_rank as u64 * 131 + i as u64 * 7 + step as u64 * 29 + 3) as u8)
+        .collect()
+}
+
+/// Verify this rank's buffer after `op` completed on a communicator of
+/// `n` ranks (this rank is `me`), per the op's contract. `step` salts
+/// the deterministic inputs.
+#[allow(clippy::too_many_arguments)]
+fn verify_step(
+    op: Op,
+    me: usize,
+    n: usize,
+    seg: usize,
+    root: usize,
+    step: usize,
+    got: &[u8],
+) -> Result<(), String> {
+    let total = op.buf_len(seg, n);
+    let init = |r: usize| fill(r, step, total);
+    let fail = |what: &str| {
+        Err(format!(
+            "step {step} {}: rank {me}/{n} seg={seg} root={root}: {what}",
+            op.name()
+        ))
+    };
+    // On mismatch, pinpoint the first differing byte (`off` is the
+    // buffer offset of `got`'s compared range) — invaluable when
+    // decoding whose payload actually landed there.
+    let check = |what: &str, off: usize, got: &[u8], want: &[u8]| -> Result<(), String> {
+        if got == want {
+            return Ok(());
+        }
+        let i = got
+            .iter()
+            .zip(want)
+            .position(|(a, b)| a != b)
+            .unwrap_or(got.len().min(want.len()));
+        fail(&format!(
+            "{what}: first diff at byte {} (got 0x{:02x}, want 0x{:02x})",
+            off + i,
+            got.get(i).copied().unwrap_or(0),
+            want.get(i).copied().unwrap_or(0)
+        ))
+    };
+    match op {
+        Op::Barrier => Ok(()),
+        Op::Bcast => check("broadcast payload", 0, &got[..seg], &init(root)[..seg]),
+        Op::Reduce | Op::Allreduce => {
+            if op == Op::Reduce && me != root {
+                return Ok(());
+            }
+            let contribs: Vec<Vec<u8>> = (0..n).map(|r| init(r)[..seg].to_vec()).collect();
+            let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+            check("reduction", 0, &got[..seg], &expect)
+        }
+        Op::Gather => {
+            if me == root {
+                for src in 0..n {
+                    check(
+                        &format!("gathered segment from rank {src}"),
+                        src * seg,
+                        &got[src * seg..(src + 1) * seg],
+                        &init(src)[src * seg..(src + 1) * seg],
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        Op::Scatter => check(
+            "scattered segment",
+            me * seg,
+            &got[me * seg..(me + 1) * seg],
+            &init(root)[me * seg..(me + 1) * seg],
+        ),
+        Op::Allgather => {
+            for src in 0..n {
+                check(
+                    &format!("allgathered segment from rank {src}"),
+                    src * seg,
+                    &got[src * seg..(src + 1) * seg],
+                    &init(src)[src * seg..(src + 1) * seg],
+                )?;
+            }
+            Ok(())
+        }
+        Op::Alltoall => {
+            let rbase = n * seg;
+            for src in 0..n {
+                check(
+                    &format!("alltoall segment from rank {src}"),
+                    rbase + src * seg,
+                    &got[rbase + src * seg..rbase + (src + 1) * seg],
+                    &init(src)[me * seg..(me + 1) * seg],
+                )?;
+            }
+            Ok(())
+        }
+        Op::Alltoallv => {
+            let rbase = n * seg;
+            let counts = ragged_counts(n, seg);
+            for src in 0..n {
+                let c = counts[src * n + me];
+                check(
+                    &format!("alltoallv live prefix from rank {src}"),
+                    rbase + src * seg,
+                    &got[rbase + src * seg..rbase + src * seg + c],
+                    &init(src)[me * seg..me * seg + c],
+                )?;
+            }
+            Ok(())
+        }
+        Op::ReduceScatter => {
+            let contribs: Vec<Vec<u8>> = (0..n).map(init).collect();
+            let expect = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+            check(
+                "reduce_scatter block",
+                me * seg,
+                &got[me * seg..(me + 1) * seg],
+                &expect[me * seg..(me + 1) * seg],
+            )
+        }
+    }
+}
+
+/// Run one collective step (blocking entry points).
+fn run_blocking(ctx: &simnet::Ctx, c: &SrmComm, op: Op, buf: &ShmBuffer, seg: usize, root: usize) {
+    let n = c.size();
+    match op {
+        Op::Bcast => c.broadcast(ctx, buf, seg, root),
+        Op::Reduce => c.reduce(ctx, buf, seg, DType::U64, ReduceOp::Sum, root),
+        Op::Allreduce => c.allreduce(ctx, buf, seg, DType::U64, ReduceOp::Sum),
+        Op::Barrier => c.barrier(ctx),
+        Op::Gather => c.gather(ctx, buf, seg, root),
+        Op::Scatter => c.scatter(ctx, buf, seg, root),
+        Op::Allgather => c.allgather(ctx, buf, seg),
+        Op::Alltoall => c.alltoall(ctx, buf, seg),
+        Op::Alltoallv => c.alltoallv(ctx, buf, seg, &ragged_counts(n, seg)),
+        Op::ReduceScatter => c.reduce_scatter(ctx, buf, seg, DType::U64, ReduceOp::Sum),
+    }
+}
+
+/// Issue one collective step nonblocking.
+fn issue_nb(
+    ctx: &simnet::Ctx,
+    c: &SrmComm,
+    op: Op,
+    buf: &ShmBuffer,
+    seg: usize,
+    root: usize,
+) -> collops::CollRequest {
+    let n = c.size();
+    match op {
+        Op::Bcast => c.ibroadcast(ctx, buf, seg, root),
+        Op::Reduce => c.ireduce(ctx, buf, seg, DType::U64, ReduceOp::Sum, root),
+        Op::Allreduce => c.iallreduce(ctx, buf, seg, DType::U64, ReduceOp::Sum),
+        Op::Barrier => c.ibarrier(ctx),
+        Op::Gather => c.igather(ctx, buf, seg, root),
+        Op::Scatter => c.iscatter(ctx, buf, seg, root),
+        Op::Allgather => c.iallgather(ctx, buf, seg),
+        Op::Alltoall => c.ialltoall(ctx, buf, seg),
+        Op::Alltoallv => c.ialltoallv(ctx, buf, seg, &ragged_counts(n, seg)),
+        Op::ReduceScatter => c.ireduce_scatter(ctx, buf, seg, DType::U64, ReduceOp::Sum),
+    }
+}
+
+/// Quiescence check: every contribution channel and master↔root
+/// handoff on every board this rank can see is drained — cumulative
+/// publish counts equal cumulative consume counts.
+fn check_quiescent(comm: &SrmComm, tag: &str) {
+    let board = comm.board();
+    for (slot, (r, d)) in board
+        .contrib_ready
+        .iter()
+        .zip(board.contrib_done.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            r.peek(),
+            d.peek(),
+            "{tag}: contribution channel slot {slot} not drained"
+        );
+    }
+    assert_eq!(
+        board.xfer_ready.peek(),
+        board.xfer_done.peek(),
+        "{tag}: xfer handoff not drained"
+    );
+}
+
+/// Run the scenario derived from `seed`; check bit-exactness and all
+/// structural invariants. Returns the outcome, or a failure with the
+/// reproducer line.
+pub fn explore_one(seed: u64, opts: &ExploreOpts) -> Result<ExploreOutcome, ExploreFailure> {
+    run_scenario(seed, derive_scenario(seed, opts), opts)
+}
+
+/// Run a (possibly hand-modified) scenario. [`explore_one`] is the
+/// normal entry; this one exists so tests can replay a derived
+/// scenario with individual perturbation knobs changed.
+pub fn run_scenario(
+    seed: u64,
+    scenario: Scenario,
+    opts: &ExploreOpts,
+) -> Result<ExploreOutcome, ExploreFailure> {
+    let fail = |error: String| ExploreFailure {
+        seed,
+        scenario: scenario.to_string(),
+        error,
+        repro: repro_line(seed, opts),
+    };
+
+    let topo = Topology::new(scenario.nodes, scenario.tpn);
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    sim.set_perturb(scenario.perturb);
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+
+    // Build subgroup communicators; per rank, its handle in each group.
+    let mut sub_of: Vec<Vec<Option<SrmComm>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut comm_ids: Vec<u64> = vec![0]; // world is comm 0
+    for g in &scenario.groups {
+        let handles = world.comm_create(g);
+        comm_ids.push(handles[0].comm_id());
+        let mut by_rank: Vec<Option<SrmComm>> = (0..n).map(|_| None).collect();
+        for (h, &r) in handles.into_iter().zip(g) {
+            by_rank[r] = Some(h);
+        }
+        for (r, slot) in by_rank.into_iter().enumerate() {
+            sub_of[r].push(slot);
+        }
+    }
+
+    let steps = Arc::new(scenario.steps.clone());
+    let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    for (rank, subs) in sub_of.into_iter().enumerate() {
+        let wcomm = world.comm(rank);
+        let steps = steps.clone();
+        let errors = errors.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let comm_of = |idx: usize| -> Option<&SrmComm> {
+                if idx == 0 {
+                    Some(&wcomm)
+                } else {
+                    subs[idx - 1].as_ref()
+                }
+            };
+            // Outstanding nonblocking steps: (step idx, request, buf,
+            // comm idx), waited in issue order at the next barrier
+            // point (a blocking step this rank runs, or program end).
+            let mut outstanding: Vec<(usize, collops::CollRequest, ShmBuffer, usize)> = Vec::new();
+            let mut report = |e: String| errors.lock().expect("error log poisoned").push(e);
+            let drain = |ctx: &simnet::Ctx,
+                         outstanding: &mut Vec<(usize, collops::CollRequest, ShmBuffer, usize)>,
+                         report: &mut dyn FnMut(String)| {
+                for (i, req, buf, cidx) in outstanding.drain(..) {
+                    let c = match cidx {
+                        0 => &wcomm,
+                        _ => subs[cidx - 1].as_ref().expect("issued on a member rank"),
+                    };
+                    c.wait(ctx, req);
+                    let s = steps[i];
+                    let got = buf.with(|d| d.to_vec());
+                    if let Err(e) =
+                        verify_step(s.op, c.comm_rank(), c.size(), s.seg, s.root, i, &got)
+                    {
+                        report(e);
+                    }
+                }
+            };
+            for (i, s) in steps.iter().enumerate() {
+                let Some(c) = comm_of(s.comm) else { continue };
+                let (me, csize) = (c.comm_rank(), c.size());
+                let total = s.op.buf_len(s.seg, csize);
+                let buf = c.alloc_buffer(total);
+                buf.with_mut(|d| d.copy_from_slice(&fill(me, i, total)));
+                if s.nonblocking {
+                    let req = issue_nb(&ctx, c, s.op, &buf, s.seg, s.root);
+                    outstanding.push((i, req, buf, s.comm));
+                    // A slice of overlapped compute before the next step.
+                    ctx.advance(SimTime::from_us(3));
+                } else {
+                    drain(&ctx, &mut outstanding, &mut report);
+                    let c = comm_of(s.comm).expect("membership is static");
+                    run_blocking(&ctx, c, s.op, &buf, s.seg, s.root);
+                    let got = buf.with(|d| d.to_vec());
+                    if let Err(e) = verify_step(s.op, me, csize, s.seg, s.root, i, &got) {
+                        report(e);
+                    }
+                }
+            }
+            drain(&ctx, &mut outstanding, &mut report);
+
+            // Final verification allreduce + barrier, then quiescence.
+            let vstep = steps.len();
+            let vtotal = Op::Allreduce.buf_len(64, n);
+            let vbuf = wcomm.alloc_buffer(vtotal);
+            vbuf.with_mut(|d| d.copy_from_slice(&fill(rank, vstep, vtotal)));
+            wcomm.allreduce(&ctx, &vbuf, 64, DType::U64, ReduceOp::Sum);
+            let got = vbuf.with(|d| d.to_vec());
+            if let Err(e) = verify_step(Op::Allreduce, rank, n, 64, 0, vstep, &got) {
+                report(format!("final verification: {e}"));
+            }
+            wcomm.barrier(&ctx);
+            check_quiescent(&wcomm, "world");
+            for sub in subs.iter().flatten() {
+                check_quiescent(sub, "subgroup");
+            }
+            wcomm.shutdown(&ctx);
+        });
+    }
+
+    let report = match sim.run() {
+        Ok(r) => r,
+        Err(SimError::Deadlock { blocked }) => {
+            let mut msg = String::from("deadlock:");
+            for b in blocked.iter().take(6) {
+                msg.push_str(&format!(" [{} @{} on '{}']", b.name, b.time, b.waiting_on));
+            }
+            return Err(fail(msg));
+        }
+        Err(e) => return Err(fail(format!("{e:?}"))),
+    };
+    let data_errors = Arc::try_unwrap(errors)
+        .expect("all LPs joined")
+        .into_inner()
+        .expect("error log poisoned");
+    if let Some(first) = data_errors.first() {
+        return Err(fail(format!(
+            "{} data check failure(s); first: {first}",
+            data_errors.len()
+        )));
+    }
+
+    // Plan-cache coherence: per communicator, hits + misses equals the
+    // collective calls issued on it (program steps on that comm plus
+    // the final allreduce + barrier on the world, each once per member
+    // rank).
+    let group_size = |cidx: usize| {
+        if cidx == 0 {
+            n
+        } else {
+            scenario.groups[cidx - 1].len()
+        }
+    };
+    for (cidx, &cid) in comm_ids.iter().enumerate() {
+        let calls = scenario.steps.iter().filter(|s| s.comm == cidx).count()
+            + if cidx == 0 { 2 } else { 0 };
+        let expect = (calls * group_size(cidx)) as u64;
+        let got = report
+            .plan_by_comm
+            .iter()
+            .find(|&&(id, _, _)| id == cid)
+            .map(|&(_, h, m)| h + m)
+            .unwrap_or(0);
+        if got != expect {
+            return Err(fail(format!(
+                "plan-cache incoherent on comm {cid}: hits+misses={got}, expected {expect} \
+                 ({calls} calls x {} ranks)",
+                group_size(cidx)
+            )));
+        }
+    }
+    let expect_nb: u64 = scenario
+        .steps
+        .iter()
+        .filter(|s| s.nonblocking)
+        .map(|s| group_size(s.comm) as u64)
+        .sum();
+    if report.metrics.nb_issued != expect_nb {
+        return Err(fail(format!(
+            "nb accounting: nb_issued={}, expected {expect_nb}",
+            report.metrics.nb_issued
+        )));
+    }
+    if report.metrics.perturb_delay_ps < report.metrics.perturb_max_skew_ps {
+        return Err(fail(format!(
+            "perturb accounting: total delay {} < max skew {}",
+            report.metrics.perturb_delay_ps, report.metrics.perturb_max_skew_ps
+        )));
+    }
+
+    Ok(ExploreOutcome {
+        seed,
+        scenario,
+        end_time: report.end_time,
+        metrics: report.metrics,
+    })
+}
+
+/// Sweep `count` consecutive seeds starting at `start`. Never panics;
+/// failures are collected with their reproducer lines.
+pub fn explore_sweep(start: u64, count: u64, opts: &ExploreOpts) -> ExploreSummary {
+    let mut summary = ExploreSummary::default();
+    for seed in start..start.saturating_add(count) {
+        summary.explored += 1;
+        match explore_one(seed, opts) {
+            Ok(out) => {
+                summary.perturb_events += out.metrics.perturb_events;
+                summary.max_skew_ps = summary.max_skew_ps.max(out.metrics.perturb_max_skew_ps);
+                let n = (out.scenario.nodes * out.scenario.tpn) as u64;
+                summary.calls_checked += out
+                    .scenario
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        if s.comm == 0 {
+                            n
+                        } else {
+                            out.scenario.groups[s.comm - 1].len() as u64
+                        }
+                    })
+                    .sum::<u64>()
+                    + 2 * n;
+            }
+            Err(f) => summary.failures.push(f),
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let opts = ExploreOpts::default();
+        let a = derive_scenario(12345, &opts);
+        let b = derive_scenario(12345, &opts);
+        assert_eq!(a.to_string(), b.to_string());
+        let c = derive_scenario(12346, &opts);
+        assert_ne!(a.to_string(), c.to_string());
+    }
+
+    #[test]
+    fn derivation_respects_bounds() {
+        let opts = ExploreOpts::default();
+        for seed in 0..200 {
+            let s = derive_scenario(seed, &opts);
+            assert!((2..=8).contains(&s.nodes));
+            assert!(s.nodes * s.tpn <= 16 && s.nodes * s.tpn >= 2);
+            assert!((3..=opts.max_ops).contains(&s.steps.len()));
+            for g in &s.groups {
+                assert!(g.len() >= 2);
+                assert!(g.iter().all(|&r| r < s.nodes * s.tpn));
+            }
+            for st in &s.steps {
+                assert_eq!(st.seg % 8, 0);
+                assert!(st.comm <= s.groups.len());
+                let csize = if st.comm == 0 {
+                    s.nodes * s.tpn
+                } else {
+                    s.groups[st.comm - 1].len()
+                };
+                assert!(st.root < csize);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_topology_is_honoured() {
+        let opts = ExploreOpts {
+            nodes: Some(4),
+            tpn: Some(2),
+            ..ExploreOpts::default()
+        };
+        for seed in 0..50 {
+            let s = derive_scenario(seed, &opts);
+            assert_eq!((s.nodes, s.tpn), (4, 2));
+        }
+        assert!(repro_line(7, &opts).contains("--nodes 4 --tpn 2"));
+    }
+}

@@ -18,6 +18,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! the paper-vs-measured record of every figure.
 
+pub mod explore;
 pub mod harness;
 
 pub use collops;
@@ -28,4 +29,8 @@ pub use shmem;
 pub use simnet;
 pub use srm;
 
+pub use explore::{
+    derive_scenario, explore_one, explore_sweep, repro_line, run_scenario, ExploreFailure,
+    ExploreOpts, ExploreOutcome, ExploreSummary, ProgStep, Scenario,
+};
 pub use harness::{measure, ragged_counts, ratio_percent, HarnessOpts, Impl, Measurement, Op};

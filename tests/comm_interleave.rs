@@ -13,18 +13,25 @@
 //!    still complete in issue order.
 
 use collops::{Collectives, DType, NonblockingCollectives, ReduceOp};
-use simnet::{MachineConfig, Sim, SimTime, Topology};
+use simnet::{MachineConfig, Perturb, Sim, SimTime, Topology};
 use srm::{SrmTuning, SrmWorld};
 use std::sync::{Arc, Mutex};
 
 /// Run an allreduce on the even and/or odd world-rank subgroup of a
 /// 2x4 machine; return the latest collective completion time and the
 /// final report.
-fn run_groups(run_even: bool, run_odd: bool) -> (SimTime, simnet::Report) {
+fn run_groups(
+    run_even: bool,
+    run_odd: bool,
+    perturb: Option<Perturb>,
+) -> (SimTime, simnet::Report) {
     let topo = Topology::new(2, 4);
     let n = topo.nprocs();
     let len = 40_000usize; // multi-chunk through the reduce pipeline
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    if let Some(p) = perturb {
+        sim.set_perturb(p);
+    }
     let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
     let even: Vec<usize> = (0..n).step_by(2).collect();
     let odd: Vec<usize> = (1..n).step_by(2).collect();
@@ -61,9 +68,9 @@ fn run_groups(run_even: bool, run_odd: bool) -> (SimTime, simnet::Report) {
 /// Disjoint subgroups overlap: both-at-once beats the sum of solos.
 #[test]
 fn disjoint_subgroup_collectives_overlap() {
-    let (t_even, _) = run_groups(true, false);
-    let (t_odd, _) = run_groups(false, true);
-    let (t_both, report) = run_groups(true, true);
+    let (t_even, _) = run_groups(true, false, None);
+    let (t_odd, _) = run_groups(false, true, None);
+    let (t_both, report) = run_groups(true, true, None);
     assert!(
         t_both < t_even + t_odd,
         "no overlap: both={t_both:?} even={t_even:?} odd={t_odd:?}"
@@ -77,6 +84,30 @@ fn disjoint_subgroup_collectives_overlap() {
         .collect();
     assert_eq!(sub_rows.len(), 2, "rows: {:?}", report.plan_by_comm);
     assert!(report.metrics.comm_creates >= 2);
+}
+
+/// Perturbed replay of the concurrent-subgroup scenario: disjoint
+/// communicators under jitter, stalls and a straggler still complete
+/// (no deadlock from skewed schedules) and the per-comm accounting
+/// still balances. Tier-1 keeps the seed count small; the deep sweeps
+/// live in the `explore` harness.
+#[test]
+fn subgroup_collectives_survive_perturbation() {
+    for seed in 0..3u64 {
+        let perturb =
+            Perturb::standard(seed).with_straggler(seed as usize % 8, SimTime::from_us(60));
+        let (_, report) = run_groups(true, true, Some(perturb));
+        assert!(
+            report.metrics.perturb_events > 0,
+            "seed {seed}: nothing was injected"
+        );
+        let sub_rows = report
+            .plan_by_comm
+            .iter()
+            .filter(|&&(id, _, misses)| id != 0 && misses > 0)
+            .count();
+        assert_eq!(sub_rows, 2, "seed {seed}: rows {:?}", report.plan_by_comm);
+    }
 }
 
 const DELAY_US: u64 = 2_000;

@@ -11,7 +11,7 @@
 use collops::{reference_reduce, DType, NonblockingCollectives, ReduceOp};
 use mpi_coll::MpiColl;
 use msg::{MsgWorld, Vendor};
-use simnet::{Ctx, MachineConfig, Sim, SimTime, Topology};
+use simnet::{Ctx, MachineConfig, Perturb, Sim, SimTime, Topology};
 use srm::{SrmTuning, SrmWorld};
 use std::sync::{Arc, Mutex};
 
@@ -105,10 +105,22 @@ fn init_bytes(rank: usize, total: usize) -> Vec<u8> {
 }
 
 /// Run `op` under `which` on every rank; return per-rank final buffers.
-fn run_nb(which: Which, topo: Topology, seg_len: usize, op: IOp, root: usize) -> Vec<Vec<u8>> {
+/// With `perturb`, the run executes under the seeded perturbation layer
+/// (jitter/stalls/straggler) — results must not change.
+fn run_nb(
+    which: Which,
+    topo: Topology,
+    seg_len: usize,
+    op: IOp,
+    root: usize,
+    perturb: Option<Perturb>,
+) -> Vec<Vec<u8>> {
     let n = topo.nprocs();
     let total = total_for(op, n, seg_len);
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    if let Some(p) = perturb {
+        sim.set_perturb(p);
+    }
     enum World {
         Srm(SrmWorld),
         Mpi(MsgWorld),
@@ -267,11 +279,32 @@ fn iops_match_reference_across_impls() {
             for &seg_len in lens {
                 let root = (n - 1) % n;
                 for which in [Which::Srm, Which::IbmMpi, Which::Mpich] {
-                    let got = run_nb(which, topo, seg_len, op, root);
+                    let got = run_nb(which, topo, seg_len, op, root, None);
                     let tag = format!("{which:?} {op:?} {nodes}x{tpn} len={seg_len}");
                     check(op, topo, seg_len, root, &got, &tag);
                 }
             }
+        }
+    }
+}
+
+/// Perturbed replay of the SRM scenarios: the same i-op results under
+/// delivery jitter, bounded reordering, compute stalls and a straggler.
+/// Seed counts stay small here (tier-1); the big sweeps live in the
+/// `explore --seeds` harness and the CI `stress-smoke` job.
+#[test]
+fn srm_iops_survive_perturbation() {
+    let topo = Topology::new(2, 3);
+    let n = topo.nprocs();
+    for op in ALL_OPS {
+        let seg_len = if op == IOp::Barrier { 8 } else { 1024 };
+        for seed in 0..3u64 {
+            let perturb =
+                Perturb::standard(seed).with_straggler(seed as usize % n, SimTime::from_us(40));
+            let root = (seed as usize + 1) % n;
+            let got = run_nb(Which::Srm, topo, seg_len, op, root, Some(perturb));
+            let tag = format!("Srm {op:?} perturbed seed={seed} len={seg_len}");
+            check(op, topo, seg_len, root, &got, &tag);
         }
     }
 }

@@ -1,0 +1,58 @@
+//! Tier-1 smoke sweep of the schedule-exploration stress harness.
+//!
+//! These tests run a small number of seeds through
+//! [`srm_cluster::explore_one`] — enough to exercise the derivation
+//! grammar, the perturbation layer and every invariant check on every
+//! CI run. The big sweeps (hundreds of seeds, release mode) live in
+//! the bench-crate `explore` binary and the CI `stress-smoke` job.
+
+use srm_cluster::{explore_sweep, ExploreOpts};
+
+fn assert_clean(summary: &srm_cluster::ExploreSummary) {
+    if !summary.failures.is_empty() {
+        for f in &summary.failures {
+            eprintln!("{f}");
+        }
+        panic!(
+            "{} of {} seeds failed (first repro above)",
+            summary.failures.len(),
+            summary.explored
+        );
+    }
+}
+
+#[test]
+fn smoke_sweep_random_topologies() {
+    let opts = ExploreOpts::default();
+    let summary = explore_sweep(0, 10, &opts);
+    assert_clean(&summary);
+    assert_eq!(summary.explored, 10);
+    assert!(
+        summary.perturb_events > 0,
+        "ten perturbed scenarios must inject at least one event"
+    );
+    assert!(summary.calls_checked > 0);
+}
+
+#[test]
+fn smoke_sweep_fixed_four_by_two() {
+    let opts = ExploreOpts {
+        nodes: Some(4),
+        tpn: Some(2),
+        ..ExploreOpts::default()
+    };
+    let summary = explore_sweep(100, 8, &opts);
+    assert_clean(&summary);
+    assert_eq!(summary.explored, 8);
+}
+
+#[test]
+fn smoke_sweep_without_subgroups() {
+    let opts = ExploreOpts {
+        subgroups: false,
+        max_ops: 4,
+        ..ExploreOpts::default()
+    };
+    let summary = explore_sweep(200, 6, &opts);
+    assert_clean(&summary);
+}
