@@ -18,10 +18,43 @@
 //!   --start-seed S         first seed (decimal or 0x-hex, default 0)
 //!   --nodes N / --tpn P    pin the topology (default: drawn per seed)
 //!   --max-ops K            program length upper bound (default 6)
-//!   --no-subgroups         world-communicator steps only
+//!   --no-subgroups         world-communicator steps only (also
+//!                          disables comm_split scenarios)
 //!   --inject raise-race    fault injection: revert SpinFlag::raise to
 //!                          a non-monotone store; the sweep must CATCH
 //!                          it (exit 0 on detection, 1 on a miss)
+//!   --inject am-stall-race fault injection: the RMA dispatcher bumps
+//!                          the completion counter BEFORE a drawn
+//!                          AM-handler stall lands the payload, so a
+//!                          consumer woken by the premature increment
+//!                          can read stale bytes; same exit contract
+//! ```
+//!
+//! # Worked examples
+//!
+//! Sweep 256 seeds with the full grammar (subgroups, comm_split
+//! partitions, buffer-aliasing steps) under the full perturbation
+//! surface — exits 0 only if every seed passes its data checks and
+//! structural invariants:
+//!
+//! ```text
+//! explore --seeds 256
+//! ```
+//!
+//! Replay one failing seed exactly (the line the failure report
+//! prints):
+//!
+//! ```text
+//! explore --seeds 1 --start-seed 0x00000000000000a7
+//! ```
+//!
+//! Prove the detector catches a planted dispatcher race: the run flips
+//! the premature-ack switch and sweeps until a data check fails,
+//! printing the seed and its one-line reproducer. Exit 0 means
+//! "detected", exit 1 means the budget was too small:
+//!
+//! ```text
+//! explore --seeds 128 --inject am-stall-race
 //! ```
 
 use simnet::{MachineConfig, Topology};
@@ -49,7 +82,7 @@ struct Args {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!("usage: explore [--op OP] [--nodes N] [--tpn P] [--bytes B,..] [--impl I] [--machine M] [--iters K] [--tree T]");
-    eprintln!("       explore --seeds N [--start-seed S] [--nodes N] [--tpn P] [--max-ops K] [--no-subgroups] [--inject raise-race]");
+    eprintln!("       explore --seeds N [--start-seed S] [--nodes N] [--tpn P] [--max-ops K] [--no-subgroups] [--inject raise-race|am-stall-race]");
     std::process::exit(2)
 }
 
@@ -115,7 +148,7 @@ fn parse() -> Args {
             }
             "--max-ops" => a.max_ops = val.parse().unwrap_or_else(|_| usage("bad --max-ops")),
             "--inject" => {
-                if val != "raise-race" {
+                if val != "raise-race" && val != "am-stall-race" {
                     usage(&format!("unknown injection '{val}'"));
                 }
                 a.inject = Some(val.clone());
@@ -167,13 +200,23 @@ fn stress(a: &Args, count: u64) -> ! {
         subgroups: a.subgroups,
     };
     let injecting = a.inject.is_some();
-    if injecting {
-        println!(
-            "fault injection: SpinFlag::raise reverted to a non-monotone store, \
-             contrib consumed-in-order guards omitted"
-        );
-        shmem::set_nonmonotone_raise(true);
-        srm::set_skip_order_guards(true);
+    match a.inject.as_deref() {
+        Some("raise-race") => {
+            println!(
+                "fault injection: SpinFlag::raise reverted to a non-monotone store, \
+                 contrib consumed-in-order guards omitted"
+            );
+            shmem::set_nonmonotone_raise(true);
+            srm::set_skip_order_guards(true);
+        }
+        Some("am-stall-race") => {
+            println!(
+                "fault injection: RMA dispatcher acknowledges completion counters \
+                 before AM-handler stalls land the payload (premature ack)"
+            );
+            rma::set_stall_counter_race(true);
+        }
+        _ => {}
     }
     println!(
         "exploring {count} seed(s) from 0x{:016x} (topology {}, max {} ops, subgroups {})",

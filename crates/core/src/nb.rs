@@ -288,6 +288,23 @@ fn step_wait_keys(comm: &SrmComm, st: &CallState, step: &Step, out: &mut Vec<u64
     }
 }
 
+/// Whether a schedule of this shape writes into the user buffer of the
+/// rank whose communicator-relative rank is `crank`. Conservative for
+/// shapes the normalizer does not name explicitly (`true`): the
+/// aliasing guard only needs "definitely read-only" to admit sharing.
+pub(crate) fn shape_writes_user(shape: &crate::plan::PlanShape, crank: usize) -> bool {
+    use crate::plan::PlanShape as S;
+    match *shape {
+        S::Barrier => false,
+        // A broadcast root only reads its buffer; everyone else lands
+        // the payload in it. Scatter is the same split.
+        S::Bcast { root, .. } | S::Scatter { root, .. } => crank != root,
+        // Reduce/gather write only at the root.
+        S::Reduce { root, .. } | S::Gather { root, .. } => crank == root,
+        _ => true,
+    }
+}
+
 /// One outstanding nonblocking collective: its compiled plan, the
 /// parked execution state, the communicator handle it was issued on,
 /// and per-class counts of remaining steps (the ordering-rule
@@ -303,6 +320,9 @@ pub(crate) struct PendingCall {
     /// The call's user payload (a cheap handle clone; storage is
     /// shared with the caller's buffer).
     buf: ShmBuffer,
+    /// Whether this schedule writes into `buf` on this rank (computed
+    /// from the normalized shape at issue). Drives the aliasing guard.
+    writes_user: bool,
     reduce: Option<(DType, ReduceOp)>,
     st: CallState,
     /// Index of the next step to execute.
@@ -314,11 +334,13 @@ pub(crate) struct PendingCall {
 }
 
 impl PendingCall {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         id: u64,
         comm: SrmComm,
         plan: Arc<Plan>,
         buf: ShmBuffer,
+        writes_user: bool,
         reduce: Option<(DType, ReduceOp)>,
         st: CallState,
     ) -> Self {
@@ -336,6 +358,7 @@ impl PendingCall {
             comm,
             plan,
             buf,
+            writes_user,
             reduce,
             st,
             pc: 0,
@@ -394,6 +417,27 @@ impl SrmComm {
         if self.shared.pending.lock().expect("queue poisoned").len() >= cap {
             self.nb_wait_below(ctx, cap);
         }
+        // Aliasing guard: sharing one buffer between outstanding
+        // schedules is only safe when *neither* side writes it (e.g. a
+        // root sourcing two ibroadcasts from the same payload). Any
+        // write-aliased overlap races the interleaving executor, so
+        // reject it at issue. `run_planned` routes blocking calls
+        // through here whenever anything is pending, so this one check
+        // covers the blocking-over-nonblocking overlap too.
+        let writes =
+            shape_writes_user(&key.clone().normalized(self.size()).shape, self.comm_rank());
+        {
+            let q = self.shared.pending.lock().expect("queue poisoned");
+            for c in q.iter() {
+                assert!(
+                    !c.buf.same_storage(buf) || !(writes || c.writes_user),
+                    "buffer aliasing between outstanding collectives: the new call \
+                     shares storage with pending request {} and at least one of them \
+                     writes it (read-only sharing is allowed)",
+                    c.id
+                );
+            }
+        }
         let plan = self.plan_for(ctx, key);
         // Sequence-base relocation: sample the cells for *this* call,
         // then advance them by the plan's totals immediately, so every
@@ -424,6 +468,7 @@ impl SrmComm {
                 self.clone(),
                 plan,
                 buf.clone(),
+                writes,
                 reduce,
                 CallState::new(bases, true),
             ));

@@ -249,11 +249,17 @@ impl MsgEndpoint {
         if data.len() <= self.inner.vendor.eager_limit(self.inner.topo.nprocs()) {
             m.eager_sends.fetch_add(1, Ordering::Relaxed);
             // Sender clocks the message onto the wire through the
-            // node's shared adapter.
-            let wire = self
-                .inner
-                .vendor
-                .scale_wire(cfg.net_per_byte.cost_of(data.len()));
+            // node's shared adapter. Link-level perturbations stretch
+            // the wire term here (the sender-side advance in
+            // `wait_send` stays nominal; only the computation that
+            // determines delivery time is perturbed).
+            let wire = ctx.perturb_wire(
+                self.me,
+                dst,
+                self.inner
+                    .vendor
+                    .scale_wire(cfg.net_per_byte.cost_of(data.len())),
+            );
             ctx.advance(cfg.mpi_send_overhead + extra);
             let link = &self.inner.node_link[self.inner.topo.node_of(self.me)];
             let done = ctx.now().max(link.get()) + wire;
@@ -345,6 +351,10 @@ impl MsgEndpoint {
             Some(q.remove(idx))
         });
         m.matches.fetch_add(1, Ordering::Relaxed);
+        // The matching point is the message-layer analogue of an AM
+        // dispatch: a perturbed run may stall the handler here before
+        // the payload is copied out.
+        ctx.perturb_am_stall_apply(ctx.perturb_am_stall_draw());
 
         match env.kind {
             Kind::Shm { data } => {
@@ -390,10 +400,15 @@ impl MsgEndpoint {
                 handshake.store(ctx, true);
                 // The sender resumes one latency later, restarts its
                 // send path, and queues on its node's shared adapter.
-                let wire = self
-                    .inner
-                    .vendor
-                    .scale_wire(cfg.net_per_byte.cost_of(data.len()));
+                // The data leg travels src -> me, so the link factor is
+                // keyed on that direction.
+                let wire = ctx.perturb_wire(
+                    src,
+                    self.me,
+                    self.inner
+                        .vendor
+                        .scale_wire(cfg.net_per_byte.cost_of(data.len())),
+                );
                 let floor = granted_at
                     + cfg.net_latency // CTS travel
                     + cfg.mpi_send_overhead

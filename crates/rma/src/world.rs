@@ -15,10 +15,16 @@
 //! `max(t, link_free) + b·G + L`, where `G` is the per-byte cost and
 //! `L` the one-way latency; `link_free` serializes messages on the
 //! origin's network port. When a perturbation config is installed
-//! ([`simnet::Sim::set_perturb`]), the delivery time additionally
+//! ([`simnet::Sim::set_perturb`]), the wire term `b·G` first passes
+//! through [`simnet::Ctx::perturb_wire`] (static per-directed-link
+//! stretch plus transient bandwidth dips), and the delivery time then
 //! passes through [`simnet::Ctx::perturb_delivery`]: bounded jitter
 //! and cross-pair reordering, never regressing the per-pair order the
-//! origin port serialized. The origin CPU is busy only for the origin
+//! origin port serialized. On the reception side the dispatcher may
+//! additionally pay an interrupt-coalescing delay
+//! ([`simnet::Ctx::perturb_coalesce_point`]) after a taken interrupt,
+//! and a handler stall ([`simnet::Ctx::perturb_am_stall_draw`]) before
+//! processing any payload. The origin CPU is busy only for the origin
 //! overhead — the transfer itself is one-sided, which is precisely the
 //! overlap opportunity SRM exploits.
 //!
@@ -38,8 +44,31 @@ use parking_lot::Mutex;
 use shmem::ShmBuffer;
 use simnet::{Ctx, Rank, Sim, SimTime, SimVar};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Fault-injection switch (see [`set_stall_counter_race`]).
+static STALL_COUNTER_RACE: AtomicBool = AtomicBool::new(false);
+
+/// Plant the **am-stall-race** fault: whenever a dispatcher draws a
+/// perturbation handler stall for an arrival that carries a completion
+/// counter, the counter is incremented *before* the stall and the data
+/// landing — the classic premature acknowledgement of a handler that
+/// signals completion before its payload is flushed. A consumer parked
+/// on the counter wakes at the pre-stall time, beats the dispatcher to
+/// the turn (minimum-time-first), and reads the destination buffer
+/// before the bytes arrive. Process-global and test-only: the stress
+/// harness must *detect* the stale read (the `explore` binary's
+/// `--inject am-stall-race` mode). Only fires when a
+/// [`simnet::Perturb`] config with `am_stall_permille > 0` is
+/// installed.
+pub fn set_stall_counter_race(on: bool) {
+    STALL_COUNTER_RACE.store(on, Ordering::SeqCst);
+}
+
+fn stall_counter_race() -> bool {
+    STALL_COUNTER_RACE.load(Ordering::Relaxed)
+}
 
 /// Payload carried to a dispatcher by one network arrival.
 enum Payload {
@@ -388,7 +417,8 @@ impl Rma {
         let cfg = ctx.config();
         let me_net = &self.world.tasks[self.me];
         let start = ctx.now().max(me_net.link_free.get());
-        let ser_done = start + cfg.net_per_byte.cost_of(wire_bytes);
+        let wire = ctx.perturb_wire(self.me, target, cfg.net_per_byte.cost_of(wire_bytes));
+        let ser_done = start + wire;
         me_net.link_free.store(ctx, ser_done);
         let deliver_at = ctx.perturb_delivery(self.me, target, ser_done + cfg.net_latency);
         let m = ctx.metrics();
@@ -459,12 +489,30 @@ fn deliver(ctx: &Ctx, world: &Arc<WorldInner>, me: Rank, a: Arrival) {
     if !polled {
         ctx.advance(cfg.interrupt_cost);
         ctx.metrics().interrupts.fetch_add(1, Ordering::Relaxed);
+        // Dispatcher-side perturbation: the adapter may coalesce
+        // interrupt delivery, adding a bounded extra delay.
+        ctx.perturb_coalesce_point();
     }
     if !cfg.yield_enabled {
         // Spinning siblings never yield: the LAPI threads fight for CPU.
         ctx.advance(cfg.dispatcher_starve_penalty);
     }
     ctx.advance(cfg.lapi_target_overhead);
+    // Dispatcher-side perturbation: the handler (data landing, AM, get
+    // service) may stall before touching the payload. Under the
+    // planted am-stall-race fault the completion counter fires early,
+    // inside that stall window, before the payload lands.
+    let stall = ctx.perturb_am_stall_draw();
+    let mut counted_early = false;
+    if !stall.is_zero() {
+        if stall_counter_race() {
+            if let Some(c) = &a.counter {
+                c.incr(ctx, 1);
+                counted_early = true;
+            }
+        }
+        ctx.perturb_am_stall_apply(stall);
+    }
     match a.payload {
         Payload::Data {
             dst,
@@ -490,7 +538,8 @@ fn deliver(ctx: &Ctx, world: &Arc<WorldInner>, me: Rank, a: Arrival) {
         } => {
             let bytes = src.with(|d| d[src_off..src_off + len].to_vec());
             let start = ctx.now().max(t.link_free.get());
-            let ser_done = start + cfg.net_per_byte.cost_of(len);
+            let wire = ctx.perturb_wire(me, requester, cfg.net_per_byte.cost_of(len));
+            let ser_done = start + wire;
             t.link_free.store(ctx, ser_done);
             let deliver_at = ctx.perturb_delivery(me, requester, ser_done + cfg.net_latency);
             let m = ctx.metrics();
@@ -511,7 +560,9 @@ fn deliver(ctx: &Ctx, world: &Arc<WorldInner>, me: Rank, a: Arrival) {
             });
         }
     }
-    if let Some(c) = a.counter {
-        c.incr(ctx, 1);
+    if !counted_early {
+        if let Some(c) = a.counter {
+            c.incr(ctx, 1);
+        }
     }
 }

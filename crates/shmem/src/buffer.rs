@@ -36,6 +36,14 @@ impl ShmBuffer {
         self.data.lock().len()
     }
 
+    /// `true` when `other` is a clone of this buffer, i.e. both handles
+    /// alias the same underlying storage. The nonblocking executor uses
+    /// this to reject write-aliased buffers shared between outstanding
+    /// collectives (read-read sharing is fine).
+    pub fn same_storage(&self, other: &ShmBuffer) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
     /// Copy `src` into the buffer at `offset`, charging the copy cost
     /// for `streams` concurrent copy streams on this node's bus.
     ///

@@ -485,6 +485,86 @@ impl Ctx {
             self.advance_by(d);
         }
     }
+
+    /// Interrupt-coalescing point: with probability
+    /// `coalesce_permille`/1000, delay this LP by up to `coalesce_max`
+    /// (traced as `perturb:coalesce`). Dispatchers call this right
+    /// after taking an interrupt; a no-op without an installed config.
+    pub fn perturb_coalesce_point(&self) {
+        let Some(p) = self.perturb_state() else {
+            return;
+        };
+        if let Some(d) = p.coalesce() {
+            self.record_perturb("perturb:coalesce", d);
+            self.metrics()
+                .perturb_dispatch_events
+                .fetch_add(1, Ordering::Relaxed);
+            self.advance_by(d);
+        }
+    }
+
+    /// Draw a handler stall for a message dispatch point (an RMA
+    /// dispatcher about to process a payload, an MPI endpoint that just
+    /// matched a receive). Records the event (`perturb:am-stall`) and
+    /// returns the duration — ZERO on a miss or with no config. The
+    /// caller applies it with [`Ctx::perturb_am_stall_apply`], which
+    /// lets fault-injection layers act *between* the draw and the
+    /// stall (the window a real preempted handler opens).
+    pub fn perturb_am_stall_draw(&self) -> SimTime {
+        let Some(p) = self.perturb_state() else {
+            return SimTime::ZERO;
+        };
+        match p.am_stall() {
+            Some(d) => {
+                self.record_perturb("perturb:am-stall", d);
+                self.metrics()
+                    .perturb_dispatch_events
+                    .fetch_add(1, Ordering::Relaxed);
+                d
+            }
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Apply a stall drawn by [`Ctx::perturb_am_stall_draw`] and close
+    /// its trace interval (`perturb:am-stall-end`). A no-op for ZERO,
+    /// so `perturb_am_stall_apply(perturb_am_stall_draw())` is the
+    /// plain (fault-free) dispatch-point idiom.
+    pub fn perturb_am_stall_apply(&self, d: SimTime) {
+        if d.is_zero() {
+            return;
+        }
+        self.advance_by(d);
+        self.trace("perturb:am-stall-end");
+    }
+
+    /// Perturb one wire time on directed link `(src, dst)`: the static
+    /// per-link stretch (a pure hash of `(seed, src, dst)`) plus the
+    /// transient-dip multiplier while the link is dipped. Returns the
+    /// (possibly unchanged) wire time; transport layers call this where
+    /// they compute serialization costs. Traced as `perturb:bw`, or
+    /// `perturb:bw-dip` when a dip contributed.
+    pub fn perturb_wire(&self, src: usize, dst: usize, wire: SimTime) -> SimTime {
+        let Some(p) = self.perturb_state() else {
+            return wire;
+        };
+        let ws = p.wire(src, dst, self.now(), wire);
+        if ws.added.is_zero() {
+            return wire;
+        }
+        self.record_perturb(
+            if ws.dip {
+                "perturb:bw-dip"
+            } else {
+                "perturb:bw"
+            },
+            ws.added,
+        );
+        self.metrics()
+            .perturb_bw_events
+            .fetch_add(1, Ordering::Relaxed);
+        wire + ws.added
+    }
 }
 
 /// Handle for creating [`SimVar`](crate::SimVar)s during setup (before
@@ -585,10 +665,11 @@ impl Sim {
 
     /// Install a seeded perturbation config
     /// ([`Perturb`](crate::perturb::Perturb)): delivery jitter, bounded
-    /// reordering, compute stalls and straggler delays, all replayable
-    /// from `(seed, config)` alone. Call before [`Sim::run`]. Without
-    /// this call the run is exactly the unperturbed deterministic
-    /// schedule.
+    /// reordering, compute stalls, straggler delays, dispatcher-side
+    /// interrupt coalescing and handler stalls, and link-level
+    /// bandwidth variation — all replayable from `(seed, config)`
+    /// alone. Call before [`Sim::run`]. Without this call the run is
+    /// exactly the unperturbed deterministic schedule.
     pub fn set_perturb(&mut self, cfg: crate::perturb::Perturb) {
         *self.shared.perturb.write() = Some(Arc::new(crate::perturb::PerturbState::new(cfg)));
     }

@@ -120,6 +120,13 @@ metrics! {
     /// the run. Monotone (a running max), so `since` never underflows,
     /// but unlike the other counters its diff is not itself a max.
     perturb_max_skew_ps,
+    /// Dispatcher-side perturbation events (interrupt-coalescing
+    /// delays, AM/receive handler stalls). A subset of
+    /// `perturb_events`.
+    perturb_dispatch_events,
+    /// Link-level perturbation events (static per-link wire stretches
+    /// and transient bandwidth dips). A subset of `perturb_events`.
+    perturb_bw_events,
 }
 
 /// Per-communicator breakdown of `plan_hits`/`plan_misses`, keyed by the

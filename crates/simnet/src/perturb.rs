@@ -7,7 +7,7 @@
 //! under ordering invariants that deterministic replay cannot probe.
 //! This module adds a **perturbation layer**: a [`Perturb`] config
 //! installed with [`Sim::set_perturb`](crate::Sim::set_perturb) that
-//! injects controlled variance at four kinds of points:
+//! injects controlled variance at seven kinds of points:
 //!
 //! * **delivery jitter** — every network delivery (put, active message,
 //!   get reply) may be delayed by up to [`Perturb::delivery_jitter`];
@@ -20,7 +20,26 @@
 //!   stalls with probability [`Perturb::stall_permille`]/1000 for up to
 //!   [`Perturb::stall_max`];
 //! * **straggler mode** — one chosen rank's entry into every collective
-//!   is delayed by up to [`Perturb::straggler_delay`].
+//!   is delayed by up to [`Perturb::straggler_delay`];
+//! * **interrupt coalescing** — every interrupt a dispatcher takes may
+//!   be followed by an extra coalescing delay of up to
+//!   [`Perturb::coalesce_max`] (probability
+//!   [`Perturb::coalesce_permille`]/1000), modelling adapters that
+//!   batch interrupt delivery;
+//! * **handler stalls** — each message dispatch point (an RMA
+//!   dispatcher delivering a payload or running an AM handler, an MPI
+//!   endpoint matching a receive) may stall for up to
+//!   [`Perturb::am_stall_max`] (probability
+//!   [`Perturb::am_stall_permille`]/1000), modelling slow handlers and
+//!   preempted LAPI threads;
+//! * **bandwidth variation** — every directed link `(src, dst)` gets a
+//!   static wire-time stretch of up to [`Perturb::bw_permille`]/1000
+//!   (a pure hash of `(seed, src, dst)`, so heterogeneity is stable
+//!   across a run), and with probability
+//!   [`Perturb::bw_dip_permille`]/1000 a link enters a **transient
+//!   dip**: for [`Perturb::bw_dip_window`] its wire times are
+//!   multiplied by [`Perturb::bw_dip_mult`]. Dips are asymmetric —
+//!   `(a, b)` can dip while `(b, a)` runs at full speed.
 //!
 //! [`Ctx::advance`]: crate::Ctx::advance
 //! [`Ctx::wait_any_until`]: crate::Ctx::wait_any_until
@@ -44,10 +63,15 @@
 //! only while an LP holds the kernel turn, and the kernel's
 //! minimum-time-first schedule is itself deterministic, so the draw
 //! order — and therefore the entire run — replays bit-exactly from
-//! `(seed, config)` alone. Every injected event is counted in
-//! [`Metrics`](crate::Metrics) (`perturb_events`, `perturb_delay_ps`,
-//! `perturb_max_skew_ps`) and recorded in an attached
-//! [`Trace`](crate::Trace) under `perturb:*` labels.
+//! `(seed, config)` alone. The static link factor does not draw from
+//! the stream at all: it is a pure hash of `(seed, src, dst)`.
+//! Disabled mechanisms consume no draws, so a config that only enables
+//! the original mechanisms replays their exact PR 7 streams. Every
+//! injected event is counted in [`Metrics`](crate::Metrics)
+//! (`perturb_events`, `perturb_delay_ps`, `perturb_max_skew_ps`, with
+//! dispatcher-side and link-level events additionally broken out as
+//! `perturb_dispatch_events` / `perturb_bw_events`) and recorded in an
+//! attached [`Trace`](crate::Trace) under `perturb:*` labels.
 
 use crate::time::SimTime;
 use parking_lot::Mutex;
@@ -147,6 +171,29 @@ pub struct Perturb {
     pub straggler: Option<usize>,
     /// Max straggler entry delay.
     pub straggler_delay: SimTime,
+    /// Per-mille chance each taken interrupt is followed by an extra
+    /// coalescing delay (dispatcher-side; 0 disables).
+    pub coalesce_permille: u32,
+    /// Max interrupt-coalescing delay.
+    pub coalesce_max: SimTime,
+    /// Per-mille chance each message dispatch point (RMA delivery, AM
+    /// handler entry, MPI receive match) injects a handler stall.
+    pub am_stall_permille: u32,
+    /// Max injected handler-stall duration.
+    pub am_stall_max: SimTime,
+    /// Upper bound, in permille of the nominal wire time, on the
+    /// static per-directed-link stretch. Each link's actual stretch is
+    /// a pure hash of `(seed, src, dst)` in `0..=bw_permille`, so link
+    /// heterogeneity is stable for the whole run (0 disables).
+    pub bw_permille: u32,
+    /// Per-mille chance a wire-time query starts a transient dip on
+    /// its directed link (0 disables dips).
+    pub bw_dip_permille: u32,
+    /// Wire-time multiplier while a link is dipped (values below 2
+    /// make dips a no-op).
+    pub bw_dip_mult: u32,
+    /// Duration of one transient dip.
+    pub bw_dip_window: SimTime,
 }
 
 impl Default for Perturb {
@@ -167,12 +214,21 @@ impl Perturb {
             stall_max: SimTime::ZERO,
             straggler: None,
             straggler_delay: SimTime::ZERO,
+            coalesce_permille: 0,
+            coalesce_max: SimTime::ZERO,
+            am_stall_permille: 0,
+            am_stall_max: SimTime::ZERO,
+            bw_permille: 0,
+            bw_dip_permille: 0,
+            bw_dip_mult: 0,
+            bw_dip_window: SimTime::ZERO,
         }
     }
 
     /// Moderate all-mechanism preset (no straggler): a few microseconds
-    /// of delivery jitter, occasional bounded hold-backs and compute
-    /// stalls — enough to shuffle schedules without dominating them.
+    /// of delivery jitter, occasional bounded hold-backs, compute and
+    /// handler stalls, mild link heterogeneity with rare short dips —
+    /// enough to shuffle schedules without dominating them.
     pub fn standard(seed: u64) -> Self {
         Perturb {
             seed,
@@ -183,6 +239,14 @@ impl Perturb {
             stall_max: SimTime::from_us(5),
             straggler: None,
             straggler_delay: SimTime::ZERO,
+            coalesce_permille: 40,
+            coalesce_max: SimTime::from_us(2),
+            am_stall_permille: 30,
+            am_stall_max: SimTime::from_us(3),
+            bw_permille: 200,
+            bw_dip_permille: 15,
+            bw_dip_mult: 3,
+            bw_dip_window: SimTime::from_us(20),
         }
     }
 
@@ -200,6 +264,10 @@ impl Perturb {
             || self.reorder_permille > 0
             || self.stall_permille > 0
             || self.straggler.is_some()
+            || self.coalesce_permille > 0
+            || self.am_stall_permille > 0
+            || self.bw_permille > 0
+            || self.bw_dip_permille > 0
     }
 }
 
@@ -216,9 +284,21 @@ impl fmt::Display for Perturb {
             self.stall_max,
         )?;
         match self.straggler {
-            Some(r) => write!(f, "{r}/{}", self.straggler_delay),
-            None => write!(f, "none"),
+            Some(r) => write!(f, "{r}/{}", self.straggler_delay)?,
+            None => write!(f, "none")?,
         }
+        write!(
+            f,
+            " coalesce={}%o/{} amstall={}%o/{} bw={}%o dip={}%o x{}/{}",
+            self.coalesce_permille,
+            self.coalesce_max,
+            self.am_stall_permille,
+            self.am_stall_max,
+            self.bw_permille,
+            self.bw_dip_permille,
+            self.bw_dip_mult,
+            self.bw_dip_window,
+        )
     }
 }
 
@@ -236,6 +316,16 @@ struct PerturbInner {
     /// Latest perturbed delivery time issued per ordered `(src, dst)`
     /// pair — the clamp that preserves per-pair delivery order.
     last_delivery: HashMap<(usize, usize), SimTime>,
+    /// Expiry time of the transient bandwidth dip active on each
+    /// directed link, if any.
+    dip_until: HashMap<(usize, usize), SimTime>,
+}
+
+/// Outcome of one wire-time query ([`PerturbState::wire`]): the extra
+/// wire time and whether a transient dip contributed to it.
+pub(crate) struct WireStretch {
+    pub(crate) added: SimTime,
+    pub(crate) dip: bool,
 }
 
 impl PerturbState {
@@ -245,6 +335,7 @@ impl PerturbState {
             inner: Mutex::new(PerturbInner {
                 rng: Xoshiro256::seeded(cfg.seed),
                 last_delivery: HashMap::new(),
+                dip_until: HashMap::new(),
             }),
         }
     }
@@ -289,6 +380,79 @@ impl PerturbState {
         }
         let d = self.inner.lock().rng.time_in(self.cfg.straggler_delay);
         (!d.is_zero()).then_some(d)
+    }
+
+    /// Draw one interrupt-coalescing delay: `Some(duration)` with
+    /// probability `coalesce_permille`/1000, `None` otherwise. Consumes
+    /// no draw when the mechanism is disabled, so enabling only the
+    /// PR 7 mechanisms replays their exact streams.
+    pub(crate) fn coalesce(&self) -> Option<SimTime> {
+        let mut inner = self.inner.lock();
+        if !inner.rng.chance(self.cfg.coalesce_permille) {
+            return None;
+        }
+        let d = inner.rng.time_in(self.cfg.coalesce_max);
+        (!d.is_zero()).then_some(d)
+    }
+
+    /// Draw one dispatch-point handler stall: `Some(duration)` with
+    /// probability `am_stall_permille`/1000, `None` otherwise.
+    pub(crate) fn am_stall(&self) -> Option<SimTime> {
+        let mut inner = self.inner.lock();
+        if !inner.rng.chance(self.cfg.am_stall_permille) {
+            return None;
+        }
+        let d = inner.rng.time_in(self.cfg.am_stall_max);
+        (!d.is_zero()).then_some(d)
+    }
+
+    /// Static stretch of link `(src, dst)` in permille of the nominal
+    /// wire time: a pure hash of `(seed, src, dst)`, independent of
+    /// draw order, so the same link is slow for the whole run.
+    pub(crate) fn link_permille(&self, src: usize, dst: usize) -> u64 {
+        if self.cfg.bw_permille == 0 {
+            return 0;
+        }
+        let mut sm = SplitMix64(
+            self.cfg.seed
+                ^ (src as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ (dst as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        sm.next_u64() % (u64::from(self.cfg.bw_permille) + 1)
+    }
+
+    /// Stretch one wire time of `wire` on directed link `(src, dst)` at
+    /// virtual time `now`: the static per-link factor plus, while the
+    /// link is dipped (or a fresh dip draw hits), the transient
+    /// multiplier. Zero-length wires are never stretched and never
+    /// start dips.
+    pub(crate) fn wire(&self, src: usize, dst: usize, now: SimTime, wire: SimTime) -> WireStretch {
+        if wire.is_zero() {
+            return WireStretch {
+                added: SimTime::ZERO,
+                dip: false,
+            };
+        }
+        let mut added = SimTime(wire.0 * self.link_permille(src, dst) / 1000);
+        let mut dip = false;
+        if self.cfg.bw_dip_permille > 0 {
+            let mut inner = self.inner.lock();
+            let active = inner
+                .dip_until
+                .get(&(src, dst))
+                .is_some_and(|&until| now < until);
+            let started = !active && inner.rng.chance(self.cfg.bw_dip_permille);
+            if started {
+                inner
+                    .dip_until
+                    .insert((src, dst), now + self.cfg.bw_dip_window);
+            }
+            if active || started {
+                dip = true;
+                added += wire * u64::from(self.cfg.bw_dip_mult.saturating_sub(1));
+            }
+        }
+        WireStretch { added, dip }
     }
 }
 
@@ -360,8 +524,99 @@ mod tests {
         assert_eq!(st.delivery(0, 1, SimTime::from_us(4)), SimTime::from_us(4));
         assert!(st.stall().is_none());
         assert!(st.straggler(0).is_none());
+        assert!(st.coalesce().is_none());
+        assert!(st.am_stall().is_none());
+        let ws = st.wire(0, 1, SimTime::ZERO, SimTime::from_us(7));
+        assert!(ws.added.is_zero() && !ws.dip);
         assert!(!Perturb::new(9).is_active());
         assert!(Perturb::standard(9).is_active());
+    }
+
+    #[test]
+    fn coalesce_and_am_stall_respect_bounds() {
+        let cfg = Perturb {
+            coalesce_permille: 1000,
+            coalesce_max: SimTime::from_us(2),
+            am_stall_permille: 1000,
+            am_stall_max: SimTime::from_us(4),
+            ..Perturb::new(11)
+        };
+        let st = PerturbState::new(cfg);
+        let mut coalesced = 0;
+        let mut stalled = 0;
+        for _ in 0..200 {
+            if let Some(d) = st.coalesce() {
+                assert!(d <= SimTime::from_us(2));
+                coalesced += 1;
+            }
+            if let Some(d) = st.am_stall() {
+                assert!(d <= SimTime::from_us(4));
+                stalled += 1;
+            }
+        }
+        assert!(coalesced > 150, "certain coalesce mostly missed");
+        assert!(stalled > 150, "certain stall mostly missed");
+    }
+
+    #[test]
+    fn link_factor_is_pure_and_per_link() {
+        let cfg = Perturb {
+            bw_permille: 500,
+            ..Perturb::new(21)
+        };
+        let st = PerturbState::new(cfg);
+        // Pure: repeated queries agree regardless of interleaved draws.
+        let a = st.link_permille(0, 1);
+        let _ = st.stall();
+        assert_eq!(st.link_permille(0, 1), a);
+        assert!(a <= 500);
+        // Directed: (0,1) and (1,0) are independent links; across many
+        // links at least one pair differs.
+        let distinct = (0..16)
+            .flat_map(|s| (0..16).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d)
+            .map(|(s, d)| st.link_permille(s, d))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 4, "link factors nearly constant");
+        // A different seed redraws the whole link map.
+        let other = PerturbState::new(Perturb {
+            bw_permille: 500,
+            ..Perturb::new(22)
+        });
+        let moved = (0..16).filter(|&d| other.link_permille(0, d) != st.link_permille(0, d));
+        assert!(moved.count() > 0);
+    }
+
+    #[test]
+    fn dips_are_transient_and_asymmetric() {
+        let cfg = Perturb {
+            bw_dip_permille: 1000, // every query starts (or rides) a dip
+            bw_dip_mult: 3,
+            bw_dip_window: SimTime::from_us(10),
+            ..Perturb::new(33)
+        };
+        let st = PerturbState::new(cfg);
+        let wire = SimTime::from_us(1);
+        let w0 = st.wire(0, 1, SimTime::ZERO, wire);
+        assert!(w0.dip);
+        assert_eq!(w0.added, wire * 2); // mult 3 => 2x extra
+
+        // Inside the window the same link stays dipped without a new draw.
+        let w1 = st.wire(0, 1, SimTime::from_us(5), wire);
+        assert!(w1.dip);
+        // The reverse link dips independently (its own draw/window).
+        let w2 = st.wire(1, 0, SimTime::from_us(5), wire);
+        assert!(w2.dip);
+        // Past the window a fresh query re-draws (certain here).
+        let w3 = st.wire(0, 1, SimTime::from_us(50), wire);
+        assert!(w3.dip);
+        // Zero-permille dips never fire even mid-run.
+        let quiet = PerturbState::new(Perturb {
+            bw_permille: 0,
+            ..Perturb::new(33)
+        });
+        let wq = quiet.wire(0, 1, SimTime::ZERO, wire);
+        assert!(wq.added.is_zero() && !wq.dip);
     }
 
     #[test]
@@ -380,6 +635,10 @@ mod tests {
         let s = format!("{p}");
         assert!(s.contains("seed=0x0000000000000abc"));
         assert!(s.contains("straggler=3/"));
+        assert!(s.contains("coalesce="));
+        assert!(s.contains("amstall="));
+        assert!(s.contains("bw="));
+        assert!(s.contains("dip="));
         assert!(!s.contains('\n'));
     }
 }

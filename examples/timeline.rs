@@ -30,10 +30,15 @@
 //!
 //! A second run then replays the same program under a seeded
 //! [`Perturb`] config (delivery jitter, compute stalls, a straggler
-//! rank): the injected events show up as `perturb:*` entries in the
-//! swimlane, and the per-rank step timelines visibly skew against the
-//! unperturbed run while the step *sequences* stay identical — the
-//! schedule is the contract, the times are the perturbation.
+//! rank, AM handler stalls, link stretches and bandwidth dips): the
+//! injected events show up as `perturb:*` entries in the swimlane, and
+//! the per-rank step timelines visibly skew against the unperturbed
+//! run while the step *sequences* stay identical — the schedule is the
+//! contract, the times are the perturbation. Mechanisms with duration
+//! are rendered as **intervals**: an AM handler stall spans its paired
+//! `perturb:am-stall` / `perturb:am-stall-end` events, and a bandwidth
+//! dip opens a window of `bw_dip_window` on its link from the
+//! `perturb:bw-dip` event.
 //!
 //! ```sh
 //! cargo run --release --example timeline
@@ -129,10 +134,17 @@ fn main() {
     }
 
     // The same program under a seeded perturbation: jitter + stalls +
-    // a straggler on rank 2. The step sequences must not change — only
-    // their times do; the `perturb:*` trace entries show exactly where
-    // the skew entered.
-    let cfg = Perturb::standard(0xC0FFEE).with_straggler(2, SimTime::from_us(40));
+    // a straggler on rank 2, with the dispatcher- and link-level
+    // mechanisms turned up so their intervals show on this small
+    // program. The step sequences must not change — only their times
+    // do; the `perturb:*` trace entries show exactly where the skew
+    // entered.
+    let cfg = Perturb {
+        am_stall_permille: 600,
+        bw_dip_permille: 500,
+        ..Perturb::standard(0xC0FFEE)
+    }
+    .with_straggler(2, SimTime::from_us(40));
     let (ptrace, preport) = run_once(topo, Some(cfg));
     println!("\nPerturbed replay ({cfg}):");
     println!(
@@ -148,6 +160,39 @@ fn main() {
             .unwrap_or_else(|| format!("lp{}", e.lp));
         println!("  {:>10} {who:<6} {}", format!("{}", e.at), e.label);
     }
+
+    // Interval rendering for the mechanisms with duration. AM handler
+    // stalls are bracketed by paired events on the stalled LP; a
+    // bandwidth dip slows its link for the configured window from the
+    // moment it starts.
+    let who_of = |lp: usize| names.get(lp).cloned().unwrap_or_else(|| format!("lp{lp}"));
+    println!("\nInjected intervals (lane: start -> end):\n");
+    let mut open: Vec<Option<SimTime>> = vec![None; names.len() + 1];
+    for e in ptrace.with_prefix("perturb:am-stall") {
+        let lane = e.lp.min(names.len());
+        if e.label == "perturb:am-stall" {
+            open[lane] = Some(e.at);
+        } else if e.label == "perturb:am-stall-end" {
+            if let Some(start) = open[lane].take() {
+                println!(
+                    "  am-stall {:<6} {start} -> {} ({:.1}us)",
+                    who_of(e.lp),
+                    e.at,
+                    (e.at - start).as_us()
+                );
+            }
+        }
+    }
+    for e in ptrace.with_prefix("perturb:bw-dip") {
+        println!(
+            "  bw-dip   {:<6} {} -> {} (link slowed x{})",
+            who_of(e.lp),
+            e.at,
+            e.at + cfg.bw_dip_window,
+            cfg.bw_dip_mult
+        );
+    }
+
     println!("\nSkewed schedules (same steps, perturbed times):\n");
     for rank in 0..topo.nprocs() {
         let base = sched(&trace, rank);

@@ -6,9 +6,17 @@
 //! one interleaving. This module derives, from one `u64` seed, a whole
 //! **scenario**: a cluster shape (2–8 nodes), a perturbation config
 //! ([`Perturb`]: delivery jitter, bounded reordering, compute stalls,
-//! an optional straggler rank), up to two (possibly overlapping)
-//! subgroup communicators, and a program of blocking/nonblocking
-//! collective steps with rotated roots. [`explore_one`] runs the
+//! an optional straggler rank, plus the dispatcher- and link-level
+//! mechanisms — interrupt coalescing, AM handler stalls, per-link
+//! bandwidth factors and transient dips), up to two (possibly
+//! overlapping) subgroup communicators, up to two `comm_split`
+//! partitions of the world ([`SplitSpec`]: round-robin or block
+//! colors, optionally reversed keys, optionally one excluded rank),
+//! and a program of blocking/nonblocking collective steps with
+//! rotated roots. Steps may additionally carry an [`AliasMode`]:
+//! an in-place blocking allreduce chained twice through the same
+//! buffer, or a root-side payload buffer shared read-only between two
+//! outstanding nonblocking broadcasts. [`explore_one`] runs the
 //! scenario and checks:
 //!
 //! * **bit-exactness** — after every operation each rank verifies its
@@ -63,20 +71,119 @@ impl Default for ExploreOpts {
     }
 }
 
+/// One `comm_split` partition of the world communicator, described by
+/// its color/key derivation rather than explicit member lists — the
+/// same spec regenerates the exact partition on replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitSpec {
+    /// Number of colors (parts). Every world rank gets color
+    /// `r % ncolors` (round-robin) or `r * ncolors / n` (block),
+    /// unless excluded.
+    pub ncolors: usize,
+    /// `true` for contiguous block colors (parts align with nodes);
+    /// `false` for round-robin colors (parts straddle nodes).
+    pub block: bool,
+    /// `true` to pass descending keys, so each part's communicator
+    /// ranks run in *reverse* world-rank order.
+    pub rev: bool,
+    /// One world rank opted out with a negative color (its handle is
+    /// `None` and it skips every step on this communicator).
+    pub exclude: Option<usize>,
+}
+
+impl SplitSpec {
+    /// Color of world rank `r` in an `n`-rank world, or `-1` if
+    /// excluded.
+    pub fn color(&self, r: usize, n: usize) -> i64 {
+        if self.exclude == Some(r) {
+            -1
+        } else if self.block {
+            (r * self.ncolors / n) as i64
+        } else {
+            (r % self.ncolors) as i64
+        }
+    }
+
+    /// Sort key of world rank `r` (descending when `rev`).
+    pub fn key(&self, r: usize) -> i64 {
+        if self.rev {
+            -(r as i64)
+        } else {
+            r as i64
+        }
+    }
+
+    /// Member lists of the non-empty parts, in color order, each in
+    /// communicator-rank order — exactly the partition
+    /// [`srm::SrmWorld::comm_split`] builds from
+    /// [`SplitSpec::color`]/[`SplitSpec::key`] slices.
+    pub fn parts(&self, n: usize) -> Vec<Vec<usize>> {
+        (0..self.ncolors as i64)
+            .map(|c| {
+                let mut members: Vec<usize> = (0..n).filter(|&r| self.color(r, n) == c).collect();
+                members.sort_by_key(|&r| (self.key(r), r));
+                members
+            })
+            .filter(|m| !m.is_empty())
+            .collect()
+    }
+}
+
+impl fmt::Display for SplitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}c{}{}",
+            self.ncolors,
+            if self.block { "-blk" } else { "-rr" },
+            if self.rev { "-rev" } else { "" }
+        )?;
+        if let Some(x) = self.exclude {
+            write!(f, "-x{x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Buffer-aliasing pattern attached to a program step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AliasMode {
+    /// No aliasing: the step runs once on a fresh buffer.
+    None,
+    /// In-place chain (blocking allreduce only): run the operation
+    /// **twice** through the same buffer back to back. The second
+    /// round's expected result is the reduction of `n` copies of the
+    /// first round's result — exercises the in-place read-after-write
+    /// contract of the reduce substrate.
+    ChainBlocking,
+    /// Shared read-only source (nonblocking broadcast only): issue the
+    /// broadcast **twice**; the root sources both from one shared
+    /// buffer (read-read aliasing, which the issue-time guard admits),
+    /// while every other rank lands the payloads in two distinct
+    /// buffers. Both copies must verify.
+    SharedRoot,
+}
+
 /// One step of a derived program. `comm` 0 is the world; higher values
-/// index the scenario's subgroups.
+/// index the scenario's subgroups and then its splits.
 #[derive(Clone, Copy, Debug)]
 pub struct ProgStep {
     /// The collective to run.
     pub op: Op,
-    /// Communicator index (0 = world).
+    /// Communicator index: 0 = world, `1..=groups.len()` = subgroups,
+    /// then one index per [`SplitSpec`] (each rank acts in its own
+    /// part; an excluded rank skips the step).
     pub comm: usize,
     /// Per-rank / per-pair segment length in bytes (multiple of 8).
     pub seg: usize,
-    /// Communicator-relative root (ignored by rootless ops).
+    /// Communicator-relative root (ignored by rootless ops). For a
+    /// split communicator it is below every part's size.
     pub root: usize,
     /// Issue nonblocking and overlap with the following steps.
     pub nonblocking: bool,
+    /// Buffer-aliasing pattern (doubles the step's call count when not
+    /// [`AliasMode::None`]).
+    pub alias: AliasMode,
 }
 
 /// A fully derived scenario: everything [`explore_one`] needs, a pure
@@ -91,8 +198,52 @@ pub struct Scenario {
     pub perturb: Perturb,
     /// Subgroup member lists (world ranks, ascending).
     pub groups: Vec<Vec<usize>>,
+    /// `comm_split` partitions of the world, indexed after the groups.
+    pub splits: Vec<SplitSpec>,
     /// The program, executed in order by every member rank.
     pub steps: Vec<ProgStep>,
+}
+
+impl Scenario {
+    /// Number of world ranks.
+    pub fn nranks(&self) -> usize {
+        self.nodes * self.tpn
+    }
+
+    /// Total member ranks of communicator index `cidx` — the world
+    /// size, a subgroup's size, or the union of a split's parts.
+    pub fn members(&self, cidx: usize) -> usize {
+        let n = self.nranks();
+        if cidx == 0 {
+            n
+        } else if cidx <= self.groups.len() {
+            self.groups[cidx - 1].len()
+        } else {
+            self.splits[cidx - 1 - self.groups.len()]
+                .parts(n)
+                .iter()
+                .map(Vec::len)
+                .sum()
+        }
+    }
+
+    /// Smallest communicator a rank can land in at index `cidx` (the
+    /// root bound: every part of a split must contain the root).
+    pub fn min_csize(&self, cidx: usize) -> usize {
+        let n = self.nranks();
+        if cidx == 0 {
+            n
+        } else if cidx <= self.groups.len() {
+            self.groups[cidx - 1].len()
+        } else {
+            self.splits[cidx - 1 - self.groups.len()]
+                .parts(n)
+                .iter()
+                .map(Vec::len)
+                .min()
+                .expect("a split always has at least one part")
+        }
+    }
 }
 
 impl fmt::Display for Scenario {
@@ -104,6 +255,13 @@ impl fmt::Display for Scenario {
             }
             write!(f, "{g:?}")?;
         }
+        write!(f, "] splits=[")?;
+        for (i, sp) in self.splits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{sp}")?;
+        }
         write!(f, "] steps=[")?;
         for (i, s) in self.steps.iter().enumerate() {
             if i > 0 {
@@ -111,12 +269,17 @@ impl fmt::Display for Scenario {
             }
             write!(
                 f,
-                "{}{}@c{}/{}r{}",
+                "{}{}@c{}/{}r{}{}",
                 if s.nonblocking { "i" } else { "" },
                 s.op.name(),
                 s.comm,
                 s.seg,
-                s.root
+                s.root,
+                match s.alias {
+                    AliasMode::None => "",
+                    AliasMode::ChainBlocking => "+chain",
+                    AliasMode::SharedRoot => "+shared",
+                }
             )?;
         }
         write!(f, "] perturb{{{}}}", self.perturb)
@@ -218,27 +381,69 @@ pub fn derive_scenario(seed: u64, opts: &ExploreOpts) -> Scenario {
         }
     }
 
+    // comm_split partitions — drawn after the groups so their comm
+    // indexes follow the group indexes. Overlap comes for free: every
+    // split partitions the *whole* world, so two splits (and any
+    // subgroup) share ranks.
+    let mut splits: Vec<SplitSpec> = Vec::new();
+    if opts.subgroups && n >= 4 {
+        let nsplits = sm.below(3) as usize; // 0..=2 splits
+        for _ in 0..nsplits {
+            splits.push(SplitSpec {
+                ncolors: 2 + sm.below(2) as usize,
+                block: sm.below(2) == 1,
+                rev: sm.below(2) == 1,
+                exclude: (sm.below(4) == 0).then(|| sm.below(n as u64) as usize),
+            });
+        }
+    }
+
+    let partial = Scenario {
+        nodes,
+        tpn,
+        perturb: Perturb::new(0),
+        groups,
+        splits,
+        steps: Vec::new(),
+    };
+    let ncomms = 1 + partial.groups.len() + partial.splits.len();
+
     let nsteps = 3 + sm.below(opts.max_ops.saturating_sub(2).max(1) as u64) as usize;
     let mut steps = Vec::with_capacity(nsteps);
     for _ in 0..nsteps {
         // Weight toward the world communicator.
-        let comm = if groups.is_empty() || sm.below(2) == 0 {
+        let comm = if ncomms == 1 || sm.below(2) == 0 {
             0
         } else {
-            1 + sm.below(groups.len() as u64) as usize
+            1 + sm.below((ncomms - 1) as u64) as usize
         };
-        let csize = if comm == 0 { n } else { groups[comm - 1].len() };
+        // Roots must be valid in *every* part of a split.
+        let csize = partial.min_csize(comm);
         let seg = if sm.below(12) == 0 {
             RARE_SEG
         } else {
             SEGS[sm.below(SEGS.len() as u64) as usize]
         };
+        let op = ALL_OPS[sm.below(ALL_OPS.len() as u64) as usize];
+        let root = sm.below(csize as u64) as usize;
+        let nonblocking = sm.below(10) < 4;
+        // Aliasing patterns ride on the ops whose contracts they
+        // exercise: in-place chains on blocking allreduce, a shared
+        // read-only source on nonblocking broadcast.
+        let alias = if op == Op::Allreduce && !nonblocking && sm.below(6) == 0 {
+            AliasMode::ChainBlocking
+        } else if op == Op::Bcast && nonblocking && sm.below(6) == 0 {
+            AliasMode::SharedRoot
+        } else {
+            AliasMode::None
+        };
         steps.push(ProgStep {
-            op: ALL_OPS[sm.below(ALL_OPS.len() as u64) as usize],
+            op,
             comm,
             seg,
-            root: sm.below(csize as u64) as usize,
-            nonblocking: sm.below(10) < 4,
+            root,
+            nonblocking,
+            alias,
         });
     }
 
@@ -251,14 +456,20 @@ pub fn derive_scenario(seed: u64, opts: &ExploreOpts) -> Scenario {
         stall_max: SimTime::from_us(1 + sm.below(6)),
         straggler: (sm.below(10) < 4).then(|| sm.below(n as u64) as usize),
         straggler_delay: SimTime::from_us(sm.below(60)),
+        coalesce_permille: sm.below(120) as u32,
+        coalesce_max: SimTime::from_us(1 + sm.below(8)),
+        am_stall_permille: sm.below(80) as u32,
+        am_stall_max: SimTime::from_us(1 + sm.below(10)),
+        bw_permille: sm.below(500) as u32,
+        bw_dip_permille: sm.below(40) as u32,
+        bw_dip_mult: 2 + sm.below(3) as u32,
+        bw_dip_window: SimTime::from_us(10 + sm.below(41)),
     };
 
     Scenario {
-        nodes,
-        tpn,
         perturb,
-        groups,
         steps,
+        ..partial
     }
 }
 
@@ -501,16 +712,36 @@ pub fn run_scenario(
     sim.set_perturb(scenario.perturb);
     let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
 
-    // Build subgroup communicators; per rank, its handle in each group.
+    // Build subgroup and split communicators; per rank, its handle at
+    // each comm index. `comm_ids[cidx]` lists `(comm id, size)` of
+    // every constituent communicator: one entry for the world or a
+    // subgroup, one entry per part for a split.
     let mut sub_of: Vec<Vec<Option<SrmComm>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut comm_ids: Vec<u64> = vec![0]; // world is comm 0
+    let mut comm_ids: Vec<Vec<(u64, usize)>> = vec![vec![(0, n)]]; // world is comm 0
     for g in &scenario.groups {
         let handles = world.comm_create(g);
-        comm_ids.push(handles[0].comm_id());
+        comm_ids.push(vec![(handles[0].comm_id(), g.len())]);
         let mut by_rank: Vec<Option<SrmComm>> = (0..n).map(|_| None).collect();
         for (h, &r) in handles.into_iter().zip(g) {
             by_rank[r] = Some(h);
         }
+        for (r, slot) in by_rank.into_iter().enumerate() {
+            sub_of[r].push(slot);
+        }
+    }
+    for sp in &scenario.splits {
+        let colors: Vec<i64> = (0..n).map(|r| sp.color(r, n)).collect();
+        let keys: Vec<i64> = (0..n).map(|r| sp.key(r)).collect();
+        let by_rank = world.comm_split(&colors, &keys);
+        comm_ids.push(
+            sp.parts(n)
+                .iter()
+                .map(|part| {
+                    let h = by_rank[part[0]].as_ref().expect("part member has a handle");
+                    (h.comm_id(), part.len())
+                })
+                .collect(),
+        );
         for (r, slot) in by_rank.into_iter().enumerate() {
             sub_of[r].push(slot);
         }
@@ -561,16 +792,52 @@ pub fn run_scenario(
                 buf.with_mut(|d| d.copy_from_slice(&fill(me, i, total)));
                 if s.nonblocking {
                     let req = issue_nb(&ctx, c, s.op, &buf, s.seg, s.root);
-                    outstanding.push((i, req, buf, s.comm));
+                    outstanding.push((i, req, buf.clone(), s.comm));
+                    if s.alias == AliasMode::SharedRoot {
+                        // Second broadcast of the same step: the root
+                        // re-sources its shared (read-only) payload,
+                        // everyone else lands into a fresh buffer.
+                        let buf2 = if me == s.root {
+                            buf
+                        } else {
+                            let b = c.alloc_buffer(total);
+                            b.with_mut(|d| d.copy_from_slice(&fill(me, i, total)));
+                            b
+                        };
+                        let req2 = issue_nb(&ctx, c, s.op, &buf2, s.seg, s.root);
+                        outstanding.push((i, req2, buf2, s.comm));
+                    }
                     // A slice of overlapped compute before the next step.
                     ctx.advance(SimTime::from_us(3));
                 } else {
                     drain(&ctx, &mut outstanding, &mut report);
                     let c = comm_of(s.comm).expect("membership is static");
                     run_blocking(&ctx, c, s.op, &buf, s.seg, s.root);
-                    let got = buf.with(|d| d.to_vec());
-                    if let Err(e) = verify_step(s.op, me, csize, s.seg, s.root, i, &got) {
-                        report(e);
+                    if s.alias == AliasMode::ChainBlocking {
+                        // In-place chain: feed round 1's result straight
+                        // back through the same buffer. Every rank now
+                        // contributes the identical round-1 sum, so the
+                        // expected result is that sum reduced n times.
+                        run_blocking(&ctx, c, s.op, &buf, s.seg, s.root);
+                        let contribs: Vec<Vec<u8>> = (0..csize)
+                            .map(|r| fill(r, i, total)[..s.seg].to_vec())
+                            .collect();
+                        let round1 = reference_reduce(DType::U64, ReduceOp::Sum, &contribs);
+                        let expect =
+                            reference_reduce(DType::U64, ReduceOp::Sum, &vec![round1; csize]);
+                        let got = buf.with(|d| d[..s.seg].to_vec());
+                        if got != expect {
+                            report(format!(
+                                "step {i} chained allreduce: rank {me}/{csize} seg={} : \
+                                 round-2 result does not match the rereduced round-1 sum",
+                                s.seg
+                            ));
+                        }
+                    } else {
+                        let got = buf.with(|d| d.to_vec());
+                        if let Err(e) = verify_step(s.op, me, csize, s.seg, s.root, i, &got) {
+                            report(e);
+                        }
                     }
                 }
             }
@@ -617,40 +884,41 @@ pub fn run_scenario(
         )));
     }
 
-    // Plan-cache coherence: per communicator, hits + misses equals the
-    // collective calls issued on it (program steps on that comm plus
-    // the final allreduce + barrier on the world, each once per member
-    // rank).
-    let group_size = |cidx: usize| {
-        if cidx == 0 {
-            n
-        } else {
-            scenario.groups[cidx - 1].len()
-        }
-    };
-    for (cidx, &cid) in comm_ids.iter().enumerate() {
-        let calls = scenario.steps.iter().filter(|s| s.comm == cidx).count()
-            + if cidx == 0 { 2 } else { 0 };
-        let expect = (calls * group_size(cidx)) as u64;
-        let got = report
-            .plan_by_comm
+    // Plan-cache coherence: per constituent communicator, hits +
+    // misses equals the collective calls issued on it (program steps
+    // on that comm index — aliased steps run their operation twice —
+    // plus the final allreduce + barrier on the world, each once per
+    // member rank).
+    let step_weight = |s: &ProgStep| if s.alias == AliasMode::None { 1u64 } else { 2 };
+    for (cidx, ids) in comm_ids.iter().enumerate() {
+        let calls: u64 = scenario
+            .steps
             .iter()
-            .find(|&&(id, _, _)| id == cid)
-            .map(|&(_, h, m)| h + m)
-            .unwrap_or(0);
-        if got != expect {
-            return Err(fail(format!(
-                "plan-cache incoherent on comm {cid}: hits+misses={got}, expected {expect} \
-                 ({calls} calls x {} ranks)",
-                group_size(cidx)
-            )));
+            .filter(|s| s.comm == cidx)
+            .map(step_weight)
+            .sum::<u64>()
+            + if cidx == 0 { 2 } else { 0 };
+        for &(cid, size) in ids {
+            let expect = calls * size as u64;
+            let got = report
+                .plan_by_comm
+                .iter()
+                .find(|&&(id, _, _)| id == cid)
+                .map(|&(_, h, m)| h + m)
+                .unwrap_or(0);
+            if got != expect {
+                return Err(fail(format!(
+                    "plan-cache incoherent on comm {cid}: hits+misses={got}, expected \
+                     {expect} ({calls} calls x {size} ranks)"
+                )));
+            }
         }
     }
     let expect_nb: u64 = scenario
         .steps
         .iter()
         .filter(|s| s.nonblocking)
-        .map(|s| group_size(s.comm) as u64)
+        .map(|s| step_weight(s) * scenario.members(s.comm) as u64)
         .sum();
     if report.metrics.nb_issued != expect_nb {
         return Err(fail(format!(
@@ -662,6 +930,18 @@ pub fn run_scenario(
         return Err(fail(format!(
             "perturb accounting: total delay {} < max skew {}",
             report.metrics.perturb_delay_ps, report.metrics.perturb_max_skew_ps
+        )));
+    }
+    // The dispatcher- and link-level counters are subsets of the
+    // overall perturbation event count.
+    if report.metrics.perturb_dispatch_events + report.metrics.perturb_bw_events
+        > report.metrics.perturb_events
+    {
+        return Err(fail(format!(
+            "perturb accounting: dispatch {} + bw {} exceed total events {}",
+            report.metrics.perturb_dispatch_events,
+            report.metrics.perturb_bw_events,
+            report.metrics.perturb_events
         )));
     }
 
@@ -683,17 +963,14 @@ pub fn explore_sweep(start: u64, count: u64, opts: &ExploreOpts) -> ExploreSumma
             Ok(out) => {
                 summary.perturb_events += out.metrics.perturb_events;
                 summary.max_skew_ps = summary.max_skew_ps.max(out.metrics.perturb_max_skew_ps);
-                let n = (out.scenario.nodes * out.scenario.tpn) as u64;
+                let n = out.scenario.nranks() as u64;
                 summary.calls_checked += out
                     .scenario
                     .steps
                     .iter()
                     .map(|s| {
-                        if s.comm == 0 {
-                            n
-                        } else {
-                            out.scenario.groups[s.comm - 1].len() as u64
-                        }
+                        let w = if s.alias == AliasMode::None { 1u64 } else { 2 };
+                        w * out.scenario.members(s.comm) as u64
                     })
                     .sum::<u64>()
                     + 2 * n;
@@ -723,24 +1000,64 @@ mod tests {
         let opts = ExploreOpts::default();
         for seed in 0..200 {
             let s = derive_scenario(seed, &opts);
+            let n = s.nranks();
             assert!((2..=8).contains(&s.nodes));
-            assert!(s.nodes * s.tpn <= 16 && s.nodes * s.tpn >= 2);
+            assert!((2..=16).contains(&n));
             assert!((3..=opts.max_ops).contains(&s.steps.len()));
             for g in &s.groups {
                 assert!(g.len() >= 2);
-                assert!(g.iter().all(|&r| r < s.nodes * s.tpn));
+                assert!(g.iter().all(|&r| r < n));
+            }
+            for sp in &s.splits {
+                assert!((2..=3).contains(&sp.ncolors));
+                let parts = sp.parts(n);
+                assert!(!parts.is_empty());
+                // The parts partition the non-excluded ranks exactly.
+                let covered: usize = parts.iter().map(Vec::len).sum();
+                assert_eq!(covered, n - usize::from(sp.exclude.is_some()));
+                for p in &parts {
+                    assert!(p.iter().all(|&r| r < n && sp.exclude != Some(r)));
+                }
             }
             for st in &s.steps {
                 assert_eq!(st.seg % 8, 0);
-                assert!(st.comm <= s.groups.len());
-                let csize = if st.comm == 0 {
-                    s.nodes * s.tpn
-                } else {
-                    s.groups[st.comm - 1].len()
-                };
-                assert!(st.root < csize);
+                assert!(st.comm < 1 + s.groups.len() + s.splits.len());
+                // The root index is valid in every constituent part.
+                assert!(st.root < s.min_csize(st.comm));
+                match st.alias {
+                    AliasMode::None => {}
+                    AliasMode::ChainBlocking => {
+                        assert_eq!(st.op, Op::Allreduce);
+                        assert!(!st.nonblocking);
+                    }
+                    AliasMode::SharedRoot => {
+                        assert_eq!(st.op, Op::Bcast);
+                        assert!(st.nonblocking);
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn split_spec_orders_parts() {
+        // 8 ranks, 2 round-robin colors, reversed keys, rank 3 excluded.
+        let sp = SplitSpec {
+            ncolors: 2,
+            block: false,
+            rev: true,
+            exclude: Some(3),
+        };
+        let parts = sp.parts(8);
+        assert_eq!(parts, vec![vec![6, 4, 2, 0], vec![7, 5, 1]]);
+        // Block colors carve contiguous ranges.
+        let sp = SplitSpec {
+            ncolors: 3,
+            block: true,
+            rev: false,
+            exclude: None,
+        };
+        assert_eq!(sp.parts(6), vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
     }
 
     #[test]

@@ -4,15 +4,18 @@
 //! The planted fault reverts `SpinFlag::raise` to a plain (non-
 //! monotone) store and omits the "contrib consumed in order" plan
 //! guards — together re-opening the exact out-of-order contribution
-//! overwrite the harness originally found. Seed 0x65 is the first seed
-//! of the default sweep order whose schedule exposes it (the `explore`
-//! binary's `--inject raise-race` mode detects it there too, within its
-//! 128-seed CI budget); this test replays that seed with the fault in
-//! and asserts the harness reports a failure *with a usable
-//! reproducer*, then replays it with the fault out and asserts clean.
+//! overwrite the harness originally found. Seed 0x07 is the first seed
+//! of the grammar-v2 sweep order whose schedule exposes it (the
+//! `explore` binary's `--inject raise-race` mode detects it there too,
+//! well inside its 128-seed CI budget); this test replays that seed
+//! with the fault in and asserts the harness reports a failure *with a
+//! usable reproducer*, then replays it with the fault out and asserts
+//! clean.
 //!
 //! This file stays a single `#[test]` on purpose: the injection
-//! switches are process-global, so no other test may share the binary.
+//! switches are process-global, so no other test may share the binary
+//! (the dispatcher-side premature-ack fault lives in
+//! `tests/fault_injection_amrace.rs` for the same reason).
 
 use srm_cluster::{explore_one, ExploreOpts};
 
@@ -22,17 +25,17 @@ fn planted_raise_race_is_detected_and_reported() {
 
     shmem::set_nonmonotone_raise(true);
     srm::set_skip_order_guards(true);
-    let faulty = explore_one(0x65, &opts);
+    let faulty = explore_one(0x07, &opts);
     shmem::set_nonmonotone_raise(false);
     srm::set_skip_order_guards(false);
 
     let failure = faulty.expect_err(
-        "planted non-monotone raise + missing order guards went undetected on seed 0x65",
+        "planted non-monotone raise + missing order guards went undetected on seed 0x07",
     );
-    assert_eq!(failure.seed, 0x65);
+    assert_eq!(failure.seed, 0x07);
     let text = failure.to_string();
     assert!(
-        text.contains("--start-seed 0x0000000000000065"),
+        text.contains("--start-seed 0x0000000000000007"),
         "failure report lacks the exact reproducer seed:\n{text}"
     );
     assert!(
@@ -42,7 +45,7 @@ fn planted_raise_race_is_detected_and_reported() {
 
     // Same seed, fault removed: the harness is clean again, so the
     // detection above really was the planted bug.
-    if let Err(f) = explore_one(0x65, &opts) {
-        panic!("seed 0x65 still fails with the fault removed:\n{f}");
+    if let Err(f) = explore_one(0x07, &opts) {
+        panic!("seed 0x07 still fails with the fault removed:\n{f}");
     }
 }

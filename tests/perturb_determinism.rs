@@ -89,6 +89,67 @@ fn different_seeds_differ() {
     );
 }
 
+/// The dispatcher- and link-level mechanisms added with grammar v2
+/// (interrupt coalescing, AM handler stalls, per-link wire stretch,
+/// transient dips) replay bit-exactly from `(seed, config)` like the
+/// original four, and their dedicated counters stay subsets of the
+/// overall event count.
+#[test]
+fn dispatcher_and_link_mechanisms_replay_bit_exactly() {
+    let cfg = Perturb {
+        coalesce_permille: 300,
+        coalesce_max: SimTime::from_us(3),
+        am_stall_permille: 250,
+        am_stall_max: SimTime::from_us(4),
+        bw_permille: 500,
+        bw_dip_permille: 80,
+        bw_dip_mult: 3,
+        bw_dip_window: SimTime::from_us(30),
+        ..Perturb::new(0xB0B0)
+    };
+    let (ev_a, rep_a) = run_traced(Some(cfg));
+    let (ev_b, rep_b) = run_traced(Some(cfg));
+    assert!(
+        rep_a.metrics.perturb_bw_events > 0,
+        "a 500-permille link stretch must touch this workload's wire traffic"
+    );
+    assert!(
+        rep_a.metrics.perturb_dispatch_events > 0,
+        "a 250-permille AM-stall rate must hit some dispatch on this workload"
+    );
+    assert!(
+        rep_a.metrics.perturb_dispatch_events + rep_a.metrics.perturb_bw_events
+            <= rep_a.metrics.perturb_events,
+        "dispatcher/link counters must be subsets of perturb_events"
+    );
+    assert_eq!(ev_a, ev_b, "event streams diverged under one seed");
+    assert_eq!(rep_a.metrics, rep_b.metrics, "metrics diverged");
+    assert_eq!(rep_a.end_time, rep_b.end_time, "makespan diverged");
+}
+
+/// A config that enables only the original (PR 7) mechanisms draws the
+/// same stream whether or not the new fields exist: the new mechanisms
+/// consume no draws when disabled, so the old replay seeds stay valid.
+#[test]
+fn new_mechanisms_do_not_shift_old_streams() {
+    let old_only = Perturb {
+        delivery_jitter: SimTime::from_us(3),
+        reorder_permille: 150,
+        reorder_window: SimTime::from_us(15),
+        stall_permille: 25,
+        stall_max: SimTime::from_us(4),
+        ..Perturb::new(0x717E)
+    };
+    let (ev_a, rep_a) = run_traced(Some(old_only));
+    let (ev_b, rep_b) = run_traced(Some(old_only));
+    assert!(rep_a.metrics.perturb_events > 0);
+    assert_eq!(rep_a.metrics.perturb_dispatch_events, 0);
+    assert_eq!(rep_a.metrics.perturb_bw_events, 0);
+    assert_eq!(ev_a, ev_b);
+    assert_eq!(rep_a.metrics, rep_b.metrics);
+    assert_eq!(rep_a.end_time, rep_b.end_time);
+}
+
 /// A config with every mechanism off injects nothing and reproduces
 /// the unperturbed baseline exactly.
 #[test]

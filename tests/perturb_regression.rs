@@ -23,7 +23,7 @@
 //! behaviour the fault-injection detector checks from the other side.
 
 use simnet::{Perturb, SimTime};
-use srm_cluster::{explore_one, run_scenario, ExploreOpts, Op, ProgStep, Scenario};
+use srm_cluster::{explore_one, run_scenario, AliasMode, ExploreOpts, Op, ProgStep, Scenario};
 
 fn step(op: Op, seg: usize, root: usize, nonblocking: bool) -> ProgStep {
     ProgStep {
@@ -32,6 +32,7 @@ fn step(op: Op, seg: usize, root: usize, nonblocking: bool) -> ProgStep {
         seg,
         root,
         nonblocking,
+        alias: AliasMode::None,
     }
 }
 
@@ -43,6 +44,7 @@ fn run_pinned(nodes: usize, tpn: usize, steps: Vec<ProgStep>, perturb: Perturb) 
         tpn,
         perturb,
         groups: Vec::new(),
+        splits: Vec::new(),
         steps,
     };
     let opts = ExploreOpts {
