@@ -1,0 +1,528 @@
+//! Offline autotuning search driver (`srm::tune`).
+//!
+//! Sweeps the **decision** knobs of [`SrmTuning`] per (operation,
+//! payload size class) on one topology over the simulator, and writes
+//! the winners to a versioned, persisted [`TuneTable`] that
+//! [`SrmWorld::with_tuning_table`] loads at run time. The search is a
+//! coarse-to-fine grid: every candidate is timed with few iterations,
+//! the best few (plus the default, always) are re-timed with more, and
+//! an entry is only recorded when the winner beats the all-default
+//! tuning by at least 1 %. A final through-table verification pass
+//! drops any entry that does not hold up when executed via the loaded
+//! table (whose geometry envelope can add narrowed-window guards), so
+//! the persisted table never regresses a searched shape.
+//!
+//! Everything is measured in **virtual time** on the deterministic
+//! simulator — no OS entropy anywhere — so the same grid spec and seed
+//! always produce a byte-identical table (`--check` re-runs the search
+//! and compares, then also verifies that loading the table changes
+//! schedules but not collective *results*, via exact u64 payloads).
+//!
+//! ```sh
+//! cargo run --release -p srm-bench --bin autotune -- \
+//!     --nodes 4 --tasks 4 --out bench_results/tuned_4x4.txt --check
+//! ```
+
+use collops::{Collectives, DType, ReduceOp};
+use simnet::{MachineConfig, Sim, Topology};
+use srm::{SrmTuning, SrmWorld, TuneEntry, TuneKey, TuneOp, TuneTable};
+use srm_cluster::{measure, measure_with_table, ragged_counts, HarnessOpts, Impl, Op};
+use std::sync::{Arc, Mutex};
+
+/// Parsed command line.
+struct Args {
+    nodes: usize,
+    tasks: usize,
+    ops: Vec<TuneOp>,
+    edges: Vec<usize>,
+    seed: u64,
+    out: Option<String>,
+    fast: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autotune [--nodes N] [--tasks T] [--ops a,b,..] \
+         [--classes e1,e2,..] [--seed S] [--out PATH] [--fast] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        nodes: 4,
+        tasks: 4,
+        ops: vec![
+            TuneOp::Bcast,
+            TuneOp::Allreduce,
+            TuneOp::Alltoall,
+            TuneOp::ReduceScatter,
+        ],
+        edges: vec![4 << 10, 64 << 10, 1 << 20],
+        seed: 0xC011EC7,
+        out: None,
+        fast: false,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--nodes" => a.nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--tasks" => a.tasks = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = Some(val()),
+            "--fast" => a.fast = true,
+            "--check" => a.check = true,
+            "--ops" => {
+                a.ops = val()
+                    .split(',')
+                    .map(|s| TuneOp::from_name(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--classes" => {
+                a.edges = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                a.edges.sort_unstable();
+                a.edges.dedup();
+            }
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn harness_op(op: TuneOp) -> Op {
+    match op {
+        TuneOp::Bcast => Op::Bcast,
+        TuneOp::Reduce => Op::Reduce,
+        TuneOp::Allreduce => Op::Allreduce,
+        TuneOp::Barrier => Op::Barrier,
+        TuneOp::Gather => Op::Gather,
+        TuneOp::Scatter => Op::Scatter,
+        TuneOp::Allgather => Op::Allgather,
+        TuneOp::Alltoall => Op::Alltoall,
+        TuneOp::Alltoallv => Op::Alltoallv,
+        TuneOp::ReduceScatter => Op::ReduceScatter,
+    }
+}
+
+/// Representative payload for a size class: its upper edge, aligned to
+/// both the 8-byte element grid and (when room allows) the rank count,
+/// so allreduce candidates may exercise the Rabenseifner split.
+fn rep_len(edge: usize, nprocs: usize) -> usize {
+    let grid = nprocs * 8;
+    if edge >= grid {
+        edge - (edge % grid)
+    } else {
+        (edge & !7).max(8)
+    }
+}
+
+/// The candidate decision tunings for one operation, the all-default
+/// tuning always first. Fixed curated lists (no sampling): the search
+/// is deterministic from the grid spec alone; every candidate
+/// individually passes [`SrmTuning::validate`].
+fn candidates_for(op: TuneOp, base: SrmTuning) -> Vec<SrmTuning> {
+    let mut cands = vec![base];
+    let mut push = |t: SrmTuning| {
+        if t.validate().is_ok() {
+            cands.push(t);
+        }
+    };
+    match op {
+        TuneOp::Bcast | TuneOp::Allgather => {
+            let k = 1024;
+            push(SrmTuning {
+                small_large_switch: 32 * k,
+                pipeline_max: 32 * k,
+                ..base
+            });
+            push(SrmTuning {
+                small_large_switch: 128 * k,
+                ..base
+            });
+            // Pipelined sub-range variants: off, widened, finer/coarser.
+            push(SrmTuning {
+                pipeline_min: base.small_large_switch,
+                pipeline_max: base.small_large_switch,
+                ..base
+            });
+            push(SrmTuning {
+                pipeline_min: 4 * k,
+                pipeline_max: base.small_large_switch,
+                pipeline_chunk: 4 * k,
+                ..base
+            });
+            push(SrmTuning {
+                pipeline_chunk: 8 * k,
+                ..base
+            });
+            push(SrmTuning {
+                pipeline_chunk: 2 * k,
+                ..base
+            });
+            push(SrmTuning {
+                large_chunk: 32 * k,
+                ..base
+            });
+            push(SrmTuning {
+                large_chunk: 128 * k,
+                ..base
+            });
+            push(SrmTuning {
+                interrupt_disable_max: 0,
+                ..base
+            });
+        }
+        TuneOp::Reduce => {
+            push(SrmTuning {
+                interrupt_disable_max: 0,
+                ..base
+            });
+            push(SrmTuning {
+                interrupt_disable_max: 64 * 1024,
+                ..base
+            });
+        }
+        TuneOp::Allreduce => {
+            let k = 1024;
+            for rd in [2 * k, 8 * k, base.reduce_chunk] {
+                push(SrmTuning {
+                    allreduce_rd_max: rd,
+                    ..base
+                });
+            }
+            push(SrmTuning {
+                allreduce_rd_max: 0,
+                ..base
+            });
+            for rs in [1, 64 * k, 256 * k] {
+                push(SrmTuning {
+                    allreduce_rs_min: rs,
+                    ..base
+                });
+            }
+            push(SrmTuning {
+                allreduce_rs_min: 64 * k,
+                pairwise_chunk: 8 * k,
+                pairwise_window: 4,
+                ..base
+            });
+        }
+        TuneOp::Alltoall | TuneOp::Alltoallv | TuneOp::ReduceScatter => {
+            let k = 1024;
+            for c in [2 * k, 4 * k, 8 * k] {
+                push(SrmTuning {
+                    pairwise_chunk: c,
+                    ..base
+                });
+            }
+            for w in [1, 4] {
+                push(SrmTuning {
+                    pairwise_window: w,
+                    ..base
+                });
+            }
+            push(SrmTuning {
+                pairwise_chunk: 8 * k,
+                pairwise_window: 4,
+                ..base
+            });
+            push(SrmTuning {
+                pairwise_chunk: 4 * k,
+                pairwise_window: 4,
+                ..base
+            });
+        }
+        // No per-shape decision knobs reach these planners (their
+        // chunking is buffer geometry): nothing to search.
+        TuneOp::Barrier | TuneOp::Gather | TuneOp::Scatter => {}
+    }
+    cands
+}
+
+/// Mean per-call virtual time (picoseconds) of `op` at `len` under
+/// candidate tuning `t` — the search's objective function.
+fn time_candidate(topo: Topology, op: Op, len: usize, t: SrmTuning, iters: usize) -> u64 {
+    measure(
+        Impl::Srm,
+        MachineConfig::ibm_sp_colony(),
+        topo,
+        op,
+        len,
+        HarnessOpts { iters, srm: t },
+    )
+    .per_call
+    .as_ps()
+}
+
+/// Per-call time of `op` at `len` through a loaded table (base
+/// defaults otherwise).
+fn time_tabled(topo: Topology, op: Op, len: usize, table: &Arc<TuneTable>, iters: usize) -> u64 {
+    measure_with_table(
+        Impl::Srm,
+        MachineConfig::ibm_sp_colony(),
+        topo,
+        op,
+        len,
+        HarnessOpts {
+            iters,
+            srm: SrmTuning::default(),
+        },
+        Some(table.clone()),
+    )
+    .per_call
+    .as_ps()
+}
+
+/// Run the full coarse-to-fine search and return the persisted table.
+fn search(args: &Args) -> TuneTable {
+    let topo = Topology::new(args.nodes, args.tasks);
+    let nprocs = topo.nprocs();
+    let base = SrmTuning::default();
+    let (coarse_iters, fine_iters) = if args.fast { (1, 2) } else { (2, 4) };
+    let grid = format!(
+        "nodes={} tasks={} ops={} classes={}",
+        args.nodes,
+        args.tasks,
+        args.ops
+            .iter()
+            .map(|o| o.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
+        args.edges
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let mut table = TuneTable::new(args.seed, grid, args.edges.clone());
+
+    for &op in &args.ops {
+        let cands = candidates_for(op, base);
+        if cands.len() <= 1 {
+            eprintln!("[skip] {}: no per-shape decision knobs", op.as_str());
+            continue;
+        }
+        for (class, &edge) in args.edges.iter().enumerate() {
+            let len = rep_len(edge, nprocs);
+            let hop = harness_op(op);
+            // Coarse pass: every candidate, few iterations.
+            let coarse: Vec<u64> = cands
+                .iter()
+                .map(|&t| time_candidate(topo, hop, len, t, coarse_iters))
+                .collect();
+            // Fine pass: the default plus the best three coarse
+            // candidates, re-timed with more iterations.
+            let mut order: Vec<usize> = (1..cands.len()).collect();
+            order.sort_by_key(|&i| coarse[i]);
+            order.truncate(3);
+            let default_ps = time_candidate(topo, hop, len, cands[0], fine_iters);
+            let mut best: Option<(usize, u64)> = None;
+            for &i in &order {
+                let ps = time_candidate(topo, hop, len, cands[i], fine_iters);
+                if best.is_none_or(|(_, b)| ps < b) {
+                    best = Some((i, ps));
+                }
+            }
+            let Some((win, win_ps)) = best else { continue };
+            // Record only clear wins: >= 1 % under the default.
+            let pct = 100.0 * win_ps as f64 / default_ps as f64;
+            if win_ps * 100 < default_ps * 99 {
+                table.insert(
+                    TuneKey {
+                        op,
+                        class,
+                        nodes: args.nodes,
+                        ranks: nprocs,
+                    },
+                    TuneEntry::from_tuning(&cands[win]),
+                );
+                eprintln!(
+                    "[win ] {} class {class} (rep {len}): candidate {win} at {pct:.1}% of default",
+                    op.as_str()
+                );
+            } else {
+                eprintln!(
+                    "[keep] {} class {class} (rep {len}): default stands (best {pct:.1}%)",
+                    op.as_str()
+                );
+            }
+        }
+    }
+
+    // Through-table verification: re-time every searched shape with
+    // the assembled table loaded (its geometry envelope may add
+    // narrowed-window guards a lone candidate run did not pay). Drop
+    // entries that no longer beat the default and repeat — dropping
+    // shrinks the envelope, which can only help the survivors.
+    for round in 0..3 {
+        let shared = Arc::new(table.clone());
+        let mut drop_keys = Vec::new();
+        for &key in table.entries.keys() {
+            let len = rep_len(table.edges[key.class], nprocs);
+            let hop = harness_op(key.op);
+            let tuned = time_tabled(topo, hop, len, &shared, fine_iters);
+            let default_ps = time_candidate(topo, hop, len, base, fine_iters);
+            if tuned > default_ps {
+                eprintln!(
+                    "[drop] {} class {} regressed through table ({:.1}%), round {round}",
+                    key.op.as_str(),
+                    key.class,
+                    100.0 * tuned as f64 / default_ps as f64
+                );
+                drop_keys.push(key);
+            }
+        }
+        if drop_keys.is_empty() {
+            break;
+        }
+        for k in drop_keys {
+            table.entries.remove(&k);
+        }
+    }
+    table
+}
+
+/// Execute `op` once per rank with exact (u64) payloads and return
+/// every rank's final buffer — the material for the results-unchanged
+/// check.
+fn run_outputs(topo: Topology, op: Op, len: usize, table: Option<Arc<TuneTable>>) -> Vec<Vec<u8>> {
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = match table {
+        Some(t) => SrmWorld::with_tuning_table(&mut sim, topo, SrmTuning::default(), t),
+        None => SrmWorld::new(&mut sim, topo, SrmTuning::default()),
+    };
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let counts = Arc::new(ragged_counts(n, len));
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        let counts = counts.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(op.buf_len(len, n));
+            buf.with_mut(|d| {
+                for (i, x) in d.iter_mut().enumerate() {
+                    *x = (i as u8).wrapping_mul(31).wrapping_add(rank as u8 ^ 0x5A);
+                }
+            });
+            match op {
+                Op::Bcast => comm.broadcast(&ctx, &buf, len, 0),
+                Op::Reduce => comm.reduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum, 0),
+                Op::Allreduce => comm.allreduce(&ctx, &buf, len, DType::U64, ReduceOp::Sum),
+                Op::Barrier => comm.barrier(&ctx),
+                Op::Gather => comm.gather(&ctx, &buf, len, 0),
+                Op::Scatter => comm.scatter(&ctx, &buf, len, 0),
+                Op::Allgather => comm.allgather(&ctx, &buf, len),
+                Op::Alltoall => comm.alltoall(&ctx, &buf, len),
+                Op::Alltoallv => comm.alltoallv(&ctx, &buf, len, &counts),
+                Op::ReduceScatter => {
+                    comm.reduce_scatter(&ctx, &buf, len, DType::U64, ReduceOp::Sum)
+                }
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    sim.run().expect("check run completes");
+    Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+}
+
+fn main() {
+    let args = parse_args();
+    let table = search(&args);
+    let text = table.to_text();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write tuning table");
+            eprintln!("[out ] {} entries -> {path}", table.entries.len());
+        }
+        None => print!("{text}"),
+    }
+
+    if !args.check {
+        return;
+    }
+    let mut failures = 0usize;
+
+    // 1. Reproducibility: the search re-run from the same grid spec
+    //    and seed must serialize byte-identically, and the persisted
+    //    text must parse back to the same table.
+    let again = search(&args);
+    if again.to_text() != text {
+        eprintln!("[FAIL] re-search produced a different table");
+        failures += 1;
+    }
+    let parsed = TuneTable::parse(&text).expect("persisted table parses");
+    if parsed.to_text() != text {
+        eprintln!("[FAIL] parse/serialize round trip not byte-identical");
+        failures += 1;
+    }
+    let shared = Arc::new(parsed);
+
+    // 2. Results unchanged, schedules only: every searched shape
+    //    produces bit-identical buffers with and without the table.
+    // 3. Tuned no slower than default on the searched shapes (with a
+    //    0.5 % measurement-noise allowance for entry-less shapes).
+    let topo = Topology::new(args.nodes, args.tasks);
+    let nprocs = topo.nprocs();
+    let iters = if args.fast { 2 } else { 4 };
+    println!(
+        "\nTuned vs default on {} ({} entries):",
+        topo,
+        shared.entries.len()
+    );
+    println!(
+        "{:>16} {:>6} {:>10} {:>14} {:>14} {:>8}",
+        "op", "class", "rep bytes", "default (us)", "tuned (us)", "ratio"
+    );
+    for &op in &args.ops {
+        for (class, &edge) in args.edges.iter().enumerate() {
+            let len = rep_len(edge, nprocs);
+            let hop = harness_op(op);
+            let d = run_outputs(topo, hop, len, None);
+            let t = run_outputs(topo, hop, len, Some(shared.clone()));
+            if d != t {
+                eprintln!(
+                    "[FAIL] {} class {class}: loading the table changed results",
+                    op.as_str()
+                );
+                failures += 1;
+            }
+            let default_ps = time_candidate(topo, hop, len, SrmTuning::default(), iters);
+            let tuned_ps = time_tabled(topo, hop, len, &shared, iters);
+            let ratio = 100.0 * tuned_ps as f64 / default_ps as f64;
+            let tuned_here = shared
+                .lookup(op, len, args.nodes, nprocs)
+                .map(|_| "*")
+                .unwrap_or(" ");
+            println!(
+                "{:>15}{} {:>6} {:>10} {:>14.1} {:>14.1} {:>7.1}%",
+                op.as_str(),
+                tuned_here,
+                class,
+                len,
+                default_ps as f64 / 1e6,
+                tuned_ps as f64 / 1e6,
+                ratio
+            );
+            if tuned_ps * 1000 > default_ps * 1005 {
+                eprintln!(
+                    "[FAIL] {} class {class}: tuned run slower than default",
+                    op.as_str()
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall checks passed (byte-identical re-search, results unchanged, no regressions)");
+}

@@ -197,6 +197,26 @@ impl SrmComm {
         }
         ctx.metrics().plan_misses.fetch_add(1, Ordering::Relaxed);
         ctx.plan_by_comm().miss(comm_id);
+        // Compile-time tuning-table consultation accounting: only on
+        // the miss path (a cached plan was compiled under the same
+        // effective tuning — the lookup is a pure function of the key).
+        match self.tune_consult(&key.shape).1 {
+            Some(true) => {
+                ctx.metrics()
+                    .tune_table_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                ctx.tune_by_comm().hit(comm_id);
+                ctx.trace("tuned:table");
+            }
+            Some(false) => {
+                ctx.metrics()
+                    .tune_table_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                ctx.tune_by_comm().miss(comm_id);
+                ctx.trace("tuned:default");
+            }
+            None => {}
+        }
         let plan = Arc::new(self.build_plan(&key));
         self.seat
             .plan_cache

@@ -173,7 +173,9 @@ impl SrmComm {
             self.plan_smp_bcast(b, len, self.cworld(root));
             return;
         }
-        let t = self.tuning();
+        // Decision knobs (switch points) come from the builder's
+        // effective per-shape tuning; buffer geometry stays world-wide.
+        let t = *b.tuning();
         let tree = GroupTree::new(self, self.cnode_of(root));
         let toggles = self.c_is_master() && len <= t.interrupt_disable_max;
         if toggles {
@@ -229,8 +231,7 @@ impl SrmComm {
     /// shared landing buffers; 8–32 KB messages are pipelined in 4 KB
     /// chunks through them (§2.4).
     fn plan_bcast_small(&self, b: &mut PlanBuilder, len: usize, root: usize, tree: &GroupTree) {
-        let t = self.tuning();
-        let chunk = t.small_bcast_chunk(len);
+        let chunk = b.tuning().small_bcast_chunk(len);
         let chunks = SrmTuning::chunk_count(len, chunk);
         let p = self.cslots_here();
         let my_node = self.cnode();
@@ -372,8 +373,9 @@ impl SrmComm {
     /// no intermediate buffers whatsoever — overlapped with the
     /// intra-node two-buffer broadcast.
     fn plan_bcast_large(&self, b: &mut PlanBuilder, len: usize, root: usize, tree: &GroupTree) {
-        let t = self.tuning();
-        let lc = t.large_chunk;
+        // Effective put size (a whole number of smp_buf cells, so the
+        // chunk boundaries stay aligned with the intra-node cell grid).
+        let lc = b.tuning().large_chunk;
         let chunks = SrmTuning::chunk_count(len, lc);
         let p = self.cslots_here();
         let my_node = self.cnode();
@@ -492,7 +494,8 @@ impl SrmComm {
         let t = self.tuning();
         let (root_node, root_gslot) = self.ccoord_of(root);
         let tree = GroupTree::new(self, root_node);
-        let toggles = self.cmulti() && self.c_is_master() && len <= t.interrupt_disable_max;
+        let toggles =
+            self.cmulti() && self.c_is_master() && len <= b.tuning().interrupt_disable_max;
         if toggles {
             b.push(Step::SetInterrupts(false));
         }
@@ -661,7 +664,11 @@ impl SrmComm {
         if len == 0 || self.csize() == 1 {
             return;
         }
-        let t = self.tuning();
+        // Algorithm choice (Rabenseifner / recursive doubling / the
+        // four-stage pipeline) is per-shape tunable; the pairwise and
+        // reduce sub-planners below read the same effective tuning off
+        // the builder, so one table entry governs the whole call.
+        let t = *b.tuning();
         let nprocs = self.csize();
         if self.cmulti()
             && len >= t.allreduce_rs_min

@@ -46,7 +46,11 @@
 //!   and per-master network state each one owns, assembled at setup;
 //! * [`tuning`] — every switch point and buffer size, defaulting to the
 //!   paper's published values (plus the plan-cache capacity and the
-//!   per-step trace switch).
+//!   per-step trace switch);
+//! * [`tune`] — searched, persisted per-shape tuning tables: a world
+//!   loaded with [`SrmWorld::with_tuning_table`] resolves a
+//!   [`TuneTable`] entry per (op, size class, topology, comm size) at
+//!   plan compile, so each call shape gets its own switch points.
 //!
 //! ```
 //! use collops::Collectives;
@@ -82,6 +86,7 @@ pub mod nb;
 pub mod pairwise;
 pub mod plan;
 pub mod smp;
+pub mod tune;
 pub mod tuning;
 pub mod world;
 
@@ -89,5 +94,6 @@ pub use embed::{Embedding, GroupEmbedding, TreeKind};
 pub use model::SrmModel;
 pub use pairwise::PairwiseState;
 pub use plan::{set_skip_order_guards, Plan, PlanBuilder, PlanCache, PlanKey, PlanShape, Step};
-pub use tuning::SrmTuning;
+pub use tune::{TableParseError, TuneEntry, TuneEntryError, TuneKey, TuneOp, TuneTable};
+pub use tuning::{SrmTuning, TuningError};
 pub use world::{CommGroup, InterState, NodeBoard, SrmComm, SrmWorld};

@@ -288,9 +288,18 @@ impl SrmComm {
         if nodes <= 1 {
             return;
         }
+        // Geometry: the contribution-buffer stride and the ring/credit
+        // capacity the world was built with.
         let t = self.tuning();
-        let chunk = t.pairwise_chunk;
-        let w = t.pairwise_window;
+        let w_geom = t.pairwise_window;
+        // Decisions: the effective per-shape put size and window. Both
+        // ends of every stream compile from the same shape, so they
+        // agree on the ring slot grid `(r % w) * chunk`, which always
+        // fits the geometry ring (`chunk ≤ geometry chunk`,
+        // `w ≤ w_geom`).
+        let eff = *b.tuning();
+        let chunk = eff.pairwise_chunk;
+        let w = eff.pairwise_window;
         let me = self.cnode();
         let my = self.cslot();
         let p = self.cslots_here();
@@ -339,6 +348,21 @@ impl SrmComm {
             .max()
             .unwrap_or(0);
 
+        // With a narrowed effective window the sender must not spend
+        // all `w_geom` geometry credits at once: a non-consuming
+        // threshold wait (credits ≥ w_geom - w + 1, i.e. at most w - 1
+        // already outstanding) before each consuming credit wait keeps
+        // at most `w` puts in flight, so ring slot `r % w` is always
+        // drained before it is reused.
+        let credit_guard = |b: &mut PlanBuilder, d: NodeId| {
+            if w < w_geom {
+                b.push(Step::CounterWaitGe {
+                    ctr: CtrRef::PairwiseFree { node: me, dst: d },
+                    val: Val::Lit((w_geom - w + 1) as u64),
+                });
+            }
+        };
+
         // Cursor into each slot's contribution channel (master:
         // consumption order; slot: its own publication order). The
         // orders agree because both sides walk rounds ascending with
@@ -353,6 +377,7 @@ impl SrmComm {
                 let ring_off = Off::Lit((r % w) * chunk);
                 if my == 0 {
                     if piece.src_slot == 0 {
+                        credit_guard(b, *d);
                         b.push(Step::CreditWait {
                             ctr: CtrRef::PairwiseFree { node: me, dst: *d },
                             n: 1,
@@ -375,6 +400,7 @@ impl SrmComm {
                             val: seq(SeqBase::Reduce, rel + 1),
                             label: "pairwise piece staged",
                         });
+                        credit_guard(b, *d);
                         b.push(Step::CreditWait {
                             ctr: CtrRef::PairwiseFree { node: me, dst: *d },
                             n: 1,
@@ -531,14 +557,15 @@ impl SrmComm {
             }
         }
 
-        // All credits home: the rings are drained, so the next
-        // operation may reuse literal ring offsets from slot zero.
+        // All credits home (the full geometry complement): the rings
+        // are drained, so the next operation may reuse literal ring
+        // offsets from slot zero — whatever window it compiles with.
         if my == 0 {
             for (d, pieces) in &out {
                 if !pieces.is_empty() {
                     b.push(Step::CounterWaitGe {
                         ctr: CtrRef::PairwiseFree { node: me, dst: *d },
-                        val: Val::Lit(w as u64),
+                        val: Val::Lit(w_geom as u64),
                     });
                 }
             }
@@ -591,8 +618,7 @@ impl SrmComm {
         if p <= 1 {
             return;
         }
-        let t = self.tuning();
-        let cs = t.pairwise_chunk.min(t.smp_buf);
+        let cs = b.tuning().pairwise_chunk.min(self.tuning().smp_buf);
         let me = self.cnode();
         let my = self.cslot();
         let rbase = self.csize() * len;
@@ -719,8 +745,7 @@ impl SrmComm {
         if p <= 1 {
             return;
         }
-        let t = self.tuning();
-        let cs = t.pairwise_chunk.min(t.smp_buf);
+        let cs = b.tuning().pairwise_chunk.min(self.tuning().smp_buf);
         let me = self.cnode();
         let my = self.cslot();
         let n = self.csize();
@@ -795,7 +820,7 @@ impl SrmComm {
             return;
         }
         let n = self.csize();
-        let chunk = self.tuning().pairwise_chunk;
+        let chunk = b.tuning().pairwise_chunk;
         let rbase = n * len;
         let me = self.crank();
         // Own segment: already local, one private copy.
@@ -820,7 +845,7 @@ impl SrmComm {
         if seg == 0 {
             return;
         }
-        let chunk = self.tuning().pairwise_chunk;
+        let chunk = b.tuning().pairwise_chunk;
         let rbase = n * seg;
         let me = self.crank();
         let own = counts[me * n + me];
@@ -856,14 +881,15 @@ impl SrmComm {
         if len == 0 || n == 1 {
             return;
         }
-        let t = self.tuning();
         let nodes = self.cnodes();
         // Unlike the byte-oriented alltoall streams, reduce pieces are
         // combined elementwise, so every piece boundary must fall on an
-        // element boundary: round the configured chunk down to the
-        // 8-byte grid (a multiple of every supported element size).
-        let chunk = (t.pairwise_chunk & !7).max(8);
-        let w = t.pairwise_window;
+        // element boundary: round the configured (effective per-shape)
+        // chunk down to the 8-byte grid (a multiple of every supported
+        // element size).
+        let chunk = (b.tuning().pairwise_chunk & !7).max(8);
+        let w = b.tuning().pairwise_window;
+        let w_geom = self.tuning().pairwise_window;
         let me = self.cnode();
         let my = self.cslot();
         let p = self.cslots_here();
@@ -890,6 +916,15 @@ impl SrmComm {
                     let is_root = self.plan_smp_reduce_chunk(b, boff, plen, rel, 0);
                     rel += 1;
                     if is_root {
+                        // Same narrowed-window guard as the wire: cap
+                        // outstanding puts at the effective window even
+                        // though the geometry credit pool is larger.
+                        if w < w_geom {
+                            b.push(Step::CounterWaitGe {
+                                ctr: CtrRef::PairwiseFree { node: me, dst: d },
+                                val: Val::Lit((w_geom - w + 1) as u64),
+                            });
+                        }
                         b.push(Step::CreditWait {
                             ctr: CtrRef::PairwiseFree { node: me, dst: d },
                             n: 1,
@@ -1026,7 +1061,7 @@ impl SrmComm {
                 if !pieces[d].is_empty() {
                     b.push(Step::CounterWaitGe {
                         ctr: CtrRef::PairwiseFree { node: me, dst: d },
-                        val: Val::Lit(w as u64),
+                        val: Val::Lit(w_geom as u64),
                     });
                 }
             }

@@ -24,6 +24,7 @@
 //! only data-dependent step, [`Step::LocalReduce`], reads them from the
 //! executing call.
 
+use crate::tuning::SrmTuning;
 use crate::world::SrmComm;
 use simnet::{NodeId, Rank};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -662,17 +663,39 @@ impl Plan {
 /// how far the plan has already advanced each cumulative cell, so
 /// planners composed back to back (allgather = gather ++ broadcast)
 /// emit correctly offset relative values.
+/// The builder also carries the **effective tuning** of the call shape
+/// being compiled: the world's decision defaults, overlaid with the
+/// matching [`TuneTable`](crate::TuneTable) entry when a table is
+/// loaded. Planners read decision knobs (switch points, chunk choices)
+/// from here; buffer *geometry* (cell sizes, contribution strides)
+/// always comes from the world tuning, which sizes the shared buffers.
 #[derive(Debug, Default)]
 pub struct PlanBuilder {
     steps: Vec<Step>,
     adv: [u64; SEQ_BASES],
     addrs: usize,
+    tuning: SrmTuning,
 }
 
 impl PlanBuilder {
-    /// Fresh, empty builder.
+    /// Fresh, empty builder with default decision knobs (unit tests;
+    /// production compiles go through [`PlanBuilder::with_tuning`]).
     pub fn new() -> Self {
         PlanBuilder::default()
+    }
+
+    /// Fresh, empty builder compiling under `tuning` — the effective
+    /// per-shape decision knobs.
+    pub fn with_tuning(tuning: SrmTuning) -> Self {
+        PlanBuilder {
+            tuning,
+            ..PlanBuilder::default()
+        }
+    }
+
+    /// The effective decision knobs of the call shape being compiled.
+    pub fn tuning(&self) -> &SrmTuning {
+        &self.tuning
     }
 
     /// Append a step.
@@ -918,9 +941,13 @@ impl SrmComm {
     }
 
     /// Compile the plan for `key` on this rank (no caching — the
-    /// cached path is [`SrmComm::plan_for`]).
+    /// cached path is [`SrmComm::plan_for`]). The builder carries the
+    /// **effective tuning** of the shape — the world's decision
+    /// defaults, overlaid with the loaded tuning-table entry if one
+    /// matches — which is a pure function of the shape, so every rank
+    /// resolves the same knobs and compiles consistent plans.
     pub fn build_plan(&self, key: &PlanKey) -> Plan {
-        let mut b = PlanBuilder::new();
+        let mut b = PlanBuilder::with_tuning(self.effective_tuning(&key.shape));
         match &key.shape {
             PlanShape::Bcast { len, root } => self.plan_bcast(&mut b, *len, *root),
             PlanShape::Reduce { len, root } => self.plan_reduce(&mut b, *len, *root),

@@ -7,6 +7,59 @@
 //! allreduce) and sensible choices where it does not.
 
 use crate::embed::TreeKind;
+use std::fmt;
+
+/// A typed inconsistency in a [`SrmTuning`] — the knob combinations
+/// that would corrupt buffer geometry or deadlock a protocol if a
+/// world were built from them. Returned by [`SrmTuning::validate`];
+/// [`crate::SrmWorld::new`] panics with the same messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuningError {
+    /// `smp_buf`, `reduce_chunk` or `large_chunk` is zero — every
+    /// protocol chunks through buffers of these sizes.
+    ZeroGeometry,
+    /// `large_chunk` is not a whole number of `smp_buf` cells; the
+    /// zero-copy broadcast pipeline shares the intra-node cell grid.
+    LargeChunkNotCellMultiple,
+    /// `allreduce_rd_max > reduce_chunk`: recursive-doubling payloads
+    /// are staged in reduce-chunk-sized buffers.
+    RdMaxExceedsReduceChunk,
+    /// The small-broadcast pipeline range is inconsistent:
+    /// `pipeline_min > pipeline_max`, or `pipeline_chunk` /
+    /// `pipeline_max` above `small_large_switch`. (Equal min and max
+    /// is legal — it disables pipelining.)
+    PipelineRangeInvalid,
+    /// `pairwise_chunk` is zero or exceeds `reduce_chunk` (non-master
+    /// contributions stage through the contribution buffers).
+    PairwiseChunkInvalid,
+    /// `pairwise_window == 0`: the credit window must allow at least
+    /// one outstanding put or every pairwise stream deadlocks.
+    PairwiseWindowZero,
+}
+
+impl fmt::Display for TuningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            TuningError::ZeroGeometry => "smp_buf, reduce_chunk and large_chunk must be nonzero",
+            TuningError::LargeChunkNotCellMultiple => "large_chunk must be a multiple of smp_buf",
+            TuningError::RdMaxExceedsReduceChunk => {
+                "recursive-doubling payloads are staged in reduce-chunk-sized buffers"
+            }
+            TuningError::PipelineRangeInvalid => {
+                "small-broadcast pipeline range must lie below the large switch"
+            }
+            TuningError::PairwiseChunkInvalid => {
+                "pairwise_chunk must be nonzero and fit the contribution buffers"
+            }
+            TuningError::PairwiseWindowZero => {
+                "pairwise credit window must allow at least one outstanding put"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for TuningError {}
 
 /// Protocol switch points and buffer sizes for the SRM collectives.
 #[derive(Clone, Copy, Debug)]
@@ -99,6 +152,38 @@ impl Default for SrmTuning {
 }
 
 impl SrmTuning {
+    /// Check the knob combinations for internal consistency. The world
+    /// constructors call this and panic on error; callers assembling a
+    /// tuning programmatically (e.g. the autotuner) can check first.
+    ///
+    /// `pipeline_min == pipeline_max` is *valid*: it disables the
+    /// pipelined sub-range (no length is strictly above the min and at
+    /// or below the max), which the ablation studies rely on.
+    pub fn validate(&self) -> Result<(), TuningError> {
+        if self.smp_buf == 0 || self.reduce_chunk == 0 || self.large_chunk == 0 {
+            return Err(TuningError::ZeroGeometry);
+        }
+        if !self.large_chunk.is_multiple_of(self.smp_buf) {
+            return Err(TuningError::LargeChunkNotCellMultiple);
+        }
+        if self.allreduce_rd_max > self.reduce_chunk {
+            return Err(TuningError::RdMaxExceedsReduceChunk);
+        }
+        if self.pipeline_chunk > self.small_large_switch
+            || self.pipeline_min > self.pipeline_max
+            || self.pipeline_max > self.small_large_switch
+        {
+            return Err(TuningError::PipelineRangeInvalid);
+        }
+        if self.pairwise_chunk == 0 || self.pairwise_chunk > self.reduce_chunk {
+            return Err(TuningError::PairwiseChunkInvalid);
+        }
+        if self.pairwise_window == 0 {
+            return Err(TuningError::PairwiseWindowZero);
+        }
+        Ok(())
+    }
+
     /// Chunking of a small-protocol broadcast of `len` bytes: the chunk
     /// size the landing buffers cycle through.
     pub fn small_bcast_chunk(&self, len: usize) -> usize {
@@ -135,6 +220,71 @@ mod tests {
         // 4 KB and 64 KB messages: single chunk.
         assert_eq!(t.small_bcast_chunk(4096), 4096);
         assert_eq!(t.small_bcast_chunk(64 * 1024), 64 * 1024);
+    }
+
+    #[test]
+    fn validate_accepts_default_and_disabled_pipeline() {
+        assert_eq!(SrmTuning::default().validate(), Ok(()));
+        // min == max disables pipelining; the ablations build such worlds.
+        let off = SrmTuning {
+            pipeline_min: 64 * 1024,
+            pipeline_max: 64 * 1024,
+            ..SrmTuning::default()
+        };
+        assert_eq!(off.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_typed_errors() {
+        let d = SrmTuning::default();
+        let cases = [
+            (SrmTuning { smp_buf: 0, ..d }, TuningError::ZeroGeometry),
+            (
+                SrmTuning {
+                    large_chunk: d.smp_buf + 1,
+                    ..d
+                },
+                TuningError::LargeChunkNotCellMultiple,
+            ),
+            (
+                SrmTuning {
+                    allreduce_rd_max: d.reduce_chunk + 1,
+                    ..d
+                },
+                TuningError::RdMaxExceedsReduceChunk,
+            ),
+            (
+                SrmTuning {
+                    pipeline_min: d.pipeline_max + 1,
+                    ..d
+                },
+                TuningError::PipelineRangeInvalid,
+            ),
+            (
+                SrmTuning {
+                    pipeline_max: d.small_large_switch + 1,
+                    ..d
+                },
+                TuningError::PipelineRangeInvalid,
+            ),
+            (
+                SrmTuning {
+                    pairwise_chunk: d.reduce_chunk + 1,
+                    ..d
+                },
+                TuningError::PairwiseChunkInvalid,
+            ),
+            (
+                SrmTuning {
+                    pairwise_window: 0,
+                    ..d
+                },
+                TuningError::PairwiseWindowZero,
+            ),
+        ];
+        for (t, want) in cases {
+            assert_eq!(t.validate(), Err(want), "{t:?}");
+        }
     }
 
     #[test]

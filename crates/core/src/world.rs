@@ -9,7 +9,8 @@
 
 use crate::embed::{GroupEmbedding, TreeKind};
 use crate::pairwise::PairwiseState;
-use crate::plan::PlanCache;
+use crate::plan::{PlanCache, PlanShape};
+use crate::tune::{TuneOp, TuneTable};
 use crate::tuning::SrmTuning;
 use rma::{LapiCounter, Rma, RmaWorld};
 use shmem::{BufPair, FlagBank, ShmBuffer, SpinFlag};
@@ -479,7 +480,16 @@ impl RankShared {
 
 pub(crate) struct WorldInner {
     pub topo: Topology,
+    /// The **geometry** tuning every shared buffer was sized with. On
+    /// a default world this equals `base`; with a tuning table loaded
+    /// it is the table's geometry envelope (capacity knobs raised to
+    /// the table maxima).
     pub tuning: SrmTuning,
+    /// Decision defaults: the tuning a call shape compiles under when
+    /// no table entry matches it.
+    pub base: SrmTuning,
+    /// The loaded per-shape tuning table, if any.
+    pub table: Option<Arc<TuneTable>>,
     pub rma: RmaWorld,
     pub handle: SimHandle,
     pub world_comm: Arc<CommState>,
@@ -505,40 +515,57 @@ impl SrmWorld {
     /// must fit the staging buffers, and the small-protocol chunks must
     /// fit the landing buffers.
     pub fn new(sim: &mut Sim, topo: Topology, tuning: SrmTuning) -> Self {
-        assert!(tuning.smp_buf > 0 && tuning.reduce_chunk > 0 && tuning.large_chunk > 0);
-        assert!(
-            tuning.large_chunk.is_multiple_of(tuning.smp_buf),
-            "large_chunk must be a multiple of smp_buf"
-        );
-        assert!(
-            tuning.allreduce_rd_max <= tuning.reduce_chunk,
-            "recursive-doubling payloads are staged in reduce-chunk-sized buffers"
-        );
-        assert!(
-            tuning.pipeline_chunk <= tuning.small_large_switch
-                && tuning.pipeline_min <= tuning.pipeline_max
-                && tuning.pipeline_max <= tuning.small_large_switch,
-            "small-broadcast pipeline range must lie below the large switch"
-        );
-        assert!(
-            tuning.pairwise_chunk > 0 && tuning.pairwise_chunk <= tuning.reduce_chunk,
-            "pairwise_chunk must be nonzero and fit the contribution buffers"
-        );
-        assert!(
-            tuning.pairwise_window >= 1,
-            "pairwise credit window must allow at least one outstanding put"
-        );
+        SrmWorld::build(sim, topo, tuning, tuning, None)
+    }
+
+    /// Assemble the fabric with a searched per-shape [`TuneTable`]
+    /// loaded: collectives whose `(op, size class, topology, comm
+    /// size)` matches a table entry compile under that entry's
+    /// decision knobs; everything else uses `base`. Shared buffers are
+    /// sized with the table's **geometry envelope** (`base` with
+    /// capacity knobs raised to the table maxima), so every entry's
+    /// schedule fits. Loading a table never changes collective
+    /// *results* — only the compiled schedules.
+    ///
+    /// # Panics
+    /// If `base` is inconsistent (see [`SrmWorld::new`]) or any table
+    /// entry is inconsistent with `base` (check first with
+    /// [`TuneTable::validate`] for a typed error).
+    pub fn with_tuning_table(
+        sim: &mut Sim,
+        topo: Topology,
+        base: SrmTuning,
+        table: Arc<TuneTable>,
+    ) -> Self {
+        table
+            .validate(&base)
+            .expect("tuning-table entry inconsistent with base tuning");
+        let geometry = table.geometry_envelope(&base);
+        SrmWorld::build(sim, topo, geometry, base, Some(table))
+    }
+
+    fn build(
+        sim: &mut Sim,
+        topo: Topology,
+        geometry: SrmTuning,
+        base: SrmTuning,
+        table: Option<Arc<TuneTable>>,
+    ) -> Self {
+        geometry.validate().expect("inconsistent SrmTuning");
+        base.validate().expect("inconsistent SrmTuning");
         let handle = sim.handle();
         let rma = RmaWorld::new(sim, topo.nprocs());
-        let world_group = CommGroup::new(topo, tuning.tree, 0, (0..topo.nprocs()).collect());
-        let world_comm = CommState::new(&handle, &rma, topo, &tuning, world_group);
+        let world_group = CommGroup::new(topo, geometry.tree, 0, (0..topo.nprocs()).collect());
+        let world_comm = CommState::new(&handle, &rma, topo, &geometry, world_group);
         let per_rank = (0..topo.nprocs())
             .map(|_| Arc::new(RankShared::new()))
             .collect();
         SrmWorld {
             inner: Arc::new(WorldInner {
                 topo,
-                tuning,
+                tuning: geometry,
+                base,
+                table,
                 rma,
                 handle,
                 world_comm,
@@ -621,9 +648,21 @@ impl SrmWorld {
         self.inner.topo
     }
 
-    /// The tuning in effect.
+    /// The **geometry** tuning every shared buffer was sized with (the
+    /// table's envelope when one is loaded, else the base tuning).
     pub fn tuning(&self) -> SrmTuning {
         self.inner.tuning
+    }
+
+    /// The decision defaults a call shape compiles under when no table
+    /// entry matches (equals [`SrmWorld::tuning`] on default worlds).
+    pub fn base_tuning(&self) -> SrmTuning {
+        self.inner.base
+    }
+
+    /// The loaded per-shape tuning table, if any.
+    pub fn tuning_table(&self) -> Option<&Arc<TuneTable>> {
+        self.inner.table.as_ref()
     }
 }
 
@@ -697,9 +736,42 @@ impl SrmComm {
         self.world.topo
     }
 
-    /// The tuning in effect.
+    /// The **geometry** tuning this world's shared buffers were sized
+    /// with. Planners take cell sizes and buffer strides from here;
+    /// per-shape *decision* knobs come from
+    /// [`SrmComm::effective_tuning`] via the plan builder.
     pub fn tuning(&self) -> SrmTuning {
         self.world.tuning
+    }
+
+    /// The effective decision knobs for compiling `shape` on this
+    /// communicator: the world's base tuning, overlaid — when a
+    /// [`TuneTable`] is loaded and holds a matching `(op, size class,
+    /// nodes, ranks)` entry — with that entry, clamped to the buffer
+    /// geometry. A pure function of `(shape, communicator)`, so every
+    /// rank resolves the same knobs and plans stay consistent.
+    pub fn effective_tuning(&self, shape: &PlanShape) -> SrmTuning {
+        self.tune_consult(shape).0
+    }
+
+    /// [`SrmComm::effective_tuning`] plus the table-consultation
+    /// outcome: `Some(true)` table entry hit, `Some(false)` table
+    /// loaded but no entry for this shape, `None` not applicable (no
+    /// table, or an untunable ablation shape).
+    pub(crate) fn tune_consult(&self, shape: &PlanShape) -> (SrmTuning, Option<bool>) {
+        let base = self.world.base;
+        let Some(table) = self.world.table.as_deref() else {
+            return (base, None);
+        };
+        let Some((op, len)) = TuneOp::of_shape(shape) else {
+            return (base, None);
+        };
+        let nodes = self.comm.group.node_count();
+        let ranks = self.comm.group.len();
+        match table.lookup(op, len, nodes, ranks) {
+            Some(entry) => (entry.apply(&base, &self.world.tuning), Some(true)),
+            None => (base, Some(false)),
+        }
     }
 
     /// The tree kind in effect.

@@ -499,7 +499,7 @@ fn fifteen_of_sixteen_configuration_works() {
 }
 
 #[test]
-#[should_panic(expected = "multiple of smp_buf")]
+#[should_panic(expected = "LargeChunkNotCellMultiple")]
 fn misaligned_large_chunk_rejected() {
     let tuning = SrmTuning {
         large_chunk: 48 << 10, // not a multiple of the 32 KB cell
@@ -510,7 +510,7 @@ fn misaligned_large_chunk_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "reduce-chunk-sized")]
+#[should_panic(expected = "RdMaxExceedsReduceChunk")]
 fn oversized_rd_payload_rejected() {
     let tuning = SrmTuning {
         allreduce_rd_max: 64 << 10,

@@ -94,6 +94,7 @@ pub(crate) struct Shared {
     pub(crate) sched: Mutex<Sched>,
     pub(crate) metrics: Metrics,
     pub(crate) plan_by_comm: crate::metrics::PlanByComm,
+    pub(crate) tune_by_comm: crate::metrics::PlanByComm,
     pub(crate) config: MachineConfig,
     pub(crate) next_var_key: AtomicU64,
     pub(crate) trace: parking_lot::RwLock<Option<crate::trace::Trace>>,
@@ -224,6 +225,13 @@ impl Ctx {
     /// Per-communicator plan-cache breakdown.
     pub fn plan_by_comm(&self) -> &crate::metrics::PlanByComm {
         &self.shared.plan_by_comm
+    }
+
+    /// Per-communicator tuning-table consultation breakdown (hits =
+    /// compiles that found a table entry, misses = compiles that fell
+    /// back to the base tuning).
+    pub fn tune_by_comm(&self) -> &crate::metrics::PlanByComm {
+        &self.shared.tune_by_comm
     }
 
     /// Model `d` of busy CPU/memory time on this LP, then let any LP
@@ -593,6 +601,11 @@ impl SimHandle {
     pub fn plan_by_comm(&self) -> &crate::metrics::PlanByComm {
         &self.shared.plan_by_comm
     }
+
+    /// Per-communicator tuning-table consultation breakdown.
+    pub fn tune_by_comm(&self) -> &crate::metrics::PlanByComm {
+        &self.shared.tune_by_comm
+    }
 }
 
 type LpMain = Box<dyn FnOnce(Ctx) + Send + 'static>;
@@ -632,6 +645,10 @@ pub struct Report {
     pub metrics: MetricsSnapshot,
     /// Per-communicator `(comm id, plan_hits, plan_misses)` rows.
     pub plan_by_comm: Vec<(u64, u64, u64)>,
+    /// Per-communicator `(comm id, tune_table_hits, tune_table_misses)`
+    /// rows — which communicators' compiles found a tuning-table entry.
+    /// Empty unless a tuning table is loaded.
+    pub tune_by_comm: Vec<(u64, u64, u64)>,
 }
 
 impl Sim {
@@ -648,6 +665,7 @@ impl Sim {
                 }),
                 metrics: Metrics::default(),
                 plan_by_comm: crate::metrics::PlanByComm::default(),
+                tune_by_comm: crate::metrics::PlanByComm::default(),
                 config,
                 next_var_key: AtomicU64::new(0),
                 trace: parking_lot::RwLock::new(None),
@@ -769,6 +787,7 @@ impl Sim {
             lp_times,
             metrics: shared.metrics.snapshot(),
             plan_by_comm: shared.plan_by_comm.snapshot(),
+            tune_by_comm: shared.tune_by_comm.snapshot(),
         })
     }
 }

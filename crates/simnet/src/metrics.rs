@@ -127,6 +127,13 @@ metrics! {
     /// Link-level perturbation events (static per-link wire stretches
     /// and transient bandwidth dips). A subset of `perturb_events`.
     perturb_bw_events,
+    /// Plan compiles whose tuning-table lookup found a matching entry
+    /// (counted on the plan-cache miss path only; zero unless a tuning
+    /// table is loaded).
+    tune_table_hits,
+    /// Plan compiles that fell back to the base tuning because the
+    /// loaded tuning table had no entry for the shape.
+    tune_table_misses,
 }
 
 /// Per-communicator breakdown of `plan_hits`/`plan_misses`, keyed by the

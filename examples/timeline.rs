@@ -40,19 +40,31 @@
 //! dip opens a window of `bw_dip_window` on its link from the
 //! `perturb:bw-dip` event.
 //!
+//! A final **tuned replay** loads a hand-authored [`TuneTable`] whose
+//! one wildcard allreduce entry re-routes the subgroup's allreduce
+//! onto the pipelined path: the run prints the per-communicator
+//! tune-hit breakdown from the report and the `tuned:table` /
+//! `tuned:default` labels the engine traces on every plan compile.
+//!
 //! ```sh
 //! cargo run --release --example timeline
 //! ```
 
 use collops::{Collectives, DType, ReduceOp};
 use simnet::{MachineConfig, Perturb, Sim, SimTime, Topology, Trace};
-use srm::{SrmComm, SrmTuning, SrmWorld};
+use srm::{SrmComm, SrmTuning, SrmWorld, TuneEntry, TuneKey, TuneOp, TuneTable};
+use std::sync::Arc;
 
 const GROUP: [usize; 3] = [1, 3, 6];
 
 /// Run the example program — a world broadcast, then an allreduce on
-/// the subgroup — with step tracing on, optionally perturbed.
-fn run_once(topo: Topology, perturb: Option<Perturb>) -> (Trace, simnet::Report) {
+/// the subgroup — with step tracing on, optionally perturbed, and
+/// optionally with a searched tuning table loaded.
+fn run_once(
+    topo: Topology,
+    perturb: Option<Perturb>,
+    table: Option<Arc<TuneTable>>,
+) -> (Trace, simnet::Report) {
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
     if let Some(p) = perturb {
         sim.set_perturb(p);
@@ -63,7 +75,10 @@ fn run_once(topo: Topology, perturb: Option<Perturb>) -> (Trace, simnet::Report)
         trace_steps: true,
         ..SrmTuning::default()
     };
-    let world = SrmWorld::new(&mut sim, topo, tuning);
+    let world = match table {
+        Some(t) => SrmWorld::with_tuning_table(&mut sim, topo, tuning, t),
+        None => SrmWorld::new(&mut sim, topo, tuning),
+    };
 
     let mut sub_of: Vec<Option<SrmComm>> = (0..topo.nprocs()).map(|_| None).collect();
     for (sub, &r) in world.comm_create(&GROUP).into_iter().zip(&GROUP) {
@@ -92,7 +107,7 @@ fn run_once(topo: Topology, perturb: Option<Perturb>) -> (Trace, simnet::Report)
 fn main() {
     let topo = Topology::new(2, 4);
     let group = GROUP;
-    let (trace, report) = run_once(topo, None);
+    let (trace, report) = run_once(topo, None, None);
 
     // LP ids: dispatchers first (spawned by the RMA world), then ranks.
     let mut names: Vec<String> = (0..topo.nprocs()).map(|i| format!("disp{i}")).collect();
@@ -145,7 +160,7 @@ fn main() {
         ..Perturb::standard(0xC0FFEE)
     }
     .with_straggler(2, SimTime::from_us(40));
-    let (ptrace, preport) = run_once(topo, Some(cfg));
+    let (ptrace, preport) = run_once(topo, Some(cfg), None);
     println!("\nPerturbed replay ({cfg}):");
     println!(
         "{} perturbation events, {:.1}us total injected, max skew {:.1}us\n",
@@ -215,5 +230,56 @@ fn main() {
     println!(
         "\nmakespan: {} unperturbed -> {} perturbed",
         report.end_time, preport.end_time
+    );
+
+    // Tuned replay: the same program with a small searched tuning
+    // table loaded. The single wildcard allreduce entry sets
+    // `allreduce_rd_max = 0`, which flips the subgroup's 2 KB
+    // allreduce from recursive doubling onto the pipelined path —
+    // same results, different schedule. Every plan-cache miss now
+    // consults the table: the engine traces `tuned:table` /
+    // `tuned:default` and the report carries the per-communicator
+    // tune-hit breakdown next to the plan-cache one.
+    let mut table = TuneTable::new(7, "hand-authored timeline demo", vec![4096]);
+    table.insert(
+        TuneKey {
+            op: TuneOp::Allreduce,
+            class: 0,
+            nodes: 0,
+            ranks: 0,
+        },
+        TuneEntry {
+            allreduce_rd_max: 0,
+            ..TuneEntry::from_tuning(&SrmTuning::default())
+        },
+    );
+    let (ttrace, treport) = run_once(topo, None, Some(Arc::new(table)));
+    println!("\nTuned replay (one wildcard allreduce entry, class edge 4 KB):\n");
+    for &(comm_id, hits, misses) in &treport.tune_by_comm {
+        let kind = if comm_id == 0 { " (world)" } else { "" };
+        println!(
+            "comm {comm_id}{kind}: {hits} tuned plan compiles, {misses} default plan compiles"
+        );
+    }
+    println!();
+    for e in ttrace.with_prefix("tuned:") {
+        println!(
+            "  {:>10} {:<6} {}",
+            format!("{}", e.at),
+            who_of(e.lp),
+            e.label
+        );
+    }
+    let labels =
+        |t: &Trace, r: usize| -> Vec<String> { sched(t, r).into_iter().map(|(l, _)| l).collect() };
+    // Rank 0 only runs the world broadcast (no table entry): schedule
+    // unchanged. Rank 1 is in the subgroup: its allreduce re-planned.
+    assert_eq!(labels(&trace, 0), labels(&ttrace, 0));
+    assert_ne!(labels(&trace, 1), labels(&ttrace, 1));
+    println!(
+        "\nrank0 (broadcast only): schedule unchanged; \
+         rank1 (subgroup allreduce): {} steps default -> {} steps tuned",
+        labels(&trace, 1).len(),
+        labels(&ttrace, 1).len()
     );
 }

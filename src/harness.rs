@@ -7,7 +7,7 @@ use collops::{Collectives, DType, ReduceOp};
 use mpi_coll::MpiColl;
 use msg::{MsgWorld, Vendor};
 use simnet::{MachineConfig, MetricsSnapshot, Rank, Sim, SimTime, Topology};
-use srm::{SrmTuning, SrmWorld};
+use srm::{SrmTuning, SrmWorld, TuneTable};
 use std::sync::{Arc, Mutex};
 
 /// Per-rank timing sample: (timed-region start, end, metrics over it).
@@ -154,6 +154,21 @@ pub fn measure(
     len: usize,
     opts: HarnessOpts,
 ) -> Measurement {
+    measure_with_table(imp, machine, topo, op, len, opts, None)
+}
+
+/// [`measure`] with an optional searched per-shape tuning table loaded
+/// into the SRM world ([`SrmWorld::with_tuning_table`]; `opts.srm` is
+/// the base tuning the table overlays). Ignored by the MPI baselines.
+pub fn measure_with_table(
+    imp: Impl,
+    machine: MachineConfig,
+    topo: Topology,
+    op: Op,
+    len: usize,
+    opts: HarnessOpts,
+    table: Option<Arc<TuneTable>>,
+) -> Measurement {
     let mut sim = Sim::new(machine);
     let iters = opts.iters;
     let out: Samples = Arc::new(Mutex::new(Vec::new()));
@@ -165,7 +180,10 @@ pub fn measure(
         Mpi(MsgWorld),
     }
     let world = match imp {
-        Impl::Srm => World::Srm(SrmWorld::new(&mut sim, topo, opts.srm)),
+        Impl::Srm => World::Srm(match table {
+            Some(t) => SrmWorld::with_tuning_table(&mut sim, topo, opts.srm, t),
+            None => SrmWorld::new(&mut sim, topo, opts.srm),
+        }),
         Impl::IbmMpi => World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::IbmMpi)),
         Impl::Mpich => World::Mpi(MsgWorld::new(&mut sim, topo, Vendor::Mpich)),
     };

@@ -33,4 +33,6 @@ pub use explore::{
     derive_scenario, explore_one, explore_sweep, repro_line, run_scenario, AliasMode,
     ExploreFailure, ExploreOpts, ExploreOutcome, ExploreSummary, ProgStep, Scenario, SplitSpec,
 };
-pub use harness::{measure, ragged_counts, ratio_percent, HarnessOpts, Impl, Measurement, Op};
+pub use harness::{
+    measure, measure_with_table, ragged_counts, ratio_percent, HarnessOpts, Impl, Measurement, Op,
+};

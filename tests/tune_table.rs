@@ -1,0 +1,253 @@
+//! Tuning-table integration tests: loading a searched table changes
+//! *schedules only* (results stay bit-identical to the all-default
+//! world), the serialize → load → re-plan round trip is deterministic
+//! down to the executed step sequences and plan-cache counts, and the
+//! tune-consult path is observable (counters, per-comm breakdown,
+//! `tuned:*` trace labels).
+
+use collops::{Collectives, DType, ReduceOp};
+use proptest::prelude::*;
+use simnet::{MachineConfig, Sim, Topology, Trace};
+use srm::{SrmTuning, SrmWorld, TuneEntry, TuneKey, TuneOp, TuneTable};
+use std::sync::{Arc, Mutex};
+
+const ALLREDUCE_LEN: usize = 16 * 1024;
+const SEG: usize = 4 * 1024;
+const BCAST_LEN: usize = 8 * 1024;
+
+/// A table whose entries reroute every op of [`run_program`]: the
+/// allreduce off recursive doubling, the alltoall onto a wider
+/// narrower-chunk window, the broadcast onto a finer pipeline.
+fn demo_table() -> TuneTable {
+    let base = TuneEntry::from_tuning(&SrmTuning::default());
+    let mut t = TuneTable::new(42, "tune_table test grid", vec![32 * 1024]);
+    let wild = |op| TuneKey {
+        op,
+        class: 0,
+        nodes: 0,
+        ranks: 0,
+    };
+    t.insert(
+        wild(TuneOp::Allreduce),
+        TuneEntry {
+            allreduce_rd_max: 0,
+            ..base
+        },
+    );
+    t.insert(
+        wild(TuneOp::Alltoall),
+        TuneEntry {
+            pairwise_chunk: 4 * 1024,
+            pairwise_window: 4,
+            ..base
+        },
+    );
+    t.insert(
+        wild(TuneOp::Bcast),
+        TuneEntry {
+            pipeline_chunk: 2 * 1024,
+            ..base
+        },
+    );
+    t
+}
+
+/// Run a fixed three-op program (bcast, allreduce, alltoall) on every
+/// rank, with step tracing on. Returns (per-rank result buffers,
+/// report, per-rank executed step-label sequences, `tuned:*` labels).
+#[allow(clippy::type_complexity)]
+fn run_program(
+    topo: Topology,
+    table: Option<Arc<TuneTable>>,
+) -> (Vec<Vec<u8>>, simnet::Report, Vec<Vec<String>>, Vec<String>) {
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let trace = Trace::new();
+    sim.attach_trace(trace.clone());
+    let base = SrmTuning {
+        trace_steps: true,
+        ..SrmTuning::default()
+    };
+    let world = match table {
+        Some(t) => SrmWorld::with_tuning_table(&mut sim, topo, base, t),
+        None => SrmWorld::new(&mut sim, topo, base),
+    };
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer((2 * n * SEG).max(ALLREDUCE_LEN).max(BCAST_LEN));
+            buf.with_mut(|d| {
+                for (i, x) in d.iter_mut().enumerate() {
+                    *x = (i as u8).wrapping_mul(13).wrapping_add(rank as u8);
+                }
+            });
+            comm.broadcast(&ctx, &buf, BCAST_LEN, 0);
+            comm.allreduce(&ctx, &buf, ALLREDUCE_LEN, DType::U64, ReduceOp::Sum);
+            comm.alltoall(&ctx, &buf, SEG);
+            out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("program completes");
+    let results = Arc::try_unwrap(out).unwrap().into_inner().unwrap();
+    let steps: Vec<Vec<String>> = (0..n)
+        .map(|r| {
+            trace
+                .for_lp(n + r)
+                .into_iter()
+                .filter_map(|e| e.label.strip_prefix("step:").map(str::to_string))
+                .collect()
+        })
+        .collect();
+    let tuned: Vec<String> = trace
+        .with_prefix("tuned:")
+        .into_iter()
+        .map(|e| e.label.to_string())
+        .collect();
+    (results, report, steps, tuned)
+}
+
+/// Loading a table never changes collective results — only schedules —
+/// and the consult path is fully observable.
+#[test]
+fn tuned_world_results_unchanged_and_observable() {
+    let topo = Topology::new(2, 4);
+    let table = Arc::new(demo_table());
+    let (dres, dreport, dsteps, dtuned) = run_program(topo, None);
+    let (tres, treport, tsteps, ttuned) = run_program(topo, Some(table));
+
+    // Results bit-identical, schedules not.
+    assert_eq!(dres, tres, "loading the table changed collective results");
+    assert_ne!(dsteps, tsteps, "table entries should change schedules");
+
+    // No table: the consult path is never taken.
+    assert_eq!(dreport.metrics.tune_table_hits, 0);
+    assert_eq!(dreport.metrics.tune_table_misses, 0);
+    assert!(dreport.tune_by_comm.is_empty());
+    assert!(dtuned.is_empty());
+
+    // With the table: every program op has a wildcard entry, so every
+    // plan compile is a tune hit, traced as `tuned:table`.
+    assert!(treport.metrics.tune_table_hits > 0);
+    let hits: u64 = treport.tune_by_comm.iter().map(|&(_, h, _)| h).sum();
+    assert_eq!(hits, treport.metrics.tune_table_hits);
+    assert!(ttuned.iter().any(|l| l == "tuned:table"));
+    assert!(
+        !ttuned.iter().any(|l| l == "tuned:default"),
+        "all three ops are covered by wildcard entries"
+    );
+}
+
+/// serialize → load → re-plan is bit-identical: the parsed table equals
+/// the source table, and a run under each executes identical step
+/// sequences with identical plan-cache and tune counts.
+#[test]
+fn serialize_load_replan_bit_identical() {
+    let topo = Topology::new(2, 2);
+    let built = demo_table();
+    let text = built.to_text();
+    let parsed = TuneTable::parse(&text).expect("canonical text parses");
+    assert_eq!(built, parsed);
+    assert_eq!(parsed.to_text(), text, "round trip must be byte-identical");
+
+    let (ares, areport, asteps, _) = run_program(topo, Some(Arc::new(built)));
+    let (bres, breport, bsteps, _) = run_program(topo, Some(Arc::new(parsed)));
+    assert_eq!(ares, bres);
+    assert_eq!(asteps, bsteps, "re-planned schedules must be bit-identical");
+    assert_eq!(areport.plan_by_comm, breport.plan_by_comm);
+    assert_eq!(breport.tune_by_comm, areport.tune_by_comm);
+    assert_eq!(areport.end_time, breport.end_time);
+}
+
+/// Strategy for an arbitrary decision entry over the default base
+/// tuning — valid by construction (power-of-two knobs kept within the
+/// default geometry: `rd_max`/`pairwise_chunk` within the 16 KB reduce
+/// chunk, pipeline range within the chosen switch).
+fn arb_entry() -> impl Strategy<Value = TuneEntry> {
+    let base = SrmTuning::default();
+    (
+        (1usize..=7, 0usize..=4), // small_large_switch, pipeline_chunk: 2^k KB
+        (
+            prop_oneof![Just(0usize), Just(2), Just(8), Just(16)], // rd_max KB
+            prop_oneof![Just(usize::MAX), Just(1), Just(64 * 1024)], // rs_min
+        ),
+        (1usize..=4, 1usize..=4), // pairwise chunk 2^k KB, window
+        prop_oneof![Just(0usize), Just(8 * 1024), Just(64 * 1024)],
+    )
+        .prop_map(move |((sls, pc), (rd, rs), (pwc, pww), idm)| {
+            let sls = (1 << sls) * 1024;
+            TuneEntry {
+                small_large_switch: sls,
+                pipeline_min: base.pipeline_min.min(sls),
+                pipeline_max: base.pipeline_max.min(sls),
+                pipeline_chunk: ((1 << pc) * 1024usize).min(sls),
+                allreduce_rd_max: rd * 1024,
+                allreduce_rs_min: rs,
+                interrupt_disable_max: idm,
+                pairwise_chunk: (1 << pwc) * 1024,
+                pairwise_window: pww,
+                ..TuneEntry::from_tuning(&base)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Text round trip is the identity for arbitrary tables.
+    #[test]
+    fn prop_text_round_trip(
+        seed in any::<u64>(),
+        edge_kb in 1usize..=64,
+        entries in proptest::collection::vec(arb_entry(), 1..4),
+    ) {
+        let mut t = TuneTable::new(seed, "prop grid", vec![edge_kb * 1024]);
+        for (i, e) in entries.into_iter().enumerate() {
+            t.insert(
+                TuneKey { op: TuneOp::ALL[i % TuneOp::ALL.len()], class: 0, nodes: 0, ranks: 0 },
+                e,
+            );
+        }
+        let text = t.to_text();
+        let parsed = TuneTable::parse(&text).expect("canonical text parses");
+        prop_assert_eq!(&parsed, &t);
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// For arbitrary valid entries and topologies, the tabled world's
+    /// results match the default world's bit for bit, and two tabled
+    /// runs are identical (schedules, counts, makespan).
+    #[test]
+    fn prop_tabled_results_match_default(
+        nodes in 1usize..=2,
+        tasks in 1usize..=3,
+        entry in arb_entry(),
+        op_mask in 1usize..=7,
+    ) {
+        let topo = Topology::new(nodes, tasks);
+        let mut t = TuneTable::new(1, "prop grid", vec![32 * 1024]);
+        for (bit, op) in [TuneOp::Bcast, TuneOp::Allreduce, TuneOp::Alltoall]
+            .into_iter()
+            .enumerate()
+        {
+            if op_mask & (1 << bit) != 0 {
+                t.insert(TuneKey { op, class: 0, nodes: 0, ranks: 0 }, entry);
+            }
+        }
+        let table = Arc::new(t);
+        let (dres, _, _, _) = run_program(topo, None);
+        let (ares, areport, asteps, _) = run_program(topo, Some(table.clone()));
+        let (bres, breport, bsteps, _) = run_program(topo, Some(table));
+        prop_assert_eq!(dres, ares.clone(), "table changed results");
+        prop_assert_eq!(ares, bres);
+        prop_assert_eq!(asteps, bsteps);
+        prop_assert_eq!(areport.plan_by_comm, breport.plan_by_comm);
+        prop_assert_eq!(areport.tune_by_comm, breport.tune_by_comm);
+        prop_assert_eq!(areport.end_time, breport.end_time);
+    }
+}
