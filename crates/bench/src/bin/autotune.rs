@@ -237,6 +237,20 @@ fn candidates_for(op: TuneOp, base: SrmTuning) -> Vec<SrmTuning> {
                 pairwise_window: 4,
                 ..base
             });
+            // Segment-route knob: lower the direct-route threshold so
+            // mid-size classes can flip to direct puts, or disable the
+            // direct route outright (usize::MAX = off).
+            for m in [usize::MAX, 16 * k, 256 * k] {
+                push(SrmTuning {
+                    pairwise_direct_min: m,
+                    ..base
+                });
+            }
+            push(SrmTuning {
+                pairwise_direct_min: 16 * k,
+                pairwise_window: 4,
+                ..base
+            });
         }
         // No per-shape decision knobs reach these planners (their
         // chunking is buffer geometry): nothing to search.

@@ -20,6 +20,11 @@
 //!   --max-ops K            program length upper bound (default 6)
 //!   --no-subgroups         world-communicator steps only (also
 //!                          disables comm_split scenarios)
+//!   --route direct|staged  force every pairwise segment down one
+//!                          route (direct: pairwise_direct_min = 0,
+//!                          staged: usize::MAX); the env var
+//!                          SRM_PAIRWISE_ROUTE is an equivalent
+//!                          lower-priority spelling for CI matrices
 //!   --inject raise-race    fault injection: revert SpinFlag::raise to
 //!                          a non-monotone store; the sweep must CATCH
 //!                          it (exit 0 on detection, 1 on a miss)
@@ -58,7 +63,7 @@
 //! ```
 
 use simnet::{MachineConfig, Topology};
-use srm::{SrmTuning, TreeKind};
+use srm::{SegmentRoute, SrmTuning, TreeKind};
 use srm_cluster::{explore_sweep, measure, ExploreOpts, HarnessOpts, Impl, Op};
 
 struct Args {
@@ -76,13 +81,22 @@ struct Args {
     start_seed: u64,
     max_ops: usize,
     subgroups: bool,
+    route: Option<SegmentRoute>,
     inject: Option<String>,
+}
+
+fn parse_route(val: &str) -> Option<SegmentRoute> {
+    match val {
+        "direct" => Some(SegmentRoute::Direct),
+        "staged" => Some(SegmentRoute::Staged),
+        _ => None,
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!("usage: explore [--op OP] [--nodes N] [--tpn P] [--bytes B,..] [--impl I] [--machine M] [--iters K] [--tree T]");
-    eprintln!("       explore --seeds N [--start-seed S] [--nodes N] [--tpn P] [--max-ops K] [--no-subgroups] [--inject raise-race|am-stall-race]");
+    eprintln!("       explore --seeds N [--start-seed S] [--nodes N] [--tpn P] [--max-ops K] [--no-subgroups] [--route direct|staged] [--inject raise-race|am-stall-race]");
     std::process::exit(2)
 }
 
@@ -110,6 +124,9 @@ fn parse() -> Args {
         start_seed: 0,
         max_ops: 6,
         subgroups: true,
+        route: std::env::var("SRM_PAIRWISE_ROUTE")
+            .ok()
+            .map(|v| parse_route(&v).unwrap_or_else(|| usage("bad SRM_PAIRWISE_ROUTE"))),
         inject: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -147,6 +164,10 @@ fn parse() -> Args {
                 a.start_seed = parse_seed(val).unwrap_or_else(|| usage("bad --start-seed"))
             }
             "--max-ops" => a.max_ops = val.parse().unwrap_or_else(|_| usage("bad --max-ops")),
+            "--route" => {
+                a.route =
+                    Some(parse_route(val).unwrap_or_else(|| usage("bad --route (direct|staged)")))
+            }
             "--inject" => {
                 if val != "raise-race" && val != "am-stall-race" {
                     usage(&format!("unknown injection '{val}'"));
@@ -198,7 +219,11 @@ fn stress(a: &Args, count: u64) -> ! {
         tpn: a.tpn_set.then_some(a.tpn),
         max_ops: a.max_ops,
         subgroups: a.subgroups,
+        route: a.route,
     };
+    if let Some(route) = a.route {
+        println!("route forcing: every pairwise segment {}", route.label());
+    }
     let injecting = a.inject.is_some();
     match a.inject.as_deref() {
         Some("raise-race") => {

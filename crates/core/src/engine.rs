@@ -107,6 +107,7 @@ pub(crate) fn ctr_of<'a>(
         CtrRef::BarRound { node, round } => &comm.inter(node).bar_round[round],
         CtrRef::PairwiseData { node, src } => comm.comm.pairwise.data(src, node),
         CtrRef::PairwiseFree { node, dst } => comm.comm.pairwise.free(node, dst),
+        CtrRef::PairwiseDirect { src, dst } => comm.comm.pairwise.direct(src, dst),
     }
 }
 
@@ -118,6 +119,7 @@ pub(crate) fn buf_of<'a>(
     user: &'a ShmBuffer,
     child_bufs: &'a [ShmBuffer],
     root_buf: &'a Option<ShmBuffer>,
+    scratch: &'a Option<ShmBuffer>,
     r: BufRef,
 ) -> &'a ShmBuffer {
     let rpar = |rel| ((bases[SeqBase::Reduce.index()] + rel) % 2) as usize;
@@ -138,6 +140,9 @@ pub(crate) fn buf_of<'a>(
         BufRef::RootUser => root_buf
             .as_ref()
             .expect("root user-buffer handle not captured yet"),
+        BufRef::Scratch => scratch
+            .as_ref()
+            .expect("scratch not allocated (missing ScratchAlloc)"),
     }
 }
 
@@ -155,6 +160,9 @@ pub(crate) struct CallState {
     pub(crate) child_bufs: Vec<ShmBuffer>,
     /// Handle captured by [`Step::GsRootTake`]/[`Step::BoardAddrTake`].
     pub(crate) root_buf: Option<ShmBuffer>,
+    /// Per-call scratch allocated by [`Step::ScratchAlloc`]
+    /// ([`BufRef::Scratch`]); dies with the call.
+    pub(crate) scratch: Option<ShmBuffer>,
     /// Suppress [`Step::Advance`]: the nonblocking issue path already
     /// applied the plan's advance totals to the live cells at issue
     /// time (sequence-base relocation), so executing them again would
@@ -171,6 +179,7 @@ impl CallState {
             acc: Vec::new(),
             child_bufs: Vec::new(),
             root_buf: None,
+            scratch: None,
             skip_advance,
         }
     }
@@ -200,7 +209,8 @@ impl SrmComm {
         // Compile-time tuning-table consultation accounting: only on
         // the miss path (a cached plan was compiled under the same
         // effective tuning — the lookup is a pure function of the key).
-        match self.tune_consult(&key.shape).1 {
+        let (eff, consulted) = self.tune_consult(&key.shape);
+        match consulted {
             Some(true) => {
                 ctx.metrics()
                     .tune_table_hits
@@ -216,6 +226,11 @@ impl SrmComm {
                 ctx.trace("tuned:default");
             }
             None => {}
+        }
+        // Compile-time routing decision, traced alongside the `tuned:*`
+        // labels (timeline renders both).
+        if let Some(route) = self.route_of_shape(&key.shape, &eff) {
+            ctx.trace(route.label());
         }
         let plan = Arc::new(self.build_plan(&key));
         self.seat
@@ -305,6 +320,7 @@ impl SrmComm {
         let acc = &mut st.acc;
         let child_bufs = &mut st.child_bufs;
         let root_buf = &mut st.root_buf;
+        let scratch = &mut st.scratch;
         let metrics = ctx.metrics();
         if self.tuning().trace_steps {
             ctx.trace(step.label());
@@ -324,7 +340,8 @@ impl SrmComm {
                     metrics.engine_copy_steps.fetch_add(1, Ordering::Relaxed);
                     let so = off_of(&bases, src_off);
                     let dofs = off_of(&bases, dst_off);
-                    let resolve = |r: BufRef| buf_of(self, &bases, buf, child_bufs, root_buf, r);
+                    let resolve =
+                        |r: BufRef| buf_of(self, &bases, buf, child_bufs, root_buf, scratch, r);
                     match cost {
                         CopyCost::Read(streams) => {
                             // Charged read out of shared memory; the
@@ -369,7 +386,7 @@ impl SrmComm {
                         reduce.expect("plan reduces but the call carries no operator");
                     debug_assert_eq!(acc.len(), len);
                     let so = off_of(&bases, src_off);
-                    let src = buf_of(self, &bases, buf, child_bufs, root_buf, src);
+                    let src = buf_of(self, &bases, buf, child_bufs, root_buf, scratch, src);
                     combine_from_buffer_costed(ctx, dtype, op, acc, src, so);
                 }
                 Step::FlagRaise { flag, val } => {
@@ -445,10 +462,17 @@ impl SrmComm {
                     if matches!(dst, BufRef::PairwiseRing { .. }) {
                         metrics.pairwise_puts.fetch_add(1, Ordering::Relaxed);
                     }
+                    if matches!(ctr, Some(CtrRef::PairwiseDirect { .. })) {
+                        metrics.pairwise_direct_puts.fetch_add(1, Ordering::Relaxed);
+                    }
                     let so = off_of(&bases, src_off);
                     let dofs = off_of(&bases, dst_off);
-                    let src = buf_of(self, &bases, buf, child_bufs, root_buf, src);
-                    let dst = buf_of(self, &bases, buf, child_bufs, root_buf, dst);
+                    let src = buf_of(self, &bases, buf, child_bufs, root_buf, scratch, src);
+                    let dst = buf_of(self, &bases, buf, child_bufs, root_buf, scratch, dst);
+                    debug_assert!(
+                        dst.fits(dofs, len),
+                        "direct put overruns the destination buffer"
+                    );
                     let ctr = ctr.map(|c| ctr_of(self, &bases, c));
                     self.rma.put(ctx, to, src, so, len, dst, dofs, ctr);
                 }
@@ -480,25 +504,50 @@ impl SrmComm {
                         HandleSrc::RootUser => root_buf
                             .clone()
                             .expect("root user-buffer handle not captured yet"),
+                        HandleSrc::Scratch => scratch
+                            .clone()
+                            .expect("scratch not allocated (missing ScratchAlloc)"),
                     };
                     self.rma.am(ctx, to, am, Vec::new(), Some(handle));
                 }
+                // The address-take family parks on a slot an incoming
+                // AM fills, so the wait must count as *inside a LAPI
+                // call* (like the counter waits do): with interrupts
+                // disabled the dispatcher can only deliver that AM to
+                // a polling target, and a task parked outside a call
+                // would deadlock the exchange.
                 Step::AddrTake { child } => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    self.rma.begin_call(ctx);
                     let taken = self.inter(self.cnode()).addr_slot[child].wait_take(
                         ctx,
                         "child user-buffer address",
                         |s| s.take(),
                     );
+                    self.rma.end_call(ctx);
                     child_bufs.push(taken);
+                }
+                Step::PairAddrTake { from } => {
+                    metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    self.rma.begin_call(ctx);
+                    let taken =
+                        self.pair_addr_slot(from)
+                            .wait_take(ctx, "pairwise peer address", |s| s.take());
+                    self.rma.end_call(ctx);
+                    child_bufs.push(taken);
+                }
+                Step::ScratchAlloc { len } => {
+                    *scratch = Some(ShmBuffer::new(len));
                 }
                 Step::GsRootTake => {
                     metrics.engine_wait_steps.fetch_add(1, Ordering::Relaxed);
+                    self.rma.begin_call(ctx);
                     *root_buf = Some(self.inter(self.cnode()).gs_root.wait_take(
                         ctx,
                         "gather root address",
                         |s| s.take(),
                     ));
+                    self.rma.end_call(ctx);
                 }
                 Step::BoardAddrPut => {
                     self.board().gs_addr.store(ctx, Some(buf.clone()));

@@ -181,10 +181,12 @@ impl SrmComm {
         if toggles {
             b.push(Step::SetInterrupts(false));
         }
-        if len <= t.small_large_switch {
-            self.plan_bcast_small(b, len, root, &tree);
-        } else {
-            self.plan_bcast_large(b, len, root, &tree);
+        // The small/large protocol split is the rooted row of the
+        // segment-routing table: staged through the landing buffers vs
+        // one direct put per child after an address exchange.
+        match self.segment_route(&t, crate::route::RouteClass::Rooted, len) {
+            crate::route::SegmentRoute::Staged => self.plan_bcast_small(b, len, root, &tree),
+            crate::route::SegmentRoute::Direct => self.plan_bcast_large(b, len, root, &tree),
         }
         if toggles {
             b.push(Step::SetInterrupts(true));

@@ -33,6 +33,10 @@
 //!   subsystem: alltoall, alltoallv and reduce-scatter as credit-
 //!   windowed per-node-pair put streams over setup-time-registered
 //!   landing rings;
+//! * [`route`] — the segment-routing decision ([`SegmentRoute`]):
+//!   staged through shared landing structures vs one direct rendezvous
+//!   put after a per-call address exchange, resolved per (protocol
+//!   family, segment size, effective tuning) at plan compile;
 //! * [`plan`] — the schedule IR: every collective call compiles to a
 //!   per-rank [`Plan`] of primitive steps, cached per call shape;
 //! * [`engine`] (methods on [`SrmComm`]) — the executor that replays a
@@ -85,6 +89,7 @@ pub mod model;
 pub mod nb;
 pub mod pairwise;
 pub mod plan;
+pub mod route;
 pub mod smp;
 pub mod tune;
 pub mod tuning;
@@ -94,6 +99,7 @@ pub use embed::{Embedding, GroupEmbedding, TreeKind};
 pub use model::SrmModel;
 pub use pairwise::PairwiseState;
 pub use plan::{set_skip_order_guards, Plan, PlanBuilder, PlanCache, PlanKey, PlanShape, Step};
+pub use route::{RouteClass, SegmentRoute};
 pub use tune::{TableParseError, TuneEntry, TuneEntryError, TuneKey, TuneOp, TuneTable};
 pub use tuning::{SrmTuning, TuningError};
 pub use world::{CommGroup, InterState, NodeBoard, SrmComm, SrmWorld};

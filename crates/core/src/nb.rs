@@ -125,6 +125,11 @@ fn ctr_class(c: CtrRef) -> u8 {
         CtrRef::LargeData { .. } => CL_ADDR,
         CtrRef::BarRound { .. } => CL_BARRIER,
         CtrRef::PairwiseData { .. } | CtrRef::PairwiseFree { .. } => CL_PAIRWISE,
+        // Direct-route completions serialize with the address exchange
+        // they rendezvous through: an older call's consuming waits must
+        // retire before a younger call's AddrSend may land in the same
+        // slot (the cross-call slot-safety argument, DESIGN.md §16).
+        CtrRef::PairwiseDirect { .. } => CL_ADDR,
     }
 }
 
@@ -143,6 +148,9 @@ fn buf_class(b: BufRef) -> u8 {
         }
         BufRef::ChildUser { .. } | BufRef::RootUser => CL_ADDR,
         BufRef::PairwiseRing { .. } => CL_PAIRWISE,
+        // Scratch is per-call private, but it is published through the
+        // address exchange, so its uses order with that class.
+        BufRef::Scratch => CL_ADDR,
     }
 }
 
@@ -181,9 +189,13 @@ pub(crate) fn step_classes(step: &Step) -> u8 {
         Step::CreditWait { ctr, .. } => ctr_class(ctr),
         Step::AddrSend { .. }
         | Step::AddrTake { .. }
+        | Step::PairAddrTake { .. }
         | Step::GsRootTake
         | Step::BoardAddrPut
         | Step::BoardAddrTake => CL_ADDR,
+        // Allocating a per-call scratch touches only this call's own
+        // state; it never orders against other schedules.
+        Step::ScratchAlloc { .. } => 0,
     }
 }
 
@@ -202,6 +214,7 @@ fn step_blocks(step: &Step) -> bool {
             | Step::CounterWaitGe { .. }
             | Step::CreditWait { .. }
             | Step::AddrTake { .. }
+            | Step::PairAddrTake { .. }
             | Step::GsRootTake
             | Step::BoardAddrTake
     )
@@ -249,6 +262,7 @@ fn step_ready(comm: &SrmComm, st: &CallState, step: &Step) -> bool {
         }
         Step::CounterWaitGe { ctr, val } => ctr_of(comm, bases, ctr).peek() >= val_of(bases, val),
         Step::AddrTake { child } => comm.inter(comm.cnode()).addr_slot[child].with(|s| s.is_some()),
+        Step::PairAddrTake { from } => comm.pair_addr_slot(from).with(|s| s.is_some()),
         Step::GsRootTake => comm.inter(comm.cnode()).gs_root.with(|s| s.is_some()),
         Step::BoardAddrTake => comm.board().gs_addr.with(|s| s.is_some()),
         _ => true,
@@ -282,6 +296,7 @@ fn step_wait_keys(comm: &SrmComm, st: &CallState, step: &Step, out: &mut Vec<u64
         | Step::CounterWaitGe { ctr, .. }
         | Step::CreditWait { ctr, .. } => out.push(ctr_of(comm, bases, ctr).wait_key()),
         Step::AddrTake { child } => out.push(comm.inter(comm.cnode()).addr_slot[child].wait_key()),
+        Step::PairAddrTake { from } => out.push(comm.pair_addr_slot(from).wait_key()),
         Step::GsRootTake => out.push(comm.inter(comm.cnode()).gs_root.wait_key()),
         Step::BoardAddrTake => out.push(comm.board().gs_addr.wait_key()),
         _ => {}
@@ -301,6 +316,17 @@ pub(crate) fn shape_writes_user(shape: &crate::plan::PlanShape, crank: usize) ->
         S::Bcast { root, .. } | S::Scatter { root, .. } => crank != root,
         // Reduce/gather write only at the root.
         S::Reduce { root, .. } | S::Gather { root, .. } => crank == root,
+        // Every pairwise/all-to-all shape writes every rank's buffer.
+        // Named explicitly because the *direct* route makes the timing
+        // stricter, not looser: remote peers put straight into the user
+        // buffer as soon as the address exchange lands — earlier than
+        // the staged route's final copy-out — so write-aliased sharing
+        // between outstanding schedules must stay rejected at issue.
+        S::Alltoall { .. }
+        | S::Alltoallv { .. }
+        | S::ReduceScatter { .. }
+        | S::Allgather { .. }
+        | S::Allreduce { .. } => true,
         _ => true,
     }
 }

@@ -27,6 +27,18 @@
 //!   across destinations piece by piece instead of finishing one peer
 //!   before starting the next, so all streams stay in flight together.
 //!
+//! ## Two routes
+//!
+//! The pieces above implement the **staged** route. Above
+//! [`SrmTuning::pairwise_direct_min`](crate::SrmTuning) the planner
+//! resolves [`SegmentRoute::Direct`] instead (see [`crate::route`]):
+//! a per-call address exchange over the per-communicator `pair_addr`
+//! slots, then one rendezvous put per remote peer straight into its
+//! user buffer (alltoall/alltoallv) or per-call scratch region
+//! (reduce-scatter), completion-counted by the `direct`
+//! [`rma::CounterFamily`] — skipping the rings, the credits and their
+//! two extra copies entirely.
+//!
 //! ## Group coordinates
 //!
 //! Everything here is phrased over the communicator's shape: node
@@ -70,8 +82,9 @@
 
 use crate::inter::{par, poff, seq};
 use crate::plan::{
-    BufRef, CopyCost, CtrRef, FlagRef, Off, PairSel, PlanBuilder, SeqBase, Step, Val,
+    BufRef, CopyCost, CtrRef, FlagRef, HandleSrc, Off, PairSel, PlanBuilder, SeqBase, Step, Val,
 };
+use crate::route::{RouteClass, SegmentRoute};
 use crate::tuning::SrmTuning;
 use crate::world::SrmComm;
 use rma::{CounterFamily, LapiCounter};
@@ -97,10 +110,15 @@ pub struct PairwiseState {
     /// window size, is spent by `src` per put and restored by `dst`'s
     /// zero-byte put when the ring slot drains.
     free: CounterFamily,
+    /// Direct-route completion counters, one per ordered **comm-rank**
+    /// pair: `pair(src, dst)` lives at `dst` and is bumped by each of
+    /// `src`'s direct puts into `dst`'s user or scratch buffer. The
+    /// receiver's consuming waits drain it back to zero every call.
+    direct: CounterFamily,
 }
 
 impl PairwiseState {
-    pub(crate) fn new(handle: &SimHandle, nodes: usize, tuning: &SrmTuning) -> Self {
+    pub(crate) fn new(handle: &SimHandle, nodes: usize, ranks: usize, tuning: &SrmTuning) -> Self {
         PairwiseState {
             window: tuning.pairwise_window,
             chunk: tuning.pairwise_chunk,
@@ -118,6 +136,7 @@ impl PairwiseState {
                 .collect(),
             data: CounterFamily::new(handle, nodes, 0),
             free: CounterFamily::new(handle, nodes, tuning.pairwise_window as u64),
+            direct: CounterFamily::new(handle, ranks, 0),
         }
     }
 
@@ -135,6 +154,12 @@ impl PairwiseState {
     /// The credit counter of the stream `src → dst` (lives at `src`).
     pub fn free(&self, src: NodeId, dst: NodeId) -> &LapiCounter {
         self.free.pair(src, dst)
+    }
+
+    /// The direct-route completion counter of the **comm-rank** stream
+    /// `src → dst` (lives at `dst`).
+    pub fn direct(&self, src: usize, dst: usize) -> &LapiCounter {
+        self.direct.pair(src, dst)
     }
 
     /// Ring slots per stream (the credit window).
@@ -608,6 +633,81 @@ impl SrmComm {
         }
     }
 
+    /// Emit the **direct route** of a pairwise exchange
+    /// ([`SegmentRoute::Direct`]): a per-call address exchange followed
+    /// by one rendezvous put per remote peer straight into its receive
+    /// segment, with a per-pair completion counter instead of ring
+    /// credits — the same shape as the zero-copy large-message
+    /// broadcast, generalized to `n·(n-1)` concurrent rank streams.
+    ///
+    /// `xfer(s, d)` describes the comm-rank stream `s → d` as
+    /// `(offset in s's user buffer, offset in d's user buffer, bytes)`,
+    /// or `None` for an empty stream; both endpoints derive it from the
+    /// call shape alone. `local` plans the intra-node leg; it runs
+    /// between the outbound address sends and the takes/puts so remote
+    /// peers can start putting while this node is busy locally.
+    ///
+    /// Buffer-reuse safety needs no extra drain steps: a put snapshots
+    /// its source synchronously at issue (send side), and the
+    /// receiver's consuming [`Step::CounterWait`]s — one per inbound
+    /// stream — *are* the drain (receive side). They also leave every
+    /// per-pair counter back at zero, and a taken address slot is
+    /// provably empty again before the next call's send can land in it
+    /// (DESIGN.md §16).
+    fn plan_pairwise_direct_wire<L, F>(&self, b: &mut PlanBuilder, local: L, xfer: F)
+    where
+        L: FnOnce(&mut PlanBuilder),
+        F: Fn(usize, usize) -> Option<(usize, usize, usize)>,
+    {
+        let me = self.crank();
+        let mynode = self.cnode();
+        let remote: Vec<usize> = (0..self.csize())
+            .filter(|&c| self.cnode_of(c) != mynode)
+            .collect();
+        // Ship my user-buffer handle to every remote peer with data
+        // for me. Non-blocking, and ahead of every blocking step of
+        // this plan — no rank can stall a peer's rendezvous.
+        for &s in &remote {
+            if xfer(s, me).is_some() {
+                b.push(Step::AddrSend {
+                    to: self.cworld_of(s),
+                    am: self.comm.am_pair_addr,
+                    src: HandleSrc::User,
+                });
+            }
+        }
+        local(b);
+        // One unchunked put per remote destination, ascending comm
+        // rank: take the peer's address, land the whole segment in its
+        // receive half, bump its completion counter.
+        for &d in &remote {
+            let Some((src_off, dst_off, len)) = xfer(me, d) else {
+                continue;
+            };
+            let idx = b.take_pair_addr(d);
+            b.push(Step::RmaPut {
+                to: self.cworld_of(d),
+                src: BufRef::User,
+                src_off: Off::Lit(src_off),
+                dst: BufRef::ChildUser { idx },
+                dst_off: Off::Lit(dst_off),
+                len,
+                ctr: Some(CtrRef::PairwiseDirect { src: me, dst: d }),
+            });
+        }
+        // Drain: consume one completion per inbound stream. When these
+        // return, every expected segment has landed and the counters
+        // are at zero for the next call.
+        for &s in &remote {
+            if xfer(s, me).is_some() {
+                b.push(Step::CounterWait {
+                    ctr: CtrRef::PairwiseDirect { src: s, dst: me },
+                    n: 1,
+                });
+            }
+        }
+    }
+
     /// Intra-node leg of the alltoall: every group slot in turn
     /// publishes its send segments for this node's members through the
     /// SMP broadcast pair; the other slots copy out their segments.
@@ -820,7 +920,8 @@ impl SrmComm {
             return;
         }
         let n = self.csize();
-        let chunk = b.tuning().pairwise_chunk;
+        let eff = *b.tuning();
+        let chunk = eff.pairwise_chunk;
         let rbase = n * len;
         let me = self.crank();
         // Own segment: already local, one private copy.
@@ -832,8 +933,18 @@ impl SrmComm {
             len,
             cost: CopyCost::Read(1),
         });
-        self.plan_local_alltoall(b, len);
-        self.plan_pairwise_wire(b, |s, d| self.alltoall_stream(len, chunk, rbase, s, d));
+        if self.cmulti()
+            && self.segment_route(&eff, RouteClass::Pairwise, len) == SegmentRoute::Direct
+        {
+            self.plan_pairwise_direct_wire(
+                b,
+                |b| self.plan_local_alltoall(b, len),
+                |s, d| Some((d * len, rbase + s * len, len)),
+            );
+        } else {
+            self.plan_local_alltoall(b, len);
+            self.plan_pairwise_wire(b, |s, d| self.alltoall_stream(len, chunk, rbase, s, d));
+        }
     }
 
     /// Plan an alltoallv on the `seg`-strided grid layout: communicator
@@ -845,7 +956,8 @@ impl SrmComm {
         if seg == 0 {
             return;
         }
-        let chunk = b.tuning().pairwise_chunk;
+        let eff = *b.tuning();
+        let chunk = eff.pairwise_chunk;
         let rbase = n * seg;
         let me = self.crank();
         let own = counts[me * n + me];
@@ -859,10 +971,23 @@ impl SrmComm {
                 cost: CopyCost::Read(1),
             });
         }
-        self.plan_local_alltoallv(b, seg, counts);
-        self.plan_pairwise_wire(b, |s, d| {
-            self.alltoallv_stream(seg, counts, chunk, rbase, s, d)
-        });
+        if self.cmulti()
+            && self.segment_route(&eff, RouteClass::Pairwise, seg) == SegmentRoute::Direct
+        {
+            self.plan_pairwise_direct_wire(
+                b,
+                |b| self.plan_local_alltoallv(b, seg, counts),
+                |s, d| match counts[s * n + d] {
+                    0 => None,
+                    cnt => Some((d * seg, rbase + s * seg, cnt)),
+                },
+            );
+        } else {
+            self.plan_local_alltoallv(b, seg, counts);
+            self.plan_pairwise_wire(b, |s, d| {
+                self.alltoallv_stream(seg, counts, chunk, rbase, s, d)
+            });
+        }
     }
 
     /// Plan a reduce-scatter of `len`-byte result segments: the user
@@ -904,31 +1029,63 @@ impl SrmComm {
             .collect();
         let rounds = pieces.iter().map(|v| v.len()).max().unwrap_or(0);
 
+        // Direct route: pieces rendezvous in a per-call scratch region
+        // at the destination master instead of staging through the
+        // landing rings — the SMP pre-reduction and landing-pair
+        // distribution are unchanged, only the wire differs. The
+        // scratch holds one logical block per peer; `region(d, s)` is
+        // source `s`'s index among `d`'s peers, ascending.
+        let direct = multi
+            && self.segment_route(b.tuning(), RouteClass::Pairwise, len) == SegmentRoute::Direct;
+        let block_of = |g: usize| self.cslots_on(g) * len;
+        let region = |d: usize, s: usize| if s < d { s } else { s - 1 };
+        let mut scratch_idx: Vec<Option<usize>> = vec![None; nodes];
+        if direct && my == 0 {
+            b.push(Step::ScratchAlloc {
+                len: (nodes - 1) * block_of(me),
+            });
+            // Sends strictly before takes: no master can stall a
+            // peer's rendezvous setup.
+            for s in (0..nodes).filter(|&s| s != me) {
+                b.push(Step::AddrSend {
+                    to: self.cmaster_of(s),
+                    am: self.comm.am_pair_addr,
+                    src: HandleSrc::Scratch,
+                });
+            }
+            for d in (0..nodes).filter(|&d| d != me) {
+                scratch_idx[d] = Some(b.take_pair_addr(self.crank_at(d, 0)));
+            }
+        }
+
         for k in 0..rounds {
             let ring_off = Off::Lit((k % w) * chunk);
             // Peer-node blocks: reduce this piece to the master and
             // stream it out, round-robin over destinations.
             if multi {
                 for d in (0..nodes).filter(|&d| d != me) {
-                    let Some(&(boff, _, plen)) = pieces[d].get(k) else {
+                    let Some(&(boff, blk, plen)) = pieces[d].get(k) else {
                         continue;
                     };
                     let is_root = self.plan_smp_reduce_chunk(b, boff, plen, rel, 0);
                     rel += 1;
                     if is_root {
-                        // Same narrowed-window guard as the wire: cap
-                        // outstanding puts at the effective window even
-                        // though the geometry credit pool is larger.
-                        if w < w_geom {
-                            b.push(Step::CounterWaitGe {
+                        if !direct {
+                            // Same narrowed-window guard as the wire:
+                            // cap outstanding puts at the effective
+                            // window even though the geometry credit
+                            // pool is larger.
+                            if w < w_geom {
+                                b.push(Step::CounterWaitGe {
+                                    ctr: CtrRef::PairwiseFree { node: me, dst: d },
+                                    val: Val::Lit((w_geom - w + 1) as u64),
+                                });
+                            }
+                            b.push(Step::CreditWait {
                                 ctr: CtrRef::PairwiseFree { node: me, dst: d },
-                                val: Val::Lit((w_geom - w + 1) as u64),
+                                n: 1,
                             });
                         }
-                        b.push(Step::CreditWait {
-                            ctr: CtrRef::PairwiseFree { node: me, dst: d },
-                            n: 1,
-                        });
                         // Stage the accumulator in the master's own
                         // (otherwise idle) contribution buffer so the
                         // put has an addressable source; the put
@@ -941,15 +1098,35 @@ impl SrmComm {
                             len: plen,
                             cost: CopyCost::Free,
                         });
-                        b.push(Step::RmaPut {
-                            to: self.cmaster_of(d),
-                            src: BufRef::Contrib { slot: 0 },
-                            src_off: Off::Lit(0),
-                            dst: BufRef::PairwiseRing { node: d, src: me },
-                            dst_off: ring_off,
-                            len: plen,
-                            ctr: Some(CtrRef::PairwiseData { node: d, src: me }),
-                        });
+                        if direct {
+                            // Land the piece straight in the peer
+                            // master's scratch region — no credits, no
+                            // window, one counter bump at the target.
+                            b.push(Step::RmaPut {
+                                to: self.cmaster_of(d),
+                                src: BufRef::Contrib { slot: 0 },
+                                src_off: Off::Lit(0),
+                                dst: BufRef::ChildUser {
+                                    idx: scratch_idx[d].expect("scratch handle taken"),
+                                },
+                                dst_off: Off::Lit(region(d, me) * block_of(d) + blk),
+                                len: plen,
+                                ctr: Some(CtrRef::PairwiseDirect {
+                                    src: self.crank(),
+                                    dst: self.crank_at(d, 0),
+                                }),
+                            });
+                        } else {
+                            b.push(Step::RmaPut {
+                                to: self.cmaster_of(d),
+                                src: BufRef::Contrib { slot: 0 },
+                                src_off: Off::Lit(0),
+                                dst: BufRef::PairwiseRing { node: d, src: me },
+                                dst_off: ring_off,
+                                len: plen,
+                                ctr: Some(CtrRef::PairwiseData { node: d, src: me }),
+                            });
+                        }
                     }
                 }
             }
@@ -963,19 +1140,40 @@ impl SrmComm {
             if is_root {
                 if multi {
                     for s in (0..nodes).filter(|&s| s != me) {
-                        b.push(Step::CounterWait {
-                            ctr: CtrRef::PairwiseData { node: me, src: s },
-                            n: 1,
-                        });
-                        b.push(Step::LocalReduce {
-                            src: BufRef::PairwiseRing { node: me, src: s },
-                            src_off: ring_off,
-                            len: plen,
-                        });
-                        b.push(Step::CounterPut {
-                            to: self.cmaster_of(s),
-                            ctr: CtrRef::PairwiseFree { node: s, dst: me },
-                        });
+                        if direct {
+                            // Per-pair in-order delivery: the k-th
+                            // completion from `s` implies pieces
+                            // `0..=k` have landed, so piece `k`'s
+                            // scratch range is readable. These
+                            // consuming waits are also the drain — no
+                            // credit returns, no end-of-plan flush.
+                            b.push(Step::CounterWait {
+                                ctr: CtrRef::PairwiseDirect {
+                                    src: self.crank_at(s, 0),
+                                    dst: self.crank(),
+                                },
+                                n: 1,
+                            });
+                            b.push(Step::LocalReduce {
+                                src: BufRef::Scratch,
+                                src_off: Off::Lit(region(me, s) * block_of(me) + blk),
+                                len: plen,
+                            });
+                        } else {
+                            b.push(Step::CounterWait {
+                                ctr: CtrRef::PairwiseData { node: me, src: s },
+                                n: 1,
+                            });
+                            b.push(Step::LocalReduce {
+                                src: BufRef::PairwiseRing { node: me, src: s },
+                                src_off: ring_off,
+                                len: plen,
+                            });
+                            b.push(Step::CounterPut {
+                                to: self.cmaster_of(s),
+                                ctr: CtrRef::PairwiseFree { node: s, dst: me },
+                            });
+                        }
                     }
                 }
                 // The subtree root is group slot 0, whose result
@@ -1056,7 +1254,7 @@ impl SrmComm {
             }
         }
 
-        if multi && my == 0 {
+        if multi && my == 0 && !direct {
             for d in (0..nodes).filter(|&d| d != me) {
                 if !pieces[d].is_empty() {
                     b.push(Step::CounterWaitGe {

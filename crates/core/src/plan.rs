@@ -223,6 +223,10 @@ pub enum BufRef {
         /// The sending node.
         src: NodeId,
     },
+    /// The executing call's per-call scratch buffer, allocated by
+    /// [`Step::ScratchAlloc`] (direct-route reduce_scatter fold
+    /// staging). Dies with the call.
+    Scratch,
 }
 
 /// A LAPI-style counter operand, named structurally. Counters indexed
@@ -325,6 +329,17 @@ pub enum CtrRef {
         /// The destination node.
         dst: NodeId,
     },
+    /// The **direct-route** completion counter of the `(src → dst)`
+    /// comm-rank stream, bumped at `dst` by each of `src`'s direct puts
+    /// into `dst`'s user or scratch buffer (one counter per ordered
+    /// comm-rank pair). The receiver's consuming waits are the drain:
+    /// the counter is back at zero when the call returns.
+    PairwiseDirect {
+        /// The sending comm rank.
+        src: usize,
+        /// The receiving comm rank (counter owner).
+        dst: usize,
+    },
 }
 
 /// A spin-flag operand on my node's board.
@@ -377,6 +392,9 @@ pub enum HandleSrc {
     User,
     /// The gather root's captured user buffer.
     RootUser,
+    /// The executing call's scratch buffer (must have been allocated by
+    /// an earlier [`Step::ScratchAlloc`] of the same plan).
+    Scratch,
 }
 
 /// One primitive operation of a schedule. The engine executes steps in
@@ -583,6 +601,21 @@ pub enum Step {
         /// The child node.
         child: NodeId,
     },
+    /// Take the handle comm rank `from` sent me through the per-call
+    /// pairwise address exchange (direct route) and append it to the
+    /// capture list ([`BufRef::ChildUser`] indices — shared with
+    /// [`Step::AddrTake`]).
+    PairAddrTake {
+        /// The sending comm rank.
+        from: usize,
+    },
+    /// Allocate this call's `len`-byte scratch buffer
+    /// ([`BufRef::Scratch`]); its handle can then be shipped with
+    /// [`HandleSrc::Scratch`].
+    ScratchAlloc {
+        /// Scratch capacity in bytes.
+        len: usize,
+    },
     /// Take the gather-root handle another master sent me.
     GsRootTake,
     /// Publish my user-buffer handle on my node's board (gather root
@@ -624,7 +657,10 @@ impl Step {
             Step::CounterWait { .. } | Step::CounterWaitGe { .. } => "step:counter-wait",
             Step::CreditWait { .. } => "step:credit-wait",
             Step::AddrSend { .. } => "step:addr-send",
-            Step::AddrTake { .. } | Step::GsRootTake => "step:addr-take",
+            Step::AddrTake { .. } | Step::PairAddrTake { .. } | Step::GsRootTake => {
+                "step:addr-take"
+            }
+            Step::ScratchAlloc { .. } => "step:scratch-alloc",
             Step::BoardAddrPut => "step:board-addr-put",
             Step::BoardAddrTake => "step:board-addr-take",
             Step::Advance { .. } => "step:advance",
@@ -725,6 +761,17 @@ impl PlanBuilder {
         let idx = self.addrs;
         self.addrs += 1;
         self.steps.push(Step::AddrTake { child });
+        idx
+    }
+
+    /// Emit a [`Step::PairAddrTake`] for the handle comm rank `from`
+    /// sent through the pairwise address exchange and return its
+    /// capture index (same [`BufRef::ChildUser`] index space as
+    /// [`PlanBuilder::take_addr`]).
+    pub fn take_pair_addr(&mut self, from: usize) -> usize {
+        let idx = self.addrs;
+        self.addrs += 1;
+        self.steps.push(Step::PairAddrTake { from });
         idx
     }
 

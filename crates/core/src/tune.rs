@@ -28,10 +28,12 @@
 //!
 //! ## Table file format
 //!
-//! Line-oriented text, `srm-tune-table v1`:
+//! Line-oriented text, `srm-tune-table v2` (v2 added the
+//! `pairwise_direct_min` route knob; v1 files are rejected — re-search
+//! to regenerate):
 //!
 //! ```text
-//! srm-tune-table v1
+//! srm-tune-table v2
 //! seed 42
 //! grid nodes=4 tasks=2 ops=bcast,allreduce
 //! edges 4096 65536 1048576
@@ -178,11 +180,16 @@ pub struct TuneEntry {
     pub pairwise_chunk: usize,
     /// Pairwise exchange credit window.
     pub pairwise_window: usize,
+    /// Pairwise direct-route switch: segments at or above this size
+    /// skip the landing rings and put straight into the destination
+    /// buffer; `usize::MAX` (`off` in table files) disables the direct
+    /// route for the shape.
+    pub pairwise_direct_min: usize,
 }
 
 /// Field names in serialization order, paired off by
 /// [`TuneEntry::get`] / [`TuneEntry::set`].
-const ENTRY_FIELDS: [&str; 10] = [
+const ENTRY_FIELDS: [&str; 11] = [
     "small_large_switch",
     "pipeline_min",
     "pipeline_max",
@@ -193,6 +200,7 @@ const ENTRY_FIELDS: [&str; 10] = [
     "interrupt_disable_max",
     "pairwise_chunk",
     "pairwise_window",
+    "pairwise_direct_min",
 ];
 
 impl TuneEntry {
@@ -209,6 +217,7 @@ impl TuneEntry {
             interrupt_disable_max: t.interrupt_disable_max,
             pairwise_chunk: t.pairwise_chunk,
             pairwise_window: t.pairwise_window,
+            pairwise_direct_min: t.pairwise_direct_min,
         }
     }
 
@@ -240,6 +249,9 @@ impl TuneEntry {
             interrupt_disable_max: self.interrupt_disable_max,
             pairwise_chunk: self.pairwise_chunk.clamp(1, pw_cap),
             pairwise_window: self.pairwise_window.clamp(1, geometry.pairwise_window),
+            // Pure route decision — no buffer is sized from it, so it
+            // passes through unclamped (like allreduce_rs_min).
+            pairwise_direct_min: self.pairwise_direct_min,
             ..*base
         }
     }
@@ -256,6 +268,7 @@ impl TuneEntry {
             "interrupt_disable_max" => self.interrupt_disable_max,
             "pairwise_chunk" => self.pairwise_chunk,
             "pairwise_window" => self.pairwise_window,
+            "pairwise_direct_min" => self.pairwise_direct_min,
             _ => unreachable!("unknown entry field {field}"),
         }
     }
@@ -272,6 +285,7 @@ impl TuneEntry {
             "interrupt_disable_max" => self.interrupt_disable_max = v,
             "pairwise_chunk" => self.pairwise_chunk = v,
             "pairwise_window" => self.pairwise_window = v,
+            "pairwise_direct_min" => self.pairwise_direct_min = v,
             _ => return false,
         }
         true
@@ -322,7 +336,7 @@ impl fmt::Display for TuneEntryError {
 
 impl std::error::Error for TuneEntryError {}
 
-const HEADER: &str = "srm-tune-table v1";
+const HEADER: &str = "srm-tune-table v2";
 
 /// A searched, persisted per-shape tuning table. See the module docs
 /// for the file format and the decision/geometry split.
@@ -407,6 +421,7 @@ impl TuneTable {
                 interrupt_disable_max: entry.interrupt_disable_max,
                 pairwise_chunk: entry.pairwise_chunk,
                 pairwise_window: entry.pairwise_window,
+                pairwise_direct_min: entry.pairwise_direct_min,
                 ..*base
             };
             merged
@@ -483,12 +498,12 @@ impl TuneTable {
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
         let (_, header) = lines.next().ok_or(TableParseError {
             line: 0,
-            what: "empty file (expected `srm-tune-table v1` header)",
+            what: "empty file (expected `srm-tune-table v2` header)",
         })?;
         if header != HEADER {
             return Err(TableParseError {
                 line: 1,
-                what: "unsupported header (expected `srm-tune-table v1`)",
+                what: "unsupported header (expected `srm-tune-table v2`)",
             });
         }
         let mut table = TuneTable::default();
@@ -711,6 +726,7 @@ mod tests {
             interrupt_disable_max: 0,
             pairwise_chunk: base.reduce_chunk * 2,
             pairwise_window: 0,
+            pairwise_direct_min: 1,
         };
         let eff = wild.apply(&base, &geom);
         assert_eq!(eff.validate(), Ok(()));
@@ -720,6 +736,8 @@ mod tests {
         assert_eq!(eff.allreduce_rd_max, geom.allreduce_rd_max);
         assert_eq!(eff.pairwise_chunk, geom.pairwise_chunk);
         assert_eq!(eff.pairwise_window, 1);
+        // Route decision passes through unclamped.
+        assert_eq!(eff.pairwise_direct_min, 1);
         // Fixed knobs come from base untouched.
         assert_eq!(eff.reduce_chunk, base.reduce_chunk);
         assert_eq!(eff.smp_buf, base.smp_buf);

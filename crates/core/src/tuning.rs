@@ -126,6 +126,13 @@ pub struct SrmTuning {
     /// ranks, else the pipeline is kept. `usize::MAX` (the default)
     /// disables the switch — the paper's protocol everywhere.
     pub allreduce_rs_min: usize,
+    /// Pairwise-exchange segments (alltoall/alltoallv/reduce_scatter)
+    /// at or above this size take the **direct route**: a per-call
+    /// address exchange followed by one put straight into the
+    /// destination buffer, skipping the landing rings and their two
+    /// extra copies. `usize::MAX` disables the direct route (staged
+    /// everywhere); 0 forces it for every segment size.
+    pub pairwise_direct_min: usize,
 }
 
 impl Default for SrmTuning {
@@ -147,6 +154,7 @@ impl Default for SrmTuning {
             pairwise_chunk: 16 * 1024,
             pairwise_window: 2,
             allreduce_rs_min: usize::MAX,
+            pairwise_direct_min: 64 * 1024,
         }
     }
 }

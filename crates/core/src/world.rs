@@ -343,6 +343,17 @@ pub(crate) struct CommState {
     pub pairwise: PairwiseState,
     pub am_addr_xchg: u32,
     pub am_gs_addr: u32,
+    /// Per-call pairwise address-exchange slots for the **direct
+    /// route**: `pair_addr[owner][sender]` holds the buffer handle comm
+    /// rank `sender` shipped to comm rank `owner` (taken by the owner's
+    /// `PairAddrTake` step; the CL_ADDR ordering class keeps slots from
+    /// being overrun across calls). Rows are `Arc`-shared with the
+    /// per-member AM handlers.
+    pub pair_addr: Vec<Arc<Vec<SimVar<Option<ShmBuffer>>>>>,
+    /// AM id of the pairwise address exchange (registered on **every**
+    /// member rank — direct-route puts are rank-to-rank, not
+    /// master-to-master).
+    pub am_pair_addr: u32,
     /// Per-member protocol sequence cells and plan cache (comm rank →
     /// seat), shared by every handle clone of that member.
     pub seats: Vec<Arc<CommSeat>>,
@@ -367,8 +378,9 @@ impl CommState {
         let inter: Vec<Arc<InterState>> = (0..gnodes)
             .map(|_| Arc::new(InterState::new(handle, gnodes, tuning)))
             .collect();
-        let am_addr_xchg = (1 + 2 * group.id()) as u32;
-        let am_gs_addr = (2 + 2 * group.id()) as u32;
+        let am_addr_xchg = (1 + 3 * group.id()) as u32;
+        let am_gs_addr = (2 + 3 * group.id()) as u32;
+        let am_pair_addr = (3 + 3 * group.id()) as u32;
         // Address-exchange handlers on every group master: store the
         // sending master's handle in the slot for its **group** node.
         let gnode_of_rank: Arc<Vec<Option<usize>>> = Arc::new(
@@ -391,7 +403,32 @@ impl CommState {
                 my_inter.gs_root.store(hctx, Some(buf));
             });
         }
-        let pairwise = PairwiseState::new(handle, gnodes, tuning);
+        // Direct-route pairwise address exchange: every member rank
+        // (not just masters) accepts handles, keyed by the sender's
+        // comm rank. A slot must be empty when a handle arrives — the
+        // CL_ADDR ordering class serializes the exchange across calls.
+        let crank_of_rank: Arc<Vec<Option<usize>>> =
+            Arc::new((0..topo.nprocs()).map(|r| group.comm_rank_of(r)).collect());
+        let pair_addr: Vec<Arc<Vec<SimVar<Option<ShmBuffer>>>>> = (0..group.len())
+            .map(|_| Arc::new((0..group.len()).map(|_| handle.var(None)).collect()))
+            .collect();
+        for (c, row) in pair_addr.iter().enumerate() {
+            let ep = rma.endpoint(group.ranks()[c]);
+            let row = row.clone();
+            let cmap = crank_of_rank.clone();
+            ep.register_handler(am_pair_addr, move |hctx, msg| {
+                let src = cmap[msg.from].expect("sender is a group member");
+                assert!(
+                    row[src].with(|s| s.is_none()),
+                    "pairwise address slot overrun (sender comm rank {src})"
+                );
+                row[src].store(
+                    hctx,
+                    Some(msg.buf.expect("address exchange carries a handle")),
+                );
+            });
+        }
+        let pairwise = PairwiseState::new(handle, gnodes, group.len(), tuning);
         let seats = (0..group.len())
             .map(|_| Arc::new(CommSeat::new(tuning.plan_cache_cap)))
             .collect();
@@ -406,6 +443,8 @@ impl CommState {
             pairwise,
             am_addr_xchg,
             am_gs_addr,
+            pair_addr,
+            am_pair_addr,
             seats,
         })
     }
@@ -877,6 +916,17 @@ impl SrmComm {
     /// order? (Planners stream whole node blocks when true.)
     pub(crate) fn ccontig(&self, g: usize) -> bool {
         self.comm.group.contig(g)
+    }
+
+    /// World rank of comm rank `c`.
+    pub(crate) fn cworld_of(&self, c: usize) -> Rank {
+        self.comm.group.ranks()[c]
+    }
+
+    /// My direct-route address-exchange slot for handles shipped by
+    /// comm rank `from`.
+    pub(crate) fn pair_addr_slot(&self, from: usize) -> &SimVar<Option<ShmBuffer>> {
+        &self.comm.pair_addr[self.crank][from]
     }
 
     /// My group node's shared-memory board.

@@ -36,6 +36,15 @@ impl ShmBuffer {
         self.data.lock().len()
     }
 
+    /// Does the range `[offset, offset + len)` lie within this buffer?
+    /// Overflow-safe; used by the engine to bounds-check direct puts
+    /// into remotely-supplied buffer handles before touching them.
+    pub fn fits(&self, offset: usize, len: usize) -> bool {
+        offset
+            .checked_add(len)
+            .is_some_and(|end| end <= self.capacity())
+    }
+
     /// `true` when `other` is a clone of this buffer, i.e. both handles
     /// alias the same underlying storage. The nonblocking executor uses
     /// this to reject write-aliased buffers shared between outstanding
@@ -115,6 +124,17 @@ impl ShmBuffer {
 mod tests {
     use super::*;
     use simnet::{MachineConfig, Sim, SimTime};
+
+    #[test]
+    fn fits_bounds_and_overflow() {
+        let buf = ShmBuffer::new(64);
+        assert!(buf.fits(0, 64));
+        assert!(buf.fits(64, 0));
+        assert!(buf.fits(32, 32));
+        assert!(!buf.fits(32, 33));
+        assert!(!buf.fits(65, 0));
+        assert!(!buf.fits(usize::MAX, 2));
+    }
 
     #[test]
     fn write_then_read_roundtrip() {

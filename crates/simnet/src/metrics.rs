@@ -106,6 +106,10 @@ metrics! {
     /// available (its destination's landing ring was full), counted on
     /// the blocking execution path.
     credit_stalls,
+    /// One-sided puts issued by the pairwise **direct route** (segments
+    /// landed straight in the destination user or scratch buffer after
+    /// a per-call address exchange, skipping the landing rings).
+    pairwise_direct_puts,
     /// Communicators created (the world communicator counts once; each
     /// `comm_create`/`comm_split` group counts once more).
     comm_creates,

@@ -12,10 +12,16 @@
 //! ranks on the same role show the same step sequence at different
 //! times — the step list is the Schedule, the times are the execution.
 //!
-//! After the world broadcast, the non-contiguous subgroup `[1, 3, 6]`
-//! runs an allreduce through its own communicator, so the swimlane
-//! headers also show the per-communicator plan-cache traffic the run
-//! generated (`comm 0` is the world; subgroups get fresh ids).
+//! After the world broadcast, a 64 KB world **alltoall** crosses the
+//! default `pairwise_direct_min` threshold and takes the direct route
+//! (address exchange + one put per remote pair), and the
+//! non-contiguous subgroup `[1, 3, 6]` runs an allreduce through its
+//! own communicator, so the swimlane headers also show the
+//! per-communicator plan-cache traffic the run generated (`comm 0` is
+//! the world; subgroups get fresh ids). Every plan compile also traces
+//! the planner's segment-routing decision as a `route:*` label —
+//! `route:staged` for the 2 KB broadcast, `route:direct` for the
+//! alltoall — rendered in their own section.
 //!
 //! Output format:
 //!
@@ -57,6 +63,10 @@ use std::sync::Arc;
 
 const GROUP: [usize; 3] = [1, 3, 6];
 
+/// Per-pair alltoall segment: at the default `pairwise_direct_min`,
+/// so the planner picks the direct route without any forcing.
+const A2A_SEG: usize = 64 * 1024;
+
 /// Run the example program — a world broadcast, then an allreduce on
 /// the subgroup — with step tracing on, optionally perturbed, and
 /// optionally with a searched tuning table loaded.
@@ -87,12 +97,14 @@ fn run_once(
 
     for (rank, sub) in sub_of.into_iter().enumerate() {
         let comm = world.comm(rank);
+        let nprocs = topo.nprocs();
         sim.spawn(format!("rank{rank}"), move |ctx| {
-            let buf = comm.alloc_buffer(2048);
+            let buf = comm.alloc_buffer(2 * nprocs * A2A_SEG);
             if rank == 0 {
                 buf.with_mut(|d| d.fill(9));
             }
             comm.broadcast(&ctx, &buf, 2048, 0);
+            comm.alltoall(&ctx, &buf, A2A_SEG);
             if let Some(sub) = sub {
                 let sbuf = sub.alloc_buffer(2048);
                 sub.allreduce(&ctx, &sbuf, 2048, DType::U64, ReduceOp::Sum);
@@ -113,13 +125,31 @@ fn main() {
     let mut names: Vec<String> = (0..topo.nprocs()).map(|i| format!("disp{i}")).collect();
     names.extend((0..topo.nprocs()).map(|i| format!("rank{i}")));
     println!(
-        "One 2 KB SRM broadcast on {topo}, then an allreduce on subgroup {group:?} \
-         ({} comm creates):\n",
+        "One 2 KB SRM broadcast on {topo}, a 64 KB alltoall, then an allreduce \
+         on subgroup {group:?} ({} comm creates):\n",
         report.metrics.comm_creates
     );
     for &(comm_id, hits, misses) in &report.plan_by_comm {
         let kind = if comm_id == 0 { " (world)" } else { "" };
         println!("comm {comm_id}{kind}: {hits} plan hits, {misses} plan misses");
+    }
+
+    // The planner's segment-routing decisions, one `route:*` label per
+    // plan compile: the 2 KB broadcast stages through the landing
+    // buffers, the 64 KB alltoall goes direct into the peers' user
+    // buffers.
+    let who_of = |lp: usize| names.get(lp).cloned().unwrap_or_else(|| format!("lp{lp}"));
+    println!(
+        "\nSegment routes chosen at plan compile ({} direct puts issued):",
+        report.metrics.pairwise_direct_puts
+    );
+    for e in trace.with_prefix("route:") {
+        println!(
+            "  {:>10} {:<6} {}",
+            format!("{}", e.at),
+            who_of(e.lp),
+            e.label
+        );
     }
     println!();
     print!("{}", trace.render(&names));
@@ -180,7 +210,6 @@ fn main() {
     // stalls are bracketed by paired events on the stalled LP; a
     // bandwidth dip slows its link for the configured window from the
     // moment it starts.
-    let who_of = |lp: usize| names.get(lp).cloned().unwrap_or_else(|| format!("lp{lp}"));
     println!("\nInjected intervals (lane: start -> end):\n");
     let mut open: Vec<Option<SimTime>> = vec![None; names.len() + 1];
     for e in ptrace.with_prefix("perturb:am-stall") {
@@ -272,12 +301,12 @@ fn main() {
     }
     let labels =
         |t: &Trace, r: usize| -> Vec<String> { sched(t, r).into_iter().map(|(l, _)| l).collect() };
-    // Rank 0 only runs the world broadcast (no table entry): schedule
+    // Rank 0 only runs world ops (no table entries for them): schedule
     // unchanged. Rank 1 is in the subgroup: its allreduce re-planned.
     assert_eq!(labels(&trace, 0), labels(&ttrace, 0));
     assert_ne!(labels(&trace, 1), labels(&ttrace, 1));
     println!(
-        "\nrank0 (broadcast only): schedule unchanged; \
+        "\nrank0 (world ops only): schedule unchanged; \
          rank1 (subgroup allreduce): {} steps default -> {} steps tuned",
         labels(&trace, 1).len(),
         labels(&ttrace, 1).len()

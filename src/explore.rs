@@ -43,7 +43,7 @@ use crate::harness::{ragged_counts, Op};
 use collops::{reference_reduce, Collectives, DType, NonblockingCollectives, ReduceOp};
 use shmem::ShmBuffer;
 use simnet::{MachineConfig, Perturb, Sim, SimError, SimTime, SplitMix64, Topology};
-use srm::{SrmComm, SrmTuning, SrmWorld};
+use srm::{SegmentRoute, SrmComm, SrmTuning, SrmWorld};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +58,12 @@ pub struct ExploreOpts {
     pub max_ops: usize,
     /// Allow subgroup-communicator steps.
     pub subgroups: bool,
+    /// Force every pairwise segment down one [`SegmentRoute`]
+    /// (`Direct` maps to `pairwise_direct_min = 0`, `Staged` to
+    /// `usize::MAX`); `None` keeps the default threshold. Both forced
+    /// sweeps must produce bit-identical results to the default one —
+    /// the CI smoke runs all three.
+    pub route: Option<SegmentRoute>,
 }
 
 impl Default for ExploreOpts {
@@ -67,6 +73,7 @@ impl Default for ExploreOpts {
             tpn: None,
             max_ops: 6,
             subgroups: true,
+            route: None,
         }
     }
 }
@@ -488,6 +495,11 @@ pub fn repro_line(seed: u64, opts: &ExploreOpts) -> String {
     if !opts.subgroups {
         s.push_str(" --no-subgroups");
     }
+    match opts.route {
+        Some(SegmentRoute::Direct) => s.push_str(" --route direct"),
+        Some(SegmentRoute::Staged) => s.push_str(" --route staged"),
+        None => {}
+    }
     s
 }
 
@@ -710,7 +722,15 @@ pub fn run_scenario(
     let n = topo.nprocs();
     let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
     sim.set_perturb(scenario.perturb);
-    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    let tuning = SrmTuning {
+        pairwise_direct_min: match opts.route {
+            Some(SegmentRoute::Direct) => 0,
+            Some(SegmentRoute::Staged) => usize::MAX,
+            None => SrmTuning::default().pairwise_direct_min,
+        },
+        ..SrmTuning::default()
+    };
+    let world = SrmWorld::new(&mut sim, topo, tuning);
 
     // Build subgroup and split communicators; per rank, its handle at
     // each comm index. `comm_ids[cidx]` lists `(comm id, size)` of

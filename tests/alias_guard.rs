@@ -43,6 +43,41 @@ fn write_aliased_outstanding_calls_panic() {
     );
 }
 
+/// The guard also covers the direct pairwise route, where the stakes
+/// are higher: a direct put writes the receive half of the peer's user
+/// buffer as soon as the address exchange completes, long before the
+/// local schedule reaches its own waits — so two outstanding large
+/// alltoalls through one buffer must still die at issue time, not
+/// corrupt each other mid-flight.
+#[test]
+fn write_aliased_direct_route_calls_panic() {
+    let topo = Topology::new(2, 2);
+    let n = topo.nprocs();
+    let len = 64 * 1024usize; // at the threshold: direct route
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, SrmTuning::default());
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(2 * n * len);
+            buf.with_mut(|d| d.fill(rank as u8 + 1));
+            let r1 = comm.ialltoall(&ctx, &buf, len);
+            let r2 = comm.ialltoall(&ctx, &buf, len);
+            comm.wait(&ctx, r1);
+            comm.wait(&ctx, r2);
+            comm.shutdown(&ctx);
+        });
+    }
+    let err = sim
+        .run()
+        .expect_err("write-aliased direct-route issue must fail the run");
+    let text = format!("{err:?}");
+    assert!(
+        text.contains("aliasing"),
+        "failure should name the aliasing guard, got: {text}"
+    );
+}
+
 #[test]
 fn read_only_shared_root_buffer_is_admitted() {
     let topo = Topology::new(2, 2);

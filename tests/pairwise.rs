@@ -69,6 +69,39 @@ fn alltoall_routes_through_pairwise_rings() {
     assert_eq!(m.pairwise_puts, 12);
 }
 
+/// At the default 64 KB threshold the planner takes the direct route:
+/// exactly one address-exchanged put per ordered remote pair, nothing
+/// through the rings, and no credit traffic at all — with results
+/// bit-identical to a forced-staged run of the same call.
+#[test]
+fn direct_route_exact_put_count_and_staged_parity() {
+    let topo = Topology::new(3, 2);
+    let n = topo.nprocs();
+    let len = 64 * 1024usize;
+    let run = move |t: SrmTuning| {
+        run_with_metrics(
+            topo,
+            t,
+            2 * n * len,
+            move |rank| send_half(rank, n, len),
+            move |ctx, comm, buf| comm.alltoall(ctx, buf, len),
+        )
+    };
+    let (res_direct, m) = run(SrmTuning::default());
+    // 6 ranks x 4 remote peers = 24 ordered pairs, one unchunked put
+    // each; the 64 KB segment would have been 4 ring pieces per pair.
+    assert_eq!(m.pairwise_direct_puts, 24);
+    assert_eq!(m.pairwise_puts, 0, "direct route must bypass the rings");
+    assert_eq!(m.credit_stalls, 0, "no ring credits, no credit stalls");
+    let (res_staged, m_staged) = run(SrmTuning {
+        pairwise_direct_min: usize::MAX,
+        ..SrmTuning::default()
+    });
+    assert_eq!(m_staged.pairwise_direct_puts, 0);
+    assert!(m_staged.pairwise_puts > 0);
+    assert_eq!(res_direct, res_staged, "routes must agree bit for bit");
+}
+
 /// The credit window is real back-pressure: a window of 1 with many
 /// pieces per stream stalls the sender, an ample window does not, and
 /// the results are identical either way.

@@ -1,0 +1,183 @@
+//! Route equivalence for the pairwise collectives: the staged route
+//! (chunked puts through the landing rings, credit-throttled) and the
+//! direct route (per-call address exchange, one put straight into the
+//! destination user buffer) must produce bit-identical results for
+//! alltoall, alltoallv and reduce_scatter — on plain runs straddling
+//! the default threshold, on perturbed pinned scenarios, and across
+//! explorer seeds with either route forced for every segment size.
+
+use collops::{Collectives, DType, ReduceOp};
+use simnet::{MachineConfig, MetricsSnapshot, Perturb, Sim, Topology};
+use srm::{SegmentRoute, SrmTuning, SrmWorld};
+use srm_cluster::{
+    explore_sweep, ragged_counts, run_scenario, AliasMode, ExploreOpts, Op, ProgStep, Scenario,
+};
+use std::sync::{Arc, Mutex};
+
+/// A tuning that forces every pairwise segment down `route`.
+fn forced(route: SegmentRoute) -> SrmTuning {
+    SrmTuning {
+        pairwise_direct_min: match route {
+            SegmentRoute::Direct => 0,
+            SegmentRoute::Staged => usize::MAX,
+        },
+        ..SrmTuning::default()
+    }
+}
+
+/// Run one pairwise collective on every rank with deterministic
+/// payloads; return final buffers and the run metrics.
+fn run_op(
+    topo: Topology,
+    tuning: SrmTuning,
+    op: Op,
+    len: usize,
+) -> (Vec<Vec<u8>>, MetricsSnapshot) {
+    let n = topo.nprocs();
+    let mut sim = Sim::new(MachineConfig::ibm_sp_colony());
+    let world = SrmWorld::new(&mut sim, topo, tuning);
+    let out = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let counts = Arc::new(ragged_counts(n, len));
+    for rank in 0..n {
+        let comm = world.comm(rank);
+        let out = out.clone();
+        let counts = counts.clone();
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let buf = comm.alloc_buffer(op.buf_len(len, n));
+            buf.with_mut(|d| {
+                for (i, x) in d.iter_mut().enumerate() {
+                    *x = (i as u8).wrapping_mul(29).wrapping_add(rank as u8 ^ 0xC3);
+                }
+            });
+            match op {
+                Op::Alltoall => comm.alltoall(&ctx, &buf, len),
+                Op::Alltoallv => comm.alltoallv(&ctx, &buf, len, &counts),
+                Op::ReduceScatter => {
+                    comm.reduce_scatter(&ctx, &buf, len, DType::U64, ReduceOp::Sum)
+                }
+                _ => unreachable!("route equivalence covers the pairwise ops"),
+            }
+            out.lock().unwrap()[rank] = buf.with(|d| d.to_vec());
+            comm.shutdown(&ctx);
+        });
+    }
+    let report = sim.run().expect("simulation completes");
+    let results = Arc::try_unwrap(out).unwrap().into_inner().unwrap();
+    (results, report.metrics)
+}
+
+/// Both routes, bit for bit, for every pairwise op at sizes below, at
+/// and above the default 64 KB threshold — the forced-direct run must
+/// actually take the direct route (and skip the rings entirely), the
+/// forced-staged run must never touch it.
+#[test]
+fn forced_routes_bit_exact_for_all_pairwise_ops() {
+    let topo = Topology::new(3, 2);
+    for op in [Op::Alltoall, Op::Alltoallv, Op::ReduceScatter] {
+        for len in [8 * 1024usize, 64 * 1024, 128 * 1024] {
+            let (staged, ms) = run_op(topo, forced(SegmentRoute::Staged), op, len);
+            let (direct, md) = run_op(topo, forced(SegmentRoute::Direct), op, len);
+            assert_eq!(
+                staged, direct,
+                "{op:?} at {len} B: routes disagree on the results"
+            );
+            assert_eq!(
+                ms.pairwise_direct_puts, 0,
+                "{op:?}/{len}: staged went direct"
+            );
+            assert!(
+                ms.pairwise_puts > 0,
+                "{op:?}/{len}: staged run must use the rings"
+            );
+            assert!(
+                md.pairwise_direct_puts > 0,
+                "{op:?}/{len}: direct run must issue direct puts"
+            );
+            assert_eq!(
+                md.pairwise_puts, 0,
+                "{op:?}/{len}: direct run must not touch the rings"
+            );
+        }
+    }
+}
+
+/// The default tuning switches routes exactly at `pairwise_direct_min`
+/// (64 KB): below it the rings carry the data, at it the planner goes
+/// direct — without any forcing.
+#[test]
+fn default_threshold_picks_the_route() {
+    let topo = Topology::new(2, 2);
+    let (_, below) = run_op(topo, SrmTuning::default(), Op::Alltoall, 32 * 1024);
+    assert_eq!(below.pairwise_direct_puts, 0);
+    assert!(below.pairwise_puts > 0);
+    let (_, at) = run_op(topo, SrmTuning::default(), Op::Alltoall, 64 * 1024);
+    assert!(at.pairwise_direct_puts > 0);
+    assert_eq!(at.pairwise_puts, 0);
+}
+
+/// A pinned perturbed scenario mixing all three pairwise ops (one of
+/// them nonblocking, overlapping the next step) verifies on both
+/// forced routes — `run_scenario` checks every rank's buffer against
+/// the sequential references, so a clean pass IS bit-exactness.
+#[test]
+fn pinned_perturbed_pairwise_scenario_on_both_routes() {
+    let step = |op, seg, nonblocking| ProgStep {
+        op,
+        comm: 0,
+        seg,
+        root: 0,
+        nonblocking,
+        alias: AliasMode::None,
+    };
+    for route in [SegmentRoute::Staged, SegmentRoute::Direct] {
+        let scenario = Scenario {
+            nodes: 3,
+            tpn: 2,
+            perturb: Perturb::standard(0xD1EC_7040),
+            groups: Vec::new(),
+            splits: Vec::new(),
+            steps: vec![
+                step(Op::Alltoall, 1024, true),
+                step(Op::ReduceScatter, 512, false),
+                step(Op::Alltoallv, 2048, false),
+                step(Op::Alltoall, 256, false),
+            ],
+        };
+        let opts = ExploreOpts {
+            nodes: Some(3),
+            tpn: Some(2),
+            route: Some(route),
+            ..ExploreOpts::default()
+        };
+        if let Err(f) = run_scenario(scenario.perturb.seed, scenario, &opts) {
+            panic!("pinned pairwise scenario failed on {route:?} route:\n{f}");
+        }
+    }
+}
+
+/// Explorer seeds stay clean with either route forced for EVERY
+/// pairwise segment: same seeds, same scenarios, both routes — every
+/// collective call still verifies against its reference under the full
+/// perturbation surface (the CI smoke runs a larger such sweep).
+#[test]
+fn explorer_seeds_clean_under_forced_routes() {
+    for route in [SegmentRoute::Direct, SegmentRoute::Staged] {
+        let opts = ExploreOpts {
+            route: Some(route),
+            ..ExploreOpts::default()
+        };
+        let summary = explore_sweep(0, 6, &opts);
+        assert!(
+            summary.failures.is_empty(),
+            "forced {route:?} sweep failed:\n{}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(summary.explored, 6);
+        assert!(summary.calls_checked > 0);
+    }
+}

@@ -175,8 +175,10 @@ fn arb_entry() -> impl Strategy<Value = TuneEntry> {
         ),
         (1usize..=4, 1usize..=4), // pairwise chunk 2^k KB, window
         prop_oneof![Just(0usize), Just(8 * 1024), Just(64 * 1024)],
+        // pairwise_direct_min: off / always-direct / the default edge
+        prop_oneof![Just(usize::MAX), Just(0usize), Just(64 * 1024)],
     )
-        .prop_map(move |((sls, pc), (rd, rs), (pwc, pww), idm)| {
+        .prop_map(move |((sls, pc), (rd, rs), (pwc, pww), idm, pdm)| {
             let sls = (1 << sls) * 1024;
             TuneEntry {
                 small_large_switch: sls,
@@ -188,6 +190,7 @@ fn arb_entry() -> impl Strategy<Value = TuneEntry> {
                 interrupt_disable_max: idm,
                 pairwise_chunk: (1 << pwc) * 1024,
                 pairwise_window: pww,
+                pairwise_direct_min: pdm,
                 ..TuneEntry::from_tuning(&base)
             }
         })
